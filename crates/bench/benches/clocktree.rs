@@ -1,0 +1,116 @@
+//! Criterion benchmarks for the clock-tree substrate: the O(n) tree
+//! transient solver against the dense MNA engine, Elmore analysis and the
+//! zero-skew router.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use clocksense_clocktree::{zero_skew_tree, HTree, Point, RcTree, Sink, WireParasitics};
+use clocksense_netlist::{Circuit, SourceWave, GROUND};
+use clocksense_spice::{transient, SimOptions};
+
+/// Mirrors an RC tree into a flat MNA circuit for the comparison bench.
+fn to_circuit(tree: &RcTree, driver_r: f64) -> Circuit {
+    let mut ckt = Circuit::new();
+    let src = ckt.node("src");
+    ckt.add_vsource(
+        "vin",
+        src,
+        GROUND,
+        SourceWave::step(0.0, 5.0, 0.1e-9, 1e-12),
+    )
+    .expect("valid source");
+    let root = ckt.node("n0");
+    ckt.add_resistor("rdrv", src, root, driver_r)
+        .expect("valid r");
+    for id in tree.node_ids() {
+        let name = format!("n{}", id.index());
+        let node = ckt.node(&name);
+        let cap = tree.capacitance(id);
+        if cap > 0.0 {
+            ckt.add_capacitor(&format!("c{}", id.index()), node, GROUND, cap)
+                .expect("valid c");
+        }
+        if let Some(parent) = tree.parent(id) {
+            let p = ckt.node(&format!("n{}", parent.index()));
+            ckt.add_resistor(&format!("r{}", id.index()), p, node, tree.resistance(id))
+                .expect("valid r");
+        }
+    }
+    ckt
+}
+
+fn bench_tree_vs_dense(c: &mut Criterion) {
+    let drive = SourceWave::step(0.0, 5.0, 0.1e-9, 1e-12);
+    let mut group = c.benchmark_group("rc_tree_transient");
+    group.sample_size(10);
+    for levels in [1usize, 2, 3] {
+        let htree = HTree::new(levels, 3e-3, WireParasitics::metal2());
+        let tree = htree.to_rc_tree(40e-15);
+        let n = tree.len();
+        group.bench_with_input(BenchmarkId::new("tree_solver", n), &tree, |b, tree| {
+            b.iter(|| {
+                black_box(
+                    tree.transient(&drive, 150.0, 4e-9, 2e-12, &[])
+                        .expect("solves"),
+                )
+            })
+        });
+        // The dense engine is O(n^3) per step: only bench the sizes it
+        // can finish in reasonable time.
+        if n <= 100 {
+            let ckt = to_circuit(&tree, 150.0);
+            let opts = SimOptions {
+                tstep: 2e-12,
+                ..SimOptions::default()
+            };
+            group.bench_with_input(BenchmarkId::new("dense_mna", n), &ckt, |b, ckt| {
+                b.iter(|| black_box(transient(ckt, 4e-9, &opts).expect("solves")))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_elmore(c: &mut Criterion) {
+    let htree = HTree::new(4, 6e-3, WireParasitics::metal2());
+    let tree = htree.to_rc_tree(40e-15);
+    c.bench_function("elmore_1500_nodes", |b| {
+        b.iter(|| black_box(tree.elmore_delays(150.0)))
+    });
+}
+
+fn bench_zero_skew_router(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zero_skew_router");
+    group.sample_size(10);
+    for n in [8usize, 32, 64] {
+        let mut seed = 0x5851f42d4c957f2du64;
+        let mut rnd = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let sinks: Vec<Sink> = (0..n)
+            .map(|i| {
+                Sink::new(
+                    &format!("s{i}"),
+                    Point::new(rnd() * 4e-3, rnd() * 4e-3),
+                    (20.0 + 100.0 * rnd()) * 1e-15,
+                )
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &sinks, |b, sinks| {
+            b.iter(|| black_box(zero_skew_tree(sinks, WireParasitics::metal2()).expect("routes")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tree_vs_dense,
+    bench_elmore,
+    bench_zero_skew_router
+);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benchmarks for the fault-simulation layer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use clocksense_core::{ClockPair, SensorBuilder, Technology};
+use clocksense_faults::{
+    inject, run_campaign, stuck_at_universe, CampaignConfig, Fault, Rails, StuckLevel,
+};
+
+fn bench_injection(c: &mut Criterion) {
+    let tech = Technology::cmos12();
+    let sensor = SensorBuilder::new(tech)
+        .load_capacitance(160e-15)
+        .build()
+        .expect("valid sensor");
+    let bench = sensor
+        .testbench(&ClockPair::single_shot(tech.vdd, 0.2e-9))
+        .expect("bench builds");
+    let rails = Rails::vdd_gnd("vdd");
+    let fault = Fault::NodeStuckAt {
+        node: "y1".into(),
+        level: StuckLevel::Zero,
+    };
+    c.bench_function("inject_stuck_at", |b| {
+        b.iter(|| black_box(inject(&bench, &fault, &rails).expect("injects")))
+    });
+}
+
+fn bench_stuck_at_campaign(c: &mut Criterion) {
+    let tech = Technology::cmos12();
+    let sensor = SensorBuilder::new(tech)
+        .load_capacitance(160e-15)
+        .build()
+        .expect("valid sensor");
+    let faults = stuck_at_universe(sensor.circuit());
+    let cfg = CampaignConfig::new(ClockPair::single_shot(tech.vdd, 0.2e-9));
+    let mut group = c.benchmark_group("fault_campaign");
+    group.sample_size(10);
+    group.bench_function("stuck_at_16_faults", |b| {
+        b.iter(|| black_box(run_campaign(&sensor, &faults, &cfg).expect("runs")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_injection, bench_stuck_at_campaign);
+criterion_main!(benches);

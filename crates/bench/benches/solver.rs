@@ -1,0 +1,74 @@
+//! Criterion benchmarks for the electrical engine: transient throughput
+//! on the sensing circuit and DC operating-point solves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use clocksense_core::{ClockPair, SensorBuilder, Technology};
+use clocksense_spice::{dc_operating_point, transient, SimOptions};
+
+fn bench_sensor_transient(c: &mut Criterion) {
+    let tech = Technology::cmos12();
+    let clocks = ClockPair::single_shot(tech.vdd, 0.2e-9);
+    let mut group = c.benchmark_group("sensor_transient");
+    group.sample_size(20);
+    for (label, tstep) in [("1ps", 1e-12), ("2ps", 2e-12), ("4ps", 4e-12)] {
+        let sensor = SensorBuilder::new(tech)
+            .load_capacitance(160e-15)
+            .build()
+            .expect("valid sensor");
+        let bench = sensor.testbench(&clocks).expect("bench builds");
+        let opts = SimOptions {
+            tstep,
+            ..SimOptions::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &opts, |b, opts| {
+            b.iter(|| {
+                black_box(transient(&bench, clocks.sim_stop_time(), opts).expect("converges"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dc_operating_point(c: &mut Criterion) {
+    let tech = Technology::cmos12();
+    let sensor = SensorBuilder::new(tech)
+        .load_capacitance(160e-15)
+        .build()
+        .expect("valid sensor");
+    let bench = sensor
+        .testbench(&ClockPair::single_shot(tech.vdd, 0.2e-9))
+        .expect("bench builds");
+    let opts = SimOptions::default();
+    c.bench_function("sensor_dc_operating_point", |b| {
+        b.iter(|| black_box(dc_operating_point(&bench, &opts).expect("converges")))
+    });
+}
+
+fn bench_full_simulate(c: &mut Criterion) {
+    let tech = Technology::cmos12();
+    let sensor = SensorBuilder::new(tech)
+        .load_capacitance(160e-15)
+        .build()
+        .expect("valid sensor");
+    let clocks = ClockPair::single_shot(tech.vdd, 0.2e-9).with_skew(0.2e-9);
+    let opts = SimOptions {
+        tstep: 2e-12,
+        ..SimOptions::default()
+    };
+    let mut group = c.benchmark_group("sensor_simulate");
+    group.sample_size(20);
+    group.bench_function("skewed_200ps", |b| {
+        b.iter(|| black_box(sensor.simulate(&clocks, &opts).expect("converges")))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sensor_transient,
+    bench_dc_operating_point,
+    bench_full_simulate
+);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Ablation — the optional full-swing keepers ("a suitable feedback
+//! inverter driving a weak pull-down n-channel transistor can be added to
+//! each block to provide full-swing performance").
+//!
+//! Compares output low levels, sensitivity and fault coverage with and
+//! without the keepers.
+
+use clocksense_bench::{print_header, ps, Table};
+use clocksense_core::{find_tau_min, ClockPair, SensorBuilder, Technology};
+use clocksense_faults::{run_campaign, sensor_fault_universe, CampaignConfig, FaultClass};
+use clocksense_spice::SimOptions;
+
+fn main() {
+    let tech = Technology::cmos12();
+    let clocks = ClockPair::single_shot(tech.vdd, 0.2e-9);
+    let opts = SimOptions {
+        tstep: 2e-12,
+        ..SimOptions::default()
+    };
+
+    print_header("Ablation: full-swing keepers on vs off");
+    let mut table = Table::new(&[
+        "variant",
+        "V_min no-skew [V]",
+        "tau_min [ps]",
+        "devices",
+        "SA cov",
+        "SOn cov(L+I)",
+        "bridge cov(L+I)",
+    ]);
+    for keepers in [false, true] {
+        let sensor = SensorBuilder::new(tech)
+            .load_capacitance(160e-15)
+            .full_swing_keepers(keepers)
+            .build()
+            .expect("valid sensor");
+        let response = sensor.simulate(&clocks, &opts).expect("sim converges");
+        let tau_min = find_tau_min(&sensor, &clocks, 0.6e-9, 2e-12, &opts)
+            .expect("bisection converges")
+            .map(ps)
+            .unwrap_or_else(|| "n/a".to_string());
+        let faults = sensor_fault_universe(&sensor, 100.0);
+        let cfg = CampaignConfig::new(clocks);
+        let result = run_campaign(&sensor, &faults, &cfg).expect("campaign runs");
+        table.row(&[
+            if keepers { "with keepers" } else { "bare" }.to_string(),
+            format!("{:.3}", response.vmin_y1),
+            tau_min,
+            format!("{}", sensor.circuit().device_count()),
+            format!(
+                "{:.0}%",
+                100.0 * result.combined_coverage(FaultClass::StuckAt)
+            ),
+            format!(
+                "{:.0}%",
+                100.0 * result.combined_coverage(FaultClass::StuckOn)
+            ),
+            format!(
+                "{:.0}%",
+                100.0 * result.combined_coverage(FaultClass::Bridge)
+            ),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "the keepers pull the no-skew low level towards ground (full swing) at the\n\
+         cost of six extra devices — which enlarge the fault universe — while the\n\
+         sensitivity tau_min is essentially unchanged"
+    );
+}

@@ -1,0 +1,80 @@
+//! Cell characterisation — the sensing circuit's standard-cell figures
+//! (block fall delay d, no-skew floor, recovery time, τ_min) per load and
+//! sizing, tying the measured sensitivity back to the paper's analysis
+//! ("this condition is always verified when the skew is larger than the
+//! delay d required by the output signal y1 to reach a low value").
+
+use clocksense_bench::{ff, print_header, ps, Table};
+use clocksense_core::{characterize, ClockPair, SensorBuilder, Technology};
+use clocksense_spice::SimOptions;
+
+fn main() {
+    let tech = Technology::cmos12();
+    let clocks = ClockPair::single_shot(tech.vdd, 0.2e-9);
+    let opts = SimOptions {
+        tstep: 2e-12,
+        ..SimOptions::default()
+    };
+
+    print_header("sensing-cell character per load (default 8/12 um sizing)");
+    let mut table = Table::new(&[
+        "C_L [fF]",
+        "d (fall to Vtn) [ps]",
+        "no-skew floor [V]",
+        "recovery [ps]",
+        "tau_min [ps]",
+        "tau_min/d",
+    ]);
+    for &load in &[40e-15, 80e-15, 160e-15, 240e-15] {
+        let sensor = SensorBuilder::new(tech)
+            .load_capacitance(load)
+            .build()
+            .expect("valid sensor");
+        let c = characterize(&sensor, &clocks, &opts).expect("characterises");
+        table.row(&[
+            ff(load),
+            ps(c.block_fall_delay),
+            format!("{:.2}", c.no_skew_floor),
+            ps(c.recovery_time),
+            ps(c.tau_min),
+            format!("{:.2}", c.tau_min / c.block_fall_delay),
+        ]);
+    }
+    println!("{}", table.render());
+
+    print_header("character vs sizing (C_L = 160 fF)");
+    let mut table = Table::new(&[
+        "W_N/W_P [um]",
+        "d [ps]",
+        "floor [V]",
+        "recovery [ps]",
+        "tau_min [ps]",
+    ]);
+    for &(wn, wp) in &[
+        (5e-6, 7.5e-6),
+        (8e-6, 12e-6),
+        (12e-6, 18e-6),
+        (16e-6, 24e-6),
+    ] {
+        let sensor = SensorBuilder::new(tech)
+            .nmos_width(wn)
+            .pmos_width(wp)
+            .load_capacitance(160e-15)
+            .build()
+            .expect("valid sensor");
+        let c = characterize(&sensor, &clocks, &opts).expect("characterises");
+        table.row(&[
+            format!("{:.0}/{:.0}", wn * 1e6, wp * 1e6),
+            ps(c.block_fall_delay),
+            format!("{:.2}", c.no_skew_floor),
+            ps(c.recovery_time),
+            ps(c.tau_min),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "tau > d guarantees detection (the paper's sufficient condition); the\n\
+         measured tau_min sits at ~10% of d because a partial fall of the early\n\
+         output already blocks the late pull-down"
+    );
+}

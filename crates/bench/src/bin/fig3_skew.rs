@@ -1,0 +1,62 @@
+//! Fig. 3 — input and output waveforms in the presence of a skew between
+//! the monitored clock signals.
+//!
+//! Expected shape (paper): with φ2 late, y1 completes its falling
+//! transition while y2 keeps its high value, giving the statically held
+//! error indication (y1, y2) = (0, 1) for half of the clock period.
+
+use clocksense_bench::{ascii_chart, print_header, ps};
+use clocksense_core::{ClockPair, SensorBuilder, SkewVerdict, Technology};
+use clocksense_spice::SimOptions;
+use clocksense_wave::Waveform;
+
+fn main() {
+    let tech = Technology::cmos12();
+    let sensor = SensorBuilder::new(tech)
+        .load_capacitance(160e-15)
+        .build()
+        .expect("valid default sensor");
+    let skew = 0.5e-9;
+    let clocks = ClockPair::single_shot(tech.vdd, 0.2e-9).with_skew(skew);
+    let response = sensor
+        .simulate(&clocks, &SimOptions::default())
+        .expect("simulation converges");
+
+    print_header(&format!("Fig. 3: phi2 late by {} ps", ps(skew)));
+    let (w1, w2) = clocks.waveforms();
+    let stop = clocks.sim_stop_time();
+    let phi1 = Waveform::from_fn(0.0, stop, 400, |t| w1.value_at(t));
+    let phi2 = Waveform::from_fn(0.0, stop, 400, |t| w2.value_at(t));
+    println!(
+        "{}",
+        ascii_chart(
+            &[
+                ("phi1", &phi1),
+                ("phi2", &phi2),
+                ("y1", &response.y1),
+                ("y2", &response.y2)
+            ],
+            (0.0, stop),
+            (-0.5, 6.5),
+            100,
+            22,
+        )
+    );
+    println!("verdict: {}", response.verdict);
+    println!(
+        "V_min(y1) = {:.3} V (falls fully), V_min(y2) = {:.3} V (held high)",
+        response.vmin_y1, response.vmin_y2
+    );
+    let v_th = tech.logic_threshold();
+    let held_from = response
+        .y2
+        .falling_crossings(v_th)
+        .first()
+        .copied()
+        .unwrap_or(stop);
+    println!(
+        "error indication (0,1) holds for >= {} ps (paper: half of the clock period)",
+        ps(held_from.min(stop) - clocks.delay)
+    );
+    assert_eq!(response.verdict, SkewVerdict::Phi2Late);
+}

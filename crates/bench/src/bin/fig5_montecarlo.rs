@@ -1,0 +1,63 @@
+//! Fig. 5 — scatterplot of V_min as a function of τ in the presence of
+//! random circuit parameter variations (±15 % uniform), independent input
+//! slews in [0.1, 0.4] ns and independent loads.
+//!
+//! Expected shape (paper): the scatter tracks the nominal Fig. 4 curve
+//! with a modest vertical spread — "the proposed circuit is slightly
+//! sensitive to parameters variations".
+
+use clocksense_bench::{ff, print_header, ps, scaled, Table};
+use clocksense_core::{ClockPair, SensorBuilder, Technology};
+use clocksense_montecarlo::{run_scatter, McConfig};
+
+fn main() {
+    let tech = Technology::cmos12();
+    let taus: Vec<f64> = (0..=8).map(|i| i as f64 * 0.03e-9).collect();
+    let samples = scaled(432, 72);
+    let clocks = ClockPair::single_shot(tech.vdd, 0.2e-9);
+
+    for &load in &[80e-15, 160e-15, 240e-15] {
+        let builder = SensorBuilder::new(tech).load_capacitance(load);
+        let cfg = McConfig {
+            samples,
+            seed: 0x1997_0317 ^ (load.to_bits()),
+            ..McConfig::default()
+        };
+        let scatter = run_scatter(&builder, &clocks, &taus, &cfg).expect("mc run converges");
+
+        print_header(&format!(
+            "Fig. 5: V_min vs tau scatter, C_L = {} fF, {} samples, spread ±15%",
+            ff(load),
+            samples
+        ));
+        let mut table = Table::new(&[
+            "tau [ps]",
+            "min V_min",
+            "mean V_min",
+            "max V_min",
+            "spread [V]",
+            "flagged",
+        ]);
+        for &tau in &taus {
+            let bucket: Vec<_> = scatter.iter().filter(|s| s.tau == tau).collect();
+            let min = bucket.iter().map(|s| s.vmin).fold(f64::MAX, f64::min);
+            let max = bucket.iter().map(|s| s.vmin).fold(f64::MIN, f64::max);
+            let mean = bucket.iter().map(|s| s.vmin).sum::<f64>() / bucket.len() as f64;
+            let flagged = bucket.iter().filter(|s| s.detected).count();
+            table.row(&[
+                ps(tau),
+                format!("{min:.3}"),
+                format!("{mean:.3}"),
+                format!("{max:.3}"),
+                format!("{:.3}", max - min),
+                format!("{}/{}", flagged, bucket.len()),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+    println!(
+        "paper: the circuit is only slightly sensitive to parameter variations — the\n\
+         per-tau spread above is a fraction of the full 0..VDD range and the flagged\n\
+         fraction transitions sharply around tau_min"
+    );
+}

@@ -1,0 +1,104 @@
+//! Tab. 1 — probability of losing an error indication (p_loose: skew above
+//! the sensitivity but V_min below V_th) and of generating a false one
+//! (p_false: skew within tolerance but V_min above V_th), per load.
+//!
+//! Expected shape (paper): both probabilities are small and arise from
+//! samples whose skew lies close to τ_min, where the ±15 % parameter
+//! variation can move the perturbed circuit's own sensitivity across the
+//! sampled skew. The paper's numeric entries did not survive OCR, so
+//! EXPERIMENTS.md records our measured values as the reference; the band
+//! breakdown below demonstrates the concentration around τ_min.
+
+use clocksense_bench::{ff, print_header, ps, scaled, Table};
+use clocksense_core::{find_tau_min, ClockPair, SensorBuilder, Technology};
+use clocksense_montecarlo::{loose_false_probabilities, run_scatter, Estimate, McConfig};
+use clocksense_spice::SimOptions;
+
+fn main() {
+    let tech = Technology::cmos12();
+    let clocks = ClockPair::single_shot(tech.vdd, 0.2e-9);
+    let opts = SimOptions {
+        tstep: 2e-12,
+        ..SimOptions::default()
+    };
+    let samples = scaled(576, 96);
+
+    print_header("Tab. 1: p_loose and p_false per load");
+    let mut table = Table::new(&[
+        "C_L [fF]",
+        "tau_min [ps]",
+        "p_loose",
+        "p_loose 95% CI",
+        "p_false",
+        "p_false 95% CI",
+        "n",
+    ]);
+    let mut bands = Table::new(&[
+        "C_L [fF]",
+        "tau in [0, 0.5)tmin",
+        "[0.5, 1.5)tmin",
+        "[1.5, 3]tmin",
+    ]);
+    for &load in &[80e-15, 160e-15, 240e-15] {
+        let builder = SensorBuilder::new(tech).load_capacitance(load);
+        let sensor = builder.build().expect("valid sensor");
+        let tau_min = find_tau_min(&sensor, &clocks, 0.6e-9, 2e-12, &opts)
+            .expect("bisection converges")
+            .expect("detectable");
+        // Sample skews uniformly across [0, 3 tau_min] — the Fig. 4/5
+        // sweep range relative to the sensitivity.
+        let taus: Vec<f64> = (0..=23).map(|i| i as f64 / 23.0 * 3.0 * tau_min).collect();
+        let cfg = McConfig {
+            samples,
+            seed: 0x7ab1 ^ load.to_bits(),
+            ..McConfig::default()
+        };
+        let scatter = run_scatter(&builder, &clocks, &taus, &cfg).expect("mc run converges");
+        let (p_loose, p_false) = loose_false_probabilities(&scatter, tau_min);
+        table.row(&[
+            ff(load),
+            ps(tau_min),
+            format!("{:.3}", p_loose.p),
+            format!("[{:.3}, {:.3}]", p_loose.lo, p_loose.hi),
+            format!("{:.3}", p_false.p),
+            format!("[{:.3}, {:.3}]", p_false.lo, p_false.hi),
+            format!("{}", samples),
+        ]);
+
+        // Disagreement rate per skew band: misclassifications must
+        // concentrate around tau_min.
+        let band = |lo: f64, hi: f64| -> Estimate {
+            let mut k = 0;
+            let mut n = 0;
+            for s in &scatter {
+                if s.tau >= lo * tau_min && s.tau < hi * tau_min {
+                    n += 1;
+                    let should_detect = s.tau > tau_min;
+                    if s.detected != should_detect {
+                        k += 1;
+                    }
+                }
+            }
+            Estimate::from_counts(k, n)
+        };
+        let b1 = band(0.0, 0.5);
+        let b2 = band(0.5, 1.5);
+        let b3 = band(1.5, 3.01);
+        bands.row(&[
+            ff(load),
+            format!("{:.3} (n={})", b1.p, b1.n),
+            format!("{:.3} (n={})", b2.p, b2.n),
+            format!("{:.3} (n={})", b3.p, b3.n),
+        ]);
+    }
+    println!("{}", table.render());
+    print_header("Disagreement rate vs distance from tau_min");
+    println!("{}", bands.render());
+    println!(
+        "paper: both probabilities are small (exact Tab. 1 values lost to OCR). The\n\
+         band table shows the paper's mechanism: essentially every loose/false event\n\
+         comes from skews near tau_min, where parameter variation moves the perturbed\n\
+         circuit's own sensitivity across the sampled skew; far from tau_min the\n\
+         sensor classifies reliably"
+    );
+}

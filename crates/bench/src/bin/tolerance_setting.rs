@@ -1,0 +1,92 @@
+//! Tolerance setting — the paper's claim that "the sensitivity of the
+//! proposed circuit can be easily settled to account for different
+//! tolerances on the clock skew", executed with both knobs the paper
+//! names: the interpretation threshold V_th and the block delay (device
+//! sizing).
+
+use clocksense_bench::{print_header, ps, Table};
+use clocksense_core::{
+    find_tau_min, size_for_tolerance, threshold_for_tolerance, ClockPair, SensorBuilder, Technology,
+};
+use clocksense_spice::SimOptions;
+
+fn main() {
+    let tech = Technology::cmos12();
+    let clocks = ClockPair::single_shot(tech.vdd, 0.2e-9);
+    let opts = SimOptions {
+        tstep: 2e-12,
+        ..SimOptions::default()
+    };
+    let base = SensorBuilder::new(tech).load_capacitance(160e-15);
+    let sensor = base.build().expect("valid sensor");
+
+    print_header("knob 1: interpretation threshold V_th (exact, one simulation)");
+    let mut table = Table::new(&[
+        "target tolerance [ps]",
+        "required V_th [V]",
+        "verified tau_min [ps]",
+    ]);
+    for target in [80e-12, 120e-12, 200e-12, 300e-12] {
+        match threshold_for_tolerance(&sensor, &clocks, target, &opts) {
+            Ok(v_th) => {
+                // Verify by locating where V_min crosses the new threshold.
+                let verified = verify_tau_at_threshold(&sensor, &clocks, v_th, &opts);
+                table.row(&[ps(target), format!("{v_th:.3}"), ps(verified)]);
+            }
+            Err(e) => table.row(&[ps(target), format!("({e})"), String::new()]),
+        }
+    }
+    println!("{}", table.render());
+
+    print_header("knob 2: device sizing (bisection over the block delay)");
+    let mut table = Table::new(&["target tolerance [ps]", "achieved tau_min [ps]", "note"]);
+    for target in [95e-12, 105e-12, 120e-12] {
+        let (sized, achieved) =
+            size_for_tolerance(&base, &clocks, target, 4e-12, &opts).expect("search runs");
+        let note = if (achieved - target).abs() <= 8e-12 {
+            "on target"
+        } else {
+            "clamped to the achievable band"
+        };
+        let _ = sized;
+        table.row(&[ps(target), ps(achieved), note.to_string()]);
+    }
+    println!("{}", table.render());
+    println!(
+        "V_th reaches any tolerance the V_min curve spans; sizing alone only moves\n\
+         tau_min inside a narrow band once self-loading dominates — matching the\n\
+         paper's advice to act on the threshold voltage and/or the delay"
+    );
+}
+
+/// Measures τ_min against an explicit threshold by bisection on the
+/// late-output V_min.
+fn verify_tau_at_threshold(
+    sensor: &clocksense_core::SensingCircuit,
+    clocks: &ClockPair,
+    v_th: f64,
+    opts: &SimOptions,
+) -> f64 {
+    let detected = |tau: f64| -> bool {
+        let r = sensor
+            .simulate(&clocks.with_skew(tau), opts)
+            .expect("sim converges");
+        r.vmin_late(tau) > v_th
+    };
+    let mut lo = 0.0;
+    let mut hi = 0.45 * clocks.width;
+    if !detected(hi) {
+        return hi;
+    }
+    while hi - lo > 2e-12 {
+        let mid = 0.5 * (lo + hi);
+        if detected(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    // Also cross-check the default-threshold tau_min is still measurable.
+    let _ = find_tau_min(sensor, clocks, 0.45 * clocks.width, 2e-12, opts);
+    0.5 * (lo + hi)
+}

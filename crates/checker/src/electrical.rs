@@ -1,0 +1,317 @@
+//! A transistor-level error-indicator cell (after the paper's reference
+//! [9], Metra, Favalli & Riccò, "Compact and Highly Testable Error
+//! Indicator for Self-Checking Circuits").
+//!
+//! The cell is a static-CMOS XOR (two input inverters plus one
+//! series-parallel complex gate) feeding a NOR-based SR latch: any
+//! sustained complementary pattern on the monitored pair sets the latch,
+//! which holds until an explicit reset — the electrical counterpart of the
+//! behavioural [`ErrorIndicator`](crate::ErrorIndicator). Because it is a
+//! real circuit, it can be instantiated into the sensing circuit's test
+//! bench (via `clocksense_netlist::instantiate`) and co-simulated with it,
+//! and its own transistors are valid fault-injection sites.
+
+use clocksense_netlist::{Circuit, MosParams, MosPolarity, NetlistError, NodeId, GROUND};
+
+/// Builder for the electrical indicator cell.
+///
+/// The latch's set speed is governed by the device widths: weaker devices
+/// take longer to flip, which filters glitches shorter than the cell's
+/// own switching time — the electrical analogue of the behavioural
+/// indicator's hold time.
+///
+/// # Examples
+///
+/// ```
+/// use clocksense_checker::IndicatorCell;
+/// use clocksense_netlist::MosParams;
+///
+/// # fn main() -> Result<(), clocksense_netlist::NetlistError> {
+/// let nmos = MosParams {
+///     vth0: 0.7, kp: 60e-6, lambda: 0.02,
+///     w: 3e-6, l: 1.2e-6, cgs: 4e-15, cgd: 4e-15, cdb: 2e-15,
+/// };
+/// let pmos = MosParams { vth0: -0.9, kp: 20e-6, w: 6e-6, ..nmos };
+/// let cell = IndicatorCell::new(nmos, pmos).build()?;
+/// assert_eq!(cell.circuit().device_count(), 20);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndicatorCell {
+    nmos: MosParams,
+    pmos: MosParams,
+}
+
+/// The built indicator cell: a circuit with ports `in1`, `in2`, `reset`,
+/// `err` and `vdd`.
+#[derive(Debug, Clone)]
+pub struct BuiltIndicatorCell {
+    circuit: Circuit,
+}
+
+impl IndicatorCell {
+    /// Starts a builder with the given n/p device parameters.
+    pub fn new(nmos: MosParams, pmos: MosParams) -> Self {
+        IndicatorCell { nmos, pmos }
+    }
+
+    /// Builds the 20-transistor cell.
+    ///
+    /// Structure: inverters on both inputs (4T), a series-parallel XOR
+    /// complex gate (8T: pull-up `(ā ∥ b̄)·(a ∥ b)` read with PMOS
+    /// active-low gates, pull-down `(a·b) ∥ (ā·b̄)`), and a cross-coupled
+    /// NOR pair as the SR latch (8T) with `S = xor`, `R = reset` and
+    /// `err = Q`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors for out-of-domain parameters.
+    pub fn build(self) -> Result<BuiltIndicatorCell, NetlistError> {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let in1 = ckt.node("in1");
+        let in2 = ckt.node("in2");
+        let reset = ckt.node("reset");
+        let n1 = ckt.node("n_in1"); // inverted in1
+        let n2 = ckt.node("n_in2"); // inverted in2
+        let xor = ckt.node("xor");
+        let err = ckt.node("err"); // latch Q
+        let errb = ckt.node("errb"); // latch Q-bar
+
+        let n = self.nmos;
+        let p = self.pmos;
+
+        // Input inverters.
+        inverter(&mut ckt, "inv1", in1, n1, vdd, n, p)?;
+        inverter(&mut ckt, "inv2", in2, n2, vdd, n, p)?;
+
+        // XOR complex gate. Pull-up: two series groups of parallel PMOS —
+        // conducts exactly when in1 != in2.
+        let pu_mid = ckt.node("xor_pu");
+        ckt.add_mosfet("xor_pu_a", MosPolarity::Pmos, pu_mid, in1, vdd, p)?;
+        ckt.add_mosfet("xor_pu_b", MosPolarity::Pmos, pu_mid, in2, vdd, p)?;
+        ckt.add_mosfet("xor_pu_na", MosPolarity::Pmos, xor, n1, pu_mid, p)?;
+        ckt.add_mosfet("xor_pu_nb", MosPolarity::Pmos, xor, n2, pu_mid, p)?;
+        // Pull-down: (in1·in2) parallel (n1·n2) — conducts when in1 == in2.
+        let pd1 = ckt.node("xor_pd1");
+        let pd2 = ckt.node("xor_pd2");
+        ckt.add_mosfet("xor_pd_a", MosPolarity::Nmos, xor, in1, pd1, n)?;
+        ckt.add_mosfet("xor_pd_b", MosPolarity::Nmos, pd1, in2, GROUND, n)?;
+        ckt.add_mosfet("xor_pd_na", MosPolarity::Nmos, xor, n1, pd2, n)?;
+        ckt.add_mosfet("xor_pd_nb", MosPolarity::Nmos, pd2, n2, GROUND, n)?;
+
+        // SR latch from two NOR2 gates:
+        //   err  = NOR(reset, errb)
+        //   errb = NOR(xor, err)
+        nor2(&mut ckt, "latch_q", reset, errb, err, vdd, n, p)?;
+        nor2(&mut ckt, "latch_qb", xor, err, errb, vdd, n, p)?;
+
+        Ok(BuiltIndicatorCell { circuit: ckt })
+    }
+}
+
+/// Builds the transistor-level two-rail checker cell (Carter & Schneider
+/// morphic realisation): ports `x0`, `x1`, `y0`, `y1`, `z0`, `z1` and
+/// `vdd`, computing `z0 = x0·y0 + x1·y1` and `z1 = x0·y1 + x1·y0` as two
+/// static-CMOS AND-OR-invert complex gates followed by inverters.
+///
+/// Composed into a tree (each output pair feeding the next cell's
+/// inputs), this is the self-checking hardware that collects the error
+/// indications in the paper's on-line application.
+///
+/// # Errors
+///
+/// Propagates construction errors for out-of-domain parameters.
+///
+/// # Examples
+///
+/// ```
+/// use clocksense_checker::trc_cell_circuit;
+/// use clocksense_netlist::MosParams;
+///
+/// # fn main() -> Result<(), clocksense_netlist::NetlistError> {
+/// let nmos = MosParams {
+///     vth0: 0.7, kp: 60e-6, lambda: 0.02,
+///     w: 3e-6, l: 1.2e-6, cgs: 4e-15, cgd: 4e-15, cdb: 2e-15,
+/// };
+/// let pmos = MosParams { vth0: -0.9, kp: 20e-6, w: 6e-6, ..nmos };
+/// let cell = trc_cell_circuit(nmos, pmos)?;
+/// assert_eq!(cell.device_count(), 20);
+/// # Ok(())
+/// # }
+/// ```
+pub fn trc_cell_circuit(nmos: MosParams, pmos: MosParams) -> Result<Circuit, NetlistError> {
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    let x0 = ckt.node("x0");
+    let x1 = ckt.node("x1");
+    let y0 = ckt.node("y0");
+    let y1 = ckt.node("y1");
+
+    // z0 = x0·y0 + x1·y1, realised as AOI + inverter.
+    let z0b = ckt.node("z0b");
+    aoi22(&mut ckt, "aoi0", x0, y0, x1, y1, z0b, vdd, nmos, pmos)?;
+    let z0 = ckt.node("z0");
+    ckt.add_mosfet("inv_z0_p", MosPolarity::Pmos, z0, z0b, vdd, pmos)?;
+    ckt.add_mosfet("inv_z0_n", MosPolarity::Nmos, z0, z0b, GROUND, nmos)?;
+
+    // z1 = x0·y1 + x1·y0.
+    let z1b = ckt.node("z1b");
+    aoi22(&mut ckt, "aoi1", x0, y1, x1, y0, z1b, vdd, nmos, pmos)?;
+    let z1 = ckt.node("z1");
+    ckt.add_mosfet("inv_z1_p", MosPolarity::Pmos, z1, z1b, vdd, pmos)?;
+    ckt.add_mosfet("inv_z1_n", MosPolarity::Nmos, z1, z1b, GROUND, nmos)?;
+
+    Ok(ckt)
+}
+
+/// Adds a 2-2 AND-OR-invert gate: `out = !(a·b + c·d)`.
+#[allow(clippy::too_many_arguments)]
+fn aoi22(
+    ckt: &mut Circuit,
+    name: &str,
+    a: NodeId,
+    b: NodeId,
+    c: NodeId,
+    d: NodeId,
+    out: NodeId,
+    vdd: NodeId,
+    n: MosParams,
+    p: MosParams,
+) -> Result<(), NetlistError> {
+    // Pull-down: (a·b) parallel (c·d).
+    let pd1 = ckt.node(&format!("{name}_pd1"));
+    let pd2 = ckt.node(&format!("{name}_pd2"));
+    ckt.add_mosfet(&format!("{name}_na"), MosPolarity::Nmos, out, a, pd1, n)?;
+    ckt.add_mosfet(&format!("{name}_nb"), MosPolarity::Nmos, pd1, b, GROUND, n)?;
+    ckt.add_mosfet(&format!("{name}_nc"), MosPolarity::Nmos, out, c, pd2, n)?;
+    ckt.add_mosfet(&format!("{name}_nd"), MosPolarity::Nmos, pd2, d, GROUND, n)?;
+    // Pull-up (dual): (a ∥ b) series (c ∥ d).
+    let pu = ckt.node(&format!("{name}_pu"));
+    ckt.add_mosfet(&format!("{name}_pa"), MosPolarity::Pmos, pu, a, vdd, p)?;
+    ckt.add_mosfet(&format!("{name}_pb"), MosPolarity::Pmos, pu, b, vdd, p)?;
+    ckt.add_mosfet(&format!("{name}_pc"), MosPolarity::Pmos, out, c, pu, p)?;
+    ckt.add_mosfet(&format!("{name}_pd"), MosPolarity::Pmos, out, d, pu, p)?;
+    Ok(())
+}
+
+/// Adds a static CMOS inverter.
+fn inverter(
+    ckt: &mut Circuit,
+    name: &str,
+    input: NodeId,
+    output: NodeId,
+    vdd: NodeId,
+    n: MosParams,
+    p: MosParams,
+) -> Result<(), NetlistError> {
+    ckt.add_mosfet(
+        &format!("{name}_p"),
+        MosPolarity::Pmos,
+        output,
+        input,
+        vdd,
+        p,
+    )?;
+    ckt.add_mosfet(
+        &format!("{name}_n"),
+        MosPolarity::Nmos,
+        output,
+        input,
+        GROUND,
+        n,
+    )?;
+    Ok(())
+}
+
+/// Adds a static CMOS NOR2.
+#[allow(clippy::too_many_arguments)]
+fn nor2(
+    ckt: &mut Circuit,
+    name: &str,
+    a: NodeId,
+    b: NodeId,
+    output: NodeId,
+    vdd: NodeId,
+    n: MosParams,
+    p: MosParams,
+) -> Result<(), NetlistError> {
+    let mid = ckt.node(&format!("{name}_mid"));
+    ckt.add_mosfet(&format!("{name}_pa"), MosPolarity::Pmos, mid, a, vdd, p)?;
+    ckt.add_mosfet(&format!("{name}_pb"), MosPolarity::Pmos, output, b, mid, p)?;
+    ckt.add_mosfet(
+        &format!("{name}_na"),
+        MosPolarity::Nmos,
+        output,
+        a,
+        GROUND,
+        n,
+    )?;
+    ckt.add_mosfet(
+        &format!("{name}_nb"),
+        MosPolarity::Nmos,
+        output,
+        b,
+        GROUND,
+        n,
+    )?;
+    Ok(())
+}
+
+impl BuiltIndicatorCell {
+    /// The cell's circuit; ports are the nodes `in1`, `in2`, `reset`,
+    /// `err` and `vdd`.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Consumes the cell and returns the circuit, e.g. for instantiation
+    /// into a larger test bench.
+    pub fn into_circuit(self) -> Circuit {
+        self.circuit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> (MosParams, MosParams) {
+        let n = MosParams {
+            vth0: 0.7,
+            kp: 60e-6,
+            lambda: 0.02,
+            w: 3e-6,
+            l: 1.2e-6,
+            cgs: 4e-15,
+            cgd: 4e-15,
+            cdb: 2e-15,
+        };
+        let p = MosParams {
+            vth0: -0.9,
+            kp: 20e-6,
+            w: 6e-6,
+            ..n
+        };
+        (n, p)
+    }
+
+    #[test]
+    fn cell_has_twenty_transistors_and_the_ports() {
+        let (n, p) = params();
+        let cell = IndicatorCell::new(n, p).build().unwrap();
+        let ckt = cell.circuit();
+        assert_eq!(ckt.device_count(), 20);
+        for port in ["in1", "in2", "reset", "err", "vdd"] {
+            assert!(ckt.find_node(port).is_some(), "{port} missing");
+        }
+    }
+
+    #[test]
+    fn into_circuit_round_trips() {
+        let (n, p) = params();
+        let ckt = IndicatorCell::new(n, p).build().unwrap().into_circuit();
+        assert_eq!(ckt.device_count(), 20);
+    }
+}

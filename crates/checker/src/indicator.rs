@@ -1,0 +1,190 @@
+//! The error-indicator latch (paper reference \[9\]).
+
+use clocksense_wave::{LogicThresholds, Waveform};
+
+/// Which complementary output pattern was latched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Indication {
+    /// `(y1, y2) = (1, 0)`: the first monitored phase was late.
+    OneZero,
+    /// `(y1, y2) = (0, 1)`: the second monitored phase was late.
+    ZeroOne,
+}
+
+/// A latching error indicator.
+///
+/// The indicator continuously compares the two sensor outputs against a
+/// logic threshold and latches the first complementary pattern that
+/// persists for at least the hold time — mirroring the compact indicator
+/// cell of the paper's reference \[9\], which must hold its indication until
+/// explicitly reset (off-line: until scanned out; on-line: until the
+/// checker consumes it).
+///
+/// # Examples
+///
+/// ```
+/// use clocksense_checker::{ErrorIndicator, Indication};
+///
+/// let mut ind = ErrorIndicator::new(2.75, 1e-9);
+/// ind.observe(0.0, 5.0, 5.0);       // both high: fine
+/// ind.observe(1e-9, 0.2, 5.0);      // divergence starts
+/// ind.observe(2.5e-9, 0.2, 5.0);    // persisted > 1 ns
+/// assert_eq!(ind.latched(), Some(Indication::ZeroOne));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ErrorIndicator {
+    thresholds: LogicThresholds,
+    t_hold: f64,
+    pending: Option<(f64, Indication)>,
+    latched: Option<(f64, Indication)>,
+}
+
+impl ErrorIndicator {
+    /// Creates an indicator with the given logic threshold and hold time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_hold` is negative or not finite.
+    pub fn new(v_th: f64, t_hold: f64) -> Self {
+        assert!(
+            t_hold.is_finite() && t_hold >= 0.0,
+            "hold time must be non-negative"
+        );
+        ErrorIndicator {
+            thresholds: LogicThresholds::single(v_th),
+            t_hold,
+            pending: None,
+            latched: None,
+        }
+    }
+
+    /// Feeds one sample of the two monitored outputs at time `t`.
+    ///
+    /// Samples must be fed in non-decreasing time order; out-of-order
+    /// samples are ignored once an indication is latched.
+    pub fn observe(&mut self, t: f64, v1: f64, v2: f64) {
+        if self.latched.is_some() {
+            return;
+        }
+        let l1 = self.thresholds.classify(v1);
+        let l2 = self.thresholds.classify(v2);
+        let indication = if l1.is_high() && l2.is_low() {
+            Some(Indication::OneZero)
+        } else if l1.is_low() && l2.is_high() {
+            Some(Indication::ZeroOne)
+        } else {
+            None
+        };
+        match (indication, self.pending) {
+            (Some(kind), Some((start, pending_kind))) if kind == pending_kind => {
+                if t - start >= self.t_hold {
+                    self.latched = Some((start, kind));
+                }
+            }
+            (Some(kind), _) => {
+                self.pending = Some((t, kind));
+                if self.t_hold == 0.0 {
+                    self.latched = Some((t, kind));
+                }
+            }
+            (None, _) => self.pending = None,
+        }
+    }
+
+    /// Feeds two whole output waveforms, sample by sample.
+    pub fn observe_waveforms(&mut self, y1: &Waveform, y2: &Waveform) {
+        let mut times: Vec<f64> = y1.times().iter().chain(y2.times()).copied().collect();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        times.dedup();
+        for t in times {
+            self.observe(t, y1.value_at(t), y2.value_at(t));
+        }
+    }
+
+    /// The latched indication, if any.
+    pub fn latched(&self) -> Option<Indication> {
+        self.latched.map(|(_, kind)| kind)
+    }
+
+    /// Time at which the latched indication began.
+    pub fn latched_at(&self) -> Option<f64> {
+        self.latched.map(|(t, _)| t)
+    }
+
+    /// Clears the latch and any pending divergence.
+    pub fn reset(&mut self) {
+        self.pending = None;
+        self.latched = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latches_persistent_divergence() {
+        let mut ind = ErrorIndicator::new(2.75, 1.0);
+        ind.observe(0.0, 5.0, 5.0);
+        ind.observe(1.0, 5.0, 0.0);
+        assert_eq!(ind.latched(), None, "not yet held long enough");
+        ind.observe(2.5, 5.0, 0.0);
+        assert_eq!(ind.latched(), Some(Indication::OneZero));
+        assert_eq!(ind.latched_at(), Some(1.0));
+    }
+
+    #[test]
+    fn glitches_shorter_than_hold_are_ignored() {
+        let mut ind = ErrorIndicator::new(2.75, 1.0);
+        ind.observe(0.0, 5.0, 5.0);
+        ind.observe(1.0, 0.0, 5.0);
+        ind.observe(1.5, 5.0, 5.0); // divergence ended after 0.5
+        ind.observe(5.0, 5.0, 5.0);
+        assert_eq!(ind.latched(), None);
+    }
+
+    #[test]
+    fn pattern_change_restarts_the_clock() {
+        let mut ind = ErrorIndicator::new(2.75, 1.0);
+        ind.observe(0.0, 5.0, 0.0); // (1,0) starts
+        ind.observe(0.9, 0.0, 5.0); // flips to (0,1): restart
+        ind.observe(1.5, 0.0, 5.0);
+        assert_eq!(ind.latched(), None);
+        ind.observe(2.0, 0.0, 5.0);
+        assert_eq!(ind.latched(), Some(Indication::ZeroOne));
+    }
+
+    #[test]
+    fn equal_outputs_never_latch() {
+        let mut ind = ErrorIndicator::new(2.75, 0.0);
+        for t in 0..10 {
+            let v = if t % 2 == 0 { 5.0 } else { 0.3 };
+            ind.observe(t as f64, v, v);
+        }
+        assert_eq!(ind.latched(), None);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut ind = ErrorIndicator::new(2.75, 0.0);
+        ind.observe(0.0, 5.0, 0.0);
+        assert!(ind.latched().is_some());
+        ind.reset();
+        assert!(ind.latched().is_none());
+    }
+
+    #[test]
+    fn waveform_interface() {
+        let y1 = Waveform::new(vec![0.0, 1.0, 4.0], vec![5.0, 0.2, 0.2]);
+        let y2 = Waveform::new(vec![0.0, 4.0], vec![5.0, 5.0]);
+        let mut ind = ErrorIndicator::new(2.75, 1.0);
+        ind.observe_waveforms(&y1, &y2);
+        assert_eq!(ind.latched(), Some(Indication::ZeroOne));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_hold_panics() {
+        ErrorIndicator::new(2.75, -1.0);
+    }
+}

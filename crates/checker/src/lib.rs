@@ -1,0 +1,35 @@
+//! Error indicators, two-rail checkers and scan paths.
+//!
+//! The paper's sensing circuits need read-out circuitry: "simple error
+//! indicators capable of latching on error indications can be used, and
+//! their response could be driven through a scan path (in the case of
+//! off-line testing) or could feed a checker (in the case of on-line
+//! applications)". This crate provides behavioural models of all three:
+//!
+//! * [`ErrorIndicator`] — latches when a sensor's outputs stay
+//!   complementary (the `(0,1)` / `(1,0)` error indication) for longer
+//!   than a hold time (paper reference \[9\]);
+//! * [`TwoRailChecker`] — a totally-self-checking two-rail checker tree
+//!   (Carter & Schneider) reducing many indications to one code pair for
+//!   on-line, self-checking operation;
+//! * [`ScanPath`] — a shift chain bringing latched indications off-chip
+//!   for off-line testing;
+//! * [`OnlineMonitor`] — glue that samples sensor output waveforms every
+//!   cycle and aggregates indications;
+//! * [`FlipFlop`] / [`TimingPath`] — the synchronous-timing algebra behind
+//!   the paper's motivation: delayed sampling masks delay faults, which is
+//!   why clock faults need their own detection scheme.
+
+mod electrical;
+mod indicator;
+mod online;
+mod sampling;
+mod scan;
+mod tworail;
+
+pub use electrical::{trc_cell_circuit, BuiltIndicatorCell, IndicatorCell};
+pub use indicator::{ErrorIndicator, Indication};
+pub use online::{MonitorReport, OnlineMonitor};
+pub use sampling::{FlipFlop, SampleRecord, TimingPath};
+pub use scan::ScanPath;
+pub use tworail::{trc_cell, TwoRailChecker, TwoRailPair};

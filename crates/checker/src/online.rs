@@ -1,0 +1,162 @@
+//! On-line monitoring: sampling sensor outputs into indicators and a
+//! two-rail checker.
+
+use clocksense_wave::Waveform;
+
+use crate::indicator::{ErrorIndicator, Indication};
+use crate::tworail::{TwoRailChecker, TwoRailPair};
+
+/// Aggregated status of an on-line monitoring pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorReport {
+    /// Per-sensor latched indication (index-aligned with the monitored
+    /// pairs).
+    pub indications: Vec<Option<Indication>>,
+    /// The two-rail checker's output over the latched indications: an
+    /// invalid pair means at least one sensor flagged.
+    pub checker_output: TwoRailPair,
+}
+
+impl MonitorReport {
+    /// `true` if any sensor latched an error indication.
+    pub fn any_error(&self) -> bool {
+        !self.checker_output.is_valid()
+    }
+}
+
+/// Samples many sensing circuits' outputs and aggregates their
+/// indications through a self-checking two-rail checker — the paper's
+/// on-line, self-checking application.
+///
+/// # Examples
+///
+/// ```
+/// use clocksense_checker::OnlineMonitor;
+/// use clocksense_wave::Waveform;
+///
+/// let mut monitor = OnlineMonitor::new(2, 2.75, 0.5e-9);
+/// let quiet = Waveform::new(vec![0.0, 1e-8], vec![5.0, 5.0]);
+/// let low = Waveform::new(vec![0.0, 1e-8], vec![0.1, 0.1]);
+/// // Sensor 0 behaves; sensor 1 holds a (0,1) error indication.
+/// let report = monitor.run(&[(quiet.clone(), quiet.clone()), (low, quiet)]).unwrap();
+/// assert!(report.any_error());
+/// assert!(report.indications[0].is_none());
+/// assert!(report.indications[1].is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnlineMonitor {
+    indicators: Vec<ErrorIndicator>,
+    checker: TwoRailChecker,
+}
+
+impl OnlineMonitor {
+    /// Creates a monitor for `sensors` sensing circuits, with the given
+    /// interpretation threshold and indicator hold time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_hold` is negative (see [`ErrorIndicator::new`]).
+    pub fn new(sensors: usize, v_th: f64, t_hold: f64) -> Self {
+        OnlineMonitor {
+            indicators: (0..sensors)
+                .map(|_| ErrorIndicator::new(v_th, t_hold))
+                .collect(),
+            checker: TwoRailChecker::new(),
+        }
+    }
+
+    /// Number of monitored sensors.
+    pub fn sensor_count(&self) -> usize {
+        self.indicators.len()
+    }
+
+    /// Runs the monitor over one output-waveform pair per sensor and
+    /// reports the aggregated status. Indicators accumulate across calls
+    /// until [`OnlineMonitor::reset`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the given pair count if it does not match the monitor's
+    /// sensor count.
+    pub fn run(&mut self, pairs: &[(Waveform, Waveform)]) -> Result<MonitorReport, usize> {
+        if pairs.len() != self.indicators.len() {
+            return Err(pairs.len());
+        }
+        for (indicator, (y1, y2)) in self.indicators.iter_mut().zip(pairs) {
+            indicator.observe_waveforms(y1, y2);
+        }
+        Ok(self.report())
+    }
+
+    /// The current aggregated status.
+    pub fn report(&self) -> MonitorReport {
+        let indications: Vec<Option<Indication>> =
+            self.indicators.iter().map(|i| i.latched()).collect();
+        // Encode each latched/clear state as a two-rail pair: a latched
+        // indicator contributes an invalid pair.
+        let pairs: Vec<TwoRailPair> = indications
+            .iter()
+            .map(|ind| match ind {
+                None => TwoRailPair(false, true),
+                Some(_) => TwoRailPair(true, true),
+            })
+            .collect();
+        MonitorReport {
+            checker_output: self.checker.check(&pairs),
+            indications,
+        }
+    }
+
+    /// Clears all indicator latches.
+    pub fn reset(&mut self) {
+        for i in &mut self.indicators {
+            i.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(v: f64) -> Waveform {
+        Waveform::new(vec![0.0, 1e-8], vec![v, v])
+    }
+
+    #[test]
+    fn all_quiet_reports_no_error() {
+        let mut m = OnlineMonitor::new(3, 2.75, 0.5e-9);
+        let pairs = vec![(flat(5.0), flat(5.0)); 3];
+        let report = m.run(&pairs).unwrap();
+        assert!(!report.any_error());
+        assert!(report.indications.iter().all(|i| i.is_none()));
+    }
+
+    #[test]
+    fn one_flagging_sensor_propagates_to_the_checker() {
+        let mut m = OnlineMonitor::new(3, 2.75, 0.5e-9);
+        let mut pairs = vec![(flat(5.0), flat(5.0)); 3];
+        pairs[1] = (flat(5.0), flat(0.1));
+        let report = m.run(&pairs).unwrap();
+        assert!(report.any_error());
+        assert_eq!(report.indications[1], Some(Indication::OneZero));
+    }
+
+    #[test]
+    fn indications_accumulate_until_reset() {
+        let mut m = OnlineMonitor::new(1, 2.75, 0.5e-9);
+        m.run(&[(flat(0.1), flat(5.0))]).unwrap();
+        // A later clean cycle does not clear the latch.
+        let report = m.run(&[(flat(5.0), flat(5.0))]).unwrap();
+        assert!(report.any_error());
+        m.reset();
+        assert!(!m.report().any_error());
+    }
+
+    #[test]
+    fn wrong_pair_count_is_an_error() {
+        let mut m = OnlineMonitor::new(2, 2.75, 0.0);
+        assert_eq!(m.run(&[(flat(5.0), flat(5.0))]), Err(1));
+        assert_eq!(m.sensor_count(), 2);
+    }
+}

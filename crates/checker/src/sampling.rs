@@ -1,0 +1,198 @@
+//! Flip-flop sampling under skewed clocks — the paper's motivation made
+//! executable.
+//!
+//! The introduction argues that clock-distribution faults cannot be
+//! subsumed under combinational delay-fault testing: "a clock distribution
+//! fault resulting in one or more flip-flops' delayed sampling cannot be
+//! immediately assimilated to delay faults inside the combinational part
+//! of the circuit, because a delayed flip-flop's response may be masked by
+//! its delayed sampling". This module provides the timing algebra and a
+//! waveform-driven flip-flop model to demonstrate exactly that masking
+//! (and the hold-time hazard the skew creates instead).
+
+use clocksense_wave::{LogicThresholds, Waveform};
+
+/// A behavioural edge-triggered flip-flop: setup/hold window and
+/// clock-to-Q delay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlipFlop {
+    /// Setup time: data must be stable this long before the clock edge (s).
+    pub setup: f64,
+    /// Hold time: data must stay stable this long after the edge (s).
+    pub hold: f64,
+    /// Clock-to-output delay (s).
+    pub clk_to_q: f64,
+}
+
+impl FlipFlop {
+    /// Representative 1.2 µm CMOS flip-flop timing.
+    pub fn cmos12() -> Self {
+        FlipFlop {
+            setup: 0.3e-9,
+            hold: 0.15e-9,
+            clk_to_q: 0.5e-9,
+        }
+    }
+
+    /// Samples `data` at every rising edge of `clock` (threshold
+    /// crossings), flagging samples whose data toggled inside the
+    /// setup/hold window as `marginal`.
+    pub fn sample(
+        &self,
+        clock: &Waveform,
+        data: &Waveform,
+        thresholds: &LogicThresholds,
+    ) -> Vec<SampleRecord> {
+        let v_mid = 0.5 * (thresholds.v_low() + thresholds.v_high());
+        let mut toggles: Vec<f64> = data.rising_crossings(v_mid);
+        toggles.extend(data.falling_crossings(v_mid));
+        toggles.sort_by(|a, b| a.partial_cmp(b).expect("finite crossings"));
+        clock
+            .rising_crossings(v_mid)
+            .into_iter()
+            .map(|edge| {
+                let marginal = toggles
+                    .iter()
+                    .any(|&t| t > edge - self.setup && t < edge + self.hold);
+                SampleRecord {
+                    edge_time: edge,
+                    value: thresholds.classify_at(data, edge).is_high(),
+                    marginal,
+                }
+            })
+            .collect()
+    }
+}
+
+/// One flip-flop sampling event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleRecord {
+    /// Time of the sampling clock edge (s).
+    pub edge_time: f64,
+    /// Sampled logic value.
+    pub value: bool,
+    /// `true` if the data toggled inside the setup/hold window — the
+    /// sampled value is then unreliable.
+    pub marginal: bool,
+}
+
+/// A launch–capture register pair around a combinational block: the
+/// standard synchronous timing path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingPath {
+    /// The launching flip-flop.
+    pub launch: FlipFlop,
+    /// The capturing flip-flop.
+    pub capture: FlipFlop,
+    /// Maximum combinational delay between them (s).
+    pub comb_max: f64,
+    /// Minimum combinational delay (the short-path/hold hazard, s).
+    pub comb_min: f64,
+}
+
+impl TimingPath {
+    /// Setup slack for a launch edge at `t_launch` captured at
+    /// `t_capture` (next cycle): positive means the path meets timing.
+    pub fn setup_slack(&self, t_launch: f64, t_capture: f64) -> f64 {
+        t_capture - (t_launch + self.launch.clk_to_q + self.comb_max + self.capture.setup)
+    }
+
+    /// Hold slack for same-cycle edges at the launch (`t_launch`) and
+    /// capture (`t_capture`) registers: positive means the fastest path
+    /// cannot race through before the capture hold window closes.
+    pub fn hold_slack(&self, t_launch: f64, t_capture: f64) -> f64 {
+        (t_launch + self.launch.clk_to_q + self.comb_min) - (t_capture + self.capture.hold)
+    }
+
+    /// The smallest extra capture-clock delay (skew towards the capture
+    /// register) that *masks* a combinational delay fault of
+    /// `extra_delay` seconds: with at least this much late sampling, the
+    /// slow path meets setup again and the fault becomes invisible to a
+    /// delay test through this path.
+    pub fn masking_skew(&self, t_launch: f64, t_capture: f64, extra_delay: f64) -> f64 {
+        (extra_delay - self.setup_slack(t_launch, t_capture)).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path() -> TimingPath {
+        TimingPath {
+            launch: FlipFlop::cmos12(),
+            capture: FlipFlop::cmos12(),
+            comb_max: 3e-9,
+            comb_min: 0.4e-9,
+        }
+    }
+
+    #[test]
+    fn setup_slack_algebra() {
+        let p = path();
+        // Period 5 ns: slack = 5 - (0.5 + 3 + 0.3) = 1.2 ns.
+        let slack = p.setup_slack(0.0, 5e-9);
+        assert!((slack - 1.2e-9).abs() < 1e-15);
+        // A 1.5 ns delay fault breaks the path...
+        assert!(p.setup_slack(0.0, 5e-9) - 1.5e-9 < 0.0);
+        // ...and a 0.5 ns late capture clock masks 0.5 ns of it.
+        let masked = TimingPath {
+            comb_max: p.comb_max + 1.5e-9,
+            ..p
+        };
+        assert!(masked.setup_slack(0.0, 5e-9) < 0.0, "fault visible on time");
+        assert!(
+            masked.setup_slack(0.0, 5e-9 + 0.5e-9) > 0.0,
+            "delayed sampling masks the fault"
+        );
+    }
+
+    #[test]
+    fn masking_skew_matches_slack_deficit() {
+        let p = path();
+        let extra = 2.0e-9;
+        let skew = p.masking_skew(0.0, 5e-9, extra);
+        // With exactly that skew the faulty path is back at zero slack.
+        let faulty = TimingPath {
+            comb_max: p.comb_max + extra,
+            ..p
+        };
+        assert!(faulty.setup_slack(0.0, 5e-9 + skew).abs() < 1e-15);
+        // A fault smaller than the slack needs no masking at all.
+        assert_eq!(p.masking_skew(0.0, 5e-9, 0.5e-9), 0.0);
+    }
+
+    #[test]
+    fn skew_that_masks_setup_breaks_hold() {
+        let p = path();
+        // Fault-free, zero skew: both constraints met.
+        assert!(p.setup_slack(0.0, 5e-9) > 0.0);
+        assert!(p.hold_slack(0.0, 0.0) > 0.0);
+        // The skew that masks a 2 ns delay fault simultaneously erodes the
+        // hold margin on the short path into the same register.
+        let skew = p.masking_skew(0.0, 5e-9, 2.0e-9);
+        assert!(skew > 0.0);
+        assert!(
+            p.hold_slack(0.0, skew) < 0.0,
+            "late capture clock must violate hold on the short path"
+        );
+    }
+
+    #[test]
+    fn waveform_sampling_and_marginality() {
+        let th = LogicThresholds::single(2.5);
+        let ff = FlipFlop::cmos12();
+        // Clock edges at 1 ns and 6 ns; data toggles high at 5.9 ns —
+        // inside the second edge's setup window.
+        let clock = Waveform::new(
+            vec![0.0, 0.9e-9, 1.0e-9, 3.0e-9, 3.1e-9, 5.9e-9, 6.0e-9, 8e-9],
+            vec![0.0, 0.0, 5.0, 5.0, 0.0, 0.0, 5.0, 5.0],
+        );
+        let data = Waveform::new(vec![0.0, 5.85e-9, 5.95e-9, 8e-9], vec![0.0, 0.0, 5.0, 5.0]);
+        let samples = ff.sample(&clock, &data, &th);
+        assert_eq!(samples.len(), 2);
+        assert!(!samples[0].value, "first edge samples the old value");
+        assert!(!samples[0].marginal);
+        assert!(samples[1].marginal, "toggle inside the setup window");
+    }
+}

@@ -1,0 +1,117 @@
+//! Scan path for off-line read-out of latched indications.
+
+/// A serial scan chain of indication latches.
+///
+/// In the paper's off-line flow each sensing circuit's error indicator is
+/// a cell of a scan path; after the test, the tester shifts the chain out
+/// one bit per clock and reads which sensors latched.
+///
+/// # Examples
+///
+/// ```
+/// use clocksense_checker::ScanPath;
+///
+/// let mut scan = ScanPath::new(4);
+/// scan.load(&[false, true, false, false]).expect("length matches");
+/// let bits = scan.shift_out_all();
+/// assert_eq!(bits, vec![false, true, false, false]);
+/// // After a full shift-out the chain is empty.
+/// assert!(scan.cells().iter().all(|&b| !b));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanPath {
+    cells: Vec<bool>,
+}
+
+impl ScanPath {
+    /// Creates a chain of `n` cells, all cleared.
+    pub fn new(n: usize) -> Self {
+        ScanPath {
+            cells: vec![false; n],
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` if the chain has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Parallel-loads the chain from the indicator outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the slice length if it does not match the chain length.
+    pub fn load(&mut self, bits: &[bool]) -> Result<(), usize> {
+        if bits.len() != self.cells.len() {
+            return Err(bits.len());
+        }
+        self.cells.copy_from_slice(bits);
+        Ok(())
+    }
+
+    /// One scan clock: shifts `serial_in` into the far end and returns the
+    /// bit that falls out of the near end (cell 0).
+    pub fn shift(&mut self, serial_in: bool) -> bool {
+        if self.cells.is_empty() {
+            return serial_in;
+        }
+        let out = self.cells[0];
+        self.cells.rotate_left(1);
+        *self.cells.last_mut().expect("non-empty") = serial_in;
+        out
+    }
+
+    /// Shifts the whole chain out (filling with zeros), returning the
+    /// cell values in chain order.
+    pub fn shift_out_all(&mut self) -> Vec<bool> {
+        (0..self.cells.len()).map(|_| self.shift(false)).collect()
+    }
+
+    /// The current cell values.
+    pub fn cells(&self) -> &[bool] {
+        &self.cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_and_shift_out_preserves_order() {
+        let mut scan = ScanPath::new(5);
+        let pattern = [true, false, true, true, false];
+        scan.load(&pattern).unwrap();
+        assert_eq!(scan.shift_out_all(), pattern.to_vec());
+    }
+
+    #[test]
+    fn shift_in_fills_from_the_far_end() {
+        let mut scan = ScanPath::new(3);
+        assert!(!scan.shift(true));
+        assert!(!scan.shift(false));
+        assert!(!scan.shift(true));
+        // The first bit shifted in has now reached cell 0.
+        assert_eq!(scan.cells(), &[true, false, true]);
+        assert!(scan.shift(false));
+    }
+
+    #[test]
+    fn load_length_mismatch_is_reported() {
+        let mut scan = ScanPath::new(3);
+        assert_eq!(scan.load(&[true]), Err(1));
+    }
+
+    #[test]
+    fn empty_chain_passes_through() {
+        let mut scan = ScanPath::new(0);
+        assert!(scan.is_empty());
+        assert!(scan.shift(true));
+        assert!(!scan.shift(false));
+    }
+}

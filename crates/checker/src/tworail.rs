@@ -1,0 +1,155 @@
+//! Totally-self-checking two-rail checker (Carter & Schneider).
+
+/// A two-rail code pair. The valid codewords are the complementary pairs
+/// `(0,1)` and `(1,0)`; `(0,0)` and `(1,1)` signal an error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TwoRailPair(pub bool, pub bool);
+
+impl TwoRailPair {
+    /// `true` for a valid (complementary) codeword.
+    pub fn is_valid(self) -> bool {
+        self.0 != self.1
+    }
+}
+
+/// The basic two-rail checker cell: output is a valid codeword iff both
+/// inputs are valid codewords.
+///
+/// `z0 = x0·y0 + x1·y1`, `z1 = x0·y1 + x1·y0` — the classic
+/// morphic realisation, self-testing with respect to its internal
+/// single stuck-at faults under the codeword inputs that occur in normal
+/// operation.
+///
+/// # Examples
+///
+/// ```
+/// use clocksense_checker::{trc_cell, TwoRailPair};
+///
+/// let a = TwoRailPair(true, false);
+/// let b = TwoRailPair(false, true);
+/// assert!(trc_cell(a, b).is_valid());
+/// let bad = TwoRailPair(true, true);
+/// assert!(!trc_cell(a, bad).is_valid());
+/// ```
+pub fn trc_cell(x: TwoRailPair, y: TwoRailPair) -> TwoRailPair {
+    TwoRailPair((x.0 && y.0) || (x.1 && y.1), (x.0 && y.1) || (x.1 && y.0))
+}
+
+/// A two-rail checker tree reducing any number of code pairs to one.
+///
+/// Feeding the sensing circuits' outputs requires one inversion: the
+/// fault-free sensor drives its outputs *equal* (both high at rest, both
+/// low after the simultaneous edges), so the pair `(y1, ¬y2)` forms a
+/// valid two-rail codeword in normal operation and an invalid one exactly
+/// when the sensor raises its complementary error indication.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TwoRailChecker;
+
+impl TwoRailChecker {
+    /// Creates a checker.
+    pub fn new() -> Self {
+        TwoRailChecker
+    }
+
+    /// Folds the pairs through a balanced cell tree.
+    ///
+    /// With no inputs the checker reports the valid pair `(0,1)` (nothing
+    /// to complain about); a single input passes through.
+    pub fn check(&self, pairs: &[TwoRailPair]) -> TwoRailPair {
+        match pairs {
+            [] => TwoRailPair(false, true),
+            [one] => *one,
+            _ => {
+                // Balanced reduction keeps the tree depth logarithmic.
+                let mut level: Vec<TwoRailPair> = pairs.to_vec();
+                while level.len() > 1 {
+                    let mut next = Vec::with_capacity(level.len().div_ceil(2));
+                    for chunk in level.chunks(2) {
+                        next.push(match chunk {
+                            [a, b] => trc_cell(*a, *b),
+                            [a] => *a,
+                            _ => unreachable!("chunks of 2"),
+                        });
+                    }
+                    level = next;
+                }
+                level[0]
+            }
+        }
+    }
+
+    /// Encodes a sensor output pair `(y1_high, y2_high)` as the two-rail
+    /// pair `(y1, ¬y2)`, which is valid exactly when the sensor shows no
+    /// error indication.
+    pub fn encode_sensor(&self, y1_high: bool, y2_high: bool) -> TwoRailPair {
+        TwoRailPair(y1_high, !y2_high)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VALID: [TwoRailPair; 2] = [TwoRailPair(false, true), TwoRailPair(true, false)];
+    const INVALID: [TwoRailPair; 2] = [TwoRailPair(false, false), TwoRailPair(true, true)];
+
+    #[test]
+    fn cell_truth_table() {
+        for a in VALID {
+            for b in VALID {
+                assert!(trc_cell(a, b).is_valid(), "{a:?} x {b:?}");
+            }
+            for b in INVALID {
+                assert!(!trc_cell(a, b).is_valid(), "{a:?} x {b:?}");
+                assert!(!trc_cell(b, a).is_valid(), "{b:?} x {a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cell_propagates_codeword_identity() {
+        // With y = (0,1), the cell passes x through; with y = (1,0) it
+        // passes the swapped x — either way validity is preserved.
+        let x = TwoRailPair(true, false);
+        assert_eq!(
+            trc_cell(x, TwoRailPair(false, true)),
+            TwoRailPair(false, true)
+        );
+        assert_eq!(
+            trc_cell(x, TwoRailPair(true, false)),
+            TwoRailPair(true, false)
+        );
+    }
+
+    #[test]
+    fn tree_flags_any_single_invalid_input() {
+        let checker = TwoRailChecker::new();
+        for n in 1..9 {
+            for bad_pos in 0..n {
+                let mut pairs = vec![TwoRailPair(false, true); n];
+                pairs[bad_pos] = TwoRailPair(true, true);
+                assert!(!checker.check(&pairs).is_valid(), "n={n} bad at {bad_pos}");
+            }
+            let all_good = vec![TwoRailPair(true, false); n];
+            assert!(checker.check(&all_good).is_valid());
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let checker = TwoRailChecker::new();
+        assert!(checker.check(&[]).is_valid());
+        assert!(!checker.check(&[TwoRailPair(false, false)]).is_valid());
+    }
+
+    #[test]
+    fn sensor_encoding_inverts_the_second_rail() {
+        let checker = TwoRailChecker::new();
+        // Normal sensor states: equal outputs.
+        assert!(checker.encode_sensor(true, true).is_valid());
+        assert!(checker.encode_sensor(false, false).is_valid());
+        // Error indications: complementary outputs.
+        assert!(!checker.encode_sensor(true, false).is_valid());
+        assert!(!checker.encode_sensor(false, true).is_valid());
+    }
+}

@@ -1,0 +1,46 @@
+//! Error type for clock-tree construction and analysis.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or analysing clock trees.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClockTreeError {
+    /// A node id does not belong to this tree.
+    UnknownNode(usize),
+    /// A parameter is out of its physical domain.
+    InvalidParameter(String),
+    /// Zero-skew routing needs at least one sink.
+    NoSinks,
+}
+
+impl fmt::Display for ClockTreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClockTreeError::UnknownNode(i) => write!(f, "unknown tree node {i}"),
+            ClockTreeError::InvalidParameter(detail) => {
+                write!(f, "invalid parameter: {detail}")
+            }
+            ClockTreeError::NoSinks => write!(f, "zero-skew routing needs at least one sink"),
+        }
+    }
+}
+
+impl Error for ClockTreeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(ClockTreeError::UnknownNode(4).to_string().contains('4'));
+        assert!(!ClockTreeError::NoSinks.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ClockTreeError>();
+    }
+}

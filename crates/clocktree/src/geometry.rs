@@ -1,0 +1,109 @@
+//! Planar geometry for clock routing.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A point on the chip plane, in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate (m).
+    pub x: f64,
+    /// Vertical coordinate (m).
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Manhattan (rectilinear) distance to `other` — wirelength on a
+    /// gridded routing layer.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use clocksense_clocktree::Point;
+    /// let a = Point::new(0.0, 0.0);
+    /// let b = Point::new(3.0, 4.0);
+    /// assert_eq!(a.manhattan(b), 7.0);
+    /// ```
+    pub fn manhattan(self, other: Point) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn euclidean(self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        Point {
+            x: self.x + (other.x - self.x) * t,
+            y: self.y + (other.y - self.y) * t,
+        }
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3e}, {:.3e})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert_eq!(a.manhattan(b), 7.0);
+        assert!((a.euclidean(b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.manhattan(a), 0.0);
+    }
+
+    #[test]
+    fn manhattan_dominates_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        for (x, y) in [(1.0, 1.0), (3.0, -2.0), (-5.0, 0.0)] {
+            let b = Point::new(x, y);
+            assert!(a.manhattan(b) >= a.euclidean(b) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 4.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        let m = a.lerp(b, 0.5);
+        assert_eq!((m.x, m.y), (1.0, 2.0));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Point::new(1.0, 2.0) + Point::new(3.0, 4.0);
+        assert_eq!((a.x, a.y), (4.0, 6.0));
+        let d = Point::new(3.0, 4.0) - Point::new(1.0, 1.0);
+        assert_eq!((d.x, d.y), (2.0, 3.0));
+    }
+}

@@ -1,0 +1,223 @@
+//! Symmetric H-tree clock topology.
+
+use crate::geometry::Point;
+use crate::rctree::{RcNodeId, RcTree};
+
+/// Per-unit-length wire parasitics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireParasitics {
+    /// Resistance per metre (Ω/m).
+    pub r_per_m: f64,
+    /// Capacitance per metre (F/m).
+    pub c_per_m: f64,
+    /// Number of RC sections a wire segment is split into (≥ 1); more
+    /// sections approximate the distributed line better.
+    pub sections: usize,
+}
+
+impl WireParasitics {
+    /// Typical mid-1990s metal-2: 70 mΩ/sq at 1 µm width ≈ 70 kΩ/m,
+    /// 0.2 fF/µm ≈ 200 pF/m, three sections per segment.
+    pub fn metal2() -> Self {
+        WireParasitics {
+            r_per_m: 70e3,
+            c_per_m: 200e-12,
+            sections: 3,
+        }
+    }
+}
+
+/// A symmetric H-tree over a square die: `levels` recursive H figures,
+/// serving `4^levels` sink regions.
+///
+/// The H-tree is the canonical balanced clock topology: every root-to-sink
+/// path has identical length and identical RC profile, so the fault-free
+/// skew is exactly zero — which makes it the natural test vehicle for the
+/// paper's skew sensors (Fig. 6 places them across symmetric branches).
+///
+/// # Examples
+///
+/// ```
+/// use clocksense_clocktree::{HTree, WireParasitics};
+///
+/// let h = HTree::new(2, 2e-3, WireParasitics::metal2());
+/// assert_eq!(h.sink_nodes().len(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HTree {
+    tree: RcTree,
+    sinks: Vec<RcNodeId>,
+    levels: usize,
+}
+
+impl HTree {
+    /// Builds an H-tree with the given recursion depth over a
+    /// `die_size × die_size` square (metres).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels == 0`, `die_size <= 0` or
+    /// `parasitics.sections == 0`.
+    pub fn new(levels: usize, die_size: f64, parasitics: WireParasitics) -> Self {
+        assert!(levels > 0, "h-tree needs at least one level");
+        assert!(die_size > 0.0, "die size must be positive");
+        assert!(parasitics.sections > 0, "wire needs at least one section");
+        let mut tree = RcTree::new(1e-15);
+        let centre = Point::new(die_size / 2.0, die_size / 2.0);
+        tree.set_position(RcNodeId(0), centre).expect("root exists");
+        let mut sinks = Vec::new();
+        let mut builder = HTreeBuilder {
+            tree: &mut tree,
+            sinks: &mut sinks,
+            parasitics,
+        };
+        builder.recurse(RcNodeId(0), centre, die_size / 2.0, levels);
+        HTree {
+            tree,
+            sinks,
+            levels,
+        }
+    }
+
+    /// The underlying RC tree (root is the clock entry point).
+    pub fn tree(&self) -> &RcTree {
+        &self.tree
+    }
+
+    /// Converts into an owned RC tree with the given capacitance added at
+    /// every sink (the flip-flop clock loads).
+    pub fn to_rc_tree(&self, sink_cap: f64) -> RcTree {
+        let mut tree = self.tree.clone();
+        for &s in &self.sinks {
+            tree.add_capacitance(s, sink_cap.max(0.0))
+                .expect("sink exists");
+        }
+        tree
+    }
+
+    /// The sink node ids, in construction order.
+    pub fn sink_nodes(&self) -> &[RcNodeId] {
+        &self.sinks
+    }
+
+    /// Recursion depth.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+}
+
+struct HTreeBuilder<'a> {
+    tree: &'a mut RcTree,
+    sinks: &'a mut Vec<RcNodeId>,
+    parasitics: WireParasitics,
+}
+
+impl HTreeBuilder<'_> {
+    /// Adds a wire of the given length from `from` to the point `to`,
+    /// split into RC sections; returns the far-end node.
+    fn wire(&mut self, from: RcNodeId, from_pos: Point, to: Point) -> RcNodeId {
+        let length = from_pos.manhattan(to);
+        let sections = self.parasitics.sections;
+        let r_sec = self.parasitics.r_per_m * length / sections as f64;
+        let c_sec = self.parasitics.c_per_m * length / sections as f64;
+        let mut cur = from;
+        for k in 1..=sections {
+            cur = self
+                .tree
+                .add_node(cur, r_sec.max(1e-6), c_sec)
+                .expect("parent exists");
+            let pos = from_pos.lerp(to, k as f64 / sections as f64);
+            self.tree.set_position(cur, pos).expect("node exists");
+        }
+        cur
+    }
+
+    /// One H figure centred at `centre` with half-span `half`, recursing
+    /// into the four quadrant centres.
+    fn recurse(&mut self, from: RcNodeId, centre: Point, half: f64, level: usize) {
+        let arm = half / 2.0;
+        // Horizontal bar of the H: centre to left and right arm midpoints.
+        let left_mid = Point::new(centre.x - arm, centre.y);
+        let right_mid = Point::new(centre.x + arm, centre.y);
+        let left = self.wire(from, centre, left_mid);
+        let right = self.wire(from, centre, right_mid);
+        // Vertical strokes: each arm midpoint up and down.
+        for (mid_node, mid_pos) in [(left, left_mid), (right, right_mid)] {
+            for dy in [-arm, arm] {
+                let end_pos = Point::new(mid_pos.x, mid_pos.y + dy);
+                let end = self.wire(mid_node, mid_pos, end_pos);
+                if level == 1 {
+                    self.sinks.push(end);
+                } else {
+                    self.recurse(end, end_pos, half / 2.0, level - 1);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_count_is_4_to_the_levels() {
+        for levels in 1..=3 {
+            let h = HTree::new(levels, 1e-3, WireParasitics::metal2());
+            assert_eq!(h.sink_nodes().len(), 4usize.pow(levels as u32));
+        }
+    }
+
+    #[test]
+    fn fault_free_htree_has_zero_skew() {
+        let h = HTree::new(3, 4e-3, WireParasitics::metal2());
+        let tree = h.to_rc_tree(40e-15);
+        let delays = tree.elmore_delays(150.0);
+        let sink_delays: Vec<f64> = h.sink_nodes().iter().map(|s| delays[s.index()]).collect();
+        let d0 = sink_delays[0];
+        assert!(d0 > 0.0);
+        for d in &sink_delays {
+            assert!((d - d0).abs() < 1e-16, "unbalanced: {d} vs {d0}");
+        }
+    }
+
+    #[test]
+    fn sink_positions_are_distinct_and_on_die() {
+        let die = 2e-3;
+        let h = HTree::new(2, die, WireParasitics::metal2());
+        let tree = h.tree();
+        let mut seen = Vec::new();
+        for &s in h.sink_nodes() {
+            let p = tree.position(s).expect("sinks are placed");
+            assert!(p.x >= 0.0 && p.x <= die && p.y >= 0.0 && p.y <= die);
+            assert!(
+                !seen.iter().any(|&q: &Point| q.manhattan(p) < 1e-9),
+                "duplicate sink position {p}"
+            );
+            seen.push(p);
+        }
+    }
+
+    #[test]
+    fn deeper_trees_are_slower() {
+        let p = WireParasitics::metal2();
+        let d2 = {
+            let h = HTree::new(2, 4e-3, p);
+            let t = h.to_rc_tree(40e-15);
+            t.elmore_delays(150.0)[h.sink_nodes()[0].index()]
+        };
+        let d3 = {
+            let h = HTree::new(3, 4e-3, p);
+            let t = h.to_rc_tree(40e-15);
+            t.elmore_delays(150.0)[h.sink_nodes()[0].index()]
+        };
+        // More levels at the same die size add wire and load.
+        assert!(d3 > d2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn zero_levels_panics() {
+        HTree::new(0, 1e-3, WireParasitics::metal2());
+    }
+}

@@ -1,0 +1,260 @@
+//! Fault and variation injection at clock-tree level.
+//!
+//! The paper motivates the sensing scheme with exactly these mechanisms:
+//! "circuit parameter fluctuations, inaccuracies in the delay models used
+//! to drive the clock routing process, crosstalk faults and environmental
+//! failures" — so this module provides resistive opens, load changes,
+//! per-segment parameter variation, and capacitive crosstalk aggressors.
+
+use clocksense_netlist::SourceWave;
+
+use crate::error::ClockTreeError;
+use crate::rctree::{RcNodeId, RcTree};
+
+/// A permanent structural fault in a clock net.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TreeFault {
+    /// A resistive open: extra series resistance on the segment feeding a
+    /// node (a cracked or thinned wire).
+    ResistiveOpen {
+        /// Node whose feeding segment is damaged.
+        node: RcNodeId,
+        /// Extra resistance (Ω).
+        extra_ohms: f64,
+    },
+    /// Extra load capacitance at a node (a short to an adjacent floating
+    /// structure, or an unmodelled coupling).
+    ExtraLoad {
+        /// Loaded node.
+        node: RcNodeId,
+        /// Extra capacitance (F).
+        extra_cap: f64,
+    },
+    /// Width/thickness variation of one segment: its resistance and
+    /// capacitance scale by the given factors.
+    SegmentVariation {
+        /// Affected node (its feeding segment).
+        node: RcNodeId,
+        /// Resistance scale factor.
+        r_factor: f64,
+        /// Capacitance scale factor.
+        c_factor: f64,
+    },
+}
+
+impl TreeFault {
+    /// Applies the fault to a tree in place.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the tree's domain errors (unknown node, non-physical
+    /// values).
+    pub fn apply(&self, tree: &mut RcTree) -> Result<(), ClockTreeError> {
+        match self {
+            TreeFault::ResistiveOpen { node, extra_ohms } => {
+                tree.add_series_resistance(*node, *extra_ohms)
+            }
+            TreeFault::ExtraLoad { node, extra_cap } => tree.add_capacitance(*node, *extra_cap),
+            TreeFault::SegmentVariation {
+                node,
+                r_factor,
+                c_factor,
+            } => {
+                tree.scale_resistance(*node, *r_factor)?;
+                tree.scale_capacitance(*node, *c_factor)
+            }
+        }
+    }
+}
+
+/// Uniform relative process variation applied to every segment of a tree.
+///
+/// Matches the paper's Monte-Carlo methodology: each parameter varies
+/// uniformly within `±spread` of its nominal value, independently per
+/// segment. The random source is supplied by the caller as a closure
+/// returning uniform values in `[0, 1)`, keeping this crate free of RNG
+/// policy.
+///
+/// # Examples
+///
+/// ```
+/// use clocksense_clocktree::{RcTree, TreeVariation};
+///
+/// # fn main() -> Result<(), clocksense_clocktree::ClockTreeError> {
+/// let mut tree = RcTree::new(1e-15);
+/// let a = tree.add_node(tree.root(), 100.0, 50e-15)?;
+/// let nominal = tree.elmore_delays(100.0)[a.index()];
+/// // A trivial "random" source pinned at the upper corner.
+/// let mut corner = || 1.0 - f64::EPSILON;
+/// TreeVariation::new(0.15).apply_with(&mut tree, &mut corner)?;
+/// let varied = tree.elmore_delays(100.0)[a.index()];
+/// assert!(varied > nominal); // +15 % on r and c
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeVariation {
+    /// Relative half-width of the uniform distribution (e.g. `0.15`).
+    pub spread: f64,
+}
+
+impl TreeVariation {
+    /// Creates a variation model with the given relative spread.
+    pub fn new(spread: f64) -> Self {
+        TreeVariation { spread }
+    }
+
+    /// Perturbs every segment's resistance and every node's capacitance
+    /// with independent uniform factors in `[1 − spread, 1 + spread]`,
+    /// drawn from `uniform01`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClockTreeError::InvalidParameter`] if the spread is not
+    /// in `[0, 1)`.
+    pub fn apply_with(
+        &self,
+        tree: &mut RcTree,
+        uniform01: &mut dyn FnMut() -> f64,
+    ) -> Result<(), ClockTreeError> {
+        if !(self.spread.is_finite() && (0.0..1.0).contains(&self.spread)) {
+            return Err(ClockTreeError::InvalidParameter(format!(
+                "variation spread must be in [0, 1), got {}",
+                self.spread
+            )));
+        }
+        let ids: Vec<RcNodeId> = tree.node_ids().collect();
+        for node in ids {
+            if node != tree.root() {
+                let f = 1.0 + self.spread * (2.0 * uniform01() - 1.0);
+                tree.scale_resistance(node, f)?;
+            }
+            if tree.capacitance(node) > 0.0 {
+                let f = 1.0 + self.spread * (2.0 * uniform01() - 1.0);
+                tree.scale_capacitance(node, f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A capacitive crosstalk aggressor: an external signal coupled into one
+/// node of the victim clock net.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Aggressor {
+    /// Victim node.
+    pub node: RcNodeId,
+    /// Coupling capacitance (F).
+    pub coupling: f64,
+    /// Aggressor waveform (e.g. an off-chip noise burst).
+    pub wave: SourceWave,
+}
+
+impl Aggressor {
+    /// The `(node, coupling, wave)` tuple [`RcTree::transient`] accepts.
+    pub fn as_coupling(&self) -> (RcNodeId, f64, SourceWave) {
+        (self.node, self.coupling, self.wave.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_branch() -> (RcTree, RcNodeId, RcNodeId) {
+        let mut tree = RcTree::new(1e-15);
+        let a = tree.add_node(tree.root(), 100.0, 50e-15).unwrap();
+        let b = tree.add_node(tree.root(), 100.0, 50e-15).unwrap();
+        (tree, a, b)
+    }
+
+    #[test]
+    fn resistive_open_skews_one_branch() {
+        let (mut tree, a, b) = two_branch();
+        let before = tree.elmore_delays(100.0);
+        assert!((before[a.index()] - before[b.index()]).abs() < 1e-20);
+        TreeFault::ResistiveOpen {
+            node: a,
+            extra_ohms: 5e3,
+        }
+        .apply(&mut tree)
+        .unwrap();
+        let after = tree.elmore_delays(100.0);
+        assert!(after[a.index()] > after[b.index()]);
+    }
+
+    #[test]
+    fn extra_load_slows_the_loaded_branch() {
+        let (mut tree, a, b) = two_branch();
+        TreeFault::ExtraLoad {
+            node: b,
+            extra_cap: 200e-15,
+        }
+        .apply(&mut tree)
+        .unwrap();
+        let after = tree.elmore_delays(100.0);
+        assert!(after[b.index()] > after[a.index()]);
+    }
+
+    #[test]
+    fn segment_variation_scales_both_parameters() {
+        let (mut tree, a, _) = two_branch();
+        let r0 = tree.resistance(a);
+        let c0 = tree.capacitance(a);
+        TreeFault::SegmentVariation {
+            node: a,
+            r_factor: 1.2,
+            c_factor: 0.8,
+        }
+        .apply(&mut tree)
+        .unwrap();
+        assert!((tree.resistance(a) - 1.2 * r0).abs() < 1e-12);
+        assert!((tree.capacitance(a) - 0.8 * c0).abs() < 1e-25);
+    }
+
+    #[test]
+    fn variation_stays_within_bounds() {
+        let (mut tree, a, b) = two_branch();
+        let r0 = tree.resistance(a);
+        // Pseudo-random but deterministic source.
+        let mut state = 1u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        TreeVariation::new(0.15)
+            .apply_with(&mut tree, &mut rnd)
+            .unwrap();
+        for node in [a, b] {
+            let f = tree.resistance(node) / r0;
+            assert!((0.85..=1.15).contains(&f), "factor {f} out of spread");
+        }
+    }
+
+    #[test]
+    fn invalid_spread_is_rejected() {
+        let (mut tree, _, _) = two_branch();
+        let mut rnd = || 0.5;
+        assert!(TreeVariation::new(1.5)
+            .apply_with(&mut tree, &mut rnd)
+            .is_err());
+        assert!(TreeVariation::new(-0.1)
+            .apply_with(&mut tree, &mut rnd)
+            .is_err());
+    }
+
+    #[test]
+    fn aggressor_roundtrips_to_coupling() {
+        let (tree, a, _) = two_branch();
+        let _ = tree;
+        let agg = Aggressor {
+            node: a,
+            coupling: 25e-15,
+            wave: SourceWave::Dc(0.0),
+        };
+        let (n, c, w) = agg.as_coupling();
+        assert_eq!(n, a);
+        assert_eq!(c, 25e-15);
+        assert_eq!(w, SourceWave::Dc(0.0));
+    }
+}

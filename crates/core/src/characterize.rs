@@ -1,0 +1,179 @@
+//! Standard-cell-style characterisation of the sensing circuit.
+//!
+//! The paper's analysis revolves around a handful of cell-level figures:
+//! the block fall delay *d* ("the delay required by the output signal y1
+//! to reach a low value" — detection is guaranteed for τ > d), the output
+//! floor in the no-skew case (≈ the NMOS conduction threshold), the
+//! recovery time after the clock returns low, and the resulting
+//! sensitivity τ_min. This module measures all of them from transient
+//! simulations.
+
+use clocksense_spice::SimOptions;
+
+use crate::error::CoreError;
+use crate::sensitivity::find_tau_min;
+use crate::sensor::SensingCircuit;
+use crate::stimulus::ClockPair;
+
+/// Measured cell-level figures of a sensing circuit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensorCharacter {
+    /// Block fall delay `d`: time from the early clock's mid-rail crossing
+    /// until its block's output falls below the feedback NMOS threshold —
+    /// the quantity the paper bounds the sensitivity with (`τ_min ≲ d`).
+    pub block_fall_delay: f64,
+    /// Minimum output voltage in the no-skew case (the feedback-limited
+    /// floor near the n-channel conduction threshold).
+    pub no_skew_floor: f64,
+    /// Time from the clocks' falling mid-rail crossing until the outputs
+    /// recover to 90 % of the rail.
+    pub recovery_time: f64,
+    /// The sensitivity at the technology's logic threshold.
+    pub tau_min: f64,
+}
+
+/// Characterises a sensor against the given clock timing.
+///
+/// # Errors
+///
+/// Propagates simulation errors; fails with
+/// [`CoreError::InvalidParameter`] if the responses never produce the
+/// crossings a healthy sensor must show (which indicates a broken or
+/// mis-sized circuit rather than a measurement problem).
+///
+/// # Examples
+///
+/// ```no_run
+/// use clocksense_core::{characterize, ClockPair, SensorBuilder, Technology};
+///
+/// # fn main() -> Result<(), clocksense_core::CoreError> {
+/// let tech = Technology::cmos12();
+/// let sensor = SensorBuilder::new(tech).load_capacitance(160e-15).build()?;
+/// let clocks = ClockPair::single_shot(tech.vdd, 0.2e-9);
+/// let character = characterize(&sensor, &clocks, &Default::default())?;
+/// assert!(character.tau_min <= character.block_fall_delay);
+/// # Ok(())
+/// # }
+/// ```
+pub fn characterize(
+    sensor: &SensingCircuit,
+    clocks: &ClockPair,
+    opts: &SimOptions,
+) -> Result<SensorCharacter, CoreError> {
+    let tech = sensor.technology();
+
+    // Block fall delay: with the other phase held far late, y1 falls
+    // unimpeded; measure from the driving edge to the feedback-threshold
+    // crossing (the level at which the late block's pull-down is blocked).
+    let far_late = clocks.with_skew(0.8 * clocks.width);
+    let response = sensor.simulate(&far_late, opts)?;
+    let edge = clocks.delay + 0.5 * far_late.slew;
+    let block_fall_delay = response
+        .y1
+        .falling_crossings(tech.nmos_vth)
+        .into_iter()
+        .find(|&t| t > edge)
+        .map(|t| t - edge)
+        .ok_or_else(|| {
+            CoreError::InvalidParameter(
+                "y1 never falls below the feedback threshold; the cell is broken".to_string(),
+            )
+        })?;
+
+    // No-skew floor and recovery.
+    let clean = sensor.simulate(clocks, opts)?;
+    let no_skew_floor = clean.vmin_y1.min(clean.vmin_y2);
+    let fall_edge = clocks.delay + clocks.slew + clocks.width + 0.5 * clocks.slew;
+    let recovery_time = clean
+        .y1
+        .rising_crossings(0.9 * tech.vdd)
+        .into_iter()
+        .find(|&t| t > fall_edge)
+        .map(|t| t - fall_edge)
+        .ok_or_else(|| {
+            CoreError::InvalidParameter("y1 never recovers to the rail after the pulse".to_string())
+        })?;
+
+    let tau_min =
+        find_tau_min(sensor, clocks, 0.45 * clocks.width, 2e-12, opts)?.ok_or_else(|| {
+            CoreError::InvalidParameter(
+                "no detectable skew within half the clock width".to_string(),
+            )
+        })?;
+
+    Ok(SensorCharacter {
+        block_fall_delay,
+        no_skew_floor,
+        recovery_time,
+        tau_min,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sensor::SensorBuilder;
+    use crate::tech::Technology;
+
+    fn fast_opts() -> SimOptions {
+        SimOptions {
+            tstep: 2e-12,
+            ..SimOptions::default()
+        }
+    }
+
+    #[test]
+    fn character_figures_are_consistent() {
+        let tech = Technology::cmos12();
+        let sensor = SensorBuilder::new(tech)
+            .load_capacitance(160e-15)
+            .build()
+            .unwrap();
+        let clocks = ClockPair::single_shot(tech.vdd, 0.2e-9);
+        let c = characterize(&sensor, &clocks, &fast_opts()).unwrap();
+        // The floor sits between ground and the logic threshold.
+        assert!(c.no_skew_floor > 0.2 && c.no_skew_floor < tech.logic_threshold());
+        // The paper's ordering: detection is *guaranteed* for tau > d
+        // (the full fall to the feedback threshold), while the actual
+        // sensitivity tau_min is much sharper because a partial fall
+        // already blocks the late pull-down.
+        assert!(c.block_fall_delay > 50e-12 && c.block_fall_delay < 2e-9);
+        assert!(c.tau_min > 10e-12 && c.tau_min < 1e-9);
+        assert!(
+            c.tau_min <= c.block_fall_delay,
+            "tau_min {} must not exceed the guaranteed bound d {}",
+            c.tau_min,
+            c.block_fall_delay
+        );
+        // Recovery through two series PMOS is slower than the fall but
+        // bounded.
+        assert!(c.recovery_time > 0.0 && c.recovery_time < 3e-9);
+    }
+
+    #[test]
+    fn heavier_load_slows_every_figure() {
+        let tech = Technology::cmos12();
+        let clocks = ClockPair::single_shot(tech.vdd, 0.2e-9);
+        let light = characterize(
+            &SensorBuilder::new(tech)
+                .load_capacitance(40e-15)
+                .build()
+                .unwrap(),
+            &clocks,
+            &fast_opts(),
+        )
+        .unwrap();
+        let heavy = characterize(
+            &SensorBuilder::new(tech)
+                .load_capacitance(240e-15)
+                .build()
+                .unwrap(),
+            &clocks,
+            &fast_opts(),
+        )
+        .unwrap();
+        assert!(heavy.block_fall_delay > light.block_fall_delay);
+        assert!(heavy.recovery_time > light.recovery_time);
+        assert!(heavy.tau_min > light.tau_min);
+    }
+}

@@ -1,0 +1,182 @@
+//! Technology description: the 1.2 µm CMOS process of the paper.
+
+use clocksense_netlist::MosParams;
+
+/// A CMOS technology: supply, Level-1 device parameters and parasitic
+/// capacitance coefficients.
+///
+/// [`Technology::cmos12`] models the 1.2 µm process the paper's electrical
+/// simulations use: 5 V supply, ~0.7 / −0.9 V thresholds and Level-1
+/// transconductances typical of that node. Absolute delays of our Level-1
+/// reproduction differ from the authors' foundry models, but the shape of
+/// every reported curve (V_min vs τ, load and slew dependence) carries
+/// over; see `DESIGN.md`.
+///
+/// # Examples
+///
+/// ```
+/// use clocksense_core::Technology;
+///
+/// let tech = Technology::cmos12();
+/// assert_eq!(tech.vdd, 5.0);
+/// // The paper's interpretation threshold: VDD/2 derated by 10 %.
+/// assert!((tech.logic_threshold() - 2.75).abs() < 1e-12);
+/// let n = tech.nmos_params(16e-6);
+/// assert!(n.is_well_formed());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Technology {
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// NMOS threshold voltage (V, positive).
+    pub nmos_vth: f64,
+    /// PMOS threshold voltage (V, negative).
+    pub pmos_vth: f64,
+    /// NMOS process transconductance `KP` (A/V²).
+    pub nmos_kp: f64,
+    /// PMOS process transconductance `KP` (A/V²).
+    pub pmos_kp: f64,
+    /// Channel-length modulation (1/V), shared by both polarities.
+    pub lambda: f64,
+    /// Drawn channel length (m).
+    pub l: f64,
+    /// Gate-oxide capacitance per area (F/m²).
+    pub cox_per_area: f64,
+    /// Gate overlap capacitance per width (F/m).
+    pub cov_per_width: f64,
+    /// Drain junction capacitance per width (F/m).
+    pub cj_per_width: f64,
+}
+
+impl Technology {
+    /// The paper's 1.2 µm CMOS process.
+    pub fn cmos12() -> Self {
+        Technology {
+            vdd: 5.0,
+            nmos_vth: 0.7,
+            pmos_vth: -0.9,
+            nmos_kp: 60e-6,
+            pmos_kp: 20e-6,
+            lambda: 0.02,
+            l: 1.2e-6,
+            // ~20 nm oxide: 1.7 fF/µm².
+            cox_per_area: 1.7e-3,
+            // 0.3 fF/µm overlap, 0.5 fF/µm junction.
+            cov_per_width: 0.3e-9,
+            cj_per_width: 0.5e-9,
+        }
+    }
+
+    /// A scaled 0.8 µm CMOS process, for studying how the scheme tracks
+    /// technology scaling (thinner oxide, higher transconductance, lower
+    /// supply margins were the mid-90s trend the paper's introduction
+    /// motivates with).
+    pub fn cmos08() -> Self {
+        Technology {
+            vdd: 5.0,
+            nmos_vth: 0.65,
+            pmos_vth: -0.8,
+            nmos_kp: 90e-6,
+            pmos_kp: 30e-6,
+            lambda: 0.03,
+            l: 0.8e-6,
+            // ~15 nm oxide: 2.3 fF/µm².
+            cox_per_area: 2.3e-3,
+            cov_per_width: 0.25e-9,
+            cj_per_width: 0.4e-9,
+        }
+    }
+
+    /// The logic threshold the paper uses to interpret the sensing-circuit
+    /// response: a gate threshold of `VDD/2` derated by a worst-case 10 %
+    /// parameter variation, i.e. `2.75 V` at 5 V.
+    pub fn logic_threshold(&self) -> f64 {
+        0.5 * self.vdd * 1.1
+    }
+
+    fn gate_half_cap(&self, w: f64) -> f64 {
+        0.5 * self.cox_per_area * w * self.l + self.cov_per_width * w
+    }
+
+    /// Level-1 parameters for an NMOS of width `w` at the drawn length.
+    pub fn nmos_params(&self, w: f64) -> MosParams {
+        MosParams {
+            vth0: self.nmos_vth,
+            kp: self.nmos_kp,
+            lambda: self.lambda,
+            w,
+            l: self.l,
+            cgs: self.gate_half_cap(w),
+            cgd: self.gate_half_cap(w),
+            cdb: self.cj_per_width * w,
+        }
+    }
+
+    /// Level-1 parameters for a PMOS of width `w` at the drawn length.
+    pub fn pmos_params(&self, w: f64) -> MosParams {
+        MosParams {
+            vth0: self.pmos_vth,
+            kp: self.pmos_kp,
+            lambda: self.lambda,
+            w,
+            l: self.l,
+            cgs: self.gate_half_cap(w),
+            cgd: self.gate_half_cap(w),
+            cdb: self.cj_per_width * w,
+        }
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Technology::cmos12()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmos12_values() {
+        let t = Technology::cmos12();
+        assert_eq!(t.vdd, 5.0);
+        assert!(t.nmos_vth > 0.0);
+        assert!(t.pmos_vth < 0.0);
+        assert!((t.logic_threshold() - 2.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn params_scale_with_width() {
+        let t = Technology::cmos12();
+        let small = t.nmos_params(2e-6);
+        let big = t.nmos_params(4e-6);
+        assert!((big.beta() / small.beta() - 2.0).abs() < 1e-12);
+        assert!((big.cgs / small.cgs - 2.0).abs() < 1e-12);
+        assert!((big.cdb / small.cdb - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gate_cap_magnitude_is_plausible() {
+        // A 16 µm / 1.2 µm gate in 1.2 µm CMOS carries tens of fF.
+        let t = Technology::cmos12();
+        let p = t.nmos_params(16e-6);
+        let total_gate = p.cgs + p.cgd;
+        assert!(total_gate > 10e-15 && total_gate < 100e-15, "{total_gate}");
+    }
+
+    #[test]
+    fn cmos08_is_a_faster_process() {
+        let old = Technology::cmos12();
+        let new = Technology::cmos08();
+        // Same supply; stronger devices with less gate capacitance per
+        // drive: the figure of merit kp/(cox*l^2) improves.
+        let fom = |t: &Technology| t.nmos_kp / (t.cox_per_area * t.l * t.l);
+        assert!(fom(&new) > fom(&old));
+    }
+
+    #[test]
+    fn default_is_cmos12() {
+        assert_eq!(Technology::default(), Technology::cmos12());
+    }
+}

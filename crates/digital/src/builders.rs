@@ -1,0 +1,192 @@
+//! Convenience constructors for common synchronous structures.
+
+use crate::network::{DigitalError, GateKind, GateNetwork, NetId};
+
+/// Timing of the flip-flops used by the builders.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FfTiming {
+    /// Clock-to-Q delay (s).
+    pub clk_to_q: f64,
+    /// Setup time (s).
+    pub setup: f64,
+}
+
+impl Default for FfTiming {
+    fn default() -> Self {
+        FfTiming {
+            clk_to_q: 0.4e-9,
+            setup: 0.2e-9,
+        }
+    }
+}
+
+/// Builds an `stages`-deep shift register clocked by `clk`; returns the
+/// per-stage outputs in order.
+///
+/// # Errors
+///
+/// Propagates construction errors (dangling nets, bad timing).
+///
+/// # Examples
+///
+/// ```
+/// use clocksense_digital::{shift_register, FfTiming, GateNetwork, Schedule};
+///
+/// # fn main() -> Result<(), clocksense_digital::DigitalError> {
+/// let mut net = GateNetwork::new();
+/// let clk = net.input("clk", Schedule::clock(1e-9, 1e-9, 6));
+/// let d = net.input("d", Schedule::from_edges(false, &[(0.5e-9, true), (1.5e-9, false)]));
+/// let taps = shift_register(&mut net, d, clk, 3, FfTiming::default())?;
+/// let run = net.simulate(14e-9)?;
+/// // The lone 1 reaches the last stage after three edges (1, 3, 5 ns).
+/// assert_eq!(run.value_at(taps[2], 6.0e-9), Some(true));
+/// # Ok(())
+/// # }
+/// ```
+pub fn shift_register(
+    net: &mut GateNetwork,
+    d: NetId,
+    clk: NetId,
+    stages: usize,
+    timing: FfTiming,
+) -> Result<Vec<NetId>, DigitalError> {
+    let mut taps = Vec::with_capacity(stages);
+    let mut cur = d;
+    for _ in 0..stages {
+        cur = net.dff(cur, clk, timing.clk_to_q, timing.setup, Some(false))?;
+        taps.push(cur);
+    }
+    Ok(taps)
+}
+
+/// Builds a `bits`-wide ripple counter clocked by `clk`; returns the bit
+/// outputs, least significant first.
+///
+/// Each stage is a toggle flip-flop (D tied to its own inverted output);
+/// the next stage is clocked by the previous stage's inverted output, so
+/// it advances when the previous bit falls — a binary up-counter.
+///
+/// # Errors
+///
+/// Propagates construction errors.
+pub fn ripple_counter(
+    net: &mut GateNetwork,
+    clk: NetId,
+    bits: usize,
+    timing: FfTiming,
+) -> Result<Vec<NetId>, DigitalError> {
+    let mut outputs = Vec::with_capacity(bits);
+    let mut stage_clk = clk;
+    for b in 0..bits {
+        let d = net.placeholder(&format!("cnt{b}_d"));
+        let q = net.dff(d, stage_clk, timing.clk_to_q, timing.setup, Some(false))?;
+        let qb = net.gate(GateKind::Not, &[q], 0.1e-9)?;
+        net.connect(d, qb)?;
+        outputs.push(q);
+        stage_clk = qb;
+    }
+    Ok(outputs)
+}
+
+/// Builds a bitwise equality comparator: output is `1` iff `a == b`.
+///
+/// # Errors
+///
+/// Returns [`DigitalError::BadArity`] for empty or mismatched operand
+/// widths, plus construction errors.
+pub fn equality_comparator(
+    net: &mut GateNetwork,
+    a: &[NetId],
+    b: &[NetId],
+    gate_delay: f64,
+) -> Result<NetId, DigitalError> {
+    if a.is_empty() || a.len() != b.len() {
+        return Err(DigitalError::BadArity {
+            kind: "equality comparator".to_string(),
+            got: a.len().min(b.len()),
+        });
+    }
+    let mut terms = Vec::with_capacity(a.len());
+    for (&x, &y) in a.iter().zip(b) {
+        terms.push(net.gate(GateKind::Xnor, &[x, y], gate_delay)?);
+    }
+    if terms.len() == 1 {
+        return Ok(terms[0]);
+    }
+    net.gate(GateKind::And, &terms, gate_delay)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Schedule;
+
+    #[test]
+    fn counter_counts_in_binary() {
+        let mut net = GateNetwork::new();
+        // 8 clock pulses, period 2 ns.
+        let clk = net.input("clk", Schedule::clock(1e-9, 1e-9, 8));
+        let bits = ripple_counter(&mut net, clk, 3, FfTiming::default()).unwrap();
+        let run = net.simulate(20e-9).unwrap();
+        // After k rising edges the counter holds k (mod 8). Edge k lands
+        // at (2k - 1) ns and the ripple needs up to 1.5 ns to settle, so
+        // sample just before the next edge.
+        for k in 1..=8u32 {
+            let t = (2 * k) as f64 * 1e-9 + 0.9e-9;
+            let mut value = 0u32;
+            for (i, &bit) in bits.iter().enumerate() {
+                if run.value_at(bit, t) == Some(true) {
+                    value |= 1 << i;
+                }
+            }
+            assert_eq!(value, k % 8, "after edge {k}");
+        }
+    }
+
+    #[test]
+    fn shift_register_depth_matches() {
+        let mut net = GateNetwork::new();
+        let clk = net.input("clk", Schedule::clock(1e-9, 1e-9, 8));
+        let d = net.input(
+            "d",
+            Schedule::from_edges(false, &[(0.5e-9, true), (1.5e-9, false)]),
+        );
+        let taps = shift_register(&mut net, d, clk, 4, FfTiming::default()).unwrap();
+        let run = net.simulate(18e-9).unwrap();
+        // The pulse appears at tap k after edge k+1 (edges at 1,3,5,7 ns).
+        for (k, &tap) in taps.iter().enumerate() {
+            let t_after = (2 * k + 2) as f64 * 1e-9;
+            assert_eq!(run.value_at(tap, t_after), Some(true), "tap {k}");
+            let t_late = (2 * k + 4) as f64 * 1e-9;
+            assert_eq!(run.value_at(tap, t_late), Some(false), "tap {k} cleared");
+        }
+        assert!(run.violations().is_empty());
+    }
+
+    #[test]
+    fn comparator_flags_equality() {
+        let mut net = GateNetwork::new();
+        let a0 = net.input("a0", Schedule::constant(true));
+        let a1 = net.input("a1", Schedule::constant(false));
+        let b0 = net.input("b0", Schedule::constant(true));
+        let b1 = net.input("b1", Schedule::from_edges(false, &[(2e-9, true)]));
+        let eq = equality_comparator(&mut net, &[a0, a1], &[b0, b1], 0.2e-9).unwrap();
+        let run = net.simulate(6e-9).unwrap();
+        assert_eq!(run.value_at(eq, 1e-9), Some(true), "equal before the edge");
+        assert_eq!(run.value_at(eq, 4e-9), Some(false), "b1 diverged");
+    }
+
+    #[test]
+    fn comparator_rejects_bad_widths() {
+        let mut net = GateNetwork::new();
+        let a = net.input("a", Schedule::constant(true));
+        assert!(matches!(
+            equality_comparator(&mut net, &[], &[], 0.1e-9),
+            Err(DigitalError::BadArity { .. })
+        ));
+        assert!(matches!(
+            equality_comparator(&mut net, &[a], &[a, a], 0.1e-9),
+            Err(DigitalError::BadArity { .. })
+        ));
+    }
+}

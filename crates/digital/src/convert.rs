@@ -1,0 +1,157 @@
+//! Bridges between the analog and digital domains.
+
+use clocksense_netlist::SourceWave;
+use clocksense_wave::Waveform;
+
+use crate::network::{NetId, Schedule};
+use crate::sim::SimulationRun;
+
+/// Discretises an analog waveform (e.g. a clock-tree sink voltage) into a
+/// digital input schedule by thresholding at `v_th`.
+///
+/// Consecutive crossings closer than `min_pulse` are treated as analog
+/// ringing and merged away, so marginal waveforms do not explode into
+/// event storms.
+///
+/// # Examples
+///
+/// ```
+/// use clocksense_digital::schedule_from_waveform;
+/// use clocksense_wave::Waveform;
+///
+/// let w = Waveform::new(vec![0.0, 1e-9, 1.2e-9, 5e-9], vec![0.0, 0.0, 5.0, 5.0]);
+/// let s = schedule_from_waveform(&w, 2.5, 50e-12);
+/// // One rising edge near 1.1 ns.
+/// # let _ = s;
+/// ```
+pub fn schedule_from_waveform(w: &Waveform, v_th: f64, min_pulse: f64) -> Schedule {
+    let initial = w.value_at(w.t_start()) >= v_th;
+    let mut crossings: Vec<(f64, bool)> = w
+        .rising_crossings(v_th)
+        .into_iter()
+        .map(|t| (t, true))
+        .chain(w.falling_crossings(v_th).into_iter().map(|t| (t, false)))
+        .filter(|&(t, _)| t > 0.0)
+        .collect();
+    crossings.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite crossings"));
+    // Merge ringing: drop any edge reversed again within min_pulse, and
+    // drop edges that do not change the running value.
+    let mut edges: Vec<(f64, bool)> = Vec::new();
+    let mut level = initial;
+    let mut i = 0;
+    while i < crossings.len() {
+        let (t, v) = crossings[i];
+        if v == level {
+            i += 1;
+            continue;
+        }
+        if let Some(&(t_next, v_next)) = crossings.get(i + 1) {
+            if v_next == level && t_next - t < min_pulse {
+                // A sub-min_pulse excursion: skip both edges.
+                i += 2;
+                continue;
+            }
+        }
+        edges.push((t, v));
+        level = v;
+        i += 1;
+    }
+    Schedule::from_edges(initial, &edges)
+}
+
+/// Converts a simulated net's history into a PWL voltage source with the
+/// given rails and edge slew — so a digital block's output can drive an
+/// analog simulation (e.g. a sensor test bench). The unknown value maps
+/// to `v_low`.
+pub fn source_from_run(
+    run: &SimulationRun,
+    net: NetId,
+    v_low: f64,
+    v_high: f64,
+    slew: f64,
+) -> SourceWave {
+    let signal = run.signal(net);
+    let level = |v: Option<bool>| if v == Some(true) { v_high } else { v_low };
+    let mut points: Vec<(f64, f64)> = Vec::new();
+    let initial = level(signal.value_at(0.0));
+    points.push((0.0, initial));
+    let mut prev = initial;
+    for (t, v) in signal.transitions() {
+        let target = level(v);
+        if (target - prev).abs() < f64::EPSILON || t <= 0.0 {
+            continue;
+        }
+        let ramp_start = t.max(points.last().map(|p| p.0).unwrap_or(0.0) + slew * 1e-3);
+        points.push((ramp_start, prev));
+        points.push((ramp_start + slew, target));
+        prev = target;
+    }
+    if points.len() == 1 {
+        return SourceWave::Dc(initial);
+    }
+    SourceWave::Pwl(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{GateNetwork, Schedule as Sched};
+
+    #[test]
+    fn waveform_round_trips_to_schedule() {
+        let w = Waveform::new(
+            vec![0.0, 1.0e-9, 1.2e-9, 3.0e-9, 3.2e-9, 5e-9],
+            vec![0.0, 0.0, 5.0, 5.0, 0.0, 0.0],
+        );
+        let s = schedule_from_waveform(&w, 2.5, 50e-12);
+        assert_eq!(s.initial, Some(false));
+        assert_eq!(s.edges.len(), 2);
+        assert!(s.edges[0].1);
+        assert!(!s.edges[1].1);
+        assert!((s.edges[0].0 - 1.1e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ringing_is_merged() {
+        // A 20 ps dip below threshold during the high phase.
+        let w = Waveform::new(
+            vec![0.0, 1.0e-9, 1.1e-9, 2.0e-9, 2.01e-9, 2.02e-9, 4e-9],
+            vec![0.0, 0.0, 5.0, 5.0, 2.0, 5.0, 5.0],
+        );
+        let s = schedule_from_waveform(&w, 2.5, 50e-12);
+        assert_eq!(s.edges.len(), 1, "the dip must be merged: {:?}", s.edges);
+    }
+
+    #[test]
+    fn run_exports_as_pwl() {
+        let mut net = GateNetwork::new();
+        let a = net.input(
+            "a",
+            Sched::from_edges(false, &[(1e-9, true), (3e-9, false)]),
+        );
+        let run = net.simulate(5e-9).unwrap();
+        let src = source_from_run(&run, a, 0.0, 5.0, 0.2e-9);
+        match &src {
+            SourceWave::Pwl(points) => {
+                assert!(points.len() >= 5);
+                assert_eq!(points[0].1, 0.0);
+            }
+            other => panic!("expected pwl, got {other:?}"),
+        }
+        // Values at key times.
+        assert_eq!(src.value_at(0.5e-9), 0.0);
+        assert!((src.value_at(1.5e-9) - 5.0).abs() < 1e-9);
+        assert_eq!(src.value_at(4.5e-9), 0.0);
+    }
+
+    #[test]
+    fn constant_run_exports_as_dc() {
+        let mut net = GateNetwork::new();
+        let a = net.input("a", Sched::constant(true));
+        let run = net.simulate(2e-9).unwrap();
+        assert_eq!(
+            source_from_run(&run, a, 0.0, 5.0, 0.2e-9),
+            SourceWave::Dc(5.0)
+        );
+    }
+}

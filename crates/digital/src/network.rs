@@ -1,0 +1,474 @@
+//! Gate-network construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Identifier of a net in a [`GateNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub(crate) usize);
+
+impl NetId {
+    /// Dense index of the net.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Identifier of a combinational gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GateId(pub(crate) usize);
+
+/// Identifier of a flip-flop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DffId(pub(crate) usize);
+
+/// Supported combinational gate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Logical AND (≥ 2 inputs).
+    And,
+    /// Logical OR (≥ 2 inputs).
+    Or,
+    /// Inverted AND (≥ 2 inputs).
+    Nand,
+    /// Inverted OR (≥ 2 inputs).
+    Nor,
+    /// Exclusive OR (≥ 2 inputs, parity).
+    Xor,
+    /// Inverted XOR (≥ 2 inputs).
+    Xnor,
+    /// Inverter (exactly 1 input).
+    Not,
+    /// Buffer / delay element (exactly 1 input).
+    Buf,
+}
+
+impl GateKind {
+    /// Evaluates the function over three-valued inputs (`None` = X).
+    ///
+    /// Dominant values short-circuit X: `AND` with any `0` input is `0`
+    /// regardless of X inputs, `OR` with any `1` is `1`; parity of any X
+    /// is X.
+    pub fn eval(self, inputs: &[Option<bool>]) -> Option<bool> {
+        match self {
+            GateKind::Not | GateKind::Buf => {
+                let v = inputs[0];
+                if self == GateKind::Not {
+                    v.map(|b| !b)
+                } else {
+                    v
+                }
+            }
+            GateKind::And | GateKind::Nand => {
+                let out = if inputs.contains(&Some(false)) {
+                    Some(false)
+                } else if inputs.iter().all(|v| *v == Some(true)) {
+                    Some(true)
+                } else {
+                    None
+                };
+                if self == GateKind::Nand {
+                    out.map(|b| !b)
+                } else {
+                    out
+                }
+            }
+            GateKind::Or | GateKind::Nor => {
+                let out = if inputs.contains(&Some(true)) {
+                    Some(true)
+                } else if inputs.iter().all(|v| *v == Some(false)) {
+                    Some(false)
+                } else {
+                    None
+                };
+                if self == GateKind::Nor {
+                    out.map(|b| !b)
+                } else {
+                    out
+                }
+            }
+            GateKind::Xor | GateKind::Xnor => {
+                let mut acc = false;
+                for v in inputs {
+                    match v {
+                        Some(b) => acc ^= b,
+                        None => return None,
+                    }
+                }
+                Some(if self == GateKind::Xnor { !acc } else { acc })
+            }
+        }
+    }
+
+    fn arity_ok(self, n: usize) -> bool {
+        match self {
+            GateKind::Not | GateKind::Buf => n == 1,
+            _ => n >= 2,
+        }
+    }
+}
+
+/// An input stimulus: an initial value plus timed transitions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    pub(crate) initial: Option<bool>,
+    pub(crate) edges: Vec<(f64, bool)>,
+}
+
+impl Schedule {
+    /// A constant input.
+    pub fn constant(value: bool) -> Self {
+        Schedule {
+            initial: Some(value),
+            edges: Vec::new(),
+        }
+    }
+
+    /// An input starting at `initial` with the given `(time, value)`
+    /// transitions (must be in increasing time order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge times are not strictly increasing and positive.
+    pub fn from_edges(initial: bool, edges: &[(f64, bool)]) -> Self {
+        assert!(
+            edges.windows(2).all(|w| w[0].0 < w[1].0),
+            "edges must be strictly increasing in time"
+        );
+        assert!(
+            edges.iter().all(|&(t, _)| t > 0.0),
+            "edges must be after t = 0"
+        );
+        Schedule {
+            initial: Some(initial),
+            edges: edges.to_vec(),
+        }
+    }
+
+    /// A clock: low until `start`, then alternating every `half_period`
+    /// for `cycles` full cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive timing parameters.
+    pub fn clock(start: f64, half_period: f64, cycles: usize) -> Self {
+        assert!(start > 0.0 && half_period > 0.0, "timing must be positive");
+        let mut edges = Vec::with_capacity(2 * cycles);
+        for k in 0..cycles {
+            let t = start + 2.0 * half_period * k as f64;
+            edges.push((t, true));
+            edges.push((t + half_period, false));
+        }
+        Schedule {
+            initial: Some(false),
+            edges,
+        }
+    }
+}
+
+/// Errors in network construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DigitalError {
+    /// A gate got the wrong number of inputs.
+    BadArity {
+        /// The offending gate function.
+        kind: String,
+        /// The number of inputs supplied.
+        got: usize,
+    },
+    /// A referenced net does not exist.
+    UnknownNet(usize),
+    /// A delay or timing parameter is out of domain.
+    InvalidTiming(String),
+}
+
+impl fmt::Display for DigitalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DigitalError::BadArity { kind, got } => {
+                write!(f, "gate {kind} cannot take {got} inputs")
+            }
+            DigitalError::UnknownNet(i) => write!(f, "unknown net {i}"),
+            DigitalError::InvalidTiming(detail) => write!(f, "invalid timing: {detail}"),
+        }
+    }
+}
+
+impl Error for DigitalError {}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Gate {
+    pub kind: GateKind,
+    pub inputs: Vec<NetId>,
+    pub output: NetId,
+    pub delay: f64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Dff {
+    pub d: NetId,
+    pub clk: NetId,
+    pub q: NetId,
+    pub clk_to_q: f64,
+    pub setup: f64,
+    pub init: Option<bool>,
+}
+
+/// A delay-annotated gate-level network: primary inputs with schedules,
+/// combinational gates, and edge-triggered flip-flops.
+///
+/// # Examples
+///
+/// A divide-by-two counter (DFF with inverted feedback):
+///
+/// ```
+/// use clocksense_digital::{GateKind, GateNetwork, Schedule};
+///
+/// # fn main() -> Result<(), clocksense_digital::DigitalError> {
+/// let mut net = GateNetwork::new();
+/// let clk = net.input("clk", Schedule::clock(1e-9, 2e-9, 8));
+/// let d = net.placeholder("d");
+/// let q = net.dff(d, clk, 0.4e-9, 0.2e-9, Some(false))?;
+/// let qb = net.gate(GateKind::Not, &[q], 0.2e-9)?;
+/// net.connect(d, qb)?; // close the loop: d = !q
+/// let run = net.simulate(40e-9)?;
+/// // q toggles at half the clock rate: 8 rising clock edges -> 4 q pulses.
+/// assert_eq!(run.signal(q).edges_to(true).len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GateNetwork {
+    pub(crate) net_names: Vec<String>,
+    pub(crate) inputs: Vec<(NetId, Schedule)>,
+    pub(crate) gates: Vec<Gate>,
+    pub(crate) dffs: Vec<Dff>,
+    /// Alias map: `connect` re-points a placeholder net onto a driver.
+    pub(crate) aliases: Vec<Option<NetId>>,
+}
+
+impl GateNetwork {
+    /// An empty network.
+    pub fn new() -> Self {
+        GateNetwork::default()
+    }
+
+    fn new_net(&mut self, name: &str) -> NetId {
+        let id = NetId(self.net_names.len());
+        self.net_names.push(name.to_string());
+        self.aliases.push(None);
+        id
+    }
+
+    /// Declares a primary input driven by `schedule`.
+    pub fn input(&mut self, name: &str, schedule: Schedule) -> NetId {
+        let id = self.new_net(name);
+        self.inputs.push((id, schedule));
+        id
+    }
+
+    /// Declares a yet-undriven net, to be wired later with
+    /// [`GateNetwork::connect`] — the idiom for feedback loops.
+    pub fn placeholder(&mut self, name: &str) -> NetId {
+        self.new_net(name)
+    }
+
+    /// Makes `placeholder` an alias of `driver`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DigitalError::UnknownNet`] for dangling ids.
+    pub fn connect(&mut self, placeholder: NetId, driver: NetId) -> Result<(), DigitalError> {
+        if placeholder.0 >= self.aliases.len() {
+            return Err(DigitalError::UnknownNet(placeholder.0));
+        }
+        if driver.0 >= self.aliases.len() {
+            return Err(DigitalError::UnknownNet(driver.0));
+        }
+        self.aliases[placeholder.0] = Some(driver);
+        Ok(())
+    }
+
+    /// Resolves aliases to the driving net.
+    pub(crate) fn resolve(&self, net: NetId) -> NetId {
+        let mut cur = net;
+        let mut hops = 0;
+        while let Some(next) = self.aliases[cur.0] {
+            cur = next;
+            hops += 1;
+            assert!(hops <= self.aliases.len(), "alias cycle");
+        }
+        cur
+    }
+
+    /// Adds a combinational gate; returns its output net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DigitalError::BadArity`] for a wrong input count,
+    /// [`DigitalError::UnknownNet`] for dangling inputs and
+    /// [`DigitalError::InvalidTiming`] for a non-positive delay.
+    pub fn gate(
+        &mut self,
+        kind: GateKind,
+        inputs: &[NetId],
+        delay: f64,
+    ) -> Result<NetId, DigitalError> {
+        if !kind.arity_ok(inputs.len()) {
+            return Err(DigitalError::BadArity {
+                kind: format!("{kind:?}"),
+                got: inputs.len(),
+            });
+        }
+        if !(delay.is_finite() && delay > 0.0) {
+            return Err(DigitalError::InvalidTiming(format!(
+                "gate delay must be positive, got {delay}"
+            )));
+        }
+        for input in inputs {
+            if input.0 >= self.net_names.len() {
+                return Err(DigitalError::UnknownNet(input.0));
+            }
+        }
+        let output = self.new_net(&format!("g{}_out", self.gates.len()));
+        self.gates.push(Gate {
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+            delay,
+        });
+        Ok(output)
+    }
+
+    /// Adds an edge-triggered flip-flop sampling `d` on the rising edge of
+    /// `clk`; returns the `q` net. `init` is the power-up state (`None`
+    /// for unknown).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DigitalError::UnknownNet`] for dangling nets and
+    /// [`DigitalError::InvalidTiming`] for negative timing parameters.
+    pub fn dff(
+        &mut self,
+        d: NetId,
+        clk: NetId,
+        clk_to_q: f64,
+        setup: f64,
+        init: Option<bool>,
+    ) -> Result<NetId, DigitalError> {
+        for net in [d, clk] {
+            if net.0 >= self.net_names.len() {
+                return Err(DigitalError::UnknownNet(net.0));
+            }
+        }
+        if !(clk_to_q.is_finite() && clk_to_q > 0.0 && setup.is_finite() && setup >= 0.0) {
+            return Err(DigitalError::InvalidTiming(
+                "clk_to_q must be positive and setup non-negative".to_string(),
+            ));
+        }
+        let q = self.new_net(&format!("ff{}_q", self.dffs.len()));
+        self.dffs.push(Dff {
+            d,
+            clk,
+            q,
+            clk_to_q,
+            setup,
+            init,
+        });
+        Ok(q)
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.net_names.len()
+    }
+
+    /// The name a net was declared with.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a dangling id.
+    pub fn net_name(&self, net: NetId) -> &str {
+        &self.net_names[net.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_eval_truth_tables() {
+        use GateKind::*;
+        let t = Some(true);
+        let f = Some(false);
+        assert_eq!(And.eval(&[t, t]), t);
+        assert_eq!(And.eval(&[t, f]), f);
+        assert_eq!(Nand.eval(&[t, t]), f);
+        assert_eq!(Or.eval(&[f, f]), f);
+        assert_eq!(Nor.eval(&[f, f]), t);
+        assert_eq!(Xor.eval(&[t, t]), f);
+        assert_eq!(Xor.eval(&[t, f, t]), f);
+        assert_eq!(Xnor.eval(&[t, f]), f);
+        assert_eq!(Not.eval(&[t]), f);
+        assert_eq!(Buf.eval(&[f]), f);
+    }
+
+    #[test]
+    fn x_propagation_respects_dominance() {
+        use GateKind::*;
+        let t = Some(true);
+        let f = Some(false);
+        let x = None;
+        assert_eq!(And.eval(&[f, x]), f, "0 dominates AND");
+        assert_eq!(And.eval(&[t, x]), x);
+        assert_eq!(Or.eval(&[t, x]), t, "1 dominates OR");
+        assert_eq!(Or.eval(&[f, x]), x);
+        assert_eq!(Xor.eval(&[t, x]), x, "parity of X is X");
+        assert_eq!(Not.eval(&[x]), x);
+    }
+
+    #[test]
+    fn arity_is_validated() {
+        let mut net = GateNetwork::new();
+        let a = net.input("a", Schedule::constant(false));
+        assert!(matches!(
+            net.gate(GateKind::Not, &[a, a], 1e-9),
+            Err(DigitalError::BadArity { .. })
+        ));
+        assert!(matches!(
+            net.gate(GateKind::And, &[a], 1e-9),
+            Err(DigitalError::BadArity { .. })
+        ));
+        assert!(matches!(
+            net.gate(GateKind::And, &[a, a], 0.0),
+            Err(DigitalError::InvalidTiming(_))
+        ));
+    }
+
+    #[test]
+    fn schedules_validate() {
+        let s = Schedule::clock(1e-9, 2e-9, 2);
+        assert_eq!(s.edges.len(), 4);
+        assert_eq!(s.initial, Some(false));
+        let s = Schedule::from_edges(true, &[(1e-9, false), (2e-9, true)]);
+        assert_eq!(s.edges.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_edges_panic() {
+        Schedule::from_edges(false, &[(2e-9, true), (1e-9, false)]);
+    }
+
+    #[test]
+    fn aliases_resolve() {
+        let mut net = GateNetwork::new();
+        let a = net.input("a", Schedule::constant(true));
+        let p = net.placeholder("p");
+        net.connect(p, a).unwrap();
+        assert_eq!(net.resolve(p), a);
+        assert_eq!(net.resolve(a), a);
+        assert!(net.connect(NetId(99), a).is_err());
+    }
+}

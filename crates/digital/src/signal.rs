@@ -1,0 +1,170 @@
+//! Digital signal traces: a value history per net.
+
+/// The history of one net: an initial value and a list of `(time, value)`
+/// transitions in non-decreasing time order.
+///
+/// `None` models the unknown value `X` (e.g. an uninitialised flip-flop).
+///
+/// # Examples
+///
+/// ```
+/// use clocksense_digital::DigitalSignal;
+///
+/// let mut s = DigitalSignal::new(Some(false));
+/// s.push(1e-9, Some(true));
+/// s.push(3e-9, Some(false));
+/// assert_eq!(s.value_at(0.5e-9), Some(false));
+/// assert_eq!(s.value_at(2e-9), Some(true));
+/// assert_eq!(s.transition_count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DigitalSignal {
+    initial: Option<bool>,
+    transitions: Vec<(u64, Option<bool>)>,
+}
+
+/// Internal time quantum: 1 fs keeps every practical delay exactly
+/// representable and ordering exact.
+pub(crate) const QUANTUM: f64 = 1e-15;
+
+pub(crate) fn to_ticks(t: f64) -> u64 {
+    (t / QUANTUM).round() as u64
+}
+
+pub(crate) fn from_ticks(ticks: u64) -> f64 {
+    ticks as f64 * QUANTUM
+}
+
+impl DigitalSignal {
+    /// A signal starting at `initial` with no transitions.
+    pub fn new(initial: Option<bool>) -> Self {
+        DigitalSignal {
+            initial,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Appends a transition at time `t` (seconds). Transitions to the
+    /// current value are dropped; a transition at the same instant as the
+    /// previous one replaces it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` precedes the last recorded transition.
+    pub fn push(&mut self, t: f64, value: Option<bool>) {
+        let ticks = to_ticks(t);
+        if let Some(&(last_t, last_v)) = self.transitions.last() {
+            assert!(ticks >= last_t, "transitions must be time-ordered");
+            if ticks == last_t {
+                self.transitions.pop();
+                let before = self
+                    .transitions
+                    .last()
+                    .map(|&(_, v)| v)
+                    .unwrap_or(self.initial);
+                if before != value {
+                    self.transitions.push((ticks, value));
+                }
+                return;
+            }
+            if last_v == value {
+                return;
+            }
+        } else if self.initial == value {
+            return;
+        }
+        self.transitions.push((ticks, value));
+    }
+
+    /// The value at time `t` (transitions take effect at their instant).
+    pub fn value_at(&self, t: f64) -> Option<bool> {
+        let ticks = to_ticks(t);
+        let idx = self.transitions.partition_point(|&(tt, _)| tt <= ticks);
+        if idx == 0 {
+            self.initial
+        } else {
+            self.transitions[idx - 1].1
+        }
+    }
+
+    /// Number of recorded transitions.
+    pub fn transition_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// The transitions as `(seconds, value)` pairs.
+    pub fn transitions(&self) -> impl Iterator<Item = (f64, Option<bool>)> + '_ {
+        self.transitions.iter().map(|&(t, v)| (from_ticks(t), v))
+    }
+
+    /// Times of transitions *to* the given value.
+    pub fn edges_to(&self, value: bool) -> Vec<f64> {
+        self.transitions
+            .iter()
+            .filter(|&&(_, v)| v == Some(value))
+            .map(|&(t, _)| from_ticks(t))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_lookup() {
+        let mut s = DigitalSignal::new(Some(false));
+        s.push(1e-9, Some(true));
+        s.push(2e-9, Some(false));
+        assert_eq!(s.value_at(0.0), Some(false));
+        assert_eq!(s.value_at(1e-9), Some(true));
+        assert_eq!(s.value_at(1.5e-9), Some(true));
+        assert_eq!(s.value_at(5e-9), Some(false));
+    }
+
+    #[test]
+    fn redundant_transitions_are_dropped() {
+        let mut s = DigitalSignal::new(Some(true));
+        s.push(1e-9, Some(true));
+        assert_eq!(s.transition_count(), 0);
+        s.push(2e-9, Some(false));
+        s.push(3e-9, Some(false));
+        assert_eq!(s.transition_count(), 1);
+    }
+
+    #[test]
+    fn same_instant_replaces_and_cancels() {
+        let mut s = DigitalSignal::new(Some(false));
+        s.push(1e-9, Some(true));
+        // A replacement back to the pre-transition value cancels it.
+        s.push(1e-9, Some(false));
+        assert_eq!(s.transition_count(), 0);
+        assert_eq!(s.value_at(2e-9), Some(false));
+    }
+
+    #[test]
+    fn unknown_values_flow_through() {
+        let mut s = DigitalSignal::new(None);
+        assert_eq!(s.value_at(0.0), None);
+        s.push(1e-9, Some(true));
+        assert_eq!(s.value_at(2e-9), Some(true));
+    }
+
+    #[test]
+    fn edges_filter_by_polarity() {
+        let mut s = DigitalSignal::new(Some(false));
+        s.push(1e-9, Some(true));
+        s.push(2e-9, Some(false));
+        s.push(3e-9, Some(true));
+        assert_eq!(s.edges_to(true).len(), 2);
+        assert_eq!(s.edges_to(false).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_push_panics() {
+        let mut s = DigitalSignal::new(Some(false));
+        s.push(2e-9, Some(true));
+        s.push(1e-9, Some(false));
+    }
+}

@@ -1,0 +1,302 @@
+//! The event-driven simulation engine.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::network::{DffId, DigitalError, GateNetwork, NetId};
+use crate::signal::{from_ticks, to_ticks, DigitalSignal};
+
+/// A recorded setup-time violation: the data input of a flip-flop toggled
+/// inside the setup window of a sampling edge, so the sampled value is
+/// suspect (the simulator still samples the instantaneous value, as real
+/// latches usually resolve to one side — but flags it).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingViolation {
+    /// The violating flip-flop.
+    pub dff: DffId,
+    /// Time of the sampling clock edge (s).
+    pub at: f64,
+}
+
+/// Result of a gate-level simulation: one [`DigitalSignal`] per net plus
+/// any timing violations.
+#[derive(Debug, Clone)]
+pub struct SimulationRun {
+    signals: Vec<DigitalSignal>,
+    violations: Vec<TimingViolation>,
+    aliases: Vec<Option<NetId>>,
+}
+
+impl SimulationRun {
+    /// The signal history of a net (aliases resolve to their drivers).
+    pub fn signal(&self, net: NetId) -> &DigitalSignal {
+        &self.signals[self.resolve(net).0]
+    }
+
+    /// The value of a net at time `t`.
+    pub fn value_at(&self, net: NetId, t: f64) -> Option<bool> {
+        self.signal(net).value_at(t)
+    }
+
+    /// All recorded setup violations, in time order.
+    pub fn violations(&self) -> &[TimingViolation] {
+        &self.violations
+    }
+
+    fn resolve(&self, net: NetId) -> NetId {
+        let mut cur = net;
+        while let Some(next) = self.aliases[cur.0] {
+            cur = next;
+        }
+        cur
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Event {
+    ticks: u64,
+    seq: u64,
+    net: usize,
+    value: Option<bool>,
+}
+
+impl GateNetwork {
+    /// Runs the network for `t_stop` seconds of simulated time.
+    ///
+    /// Gates use transport-delay semantics (glitches propagate); inputs
+    /// follow their schedules; flip-flops sample on rising clock edges
+    /// (an edge out of the unknown state does not trigger) and report
+    /// setup violations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DigitalError::InvalidTiming`] for a non-positive
+    /// `t_stop`.
+    pub fn simulate(&self, t_stop: f64) -> Result<SimulationRun, DigitalError> {
+        if !(t_stop.is_finite() && t_stop > 0.0) {
+            return Err(DigitalError::InvalidTiming(format!(
+                "t_stop must be positive, got {t_stop}"
+            )));
+        }
+        let n = self.net_count();
+        let stop_ticks = to_ticks(t_stop);
+
+        // Fanout tables over resolved nets.
+        let mut gate_fanout: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (gi, gate) in self.gates.iter().enumerate() {
+            for &input in &gate.inputs {
+                let r = self.resolve(input).0;
+                if !gate_fanout[r].contains(&gi) {
+                    gate_fanout[r].push(gi);
+                }
+            }
+        }
+        let mut clk_fanout: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (fi, ff) in self.dffs.iter().enumerate() {
+            clk_fanout[self.resolve(ff.clk).0].push(fi);
+        }
+
+        // Initial values.
+        let mut values: Vec<Option<bool>> = vec![None; n];
+        for (net, schedule) in &self.inputs {
+            values[self.resolve(*net).0] = schedule.initial;
+        }
+        for ff in &self.dffs {
+            values[self.resolve(ff.q).0] = ff.init;
+        }
+        let mut signals: Vec<DigitalSignal> =
+            values.iter().map(|&v| DigitalSignal::new(v)).collect();
+
+        let mut queue: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let push = |queue: &mut BinaryHeap<Reverse<Event>>,
+                    seq: &mut u64,
+                    ticks: u64,
+                    net: usize,
+                    value: Option<bool>| {
+            *seq += 1;
+            queue.push(Reverse(Event {
+                ticks,
+                seq: *seq,
+                net,
+                value,
+            }));
+        };
+
+        // Scheduled input edges.
+        for (net, schedule) in &self.inputs {
+            let r = self.resolve(*net).0;
+            for &(t, v) in &schedule.edges {
+                let ticks = to_ticks(t);
+                if ticks <= stop_ticks {
+                    push(&mut queue, &mut seq, ticks, r, Some(v));
+                }
+            }
+        }
+        // Initial combinational settle: evaluate every gate once at t=0+delay.
+        for gate in &self.gates {
+            let ins: Vec<Option<bool>> = gate
+                .inputs
+                .iter()
+                .map(|&i| values[self.resolve(i).0])
+                .collect();
+            let out = gate.kind.eval(&ins);
+            push(
+                &mut queue,
+                &mut seq,
+                to_ticks(gate.delay),
+                self.resolve(gate.output).0,
+                out,
+            );
+        }
+
+        let mut violations = Vec::new();
+        while let Some(Reverse(event)) = queue.pop() {
+            if event.ticks > stop_ticks {
+                break;
+            }
+            let old = values[event.net];
+            if old == event.value {
+                continue;
+            }
+            values[event.net] = event.value;
+            let now = from_ticks(event.ticks);
+            signals[event.net].push(now, event.value);
+
+            for &gi in &gate_fanout[event.net] {
+                let gate = &self.gates[gi];
+                let ins: Vec<Option<bool>> = gate
+                    .inputs
+                    .iter()
+                    .map(|&i| values[self.resolve(i).0])
+                    .collect();
+                let out = gate.kind.eval(&ins);
+                push(
+                    &mut queue,
+                    &mut seq,
+                    event.ticks + to_ticks(gate.delay),
+                    self.resolve(gate.output).0,
+                    out,
+                );
+            }
+            // Rising clock edges trigger sampling.
+            if old == Some(false) && event.value == Some(true) {
+                for &fi in &clk_fanout[event.net] {
+                    let ff = &self.dffs[fi];
+                    let d_net = self.resolve(ff.d).0;
+                    let sampled = values[d_net];
+                    // Setup check: did d move inside the window?
+                    let unstable = signals[d_net]
+                        .transitions()
+                        .any(|(t, _)| t > now - ff.setup && t <= now);
+                    if unstable {
+                        violations.push(TimingViolation {
+                            dff: DffId(fi),
+                            at: now,
+                        });
+                    }
+                    push(
+                        &mut queue,
+                        &mut seq,
+                        event.ticks + to_ticks(ff.clk_to_q),
+                        self.resolve(ff.q).0,
+                        sampled,
+                    );
+                }
+            }
+        }
+
+        Ok(SimulationRun {
+            signals,
+            violations,
+            aliases: self.aliases.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{GateKind, Schedule};
+
+    #[test]
+    fn gate_delays_accumulate() {
+        let mut net = GateNetwork::new();
+        let a = net.input("a", Schedule::from_edges(false, &[(1e-9, true)]));
+        let x = net.gate(GateKind::Buf, &[a], 0.5e-9).unwrap();
+        let y = net.gate(GateKind::Buf, &[x], 0.5e-9).unwrap();
+        let run = net.simulate(5e-9).unwrap();
+        assert_eq!(run.value_at(y, 1.4e-9), Some(false));
+        assert_eq!(run.value_at(y, 2.1e-9), Some(true));
+        let edges = run.signal(y).edges_to(true);
+        assert_eq!(edges.len(), 1);
+        assert!((edges[0] - 2e-9).abs() < 1e-14);
+    }
+
+    #[test]
+    fn glitches_propagate_with_transport_delay() {
+        // a XOR a' with unequal path delays produces a decode glitch.
+        let mut net = GateNetwork::new();
+        let a = net.input("a", Schedule::from_edges(false, &[(1e-9, true)]));
+        let slow = net.gate(GateKind::Buf, &[a], 1.0e-9).unwrap();
+        let x = net.gate(GateKind::Xor, &[a, slow], 0.2e-9).unwrap();
+        let run = net.simulate(5e-9).unwrap();
+        // x pulses high from 1.2 ns (a changed) to 2.2 ns (slow caught up).
+        assert_eq!(run.value_at(x, 1.5e-9), Some(true));
+        assert_eq!(run.value_at(x, 3e-9), Some(false));
+        assert_eq!(run.signal(x).edges_to(true).len(), 1);
+    }
+
+    #[test]
+    fn shift_register_moves_one_stage_per_edge() {
+        let mut net = GateNetwork::new();
+        let clk = net.input("clk", Schedule::clock(1e-9, 1e-9, 6));
+        let d = net.input(
+            "d",
+            Schedule::from_edges(false, &[(0.2e-9, true), (1.6e-9, false)]),
+        );
+        let q1 = net.dff(d, clk, 0.3e-9, 0.1e-9, Some(false)).unwrap();
+        let q2 = net.dff(q1, clk, 0.3e-9, 0.1e-9, Some(false)).unwrap();
+        let q3 = net.dff(q2, clk, 0.3e-9, 0.1e-9, Some(false)).unwrap();
+        let run = net.simulate(12e-9).unwrap();
+        // Edges at 1, 3, 5 ns: the single 1 marches down the chain.
+        assert_eq!(run.value_at(q1, 2.0e-9), Some(true));
+        assert_eq!(run.value_at(q2, 2.0e-9), Some(false));
+        assert_eq!(run.value_at(q2, 4.0e-9), Some(true));
+        assert_eq!(run.value_at(q3, 6.0e-9), Some(true));
+        assert_eq!(run.value_at(q1, 4.0e-9), Some(false), "the 1 moved on");
+        assert!(run.violations().is_empty());
+    }
+
+    #[test]
+    fn setup_violation_is_reported() {
+        let mut net = GateNetwork::new();
+        let clk = net.input("clk", Schedule::clock(1e-9, 1e-9, 2));
+        // Data toggles 50 ps before the first edge: inside a 200 ps setup.
+        let d = net.input("d", Schedule::from_edges(false, &[(0.95e-9, true)]));
+        let _q = net.dff(d, clk, 0.3e-9, 0.2e-9, Some(false)).unwrap();
+        let run = net.simulate(6e-9).unwrap();
+        assert_eq!(run.violations().len(), 1);
+        assert!((run.violations()[0].at - 1e-9).abs() < 1e-14);
+    }
+
+    #[test]
+    fn unknown_initial_state_washes_out() {
+        let mut net = GateNetwork::new();
+        let clk = net.input("clk", Schedule::clock(1e-9, 1e-9, 4));
+        let d = net.input("d", Schedule::constant(true));
+        // Uninitialised flip-flop: q starts X, becomes known after the
+        // first sampling edge.
+        let q = net.dff(d, clk, 0.3e-9, 0.1e-9, None).unwrap();
+        let run = net.simulate(10e-9).unwrap();
+        assert_eq!(run.value_at(q, 0.5e-9), None);
+        assert_eq!(run.value_at(q, 2e-9), Some(true));
+    }
+
+    #[test]
+    fn rejects_bad_t_stop() {
+        let net = GateNetwork::new();
+        assert!(net.simulate(0.0).is_err());
+        assert!(net.simulate(f64::NAN).is_err());
+    }
+}

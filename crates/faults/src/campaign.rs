@@ -1,0 +1,521 @@
+//! Fault-simulation campaigns over the sensing circuit.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::thread;
+
+use clocksense_core::{ClockPair, SensingCircuit};
+use clocksense_netlist::SourceWave;
+use clocksense_spice::{dc_operating_point, iddq, transient, SimOptions};
+
+use crate::detect::{logic_detected, static_flip, DetectionCriteria, DetectionOutcome};
+use crate::error::FaultError;
+use crate::inject::{inject, Rails};
+use crate::model::{Fault, FaultClass};
+
+/// Configuration of a fault-simulation campaign.
+///
+/// The clocks are *fault-free* (zero skew): the paper's self-testing
+/// requirement is that internal faults reveal themselves under normal
+/// stimuli, because the two clock inputs cannot be controlled
+/// independently during test.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// The fault-free clock stimulus.
+    pub clocks: ClockPair,
+    /// Simulator options.
+    pub sim: SimOptions,
+    /// Detection thresholds.
+    pub criteria: DetectionCriteria,
+    /// Static `(φ1, φ2)` levels for IDDQ patterns. Both clocks move
+    /// together, so only `(0,0)` and `(1,1)` are applicable.
+    pub iddq_patterns: Vec<(f64, f64)>,
+    /// If set, faults that escape both criteria are additionally simulated
+    /// with this input skew to check whether they *mask* skew detection —
+    /// the paper's question for the stuck-open faults on `c` and `g`.
+    pub skew_check: Option<f64>,
+    /// Number of worker threads (`0` = one per available core).
+    pub threads: usize,
+}
+
+impl CampaignConfig {
+    /// A campaign with default simulator options, detection criteria, the
+    /// standard IDDQ patterns and a 0.6 ns masking check.
+    ///
+    /// The given clock pair is made periodic if it was single-shot: the
+    /// campaign simulates two full cycles and evaluates logic detection
+    /// over the *second* one, so the artificial DC initial condition of
+    /// circuits whose fault leaves a node with no DC path (stuck-opens)
+    /// does not masquerade as a fault effect.
+    pub fn new(clocks: ClockPair) -> Self {
+        let vdd = clocks.vdd;
+        let clocks = if clocks.period.is_finite() {
+            clocks
+        } else {
+            ClockPair {
+                period: 2.0 * (clocks.width + 2.0 * clocks.slew),
+                ..clocks
+            }
+        };
+        CampaignConfig {
+            clocks,
+            sim: SimOptions {
+                tstep: 2e-12,
+                ..SimOptions::default()
+            },
+            criteria: DetectionCriteria {
+                // The paper's indicator latches indications that persist
+                // "long enough (half of the clock period)". A quarter
+                // period rejects the sub-nanosecond recovery-lag glitches
+                // that capacitive race imbalances produce, while every
+                // true indication lasts at least a full clock phase.
+                t_hold: 0.25 * clocks.period,
+                ..DetectionCriteria::default()
+            },
+            iddq_patterns: vec![(0.0, 0.0), (vdd, vdd)],
+            skew_check: Some(0.6e-9),
+            threads: 0,
+        }
+    }
+
+    /// Transient stop time: two full clock cycles.
+    fn stop_time(&self) -> f64 {
+        self.clocks.delay + 2.0 * self.clocks.period
+    }
+
+    /// Start of the logic-detection scan: the second cycle.
+    fn scan_from(&self) -> f64 {
+        self.clocks.delay + self.clocks.period
+    }
+}
+
+/// Per-fault campaign record.
+#[derive(Debug, Clone)]
+pub struct FaultRecord {
+    /// The injected fault.
+    pub fault: Fault,
+    /// Detection outcome under fault-free stimuli.
+    pub outcome: DetectionOutcome,
+    /// Largest IDDQ measured across the static patterns (A), when the
+    /// IDDQ step ran.
+    pub iddq: Option<f64>,
+    /// For faults that escaped detection and when
+    /// [`CampaignConfig::skew_check`] is set: `Some(true)` if the fault
+    /// *masks* an abnormal input skew (the skewed stimulus no longer
+    /// produces an error indication), `Some(false)` if skews remain
+    /// detectable despite the fault.
+    pub masks_skew: Option<bool>,
+}
+
+/// Result of a campaign: one record per fault plus per-class summaries.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    records: Vec<FaultRecord>,
+}
+
+impl CampaignResult {
+    /// All per-fault records, in the order the faults were given.
+    pub fn records(&self) -> &[FaultRecord] {
+        &self.records
+    }
+
+    /// Records restricted to one fault class.
+    pub fn records_of(&self, class: FaultClass) -> impl Iterator<Item = &FaultRecord> {
+        self.records
+            .iter()
+            .filter(move |r| r.fault.class() == class)
+    }
+
+    /// `(logic, iddq_only, undetected, inconclusive, total)` counts for a
+    /// class.
+    pub fn counts(&self, class: FaultClass) -> (usize, usize, usize, usize, usize) {
+        let mut logic = 0;
+        let mut iddq_only = 0;
+        let mut undet = 0;
+        let mut inc = 0;
+        let mut total = 0;
+        for r in self.records_of(class) {
+            total += 1;
+            match r.outcome {
+                DetectionOutcome::DetectedLogic => logic += 1,
+                DetectionOutcome::DetectedIddq => iddq_only += 1,
+                DetectionOutcome::Undetected => undet += 1,
+                DetectionOutcome::Inconclusive => inc += 1,
+            }
+        }
+        (logic, iddq_only, undet, inc, total)
+    }
+
+    /// Fault coverage by logic monitoring alone, as a fraction of the
+    /// class (inconclusive counted as undetected).
+    pub fn logic_coverage(&self, class: FaultClass) -> f64 {
+        let (logic, _, _, _, total) = self.counts(class);
+        if total == 0 {
+            return 1.0;
+        }
+        logic as f64 / total as f64
+    }
+
+    /// Fault coverage when IDDQ is added to logic monitoring.
+    pub fn combined_coverage(&self, class: FaultClass) -> f64 {
+        let (logic, iddq_only, _, _, total) = self.counts(class);
+        if total == 0 {
+            return 1.0;
+        }
+        (logic + iddq_only) as f64 / total as f64
+    }
+
+    /// The ids of undetected faults of a class.
+    pub fn undetected_ids(&self, class: FaultClass) -> Vec<String> {
+        self.records_of(class)
+            .filter(|r| r.outcome == DetectionOutcome::Undetected)
+            .map(|r| r.fault.id())
+            .collect()
+    }
+}
+
+impl fmt::Display for CampaignResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<12} {:>6} {:>7} {:>10} {:>11} {:>12} {:>10}",
+            "class", "total", "logic", "iddq-only", "undetected", "coverage(L)", "cov(L+I)"
+        )?;
+        let mut classes: BTreeMap<FaultClass, ()> = BTreeMap::new();
+        for r in &self.records {
+            classes.insert(r.fault.class(), ());
+        }
+        for (&class, ()) in &classes {
+            let (logic, iddq_only, undet, _inc, total) = self.counts(class);
+            writeln!(
+                f,
+                "{:<12} {:>6} {:>7} {:>10} {:>11} {:>11.0}% {:>9.0}%",
+                class.to_string(),
+                total,
+                logic,
+                iddq_only,
+                undet,
+                100.0 * self.logic_coverage(class),
+                100.0 * self.combined_coverage(class),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// DC `(y1, y2)` levels of `circuit_builder`'s output under each static
+/// pattern; `None` for patterns whose operating point failed.
+fn static_levels(
+    sensor: &SensingCircuit,
+    fault: Option<&Fault>,
+    cfg: &CampaignConfig,
+    rails: &Rails,
+) -> Result<Vec<Option<(f64, f64)>>, FaultError> {
+    let (y1, y2) = sensor.outputs();
+    let mut out = Vec::with_capacity(cfg.iddq_patterns.len());
+    for &(v1, v2) in &cfg.iddq_patterns {
+        let bench = sensor.testbench_with_waves(SourceWave::Dc(v1), SourceWave::Dc(v2))?;
+        let bench = match fault {
+            Some(f) => inject(&bench, f, rails)?,
+            None => bench,
+        };
+        out.push(
+            dc_operating_point(&bench, &cfg.sim)
+                .ok()
+                .map(|op| (op.voltage(y1), op.voltage(y2))),
+        );
+    }
+    Ok(out)
+}
+
+fn evaluate_fault(
+    sensor: &SensingCircuit,
+    fault: &Fault,
+    cfg: &CampaignConfig,
+    rails: &Rails,
+    fault_free_static: &[Option<(f64, f64)>],
+) -> Result<FaultRecord, FaultError> {
+    let v_th = sensor.technology().logic_threshold();
+    let criteria = DetectionCriteria {
+        v_th,
+        ..cfg.criteria
+    };
+    let (y1, y2) = sensor.outputs();
+
+    // Static DC comparison against the fault-free levels — the paper's
+    // criterion for stuck-on faults, and a common-mode complement to the
+    // divergence scan for the other classes.
+    let faulted_static = static_levels(sensor, Some(fault), cfg, rails)?;
+    let mut flip = false;
+    let mut compared = false;
+    for (ff, f) in fault_free_static.iter().zip(&faulted_static) {
+        if let (Some(ff), Some(f)) = (ff, f) {
+            compared = true;
+            if static_flip(&[*ff], &[*f], v_th) {
+                flip = true;
+            }
+        }
+    }
+
+    // Transient divergence under fault-free clocks, scanned over the
+    // second cycle.
+    let mut transient_failed = false;
+    let mut divergent = false;
+    {
+        let bench = sensor.testbench(&cfg.clocks)?;
+        let faulted = inject(&bench, fault, rails)?;
+        match transient(&faulted, cfg.stop_time(), &cfg.sim) {
+            Ok(result) => {
+                divergent = logic_detected(
+                    &result.waveform(y1),
+                    &result.waveform(y2),
+                    &criteria,
+                    cfg.scan_from(),
+                );
+            }
+            Err(_) => transient_failed = true,
+        }
+    }
+    let logic = divergent || flip;
+
+    // IDDQ under the static patterns (skipped once logic caught it).
+    let mut max_iddq: Option<f64> = None;
+    let mut iddq_hit = false;
+    if !logic {
+        for &(v1, v2) in &cfg.iddq_patterns {
+            let static_bench =
+                sensor.testbench_with_waves(SourceWave::Dc(v1), SourceWave::Dc(v2))?;
+            let faulted_static = inject(&static_bench, fault, rails)?;
+            if let Ok(current) = iddq(&faulted_static, SensingCircuit::SUPPLY, &cfg.sim) {
+                let current = current.abs();
+                max_iddq = Some(max_iddq.map_or(current, |m: f64| m.max(current)));
+                if current > criteria.iddq_threshold {
+                    iddq_hit = true;
+                }
+            }
+        }
+    }
+
+    let inconclusive = !logic && !iddq_hit && (transient_failed || !compared);
+    let outcome = if logic {
+        DetectionOutcome::DetectedLogic
+    } else if iddq_hit {
+        DetectionOutcome::DetectedIddq
+    } else if inconclusive {
+        DetectionOutcome::Inconclusive
+    } else {
+        DetectionOutcome::Undetected
+    };
+
+    // Masking check for escapes: an escaped fault still disqualifies the
+    // sensor if an abnormal skew in *either* direction no longer raises an
+    // indication.
+    let mut masks_skew = None;
+    if outcome == DetectionOutcome::Undetected {
+        if let Some(skew) = cfg.skew_check {
+            let mut masks = false;
+            let mut checked = false;
+            for signed in [skew, -skew] {
+                let skewed = cfg.clocks.with_skew(signed);
+                let skewed_bench = sensor.testbench(&skewed)?;
+                let faulted_skewed = inject(&skewed_bench, fault, rails)?;
+                if let Ok(result) = transient(&faulted_skewed, cfg.stop_time(), &cfg.sim) {
+                    checked = true;
+                    let detected = logic_detected(
+                        &result.waveform(y1),
+                        &result.waveform(y2),
+                        &criteria,
+                        cfg.scan_from(),
+                    );
+                    if !detected {
+                        masks = true;
+                    }
+                }
+            }
+            if checked {
+                masks_skew = Some(masks);
+            }
+        }
+    }
+
+    Ok(FaultRecord {
+        fault: fault.clone(),
+        outcome,
+        iddq: max_iddq,
+        masks_skew,
+    })
+}
+
+/// Runs a fault-simulation campaign: every fault is injected into the
+/// sensor's test bench, simulated under fault-free clocks, and classified
+/// per the paper's criteria (logic error indication, then IDDQ, then a
+/// skew-masking check for escapes). Faults are distributed over worker
+/// threads.
+///
+/// # Errors
+///
+/// Returns the first *structural* error (unknown fault target, invalid
+/// fault). Simulation failures of individual faulty circuits are not
+/// errors; they are reported as [`DetectionOutcome::Inconclusive`].
+pub fn run_campaign(
+    sensor: &SensingCircuit,
+    faults: &[Fault],
+    cfg: &CampaignConfig,
+) -> Result<CampaignResult, FaultError> {
+    if faults.is_empty() {
+        return Ok(CampaignResult {
+            records: Vec::new(),
+        });
+    }
+    let rails = Rails::vdd_gnd("vdd");
+    let fault_free_static = static_levels(sensor, None, cfg, &rails)?;
+    let threads = if cfg.threads == 0 {
+        thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        cfg.threads
+    };
+    let chunk_size = faults.len().div_ceil(threads).max(1);
+    let mut slots: Vec<Option<Result<FaultRecord, FaultError>>> = vec![None; faults.len()];
+    thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (chunk_idx, chunk) in faults.chunks(chunk_size).enumerate() {
+            let rails = &rails;
+            let fault_free_static = &fault_free_static;
+            handles.push((
+                chunk_idx,
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .map(|f| evaluate_fault(sensor, f, cfg, rails, fault_free_static))
+                        .collect::<Vec<_>>()
+                }),
+            ));
+        }
+        for (chunk_idx, handle) in handles {
+            let results = handle.join().expect("campaign worker panicked");
+            for (i, r) in results.into_iter().enumerate() {
+                slots[chunk_idx * chunk_size + i] = Some(r);
+            }
+        }
+    });
+    let mut records = Vec::with_capacity(faults.len());
+    for slot in slots {
+        records.push(slot.expect("all slots filled")?);
+    }
+    Ok(CampaignResult { records })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::StuckLevel;
+    use clocksense_core::{SensorBuilder, Technology};
+
+    fn sensor() -> SensingCircuit {
+        SensorBuilder::new(Technology::cmos12())
+            .load_capacitance(160e-15)
+            .build()
+            .unwrap()
+    }
+
+    fn config() -> CampaignConfig {
+        CampaignConfig::new(ClockPair::single_shot(5.0, 0.2e-9))
+    }
+
+    #[test]
+    fn output_stuck_at_is_logic_detected() {
+        let s = sensor();
+        let faults = vec![
+            Fault::NodeStuckAt {
+                node: "y1".into(),
+                level: StuckLevel::Zero,
+            },
+            Fault::NodeStuckAt {
+                node: "y1".into(),
+                level: StuckLevel::One,
+            },
+        ];
+        let result = run_campaign(&s, &faults, &config()).unwrap();
+        for r in result.records() {
+            assert_eq!(
+                r.outcome,
+                DetectionOutcome::DetectedLogic,
+                "{} must be caught by the indicator",
+                r.fault
+            );
+        }
+        assert_eq!(result.logic_coverage(FaultClass::StuckAt), 1.0);
+    }
+
+    #[test]
+    fn pull_up_stuck_on_needs_iddq() {
+        let s = sensor();
+        // b is a parallel pull-up: its stuck-on changes no logic value but
+        // fights the pull-down during the clock-low phase... actually the
+        // fight arises with phi high (pull-down on, b conducting from
+        // top_a). The observable is static current under the (1,1) pattern.
+        let faults = vec![Fault::StuckOn {
+            device: "m_b".into(),
+        }];
+        let result = run_campaign(&s, &faults, &config()).unwrap();
+        let r = &result.records()[0];
+        assert_ne!(r.outcome, DetectionOutcome::Inconclusive);
+        assert_ne!(
+            r.outcome,
+            DetectionOutcome::DetectedLogic,
+            "parallel pull-up stuck-on must not flip logic values"
+        );
+    }
+
+    #[test]
+    fn y1_y2_bridge_escapes_as_paper_says() {
+        let s = sensor();
+        let faults = vec![Fault::Bridge {
+            a: "y1".into(),
+            b: "y2".into(),
+            ohms: 100.0,
+        }];
+        let result = run_campaign(&s, &faults, &config()).unwrap();
+        let r = &result.records()[0];
+        // The outputs move together in the fault-free stimulus, so a
+        // bridge between them produces neither divergence nor static
+        // current: the paper's canonical escape.
+        assert_eq!(r.outcome, DetectionOutcome::Undetected, "iddq={:?}", r.iddq);
+        // And it *masks* skew detection.
+        assert_eq!(r.masks_skew, Some(true));
+    }
+
+    #[test]
+    fn supply_ground_bridge_is_iddq_detected() {
+        let s = sensor();
+        let faults = vec![Fault::Bridge {
+            a: "vdd".into(),
+            b: "0".into(),
+            ohms: 100.0,
+        }];
+        let result = run_campaign(&s, &faults, &config()).unwrap();
+        assert_eq!(result.records()[0].outcome, DetectionOutcome::DetectedIddq);
+    }
+
+    #[test]
+    fn display_summarises_per_class() {
+        let s = sensor();
+        let faults = vec![
+            Fault::NodeStuckAt {
+                node: "y1".into(),
+                level: StuckLevel::Zero,
+            },
+            Fault::Bridge {
+                a: "y1".into(),
+                b: "y2".into(),
+                ohms: 100.0,
+            },
+        ];
+        let result = run_campaign(&s, &faults, &config()).unwrap();
+        let text = result.to_string();
+        assert!(text.contains("stuck-at"));
+        assert!(text.contains("bridging"));
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type for fault injection and campaigns.
+
+use std::error::Error;
+use std::fmt;
+
+use clocksense_core::CoreError;
+use clocksense_netlist::NetlistError;
+use clocksense_spice::SpiceError;
+
+/// Errors produced while injecting faults or running campaigns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultError {
+    /// The fault references a node the circuit does not have.
+    UnknownNode(String),
+    /// The fault references a device the circuit does not have.
+    UnknownDevice(String),
+    /// A transistor fault was aimed at a non-MOSFET device.
+    NotATransistor(String),
+    /// The fault parameters are out of domain (e.g. non-positive bridge
+    /// resistance).
+    InvalidFault(String),
+    /// Circuit manipulation failed.
+    Netlist(NetlistError),
+    /// Sensor-level simulation failed.
+    Core(CoreError),
+    /// Electrical simulation failed.
+    Spice(SpiceError),
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::UnknownNode(n) => write!(f, "fault references unknown node {n:?}"),
+            FaultError::UnknownDevice(d) => write!(f, "fault references unknown device {d:?}"),
+            FaultError::NotATransistor(d) => {
+                write!(f, "device {d:?} is not a transistor")
+            }
+            FaultError::InvalidFault(detail) => write!(f, "invalid fault: {detail}"),
+            FaultError::Netlist(e) => write!(f, "netlist error: {e}"),
+            FaultError::Core(e) => write!(f, "sensor error: {e}"),
+            FaultError::Spice(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl Error for FaultError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FaultError::Netlist(e) => Some(e),
+            FaultError::Core(e) => Some(e),
+            FaultError::Spice(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for FaultError {
+    fn from(e: NetlistError) -> Self {
+        FaultError::Netlist(e)
+    }
+}
+
+impl From<CoreError> for FaultError {
+    fn from(e: CoreError) -> Self {
+        FaultError::Core(e)
+    }
+}
+
+impl From<SpiceError> for FaultError {
+    fn from(e: SpiceError) -> Self {
+        FaultError::Spice(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sources_are_chained() {
+        let e: FaultError = NetlistError::FloatingNode("x".into()).into();
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&FaultError::UnknownNode("n".into())).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FaultError>();
+    }
+}

@@ -1,0 +1,331 @@
+//! Electrical-level fault injection.
+
+use clocksense_netlist::{Circuit, Device, MosPolarity};
+
+use crate::error::FaultError;
+use crate::model::{Fault, StuckLevel};
+
+/// Resistance of the rail short modelling a node stuck-at fault. Low
+/// enough to overpower any transistor (whose ON resistance is in the kΩ
+/// range here) while keeping the MNA system non-singular even on nodes
+/// driven by ideal sources.
+const STUCK_AT_OHMS: f64 = 1.0;
+
+/// Names the rails of the circuit under test, so stuck-at-1 shorts and
+/// stuck-on gate ties know where the supply is.
+///
+/// # Examples
+///
+/// ```
+/// use clocksense_faults::Rails;
+///
+/// let rails = Rails::vdd_gnd("vdd");
+/// assert_eq!(rails.vdd_node, "vdd");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rails {
+    /// Name of the positive supply node.
+    pub vdd_node: String,
+}
+
+impl Rails {
+    /// Rails with the given supply node name and implicit ground.
+    pub fn vdd_gnd(vdd_node: &str) -> Self {
+        Rails {
+            vdd_node: vdd_node.to_string(),
+        }
+    }
+}
+
+/// Returns a copy of `circuit` with `fault` injected.
+///
+/// Injection semantics, following standard electrical-level practice:
+///
+/// * **node stuck-at** — a 1 Ω resistor from the node to the stuck rail;
+/// * **transistor stuck-open** — the device is removed from the netlist
+///   (its gate load disappears with it, which slightly flatters the
+///   fault-free timing but does not change detectability);
+/// * **transistor stuck-on** — the gate is re-tied to the rail that keeps
+///   the channel conducting (ground for PMOS, supply for NMOS), preserving
+///   the analog fight behaviour the paper discusses;
+/// * **bridge** — a resistor of the specified value between the two nodes.
+///
+/// # Errors
+///
+/// Returns [`FaultError::UnknownNode`] / [`FaultError::UnknownDevice`] for
+/// dangling references, [`FaultError::NotATransistor`] when a transistor
+/// fault targets a passive device, and [`FaultError::InvalidFault`] for
+/// out-of-domain parameters (non-positive bridge resistance, bridging a
+/// node to itself).
+pub fn inject(circuit: &Circuit, fault: &Fault, rails: &Rails) -> Result<Circuit, FaultError> {
+    let mut ckt = circuit.clone();
+    match fault {
+        Fault::NodeStuckAt { node, level } => {
+            let n = ckt
+                .find_node(node)
+                .ok_or_else(|| FaultError::UnknownNode(node.clone()))?;
+            let rail = match level {
+                StuckLevel::Zero => ckt.node("0"),
+                StuckLevel::One => ckt
+                    .find_node(&rails.vdd_node)
+                    .ok_or_else(|| FaultError::UnknownNode(rails.vdd_node.clone()))?,
+            };
+            if n == rail {
+                return Err(FaultError::InvalidFault(format!(
+                    "node {node} is already the {level} rail"
+                )));
+            }
+            ckt.add_resistor(&format!("fault_{}", fault.id()), n, rail, STUCK_AT_OHMS)?;
+        }
+        Fault::StuckOpen { device } => {
+            let id = ckt
+                .find_device(device)
+                .ok_or_else(|| FaultError::UnknownDevice(device.clone()))?;
+            let entry = ckt.device(id).expect("looked up above");
+            let mos = entry
+                .device
+                .as_mosfet()
+                .ok_or_else(|| FaultError::NotATransistor(device.clone()))?
+                .clone();
+            // The channel never conducts but the silicon stays: keep the
+            // device's parasitic capacitances so the fault does not
+            // artificially unbalance the symmetric races of the circuit.
+            ckt.remove_device(id)?;
+            let gnd = ckt.node("0");
+            if mos.params.cgs > 0.0 {
+                ckt.add_capacitor(
+                    &format!("fault_{device}_cgs"),
+                    mos.gate,
+                    mos.source,
+                    mos.params.cgs,
+                )?;
+            }
+            if mos.params.cgd > 0.0 {
+                ckt.add_capacitor(
+                    &format!("fault_{device}_cgd"),
+                    mos.gate,
+                    mos.drain,
+                    mos.params.cgd,
+                )?;
+            }
+            if mos.params.cdb > 0.0 {
+                ckt.add_capacitor(
+                    &format!("fault_{device}_cdb"),
+                    mos.drain,
+                    gnd,
+                    mos.params.cdb,
+                )?;
+            }
+        }
+        Fault::StuckOn { device } => {
+            let id = ckt
+                .find_device(device)
+                .ok_or_else(|| FaultError::UnknownDevice(device.clone()))?;
+            let vdd = ckt
+                .find_node(&rails.vdd_node)
+                .ok_or_else(|| FaultError::UnknownNode(rails.vdd_node.clone()))?;
+            let gnd = ckt.node("0");
+            let entry = ckt
+                .device_mut(id)
+                .ok_or_else(|| FaultError::UnknownDevice(device.clone()))?;
+            match &mut entry.device {
+                Device::Mosfet(m) => {
+                    m.gate = match m.polarity {
+                        MosPolarity::Nmos => vdd,
+                        MosPolarity::Pmos => gnd,
+                    };
+                }
+                _ => return Err(FaultError::NotATransistor(device.clone())),
+            }
+        }
+        Fault::Bridge { a, b, ohms } => {
+            if !(ohms.is_finite() && *ohms > 0.0) {
+                return Err(FaultError::InvalidFault(format!(
+                    "bridge resistance must be positive, got {ohms}"
+                )));
+            }
+            let na = ckt
+                .find_node(a)
+                .ok_or_else(|| FaultError::UnknownNode(a.clone()))?;
+            let nb = ckt
+                .find_node(b)
+                .ok_or_else(|| FaultError::UnknownNode(b.clone()))?;
+            if na == nb {
+                return Err(FaultError::InvalidFault(format!(
+                    "cannot bridge node {a} to itself"
+                )));
+            }
+            ckt.add_resistor(&format!("fault_{}", fault.id()), na, nb, *ohms)?;
+        }
+    }
+    Ok(ckt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clocksense_netlist::{MosParams, MosPolarity, SourceWave, GROUND};
+
+    fn inverter() -> Circuit {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add_vsource("vdd", vdd, GROUND, SourceWave::Dc(5.0))
+            .unwrap();
+        ckt.add_vsource("vin", inp, GROUND, SourceWave::Dc(0.0))
+            .unwrap();
+        let nmos = MosParams {
+            vth0: 0.7,
+            kp: 60e-6,
+            lambda: 0.02,
+            w: 4e-6,
+            l: 1.2e-6,
+            cgs: 0.0,
+            cgd: 0.0,
+            cdb: 0.0,
+        };
+        let pmos = MosParams {
+            vth0: -0.9,
+            kp: 20e-6,
+            lambda: 0.02,
+            w: 8e-6,
+            l: 1.2e-6,
+            cgs: 0.0,
+            cgd: 0.0,
+            cdb: 0.0,
+        };
+        ckt.add_mosfet("mp", MosPolarity::Pmos, out, inp, vdd, pmos)
+            .unwrap();
+        ckt.add_mosfet("mn", MosPolarity::Nmos, out, inp, GROUND, nmos)
+            .unwrap();
+        ckt
+    }
+
+    fn rails() -> Rails {
+        Rails::vdd_gnd("vdd")
+    }
+
+    #[test]
+    fn stuck_at_adds_rail_short() {
+        let ckt = inverter();
+        let f = Fault::NodeStuckAt {
+            node: "out".into(),
+            level: StuckLevel::Zero,
+        };
+        let faulted = inject(&ckt, &f, &rails()).unwrap();
+        assert_eq!(faulted.device_count(), ckt.device_count() + 1);
+        assert!(faulted.find_device("fault_sa0(out)").is_some());
+        // The original circuit is untouched.
+        assert!(ckt.find_device("fault_sa0(out)").is_none());
+    }
+
+    #[test]
+    fn stuck_open_removes_the_device() {
+        let ckt = inverter();
+        let f = Fault::StuckOpen {
+            device: "mn".into(),
+        };
+        let faulted = inject(&ckt, &f, &rails()).unwrap();
+        assert!(faulted.find_device("mn").is_none());
+        assert_eq!(faulted.device_count(), ckt.device_count() - 1);
+    }
+
+    #[test]
+    fn stuck_on_reties_the_gate() {
+        let ckt = inverter();
+        let f = Fault::StuckOn {
+            device: "mp".into(),
+        };
+        let faulted = inject(&ckt, &f, &rails()).unwrap();
+        let id = faulted.find_device("mp").unwrap();
+        let mos = faulted.device(id).unwrap().device.as_mosfet().unwrap();
+        assert!(mos.gate.is_ground(), "pmos stuck-on ties gate to ground");
+
+        let f = Fault::StuckOn {
+            device: "mn".into(),
+        };
+        let faulted = inject(&ckt, &f, &rails()).unwrap();
+        let id = faulted.find_device("mn").unwrap();
+        let mos = faulted.device(id).unwrap().device.as_mosfet().unwrap();
+        assert_eq!(mos.gate, faulted.find_node("vdd").unwrap());
+    }
+
+    #[test]
+    fn bridge_adds_resistor() {
+        let ckt = inverter();
+        let f = Fault::Bridge {
+            a: "out".into(),
+            b: "in".into(),
+            ohms: 100.0,
+        };
+        let faulted = inject(&ckt, &f, &rails()).unwrap();
+        assert!(faulted.find_device("fault_bridge(out,in)").is_some());
+    }
+
+    #[test]
+    fn invalid_faults_are_rejected() {
+        let ckt = inverter();
+        let r = rails();
+        assert!(matches!(
+            inject(
+                &ckt,
+                &Fault::NodeStuckAt {
+                    node: "nope".into(),
+                    level: StuckLevel::Zero
+                },
+                &r
+            ),
+            Err(FaultError::UnknownNode(_))
+        ));
+        assert!(matches!(
+            inject(
+                &ckt,
+                &Fault::StuckOpen {
+                    device: "vin".into()
+                },
+                &r
+            ),
+            Err(FaultError::NotATransistor(_))
+        ));
+        assert!(matches!(
+            inject(
+                &ckt,
+                &Fault::Bridge {
+                    a: "out".into(),
+                    b: "out".into(),
+                    ohms: 100.0
+                },
+                &r
+            ),
+            Err(FaultError::InvalidFault(_))
+        ));
+        assert!(matches!(
+            inject(
+                &ckt,
+                &Fault::Bridge {
+                    a: "out".into(),
+                    b: "in".into(),
+                    ohms: -5.0
+                },
+                &r
+            ),
+            Err(FaultError::InvalidFault(_))
+        ));
+    }
+
+    #[test]
+    fn stuck_at_on_rail_itself_is_rejected() {
+        let ckt = inverter();
+        let err = inject(
+            &ckt,
+            &Fault::NodeStuckAt {
+                node: "vdd".into(),
+                level: StuckLevel::One,
+            },
+            &rails(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, FaultError::InvalidFault(_)));
+    }
+}

@@ -1,0 +1,138 @@
+//! The fault models of the paper's Section 3.
+
+use std::fmt;
+
+/// Logic level a node is stuck at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StuckLevel {
+    /// Stuck at logic 0 (shorted to ground).
+    Zero,
+    /// Stuck at logic 1 (shorted to the supply).
+    One,
+}
+
+impl fmt::Display for StuckLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StuckLevel::Zero => f.write_str("0"),
+            StuckLevel::One => f.write_str("1"),
+        }
+    }
+}
+
+/// Broad fault classes, used for per-class coverage reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultClass {
+    /// Node stuck-at faults.
+    StuckAt,
+    /// Transistor stuck-open faults.
+    StuckOpen,
+    /// Transistor stuck-on faults.
+    StuckOn,
+    /// Resistive bridging faults.
+    Bridge,
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultClass::StuckAt => "stuck-at",
+            FaultClass::StuckOpen => "stuck-open",
+            FaultClass::StuckOn => "stuck-on",
+            FaultClass::Bridge => "bridging",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single structural fault, identified by node and device *names* so the
+/// same fault description can be injected into any clone or test bench of
+/// the circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// A node shorted to a rail (modelled as a low-resistance path, so
+    /// faults on driven nodes remain solvable).
+    NodeStuckAt {
+        /// Node name.
+        node: String,
+        /// Rail the node is stuck at.
+        level: StuckLevel,
+    },
+    /// A transistor that never conducts (removed from the netlist).
+    StuckOpen {
+        /// MOSFET device name.
+        device: String,
+    },
+    /// A transistor that always conducts (gate tied to its ON rail).
+    StuckOn {
+        /// MOSFET device name.
+        device: String,
+    },
+    /// A resistive bridge between two nodes — the paper uses 100 Ω,
+    /// "the most common kind of failures in CMOS ICs".
+    Bridge {
+        /// First bridged node.
+        a: String,
+        /// Second bridged node.
+        b: String,
+        /// Bridge resistance (Ω).
+        ohms: f64,
+    },
+}
+
+impl Fault {
+    /// The class this fault belongs to.
+    pub fn class(&self) -> FaultClass {
+        match self {
+            Fault::NodeStuckAt { .. } => FaultClass::StuckAt,
+            Fault::StuckOpen { .. } => FaultClass::StuckOpen,
+            Fault::StuckOn { .. } => FaultClass::StuckOn,
+            Fault::Bridge { .. } => FaultClass::Bridge,
+        }
+    }
+
+    /// Short human-readable identifier, e.g. `"sa1(y1)"` or `"sop(m_c)"`.
+    pub fn id(&self) -> String {
+        match self {
+            Fault::NodeStuckAt { node, level } => format!("sa{level}({node})"),
+            Fault::StuckOpen { device } => format!("sop({device})"),
+            Fault::StuckOn { device } => format!("son({device})"),
+            Fault::Bridge { a, b, .. } => format!("bridge({a},{b})"),
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_stable() {
+        let f = Fault::NodeStuckAt {
+            node: "y1".into(),
+            level: StuckLevel::One,
+        };
+        assert_eq!(f.id(), "sa1(y1)");
+        assert_eq!(f.class(), FaultClass::StuckAt);
+
+        let f = Fault::Bridge {
+            a: "y1".into(),
+            b: "y2".into(),
+            ohms: 100.0,
+        };
+        assert_eq!(f.id(), "bridge(y1,y2)");
+        assert_eq!(f.to_string(), f.id());
+    }
+
+    #[test]
+    fn class_display() {
+        assert_eq!(FaultClass::StuckOpen.to_string(), "stuck-open");
+        assert_eq!(FaultClass::Bridge.to_string(), "bridging");
+    }
+}

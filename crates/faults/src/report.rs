@@ -1,0 +1,151 @@
+//! Report generation for fault campaigns: Markdown and CSV exports.
+
+use std::fmt::Write as _;
+
+use crate::campaign::CampaignResult;
+use crate::detect::DetectionOutcome;
+use crate::model::FaultClass;
+
+/// All fault classes, in report order.
+const CLASSES: [FaultClass; 4] = [
+    FaultClass::StuckAt,
+    FaultClass::StuckOpen,
+    FaultClass::StuckOn,
+    FaultClass::Bridge,
+];
+
+/// Renders a campaign result as a Markdown document: a per-class summary
+/// table followed by the full per-fault listing.
+///
+/// # Examples
+///
+/// ```no_run
+/// use clocksense_core::{ClockPair, SensorBuilder, Technology};
+/// use clocksense_faults::{markdown_report, run_campaign, sensor_fault_universe, CampaignConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tech = Technology::cmos12();
+/// let sensor = SensorBuilder::new(tech).build()?;
+/// let faults = sensor_fault_universe(&sensor, 100.0);
+/// let result = run_campaign(&sensor, &faults, &CampaignConfig::new(
+///     ClockPair::single_shot(tech.vdd, 0.2e-9)))?;
+/// let doc = markdown_report(&result, "Section 3 campaign");
+/// assert!(doc.contains("| class |"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn markdown_report(result: &CampaignResult, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title}\n");
+    let _ = writeln!(
+        out,
+        "| class | total | logic | iddq-only | undetected | coverage (logic) | coverage (+IDDQ) |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|");
+    for class in CLASSES {
+        let (logic, iddq_only, undet, _inc, total) = result.counts(class);
+        if total == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "| {class} | {total} | {logic} | {iddq_only} | {undet} | {:.0} % | {:.0} % |",
+            100.0 * result.logic_coverage(class),
+            100.0 * result.combined_coverage(class),
+        );
+    }
+    let _ = writeln!(out, "\n## Per-fault outcomes\n");
+    let _ = writeln!(out, "| fault | outcome | max IDDQ [A] | masks skews |");
+    let _ = writeln!(out, "|---|---|---|---|");
+    for r in result.records() {
+        let _ = writeln!(
+            out,
+            "| `{}` | {:?} | {} | {} |",
+            r.fault.id(),
+            r.outcome,
+            r.iddq
+                .map(|i| format!("{i:.2e}"))
+                .unwrap_or_else(|| "-".into()),
+            match r.masks_skew {
+                Some(true) => "yes",
+                Some(false) => "no",
+                None => "-",
+            },
+        );
+    }
+    out
+}
+
+/// Renders a campaign result as CSV: one row per fault with the columns
+/// `fault,class,outcome,iddq,masks_skew`.
+pub fn csv_report(result: &CampaignResult) -> String {
+    let mut out = String::from("fault,class,outcome,iddq,masks_skew\n");
+    for r in result.records() {
+        let outcome = match r.outcome {
+            DetectionOutcome::DetectedLogic => "detected_logic",
+            DetectionOutcome::DetectedIddq => "detected_iddq",
+            DetectionOutcome::Undetected => "undetected",
+            DetectionOutcome::Inconclusive => "inconclusive",
+        };
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{}",
+            r.fault.id(),
+            r.fault.class(),
+            outcome,
+            r.iddq.map(|i| format!("{i:e}")).unwrap_or_default(),
+            r.masks_skew.map(|m| m.to_string()).unwrap_or_default(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_campaign, CampaignConfig};
+    use crate::model::{Fault, StuckLevel};
+    use clocksense_core::{ClockPair, SensorBuilder, Technology};
+
+    fn small_result() -> CampaignResult {
+        let tech = Technology::cmos12();
+        let sensor = SensorBuilder::new(tech)
+            .load_capacitance(160e-15)
+            .build()
+            .unwrap();
+        let faults = vec![
+            Fault::NodeStuckAt {
+                node: "y1".into(),
+                level: StuckLevel::Zero,
+            },
+            Fault::Bridge {
+                a: "y1".into(),
+                b: "y2".into(),
+                ohms: 100.0,
+            },
+        ];
+        let cfg = CampaignConfig::new(ClockPair::single_shot(tech.vdd, 0.2e-9));
+        run_campaign(&sensor, &faults, &cfg).unwrap()
+    }
+
+    #[test]
+    fn markdown_contains_summary_and_listing() {
+        let doc = markdown_report(&small_result(), "test campaign");
+        assert!(doc.starts_with("# test campaign"));
+        assert!(doc.contains("| stuck-at | 1 |"));
+        assert!(doc.contains("| bridging | 1 |"));
+        assert!(doc.contains("`sa0(y1)`"));
+        assert!(doc.contains("`bridge(y1,y2)`"));
+    }
+
+    #[test]
+    fn csv_has_one_row_per_fault_plus_header() {
+        let csv = csv_report(&small_result());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "fault,class,outcome,iddq,masks_skew");
+        assert!(lines[1].starts_with("sa0(y1),stuck-at,detected_logic"));
+        assert!(lines[2].contains("undetected"));
+        assert!(lines[2].ends_with("true"));
+    }
+}

@@ -1,0 +1,353 @@
+//! Transient (non-permanent) fault models and their on-line campaign.
+//!
+//! The paper stresses that most clock-distribution failures are not
+//! permanent: "a small fraction of them can be classified as permanent,
+//! while the others have to be considered (intrinsically or practically)
+//! as transient" — which is precisely why the scheme targets *on-line*
+//! operation with latching indicators. This module models the transient
+//! mechanisms the introduction lists (momentary skew, coupled noise
+//! bursts, particle-strike-like charge injection) and runs them against
+//! the sensor over multiple clock cycles.
+
+use clocksense_core::{ClockPair, SensingCircuit};
+use clocksense_netlist::{Circuit, SourceWave};
+use clocksense_spice::{transient, SimOptions};
+
+use crate::detect::{logic_detected, DetectionCriteria};
+use crate::error::FaultError;
+
+/// A transient disturbance of the monitored clock system.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransientFault {
+    /// One clock cycle's `φ2` active edge arrives late by `extra_delay`
+    /// (an environmental or coupling-induced momentary skew).
+    SkewPulse {
+        /// Zero-based index of the affected cycle.
+        cycle: usize,
+        /// Extra delay of that cycle's edge (s).
+        extra_delay: f64,
+    },
+    /// A charge-injection glitch (particle strike, supply bounce) on a
+    /// circuit node: a rectangular current pulse depositing `charge`
+    /// coulombs over `duration` starting at `at`.
+    ChargeInjection {
+        /// Name of the struck node.
+        node: String,
+        /// Injected charge (C); positive pulls the node up.
+        charge: f64,
+        /// Strike time (s).
+        at: f64,
+        /// Pulse duration (s).
+        duration: f64,
+    },
+    /// A noise burst capacitively coupled into a node (the paper's "wire
+    /// coupling with off-chip sources of noise").
+    NoiseCoupling {
+        /// Victim node name.
+        node: String,
+        /// Coupling capacitance (F).
+        cap: f64,
+        /// Aggressor waveform.
+        aggressor: SourceWave,
+    },
+}
+
+impl TransientFault {
+    /// Short identifier for reports.
+    pub fn id(&self) -> String {
+        match self {
+            TransientFault::SkewPulse { cycle, extra_delay } => {
+                format!("skew_pulse(cycle {cycle}, {:.0} ps)", extra_delay * 1e12)
+            }
+            TransientFault::ChargeInjection { node, charge, .. } => {
+                format!("charge({node}, {:.0} fC)", charge * 1e15)
+            }
+            TransientFault::NoiseCoupling { node, cap, .. } => {
+                format!("coupling({node}, {:.0} fF)", cap * 1e15)
+            }
+        }
+    }
+}
+
+/// Builds the periodic clock waveforms for `cycles` cycles, with the
+/// `SkewPulse` fault (if any) delaying one cycle's `φ2` edge.
+fn clock_waves(
+    clocks: &ClockPair,
+    cycles: usize,
+    fault: &TransientFault,
+) -> (SourceWave, SourceWave) {
+    let vdd = clocks.vdd;
+    let mut pts1 = vec![(0.0, 0.0)];
+    let mut pts2 = vec![(0.0, 0.0)];
+    for k in 0..cycles {
+        let t0 = clocks.delay + k as f64 * clocks.period;
+        let mut t2 = t0;
+        if let TransientFault::SkewPulse { cycle, extra_delay } = fault {
+            if *cycle == k {
+                t2 += extra_delay;
+            }
+        }
+        for (pts, t) in [(&mut pts1, t0), (&mut pts2, t2)] {
+            pts.push((t, 0.0));
+            pts.push((t + clocks.slew, vdd));
+            pts.push((t + clocks.slew + clocks.width, vdd));
+            pts.push((t + 2.0 * clocks.slew + clocks.width, 0.0));
+        }
+    }
+    (SourceWave::Pwl(pts1), SourceWave::Pwl(pts2))
+}
+
+/// Injects the electrical part of a transient fault into a test bench.
+fn inject_transient(bench: &Circuit, fault: &TransientFault) -> Result<Circuit, FaultError> {
+    let mut ckt = bench.clone();
+    match fault {
+        TransientFault::SkewPulse { .. } => {} // handled in the stimulus
+        TransientFault::ChargeInjection {
+            node,
+            charge,
+            at,
+            duration,
+        } => {
+            let n = ckt
+                .find_node(node)
+                .ok_or_else(|| FaultError::UnknownNode(node.clone()))?;
+            if !(duration.is_finite() && *duration > 0.0) {
+                return Err(FaultError::InvalidFault(format!(
+                    "strike duration must be positive, got {duration}"
+                )));
+            }
+            let amps = charge / duration;
+            let gnd = ckt.node("0");
+            // Current from ground into the node: positive charge lifts it.
+            ckt.add_isource(
+                "fault_strike",
+                gnd,
+                n,
+                SourceWave::Pulse {
+                    v1: 0.0,
+                    v2: amps,
+                    delay: *at,
+                    rise: duration * 0.05,
+                    fall: duration * 0.05,
+                    width: duration * 0.9,
+                    period: f64::INFINITY,
+                },
+            )?;
+        }
+        TransientFault::NoiseCoupling {
+            node,
+            cap,
+            aggressor,
+        } => {
+            let n = ckt
+                .find_node(node)
+                .ok_or_else(|| FaultError::UnknownNode(node.clone()))?;
+            let agg = ckt.node("fault_aggressor");
+            let gnd = ckt.node("0");
+            ckt.add_vsource("fault_vagg", agg, gnd, aggressor.clone())?;
+            ckt.add_capacitor("fault_cx", agg, n, *cap)?;
+        }
+    }
+    Ok(ckt)
+}
+
+/// Result of one transient-fault run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientRecord {
+    /// The injected disturbance.
+    pub fault: TransientFault,
+    /// `true` if the on-line indicator criterion fires at any point in
+    /// the run (a complementary indication persisting `t_hold`).
+    pub detected: bool,
+    /// Longest complementary window observed, if any (s).
+    pub indication_window: Option<f64>,
+}
+
+/// Simulates `cycles` clock cycles of on-line operation with one
+/// transient fault and reports whether the indicator catches it.
+///
+/// # Errors
+///
+/// Propagates construction and simulation errors; dangling node names in
+/// the fault are reported as [`FaultError::UnknownNode`].
+///
+/// # Examples
+///
+/// ```no_run
+/// use clocksense_core::{ClockPair, SensorBuilder, Technology};
+/// use clocksense_faults::{run_transient_fault, TransientFault};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tech = Technology::cmos12();
+/// let sensor = SensorBuilder::new(tech).load_capacitance(160e-15).build()?;
+/// let clocks = ClockPair::periodic(tech.vdd, 0.2e-9, 6e-9);
+/// let fault = TransientFault::SkewPulse { cycle: 2, extra_delay: 0.4e-9 };
+/// let record = run_transient_fault(&sensor, &clocks, &fault, 5, &Default::default())?;
+/// assert!(record.detected);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_transient_fault(
+    sensor: &SensingCircuit,
+    clocks: &ClockPair,
+    fault: &TransientFault,
+    cycles: usize,
+    sim: &SimOptions,
+) -> Result<TransientRecord, FaultError> {
+    if cycles == 0 || !clocks.period.is_finite() {
+        return Err(FaultError::InvalidFault(
+            "transient runs need a periodic clock and at least one cycle".to_string(),
+        ));
+    }
+    let (w1, w2) = clock_waves(clocks, cycles, fault);
+    let bench = sensor.testbench_with_waves(w1, w2)?;
+    let bench = inject_transient(&bench, fault)?;
+    let t_stop = clocks.delay + cycles as f64 * clocks.period;
+    let result = transient(&bench, t_stop, sim)?;
+    let (y1, y2) = sensor.outputs();
+    let criteria = DetectionCriteria {
+        v_th: sensor.technology().logic_threshold(),
+        t_hold: 0.25 * clocks.period,
+        ..DetectionCriteria::default()
+    };
+    let wy1 = result.waveform(y1);
+    let wy2 = result.waveform(y2);
+    let window =
+        crate::detect::complementary_window(&wy1, &wy2, criteria.v_th, 0.0).map(|(s, e)| e - s);
+    Ok(TransientRecord {
+        fault: fault.clone(),
+        detected: logic_detected(&wy1, &wy2, &criteria, 0.0),
+        indication_window: window,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clocksense_core::{SensorBuilder, Technology};
+
+    fn setup() -> (SensingCircuit, ClockPair, SimOptions) {
+        let tech = Technology::cmos12();
+        let sensor = SensorBuilder::new(tech)
+            .load_capacitance(160e-15)
+            .build()
+            .unwrap();
+        let clocks = ClockPair::periodic(tech.vdd, 0.2e-9, 6e-9);
+        let sim = SimOptions {
+            tstep: 4e-12,
+            ..SimOptions::default()
+        };
+        (sensor, clocks, sim)
+    }
+
+    #[test]
+    fn single_cycle_skew_pulse_is_caught() {
+        let (sensor, clocks, sim) = setup();
+        let fault = TransientFault::SkewPulse {
+            cycle: 1,
+            extra_delay: 0.4e-9,
+        };
+        let r = run_transient_fault(&sensor, &clocks, &fault, 3, &sim).unwrap();
+        assert!(r.detected, "window = {:?}", r.indication_window);
+    }
+
+    #[test]
+    fn sub_threshold_skew_pulse_is_tolerated() {
+        let (sensor, clocks, sim) = setup();
+        let fault = TransientFault::SkewPulse {
+            cycle: 1,
+            extra_delay: 0.03e-9,
+        };
+        let r = run_transient_fault(&sensor, &clocks, &fault, 3, &sim).unwrap();
+        assert!(!r.detected);
+    }
+
+    #[test]
+    fn charge_strike_on_an_output_is_caught() {
+        let (sensor, clocks, sim) = setup();
+        // Strike y1 during the low phase of cycle 1 with enough charge to
+        // lift it across the threshold: Q = C * dV ~ 200 fF * 4 V.
+        let fault = TransientFault::ChargeInjection {
+            node: "y1".into(),
+            charge: 900e-15,
+            at: clocks.delay + clocks.period + 1.5e-9,
+            duration: 0.2e-9,
+        };
+        let r = run_transient_fault(&sensor, &clocks, &fault, 3, &sim).unwrap();
+        assert!(r.detected, "window = {:?}", r.indication_window);
+    }
+
+    #[test]
+    fn small_strike_is_absorbed() {
+        let (sensor, clocks, sim) = setup();
+        let fault = TransientFault::ChargeInjection {
+            node: "y1".into(),
+            charge: 20e-15,
+            at: clocks.delay + clocks.period + 1.5e-9,
+            duration: 0.2e-9,
+        };
+        let r = run_transient_fault(&sensor, &clocks, &fault, 3, &sim).unwrap();
+        assert!(!r.detected);
+    }
+
+    #[test]
+    fn noise_coupling_on_a_clock_input_is_caught() {
+        let (sensor, clocks, sim) = setup();
+        // A strong burst into phi2 right at the cycle-1 edge retards it.
+        let fault = TransientFault::NoiseCoupling {
+            node: "phi2".into(),
+            cap: 500e-15,
+            aggressor: SourceWave::Pulse {
+                v1: 5.0,
+                v2: -5.0,
+                delay: clocks.delay + clocks.period - 0.1e-9,
+                rise: 0.2e-9,
+                fall: 0.2e-9,
+                width: 0.5e-9,
+                period: f64::INFINITY,
+            },
+        };
+        let r = run_transient_fault(&sensor, &clocks, &fault, 3, &sim).unwrap();
+        assert!(r.detected, "window = {:?}", r.indication_window);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let (sensor, clocks, sim) = setup();
+        let fault = TransientFault::SkewPulse {
+            cycle: 0,
+            extra_delay: 0.4e-9,
+        };
+        assert!(run_transient_fault(&sensor, &clocks, &fault, 0, &sim).is_err());
+        let single_shot = ClockPair::single_shot(5.0, 0.2e-9);
+        assert!(run_transient_fault(&sensor, &single_shot, &fault, 3, &sim).is_err());
+        let bad = TransientFault::ChargeInjection {
+            node: "nope".into(),
+            charge: 1e-15,
+            at: 1e-9,
+            duration: 0.1e-9,
+        };
+        assert!(matches!(
+            run_transient_fault(&sensor, &clocks, &bad, 3, &sim),
+            Err(FaultError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn fault_ids_are_descriptive() {
+        assert!(TransientFault::SkewPulse {
+            cycle: 2,
+            extra_delay: 0.3e-9
+        }
+        .id()
+        .contains("cycle 2"));
+        assert!(TransientFault::ChargeInjection {
+            node: "y1".into(),
+            charge: 5e-13,
+            at: 0.0,
+            duration: 1e-10
+        }
+        .id()
+        .contains("500 fC"));
+    }
+}

@@ -1,0 +1,154 @@
+//! Enumeration of fault universes.
+
+use clocksense_core::SensingCircuit;
+use clocksense_netlist::Circuit;
+
+use crate::model::{Fault, StuckLevel};
+
+/// Nodes of the sensing circuit that carry signals (excludes the supply,
+/// which is a test-bench rail, and ground).
+fn signal_nodes(circuit: &Circuit) -> Vec<String> {
+    circuit
+        .nodes()
+        .filter(|n| !n.is_ground())
+        .map(|n| circuit.node_name(n).to_string())
+        .filter(|name| name != "vdd")
+        .collect()
+}
+
+/// All node stuck-at faults (both polarities on every signal node).
+pub fn stuck_at_universe(circuit: &Circuit) -> Vec<Fault> {
+    let mut out = Vec::new();
+    for node in signal_nodes(circuit) {
+        out.push(Fault::NodeStuckAt {
+            node: node.clone(),
+            level: StuckLevel::Zero,
+        });
+        out.push(Fault::NodeStuckAt {
+            node,
+            level: StuckLevel::One,
+        });
+    }
+    out
+}
+
+/// All transistor stuck-open and stuck-on faults (one pair per MOSFET).
+pub fn transistor_universe(circuit: &Circuit) -> Vec<Fault> {
+    let mut out = Vec::new();
+    for (_, entry) in circuit.devices() {
+        if entry.device.is_mosfet() {
+            out.push(Fault::StuckOpen {
+                device: entry.name.clone(),
+            });
+            out.push(Fault::StuckOn {
+                device: entry.name.clone(),
+            });
+        }
+    }
+    out
+}
+
+/// All pairwise resistive bridges between distinct circuit nodes
+/// (including bridges to the rails), at the given resistance — the paper
+/// studies 100 Ω.
+pub fn bridge_universe(circuit: &Circuit, ohms: f64) -> Vec<Fault> {
+    let mut names: Vec<String> = circuit
+        .nodes()
+        .map(|n| circuit.node_name(n).to_string())
+        .collect();
+    names.sort();
+    let mut out = Vec::new();
+    for i in 0..names.len() {
+        for j in (i + 1)..names.len() {
+            out.push(Fault::Bridge {
+                a: names[i].clone(),
+                b: names[j].clone(),
+                ohms,
+            });
+        }
+    }
+    out
+}
+
+/// The complete Section-3 fault universe for a sensing circuit: node
+/// stuck-ats, transistor stuck-open/stuck-on and all node-pair bridges at
+/// `bridge_ohms`.
+///
+/// # Examples
+///
+/// ```
+/// use clocksense_core::{SensorBuilder, Technology};
+/// use clocksense_faults::{sensor_fault_universe, FaultClass};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let sensor = SensorBuilder::new(Technology::cmos12()).build()?;
+/// let faults = sensor_fault_universe(&sensor, 100.0);
+/// // 10 transistors -> 20 transistor faults.
+/// let trans = faults
+///     .iter()
+///     .filter(|f| matches!(f.class(), FaultClass::StuckOpen | FaultClass::StuckOn))
+///     .count();
+/// assert_eq!(trans, 20);
+/// # Ok(())
+/// # }
+/// ```
+pub fn sensor_fault_universe(sensor: &SensingCircuit, bridge_ohms: f64) -> Vec<Fault> {
+    let circuit = sensor.circuit();
+    let mut out = stuck_at_universe(circuit);
+    out.extend(transistor_universe(circuit));
+    out.extend(bridge_universe(circuit, bridge_ohms));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FaultClass;
+    use clocksense_core::{SensorBuilder, Technology};
+
+    fn sensor() -> SensingCircuit {
+        SensorBuilder::new(Technology::cmos12())
+            .load_capacitance(160e-15)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn stuck_at_covers_both_levels_of_signal_nodes() {
+        let s = sensor();
+        let sas = stuck_at_universe(s.circuit());
+        // Signal nodes: phi1, phi2, y1, y2, mid_a, mid_b, top_a, top_b.
+        assert_eq!(sas.len(), 16);
+        assert!(sas.iter().all(|f| f.class() == FaultClass::StuckAt));
+        assert!(!sas.iter().any(|f| f.id().contains("(vdd)")));
+    }
+
+    #[test]
+    fn transistor_universe_pairs() {
+        let s = sensor();
+        let faults = transistor_universe(s.circuit());
+        assert_eq!(faults.len(), 20);
+        let opens = faults
+            .iter()
+            .filter(|f| f.class() == FaultClass::StuckOpen)
+            .count();
+        assert_eq!(opens, 10);
+    }
+
+    #[test]
+    fn bridge_universe_is_all_pairs() {
+        let s = sensor();
+        // Nodes: 0, vdd, phi1, phi2, y1, y2, mid_a, mid_b, top_a, top_b = 10.
+        let bridges = bridge_universe(s.circuit(), 100.0);
+        assert_eq!(bridges.len(), 10 * 9 / 2);
+        // Includes the y1-y2 bridge the paper singles out.
+        assert!(bridges.iter().any(|f| f.id() == "bridge(y1,y2)"));
+    }
+
+    #[test]
+    fn full_universe_is_the_union() {
+        let s = sensor();
+        let all = sensor_fault_universe(&s, 100.0);
+        assert_eq!(all.len(), 16 + 20 + 45);
+    }
+}

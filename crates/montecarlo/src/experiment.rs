@@ -1,0 +1,230 @@
+//! The Monte-Carlo scatter experiment (paper Fig. 5).
+
+use std::thread;
+
+use clocksense_core::{ClockPair, CoreError, SensorBuilder};
+use clocksense_spice::{transient, SimOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::perturb::perturb_circuit_global;
+
+/// Configuration of a Monte-Carlo run.
+#[derive(Debug, Clone)]
+pub struct McConfig {
+    /// Number of samples.
+    pub samples: usize,
+    /// Relative uniform spread of every circuit parameter (the paper's
+    /// 0.15).
+    pub spread: f64,
+    /// Uniform range of the two independent input slews (the paper's
+    /// 0.1–0.4 ns).
+    pub slew_range: (f64, f64),
+    /// Master seed; every sample derives its own deterministic stream.
+    pub seed: u64,
+    /// Simulator options.
+    pub sim: SimOptions,
+    /// Worker threads (`0` = one per core).
+    pub threads: usize,
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        McConfig {
+            samples: 500,
+            spread: 0.15,
+            slew_range: (0.1e-9, 0.4e-9),
+            seed: 0x1997_0317,
+            sim: SimOptions {
+                tstep: 2e-12,
+                ..SimOptions::default()
+            },
+            threads: 0,
+        }
+    }
+}
+
+/// One Monte-Carlo observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McSample {
+    /// Injected skew (s).
+    pub tau: f64,
+    /// Minimum voltage of the late output in the observation window (V).
+    pub vmin: f64,
+    /// `true` if the response reads as an error indication
+    /// (`vmin > V_th`).
+    pub detected: bool,
+    /// Drawn slew of φ1 (s).
+    pub slew1: f64,
+    /// Drawn slew of φ2 (s).
+    pub slew2: f64,
+}
+
+fn one_sample(
+    builder: &SensorBuilder,
+    clocks: &ClockPair,
+    tau: f64,
+    cfg: &McConfig,
+    index: u64,
+) -> Result<McSample, CoreError> {
+    // Independent, reproducible stream per sample.
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9e3779b97f4a7c15) ^ index);
+    let mut sensor = builder.build()?;
+    perturb_circuit_global(sensor.circuit_mut(), cfg.spread, &["cl1", "cl2"], &mut rng);
+    let (lo, hi) = cfg.slew_range;
+    let slew1 = rng.gen_range(lo..=hi);
+    let slew2 = rng.gen_range(lo..=hi);
+
+    // The skew tau is defined between the mid-rail crossings of the two
+    // edges — the instant the clocked elements actually see. With
+    // independent slews the pulse-start offset must compensate for the
+    // mid-ramp difference, otherwise slew mismatch aliases into skew.
+    let start_offset = tau + 0.5 * (slew1 - slew2);
+    let clocks = clocks.with_skew(start_offset);
+    let bench = sensor.testbench_with_slews(&clocks, slew1, slew2)?;
+    let result = transient(&bench, clocks.sim_stop_time(), &cfg.sim)?;
+    let (y1, y2) = sensor.outputs();
+    let v_th = sensor.technology().logic_threshold();
+    let response = clocksense_core::interpret(
+        result.waveform(y1),
+        result.waveform(y2),
+        &clocks,
+        sensor.edge(),
+        v_th,
+    );
+    // An indication on either output counts: under variation the residual
+    // asymmetry can put the indication on the "wrong" side near tau = 0.
+    let vmin = response.vmin_y1.max(response.vmin_y2);
+    Ok(McSample {
+        tau,
+        vmin,
+        detected: vmin > v_th,
+        slew1,
+        slew2,
+    })
+}
+
+/// Runs the Fig. 5 scatter: `cfg.samples` perturbed circuits, each
+/// simulated at one skew from `taus` (cycled in order, so every skew value
+/// receives an equal share of samples).
+///
+/// # Errors
+///
+/// Propagates construction/simulation errors from any sample; rejects an
+/// empty `taus` list.
+pub fn run_scatter(
+    builder: &SensorBuilder,
+    clocks: &ClockPair,
+    taus: &[f64],
+    cfg: &McConfig,
+) -> Result<Vec<McSample>, CoreError> {
+    if taus.is_empty() {
+        return Err(CoreError::InvalidParameter(
+            "tau list must not be empty".to_string(),
+        ));
+    }
+    let threads = if cfg.threads == 0 {
+        thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        cfg.threads
+    };
+    let indices: Vec<usize> = (0..cfg.samples).collect();
+    let chunk_size = cfg.samples.div_ceil(threads).max(1);
+    let mut slots: Vec<Option<Result<McSample, CoreError>>> = vec![None; cfg.samples];
+    thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (chunk_idx, chunk) in indices.chunks(chunk_size).enumerate() {
+            handles.push((
+                chunk_idx,
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .map(|&i| {
+                            let tau = taus[i % taus.len()];
+                            one_sample(builder, clocks, tau, cfg, i as u64)
+                        })
+                        .collect::<Vec<_>>()
+                }),
+            ));
+        }
+        for (chunk_idx, handle) in handles {
+            for (i, r) in handle
+                .join()
+                .expect("mc worker panicked")
+                .into_iter()
+                .enumerate()
+            {
+                slots[chunk_idx * chunk_size + i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("all slots filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clocksense_core::Technology;
+
+    fn quick_cfg(samples: usize) -> McConfig {
+        McConfig {
+            samples,
+            sim: SimOptions {
+                tstep: 4e-12,
+                ..SimOptions::default()
+            },
+            ..McConfig::default()
+        }
+    }
+
+    #[test]
+    fn scatter_is_deterministic_and_covers_taus() {
+        let tech = Technology::cmos12();
+        let builder = SensorBuilder::new(tech).load_capacitance(160e-15);
+        let clocks = ClockPair::single_shot(tech.vdd, 0.2e-9);
+        let taus = [0.0, 0.3e-9];
+        let a = run_scatter(&builder, &clocks, &taus, &quick_cfg(4)).unwrap();
+        let b = run_scatter(&builder, &clocks, &taus, &quick_cfg(4)).unwrap();
+        assert_eq!(a, b, "same seed, same results");
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.iter().filter(|s| s.tau == 0.0).count(), 2);
+        // Large skews stay detected even under parameter variation. Zero
+        // skew may produce marginal false indications (that is exactly the
+        // p_false of Tab. 1), but its V_min stays well below a genuinely
+        // blocked output.
+        for s in &a {
+            if s.tau == 0.0 {
+                assert!(s.vmin < 3.5, "zero-skew vmin implausibly high: {s:?}");
+            } else {
+                assert!(s.detected, "0.3 ns skew lost: {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn slews_are_drawn_from_the_range() {
+        let tech = Technology::cmos12();
+        let builder = SensorBuilder::new(tech).load_capacitance(80e-15);
+        let clocks = ClockPair::single_shot(tech.vdd, 0.2e-9);
+        let samples = run_scatter(&builder, &clocks, &[0.05e-9], &quick_cfg(6)).unwrap();
+        for s in &samples {
+            assert!((0.1e-9..=0.4e-9).contains(&s.slew1));
+            assert!((0.1e-9..=0.4e-9).contains(&s.slew2));
+        }
+        // Independent draws: not all equal.
+        assert!(samples.iter().any(|s| (s.slew1 - s.slew2).abs() > 1e-12));
+    }
+
+    #[test]
+    fn empty_taus_is_an_error() {
+        let tech = Technology::cmos12();
+        let builder = SensorBuilder::new(tech);
+        let clocks = ClockPair::single_shot(tech.vdd, 0.2e-9);
+        assert!(run_scatter(&builder, &clocks, &[], &quick_cfg(1)).is_err());
+    }
+}

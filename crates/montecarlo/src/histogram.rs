@@ -1,0 +1,149 @@
+//! Text histograms for distribution summaries.
+
+use std::fmt;
+
+/// A fixed-bin histogram over a closed interval, with a text rendering
+/// used by the ablation binaries.
+///
+/// # Examples
+///
+/// ```
+/// use clocksense_montecarlo::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// for v in [1.0, 1.5, 6.0, 9.9, 12.0] {
+///     h.add(v);
+/// }
+/// assert_eq!(h.count(), 4); // 12.0 is out of range
+/// assert_eq!(h.bin_counts()[0], 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<usize>,
+    total: usize,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi]` with `bins` equal bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi <= lo` or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo, "histogram range must be non-empty");
+        assert!(bins > 0, "need at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Adds a sample; values outside `[lo, hi]` are ignored (the upper
+    /// bound is inclusive).
+    pub fn add(&mut self, value: f64) {
+        if !(value >= self.lo && value <= self.hi) {
+            return;
+        }
+        let n = self.bins.len();
+        let idx = (((value - self.lo) / (self.hi - self.lo)) * n as f64) as usize;
+        self.bins[idx.min(n - 1)] += 1;
+        self.total += 1;
+    }
+
+    /// Adds every sample from an iterator.
+    pub fn extend(&mut self, values: impl IntoIterator<Item = f64>) {
+        for v in values {
+            self.add(v);
+        }
+    }
+
+    /// Total in-range samples.
+    pub fn count(&self) -> usize {
+        self.total
+    }
+
+    /// Per-bin counts.
+    pub fn bin_counts(&self) -> &[usize] {
+        &self.bins
+    }
+
+    /// The `[start, end)` interval of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.bins.len(), "bin out of range");
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        for (i, &count) in self.bins.iter().enumerate() {
+            let (lo, hi) = self.bin_range(i);
+            let bar_len = (40 * count).div_ceil(max);
+            writeln!(
+                f,
+                "{:>10.3e} .. {:>10.3e} |{:<40} {}",
+                lo,
+                hi,
+                "#".repeat(if count == 0 { 0 } else { bar_len }),
+                count
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binning_is_uniform() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.add(i as f64 + 0.5);
+        }
+        assert!(h.bin_counts().iter().all(|&c| c == 1));
+        assert_eq!(h.count(), 10);
+    }
+
+    #[test]
+    fn upper_bound_is_inclusive() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add(1.0);
+        assert_eq!(h.bin_counts()[3], 1);
+        h.add(1.0001);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn ranges_partition_the_interval() {
+        let h = Histogram::new(2.0, 6.0, 4);
+        assert_eq!(h.bin_range(0), (2.0, 3.0));
+        assert_eq!(h.bin_range(3), (5.0, 6.0));
+    }
+
+    #[test]
+    fn display_has_one_line_per_bin() {
+        let mut h = Histogram::new(0.0, 1.0, 3);
+        h.extend([0.1, 0.5, 0.6, 0.9]);
+        let text = h.to_string();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_range_panics() {
+        Histogram::new(1.0, 1.0, 4);
+    }
+}

@@ -1,0 +1,153 @@
+//! Probability estimation with confidence intervals.
+
+use crate::experiment::McSample;
+
+/// A binomial proportion estimate with a 95 % Wilson confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Point estimate `k / n`.
+    pub p: f64,
+    /// Lower bound of the 95 % Wilson interval.
+    pub lo: f64,
+    /// Upper bound of the 95 % Wilson interval.
+    pub hi: f64,
+    /// Successes.
+    pub k: usize,
+    /// Trials.
+    pub n: usize,
+}
+
+impl Estimate {
+    /// Estimates a proportion from `k` successes in `n` trials.
+    ///
+    /// With `n == 0` the estimate is `0` with the vacuous interval
+    /// `[0, 1]`.
+    pub fn from_counts(k: usize, n: usize) -> Self {
+        if n == 0 {
+            return Estimate {
+                p: 0.0,
+                lo: 0.0,
+                hi: 1.0,
+                k,
+                n,
+            };
+        }
+        let z = 1.959964; // 97.5 % normal quantile
+        let nf = n as f64;
+        let p_hat = k as f64 / nf;
+        let z2 = z * z;
+        let denom = 1.0 + z2 / nf;
+        let centre = (p_hat + z2 / (2.0 * nf)) / denom;
+        let half = z * ((p_hat * (1.0 - p_hat) + z2 / (4.0 * nf)) / nf).sqrt() / denom;
+        Estimate {
+            p: p_hat,
+            lo: (centre - half).max(0.0),
+            hi: (centre + half).min(1.0),
+            k,
+            n,
+        }
+    }
+}
+
+/// The paper's Tab. 1 quantities from a Monte-Carlo scatter:
+///
+/// * `p_loose` — probability of *losing* an error indication: the skew
+///   exceeds the nominal sensitivity (`τ > τ_min`) but the perturbed
+///   circuit's `V_min` stays below `V_th`;
+/// * `p_false` — probability of a *false* error indication: `τ < τ_min`
+///   but `V_min` rises above `V_th`.
+///
+/// Returns `(p_loose, p_false)`.
+///
+/// # Examples
+///
+/// ```
+/// use clocksense_montecarlo::{loose_false_probabilities, McSample};
+///
+/// let samples = vec![
+///     McSample { tau: 0.2e-9, vmin: 2.0, detected: false, slew1: 0.2e-9, slew2: 0.2e-9 },
+///     McSample { tau: 0.05e-9, vmin: 3.0, detected: true, slew1: 0.2e-9, slew2: 0.2e-9 },
+/// ];
+/// let (p_loose, p_false) = loose_false_probabilities(&samples, 0.1e-9);
+/// assert_eq!(p_loose.k, 1); // the first sample lost a real error
+/// assert_eq!(p_false.k, 1); // the second flagged a tolerable skew
+/// ```
+pub fn loose_false_probabilities(samples: &[McSample], tau_min: f64) -> (Estimate, Estimate) {
+    let mut loose_k = 0;
+    let mut loose_n = 0;
+    let mut false_k = 0;
+    let mut false_n = 0;
+    for s in samples {
+        if s.tau > tau_min {
+            loose_n += 1;
+            if !s.detected {
+                loose_k += 1;
+            }
+        } else {
+            false_n += 1;
+            if s.detected {
+                false_k += 1;
+            }
+        }
+    }
+    (
+        Estimate::from_counts(loose_k, loose_n),
+        Estimate::from_counts(false_k, false_n),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wilson_interval_brackets_the_point() {
+        let e = Estimate::from_counts(3, 10);
+        assert!((e.p - 0.3).abs() < 1e-12);
+        assert!(e.lo < e.p && e.p < e.hi);
+        assert!(e.lo >= 0.0 && e.hi <= 1.0);
+    }
+
+    #[test]
+    fn zero_and_full_counts_stay_in_unit_interval() {
+        let zero = Estimate::from_counts(0, 50);
+        assert_eq!(zero.p, 0.0);
+        assert!(zero.hi > 0.0 && zero.hi < 0.2, "upper bound {}", zero.hi);
+        let full = Estimate::from_counts(50, 50);
+        assert_eq!(full.p, 1.0);
+        assert!(full.lo > 0.8);
+    }
+
+    #[test]
+    fn interval_shrinks_with_n() {
+        let small = Estimate::from_counts(5, 10);
+        let large = Estimate::from_counts(500, 1000);
+        assert!(large.hi - large.lo < small.hi - small.lo);
+    }
+
+    #[test]
+    fn empty_trials_are_vacuous() {
+        let e = Estimate::from_counts(0, 0);
+        assert_eq!((e.lo, e.hi), (0.0, 1.0));
+    }
+
+    #[test]
+    fn loose_false_partition_samples_by_tau() {
+        let mk = |tau: f64, detected: bool| McSample {
+            tau,
+            vmin: 0.0,
+            detected,
+            slew1: 0.0,
+            slew2: 0.0,
+        };
+        let samples = vec![
+            mk(0.2, false), // loose
+            mk(0.2, true),
+            mk(0.05, true), // false alarm
+            mk(0.05, false),
+        ];
+        let (l, f) = loose_false_probabilities(&samples, 0.1);
+        assert_eq!((l.k, l.n), (1, 2));
+        assert_eq!((f.k, f.n), (1, 2));
+    }
+}

@@ -1,0 +1,182 @@
+//! Distribution of the sensitivity τ_min under process variation.
+//!
+//! This is the mechanism behind the paper's Tab. 1: every perturbed die
+//! has its *own* sensitivity, and a sampled skew between the fastest and
+//! slowest die's τ_min is classified differently by different dies. The
+//! distribution quantifies how wide that ambiguous band is.
+
+use std::thread;
+
+use clocksense_core::{find_tau_min, ClockPair, CoreError, SensorBuilder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::experiment::McConfig;
+use crate::perturb::perturb_circuit_global;
+
+/// Summary statistics of a τ_min population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TauMinDistribution {
+    /// Smallest observed sensitivity (s).
+    pub min: f64,
+    /// Mean sensitivity (s).
+    pub mean: f64,
+    /// Largest observed sensitivity (s).
+    pub max: f64,
+    /// Sample standard deviation (s).
+    pub std_dev: f64,
+    /// Number of samples that were detectable within the search range.
+    pub n: usize,
+}
+
+impl TauMinDistribution {
+    /// Computes the summary of a non-empty sample set.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "need at least one sample");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var =
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0).max(1.0);
+        TauMinDistribution {
+            min: samples.iter().cloned().fold(f64::MAX, f64::min),
+            mean,
+            max: samples.iter().cloned().fold(f64::MIN, f64::max),
+            std_dev: var.sqrt(),
+            n,
+        }
+    }
+}
+
+/// Measures each perturbed die's own τ_min by bisection, for `n` samples.
+///
+/// Returns the raw per-die sensitivities (skipping dies whose τ_min lies
+/// beyond `tau_hi`) in sample order.
+///
+/// # Errors
+///
+/// Propagates construction and simulation errors; rejects a non-positive
+/// `tau_hi`.
+pub fn tau_min_samples(
+    builder: &SensorBuilder,
+    clocks: &ClockPair,
+    tau_hi: f64,
+    n: usize,
+    cfg: &McConfig,
+) -> Result<Vec<f64>, CoreError> {
+    if !(tau_hi.is_finite() && tau_hi > 0.0) {
+        return Err(CoreError::InvalidParameter(format!(
+            "tau_hi must be positive, got {tau_hi}"
+        )));
+    }
+    let threads = if cfg.threads == 0 {
+        thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1)
+    } else {
+        cfg.threads
+    };
+    let indices: Vec<usize> = (0..n).collect();
+    let chunk_size = n.div_ceil(threads).max(1);
+    let mut slots: Vec<Option<Result<Option<f64>, CoreError>>> = vec![None; n];
+    thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (chunk_idx, chunk) in indices.chunks(chunk_size).enumerate() {
+            handles.push((
+                chunk_idx,
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .map(|&i| {
+                            let mut rng = StdRng::seed_from_u64(
+                                cfg.seed.wrapping_mul(0x2545f4914f6cdd1d) ^ i as u64,
+                            );
+                            let mut sensor = builder.build()?;
+                            perturb_circuit_global(
+                                sensor.circuit_mut(),
+                                cfg.spread,
+                                &["cl1", "cl2"],
+                                &mut rng,
+                            );
+                            find_tau_min(&sensor, clocks, tau_hi, 2e-12, &cfg.sim)
+                        })
+                        .collect::<Vec<_>>()
+                }),
+            ));
+        }
+        for (chunk_idx, handle) in handles {
+            for (i, r) in handle
+                .join()
+                .expect("worker panicked")
+                .into_iter()
+                .enumerate()
+            {
+                slots[chunk_idx * chunk_size + i] = Some(r);
+            }
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for slot in slots {
+        if let Some(tau) = slot.expect("all slots filled")? {
+            out.push(tau);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clocksense_core::Technology;
+    use clocksense_spice::SimOptions;
+
+    #[test]
+    fn distribution_summary_is_consistent() {
+        let d = TauMinDistribution::from_samples(&[1.0, 2.0, 3.0]);
+        assert_eq!(d.min, 1.0);
+        assert_eq!(d.max, 3.0);
+        assert!((d.mean - 2.0).abs() < 1e-12);
+        assert!((d.std_dev - 1.0).abs() < 1e-12);
+        assert_eq!(d.n, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_summary_panics() {
+        TauMinDistribution::from_samples(&[]);
+    }
+
+    #[test]
+    fn tau_min_spreads_under_variation() {
+        let tech = Technology::cmos12();
+        let builder = SensorBuilder::new(tech).load_capacitance(160e-15);
+        let clocks = ClockPair::single_shot(tech.vdd, 0.2e-9);
+        let cfg = McConfig {
+            samples: 0, // unused here
+            sim: SimOptions {
+                tstep: 4e-12,
+                ..SimOptions::default()
+            },
+            ..McConfig::default()
+        };
+        let samples = tau_min_samples(&builder, &clocks, 0.6e-9, 6, &cfg).unwrap();
+        assert!(samples.len() >= 4, "most dies must be detectable");
+        let d = TauMinDistribution::from_samples(&samples);
+        // The nominal sits near 112 ps; variation spreads it but keeps it
+        // within a physically sensible band.
+        assert!(d.min > 30e-12 && d.max < 350e-12, "{d:?}");
+        assert!(d.max > d.min, "variation must spread tau_min");
+    }
+
+    #[test]
+    fn invalid_range_rejected() {
+        let tech = Technology::cmos12();
+        let builder = SensorBuilder::new(tech);
+        let clocks = ClockPair::single_shot(tech.vdd, 0.2e-9);
+        let cfg = McConfig::default();
+        assert!(tau_min_samples(&builder, &clocks, -1.0, 2, &cfg).is_err());
+    }
+}

@@ -1,0 +1,620 @@
+//! The [`Circuit`] container: nodes, named devices, validation.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::device::{Capacitor, CurrentSource, Device, Resistor, VoltageSource};
+use crate::error::NetlistError;
+use crate::mos::{MosParams, MosPolarity, Mosfet};
+use crate::node::{NodeId, GROUND};
+use crate::waveform::SourceWave;
+
+/// Identifier of a device within a [`Circuit`].
+///
+/// Device ids are stable: removing a device leaves a tombstone, so ids held
+/// by fault dictionaries remain valid for the surviving devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DeviceId(pub(crate) u32);
+
+impl DeviceId {
+    /// Returns the dense slot index of this device.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// A live device slot: its user-visible name and payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceEntry {
+    /// User-assigned unique name (e.g. `"m_c"`, `"vdd"`).
+    pub name: String,
+    /// The device itself.
+    pub device: Device,
+}
+
+/// Device counts of a circuit, produced by [`Circuit::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CircuitStats {
+    /// Node count including ground.
+    pub nodes: usize,
+    /// Resistor count.
+    pub resistors: usize,
+    /// Capacitor count.
+    pub capacitors: usize,
+    /// Voltage-source count.
+    pub vsources: usize,
+    /// Current-source count.
+    pub isources: usize,
+    /// n-channel MOSFET count.
+    pub nmos: usize,
+    /// p-channel MOSFET count.
+    pub pmos: usize,
+}
+
+impl CircuitStats {
+    /// Total live device count.
+    pub fn total(&self) -> usize {
+        self.resistors + self.capacitors + self.vsources + self.isources + self.nmos + self.pmos
+    }
+
+    /// Total transistor count.
+    pub fn transistors(&self) -> usize {
+        self.nmos + self.pmos
+    }
+}
+
+/// A flat electrical circuit: a set of named nodes and named devices.
+///
+/// Nodes are created on demand by [`Circuit::node`]; node `0` is always the
+/// ground reference. Devices are added through the typed `add_*` methods,
+/// which validate values eagerly ([C-VALIDATE]) and return stable
+/// [`DeviceId`]s.
+///
+/// # Examples
+///
+/// ```
+/// use clocksense_netlist::{Circuit, SourceWave, GROUND};
+///
+/// # fn main() -> Result<(), clocksense_netlist::NetlistError> {
+/// let mut ckt = Circuit::new();
+/// let vdd = ckt.node("vdd");
+/// ckt.add_vsource("vsupply", vdd, GROUND, SourceWave::Dc(5.0))?;
+/// ckt.add_resistor("rload", vdd, GROUND, 10_000.0)?;
+/// assert_eq!(ckt.device_count(), 2);
+/// ckt.validate()?;
+/// # Ok(())
+/// # }
+/// ```
+///
+/// [C-VALIDATE]: https://rust-lang.github.io/api-guidelines/dependability.html
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    node_names: Vec<String>,
+    name_to_node: HashMap<String, NodeId>,
+    slots: Vec<Option<DeviceEntry>>,
+    name_to_device: HashMap<String, DeviceId>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit containing only the ground node (`"0"`).
+    pub fn new() -> Self {
+        let mut ckt = Circuit {
+            node_names: Vec::new(),
+            name_to_node: HashMap::new(),
+            slots: Vec::new(),
+            name_to_device: HashMap::new(),
+        };
+        ckt.node_names.push("0".to_string());
+        ckt.name_to_node.insert("0".to_string(), GROUND);
+        ckt
+    }
+
+    /// Returns the node with the given name, creating it if necessary.
+    ///
+    /// The names `"0"`, `"gnd"` and `"GND"` all alias the ground node.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        if name == "0" || name.eq_ignore_ascii_case("gnd") {
+            return GROUND;
+        }
+        if let Some(&id) = self.name_to_node.get(name) {
+            return id;
+        }
+        let id = NodeId(self.node_names.len() as u32);
+        self.node_names.push(name.to_string());
+        self.name_to_node.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up an existing node by name without creating it.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        if name == "0" || name.eq_ignore_ascii_case("gnd") {
+            return Some(GROUND);
+        }
+        self.name_to_node.get(name).copied()
+    }
+
+    /// Returns the name of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not allocated by this circuit.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.node_names[id.index()]
+    }
+
+    /// Number of nodes including ground.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Number of live (non-removed) devices.
+    pub fn device_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    fn insert(&mut self, name: &str, device: Device) -> Result<DeviceId, NetlistError> {
+        if self.name_to_device.contains_key(name) {
+            return Err(NetlistError::DuplicateDevice(name.to_string()));
+        }
+        for node in device.nodes() {
+            if node.index() >= self.node_names.len() {
+                return Err(NetlistError::UnknownNode(node.to_string()));
+            }
+        }
+        let id = DeviceId(self.slots.len() as u32);
+        self.slots.push(Some(DeviceEntry {
+            name: name.to_string(),
+            device,
+        }));
+        self.name_to_device.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidValue`] unless `ohms` is finite and
+    /// positive, and [`NetlistError::DuplicateDevice`] if `name` is taken.
+    pub fn add_resistor(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        ohms: f64,
+    ) -> Result<DeviceId, NetlistError> {
+        if !(ohms.is_finite() && ohms > 0.0) {
+            return Err(NetlistError::InvalidValue {
+                device: name.to_string(),
+                detail: format!("resistance must be finite and positive, got {ohms}"),
+            });
+        }
+        self.insert(name, Device::Resistor(Resistor { a, b, ohms }))
+    }
+
+    /// Adds a capacitor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidValue`] unless `farads` is finite and
+    /// positive, and [`NetlistError::DuplicateDevice`] if `name` is taken.
+    pub fn add_capacitor(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        farads: f64,
+    ) -> Result<DeviceId, NetlistError> {
+        if !(farads.is_finite() && farads > 0.0) {
+            return Err(NetlistError::InvalidValue {
+                device: name.to_string(),
+                detail: format!("capacitance must be finite and positive, got {farads}"),
+            });
+        }
+        self.insert(name, Device::Capacitor(Capacitor { a, b, farads }))
+    }
+
+    /// Adds an independent voltage source forcing `V(plus) - V(minus)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::MalformedWave`] if the waveform fails its
+    /// well-formedness check, and [`NetlistError::DuplicateDevice`] if
+    /// `name` is taken.
+    pub fn add_vsource(
+        &mut self,
+        name: &str,
+        plus: NodeId,
+        minus: NodeId,
+        wave: SourceWave,
+    ) -> Result<DeviceId, NetlistError> {
+        if !wave.is_well_formed() {
+            return Err(NetlistError::MalformedWave(name.to_string()));
+        }
+        self.insert(
+            name,
+            Device::VoltageSource(VoltageSource { plus, minus, wave }),
+        )
+    }
+
+    /// Adds an independent current source pushing current `from` → `to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::MalformedWave`] if the waveform fails its
+    /// well-formedness check, and [`NetlistError::DuplicateDevice`] if
+    /// `name` is taken.
+    pub fn add_isource(
+        &mut self,
+        name: &str,
+        from: NodeId,
+        to: NodeId,
+        wave: SourceWave,
+    ) -> Result<DeviceId, NetlistError> {
+        if !wave.is_well_formed() {
+            return Err(NetlistError::MalformedWave(name.to_string()));
+        }
+        self.insert(
+            name,
+            Device::CurrentSource(CurrentSource { from, to, wave }),
+        )
+    }
+
+    /// Adds a Level-1 MOSFET.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidValue`] if the parameters fail
+    /// [`MosParams::is_well_formed`], and [`NetlistError::DuplicateDevice`]
+    /// if `name` is taken.
+    pub fn add_mosfet(
+        &mut self,
+        name: &str,
+        polarity: MosPolarity,
+        drain: NodeId,
+        gate: NodeId,
+        source: NodeId,
+        params: MosParams,
+    ) -> Result<DeviceId, NetlistError> {
+        if !params.is_well_formed() {
+            return Err(NetlistError::InvalidValue {
+                device: name.to_string(),
+                detail: "mos parameters out of physical domain".to_string(),
+            });
+        }
+        self.insert(
+            name,
+            Device::Mosfet(Mosfet {
+                polarity,
+                drain,
+                gate,
+                source,
+                params,
+            }),
+        )
+    }
+
+    /// Returns the device entry for `id`, or `None` if it was removed or
+    /// never existed.
+    pub fn device(&self, id: DeviceId) -> Option<&DeviceEntry> {
+        self.slots.get(id.index()).and_then(|s| s.as_ref())
+    }
+
+    /// Mutable access to the device entry for `id`.
+    pub fn device_mut(&mut self, id: DeviceId) -> Option<&mut DeviceEntry> {
+        self.slots.get_mut(id.index()).and_then(|s| s.as_mut())
+    }
+
+    /// Looks up a device id by name.
+    pub fn find_device(&self, name: &str) -> Option<DeviceId> {
+        self.name_to_device.get(name).copied().filter(|id| {
+            self.slots
+                .get(id.index())
+                .map(|s| s.is_some())
+                .unwrap_or(false)
+        })
+    }
+
+    /// Removes a device, returning its entry.
+    ///
+    /// The id becomes a tombstone; other device ids are unaffected. Used by
+    /// fault injection to model transistor stuck-open faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownDevice`] if `id` is not a live device.
+    pub fn remove_device(&mut self, id: DeviceId) -> Result<DeviceEntry, NetlistError> {
+        let slot = self
+            .slots
+            .get_mut(id.index())
+            .ok_or_else(|| NetlistError::UnknownDevice(id.to_string()))?;
+        let entry = slot
+            .take()
+            .ok_or_else(|| NetlistError::UnknownDevice(id.to_string()))?;
+        self.name_to_device.remove(&entry.name);
+        Ok(entry)
+    }
+
+    /// Iterates over live devices as `(id, entry)` pairs.
+    pub fn devices(&self) -> impl Iterator<Item = (DeviceId, &DeviceEntry)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|e| (DeviceId(i as u32), e)))
+    }
+
+    /// Iterates over node ids (including ground).
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_names.len()).map(|i| NodeId(i as u32))
+    }
+
+    /// Summarises the circuit: device counts per kind.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use clocksense_netlist::{Circuit, SourceWave, GROUND};
+    ///
+    /// # fn main() -> Result<(), clocksense_netlist::NetlistError> {
+    /// let mut ckt = Circuit::new();
+    /// let a = ckt.node("a");
+    /// ckt.add_vsource("v", a, GROUND, SourceWave::Dc(1.0))?;
+    /// ckt.add_resistor("r", a, GROUND, 50.0)?;
+    /// let stats = ckt.stats();
+    /// assert_eq!(stats.resistors, 1);
+    /// assert_eq!(stats.vsources, 1);
+    /// assert_eq!(stats.total(), 2);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn stats(&self) -> CircuitStats {
+        let mut stats = CircuitStats {
+            nodes: self.node_count(),
+            ..CircuitStats::default()
+        };
+        for (_, entry) in self.devices() {
+            match &entry.device {
+                Device::Resistor(_) => stats.resistors += 1,
+                Device::Capacitor(_) => stats.capacitors += 1,
+                Device::VoltageSource(_) => stats.vsources += 1,
+                Device::CurrentSource(_) => stats.isources += 1,
+                Device::Mosfet(m) => match m.polarity {
+                    crate::mos::MosPolarity::Nmos => stats.nmos += 1,
+                    crate::mos::MosPolarity::Pmos => stats.pmos += 1,
+                },
+            }
+        }
+        stats
+    }
+
+    /// Checks structural soundness: every non-ground node must be reachable
+    /// from ground through resistors, voltage sources or MOSFET channels
+    /// (capacitor-only and current-source-only nodes have no DC path and
+    /// would make the DC operating point singular).
+    ///
+    /// MOSFET gates do not conduct, so a gate connection alone does not
+    /// ground a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::FloatingNode`] naming the first offending
+    /// node.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        let n = self.node_names.len();
+        // Union-find over DC-conductive device terminals.
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], x: usize) -> usize {
+            let mut root = x;
+            while parent[root] != root {
+                root = parent[root];
+            }
+            let mut cur = x;
+            while parent[cur] != root {
+                let next = parent[cur];
+                parent[cur] = root;
+                cur = next;
+            }
+            root
+        }
+        let union = |parent: &mut [usize], a: usize, b: usize| {
+            let ra = find(parent, a);
+            let rb = find(parent, b);
+            if ra != rb {
+                parent[ra] = rb;
+            }
+        };
+        let mut touched = vec![false; n];
+        touched[GROUND.index()] = true;
+        for (_, entry) in self.devices() {
+            for node in entry.device.nodes() {
+                touched[node.index()] = true;
+            }
+            match &entry.device {
+                Device::Resistor(r) => union(&mut parent, r.a.index(), r.b.index()),
+                Device::VoltageSource(v) => union(&mut parent, v.plus.index(), v.minus.index()),
+                Device::Mosfet(m) => union(&mut parent, m.drain.index(), m.source.index()),
+                Device::Capacitor(_) | Device::CurrentSource(_) => {}
+            }
+        }
+        let ground_root = find(&mut parent, GROUND.index());
+        for i in 1..n {
+            if !touched[i] {
+                return Err(NetlistError::FloatingNode(self.node_names[i].clone()));
+            }
+            if find(&mut parent, i) != ground_root {
+                return Err(NetlistError::FloatingNode(self.node_names[i].clone()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mos_params() -> MosParams {
+        MosParams {
+            vth0: 0.7,
+            kp: 60e-6,
+            lambda: 0.02,
+            w: 4e-6,
+            l: 1.2e-6,
+            cgs: 0.0,
+            cgd: 0.0,
+            cdb: 0.0,
+        }
+    }
+
+    #[test]
+    fn ground_aliases() {
+        let mut ckt = Circuit::new();
+        assert_eq!(ckt.node("0"), GROUND);
+        assert_eq!(ckt.node("gnd"), GROUND);
+        assert_eq!(ckt.node("GND"), GROUND);
+        assert_eq!(ckt.find_node("Gnd"), Some(GROUND));
+        assert_eq!(ckt.node_count(), 1);
+    }
+
+    #[test]
+    fn node_creation_is_idempotent() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        assert_ne!(a, b);
+        assert_eq!(ckt.node("a"), a);
+        assert_eq!(ckt.node_count(), 3);
+        assert_eq!(ckt.node_name(a), "a");
+        assert_eq!(ckt.find_node("zzz"), None);
+    }
+
+    #[test]
+    fn duplicate_device_name_rejected() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_resistor("r1", a, GROUND, 100.0).unwrap();
+        let err = ckt.add_resistor("r1", a, GROUND, 200.0).unwrap_err();
+        assert_eq!(err, NetlistError::DuplicateDevice("r1".into()));
+    }
+
+    #[test]
+    fn invalid_values_rejected() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        assert!(ckt.add_resistor("r", a, GROUND, 0.0).is_err());
+        assert!(ckt.add_resistor("r", a, GROUND, -5.0).is_err());
+        assert!(ckt.add_resistor("r", a, GROUND, f64::NAN).is_err());
+        assert!(ckt.add_capacitor("c", a, GROUND, 0.0).is_err());
+        assert!(ckt
+            .add_vsource("v", a, GROUND, SourceWave::Dc(f64::NAN))
+            .is_err());
+        let mut bad = mos_params();
+        bad.l = -1.0;
+        assert!(ckt
+            .add_mosfet("m", MosPolarity::Nmos, a, a, GROUND, bad)
+            .is_err());
+        assert_eq!(ckt.device_count(), 0);
+    }
+
+    #[test]
+    fn remove_leaves_other_ids_stable() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let r1 = ckt.add_resistor("r1", a, GROUND, 100.0).unwrap();
+        let r2 = ckt.add_resistor("r2", a, GROUND, 200.0).unwrap();
+        let removed = ckt.remove_device(r1).unwrap();
+        assert_eq!(removed.name, "r1");
+        assert!(ckt.device(r1).is_none());
+        assert_eq!(ckt.device(r2).unwrap().name, "r2");
+        assert_eq!(ckt.device_count(), 1);
+        assert_eq!(ckt.find_device("r1"), None);
+        assert!(ckt.remove_device(r1).is_err());
+        // Name can be reused after removal.
+        ckt.add_resistor("r1", a, GROUND, 50.0).unwrap();
+        assert!(ckt.find_device("r1").is_some());
+    }
+
+    #[test]
+    fn validate_accepts_connected_circuit() {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let out = ckt.node("out");
+        ckt.add_vsource("v1", vdd, GROUND, SourceWave::Dc(5.0))
+            .unwrap();
+        ckt.add_mosfet("m1", MosPolarity::Pmos, out, GROUND, vdd, mos_params())
+            .unwrap();
+        ckt.add_capacitor("cl", out, GROUND, 1e-13).unwrap();
+        ckt.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_floating_node() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_resistor("r1", a, GROUND, 100.0).unwrap();
+        // b is only reachable through a capacitor: no DC path.
+        ckt.add_capacitor("c1", b, a, 1e-12).unwrap();
+        let err = ckt.validate().unwrap_err();
+        assert_eq!(err, NetlistError::FloatingNode("b".into()));
+    }
+
+    #[test]
+    fn validate_rejects_untouched_node() {
+        let mut ckt = Circuit::new();
+        ckt.node("orphan");
+        let err = ckt.validate().unwrap_err();
+        assert_eq!(err, NetlistError::FloatingNode("orphan".into()));
+    }
+
+    #[test]
+    fn gate_only_connection_does_not_ground() {
+        let mut ckt = Circuit::new();
+        let g = ckt.node("g");
+        let d = ckt.node("d");
+        ckt.add_mosfet("m1", MosPolarity::Nmos, d, g, GROUND, mos_params())
+            .unwrap();
+        ckt.add_resistor("rd", d, GROUND, 1e3).unwrap();
+        let err = ckt.validate().unwrap_err();
+        assert_eq!(err, NetlistError::FloatingNode("g".into()));
+    }
+
+    #[test]
+    fn stats_count_by_kind() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource("v", a, GROUND, SourceWave::Dc(5.0))
+            .unwrap();
+        ckt.add_resistor("r", a, b, 10.0).unwrap();
+        ckt.add_capacitor("c", b, GROUND, 1e-12).unwrap();
+        ckt.add_mosfet("mn", MosPolarity::Nmos, b, a, GROUND, mos_params())
+            .unwrap();
+        ckt.add_mosfet("mp", MosPolarity::Pmos, b, a, GROUND, mos_params())
+            .unwrap();
+        let s = ckt.stats();
+        assert_eq!(s.nodes, 3);
+        assert_eq!((s.resistors, s.capacitors, s.vsources), (1, 1, 1));
+        assert_eq!((s.nmos, s.pmos), (1, 1));
+        assert_eq!(s.total(), 5);
+        assert_eq!(s.transistors(), 2);
+    }
+
+    #[test]
+    fn devices_iterator_skips_tombstones() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let r1 = ckt.add_resistor("r1", a, GROUND, 1.0).unwrap();
+        ckt.add_resistor("r2", a, GROUND, 2.0).unwrap();
+        ckt.remove_device(r1).unwrap();
+        let names: Vec<_> = ckt.devices().map(|(_, e)| e.name.as_str()).collect();
+        assert_eq!(names, vec!["r2"]);
+    }
+}

@@ -1,0 +1,157 @@
+//! Passive devices and independent sources.
+
+use crate::mos::Mosfet;
+use crate::node::NodeId;
+use crate::waveform::SourceWave;
+
+/// A linear resistor between two nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Resistor {
+    /// First terminal.
+    pub a: NodeId,
+    /// Second terminal.
+    pub b: NodeId,
+    /// Resistance in ohms; must be positive.
+    pub ohms: f64,
+}
+
+/// A linear capacitor between two nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Capacitor {
+    /// First terminal.
+    pub a: NodeId,
+    /// Second terminal.
+    pub b: NodeId,
+    /// Capacitance in farads; must be positive.
+    pub farads: f64,
+}
+
+/// An independent voltage source.
+///
+/// The source forces `V(plus) - V(minus) = wave(t)` and its branch current
+/// becomes an extra MNA unknown, which is how the simulator measures supply
+/// currents (IDDQ).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VoltageSource {
+    /// Positive terminal.
+    pub plus: NodeId,
+    /// Negative terminal.
+    pub minus: NodeId,
+    /// Value as a function of time.
+    pub wave: SourceWave,
+}
+
+/// An independent current source pushing current from `from` into `to`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CurrentSource {
+    /// Terminal the current leaves.
+    pub from: NodeId,
+    /// Terminal the current enters.
+    pub to: NodeId,
+    /// Value as a function of time (amperes).
+    pub wave: SourceWave,
+}
+
+/// Any device understood by the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Device {
+    /// Linear resistor.
+    Resistor(Resistor),
+    /// Linear capacitor.
+    Capacitor(Capacitor),
+    /// Independent voltage source.
+    VoltageSource(VoltageSource),
+    /// Independent current source.
+    CurrentSource(CurrentSource),
+    /// Level-1 MOSFET.
+    Mosfet(Mosfet),
+}
+
+impl Device {
+    /// Returns the nodes this device connects to, in terminal order.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        match self {
+            Device::Resistor(r) => vec![r.a, r.b],
+            Device::Capacitor(c) => vec![c.a, c.b],
+            Device::VoltageSource(v) => vec![v.plus, v.minus],
+            Device::CurrentSource(i) => vec![i.from, i.to],
+            Device::Mosfet(m) => vec![m.drain, m.gate, m.source],
+        }
+    }
+
+    /// Returns `true` if the device is a MOSFET.
+    pub fn is_mosfet(&self) -> bool {
+        matches!(self, Device::Mosfet(_))
+    }
+
+    /// Returns the MOSFET payload if this device is one.
+    pub fn as_mosfet(&self) -> Option<&Mosfet> {
+        match self {
+            Device::Mosfet(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the MOSFET payload if this device is one.
+    pub fn as_mosfet_mut(&mut self) -> Option<&mut Mosfet> {
+        match self {
+            Device::Mosfet(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// A short SPICE-like kind tag, used in error messages and reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Device::Resistor(_) => "R",
+            Device::Capacitor(_) => "C",
+            Device::VoltageSource(_) => "V",
+            Device::CurrentSource(_) => "I",
+            Device::Mosfet(_) => "M",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mos::{MosParams, MosPolarity};
+    use crate::node::GROUND;
+
+    #[test]
+    fn nodes_in_terminal_order() {
+        let m = Device::Mosfet(Mosfet {
+            polarity: MosPolarity::Nmos,
+            drain: NodeId::from_index(3),
+            gate: NodeId::from_index(1),
+            source: GROUND,
+            params: MosParams {
+                vth0: 0.7,
+                kp: 60e-6,
+                lambda: 0.0,
+                w: 2e-6,
+                l: 1e-6,
+                cgs: 0.0,
+                cgd: 0.0,
+                cdb: 0.0,
+            },
+        });
+        assert_eq!(
+            m.nodes(),
+            vec![NodeId::from_index(3), NodeId::from_index(1), GROUND]
+        );
+        assert!(m.is_mosfet());
+        assert_eq!(m.kind(), "M");
+    }
+
+    #[test]
+    fn kind_tags() {
+        let r = Device::Resistor(Resistor {
+            a: GROUND,
+            b: GROUND,
+            ohms: 1.0,
+        });
+        assert_eq!(r.kind(), "R");
+        assert!(r.as_mosfet().is_none());
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type for circuit construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or validating a [`Circuit`].
+///
+/// [`Circuit`]: crate::Circuit
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetlistError {
+    /// A device with this name already exists in the circuit.
+    DuplicateDevice(String),
+    /// A device value (resistance, capacitance, MOS parameter) is out of its
+    /// physical domain.
+    InvalidValue {
+        /// Name of the offending device.
+        device: String,
+        /// Human-readable description of the violated constraint.
+        detail: String,
+    },
+    /// A node id does not belong to this circuit.
+    UnknownNode(String),
+    /// A device id does not refer to a live device in this circuit.
+    UnknownDevice(String),
+    /// A source waveform failed its well-formedness check.
+    MalformedWave(String),
+    /// Validation found a node with no connected device or no conductive
+    /// path to ground.
+    FloatingNode(String),
+    /// Subcircuit instantiation referenced a port name that is not a node of
+    /// the subcircuit.
+    UnknownPort(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateDevice(name) => {
+                write!(f, "duplicate device name {name:?}")
+            }
+            NetlistError::InvalidValue { device, detail } => {
+                write!(f, "invalid value on device {device:?}: {detail}")
+            }
+            NetlistError::UnknownNode(what) => write!(f, "unknown node {what}"),
+            NetlistError::UnknownDevice(what) => write!(f, "unknown device {what}"),
+            NetlistError::MalformedWave(device) => {
+                write!(f, "malformed source waveform on device {device:?}")
+            }
+            NetlistError::FloatingNode(name) => {
+                write!(f, "node {name:?} has no conductive path to ground")
+            }
+            NetlistError::UnknownPort(name) => {
+                write!(f, "subcircuit has no node named {name:?}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_without_trailing_punctuation() {
+        let msgs = [
+            NetlistError::DuplicateDevice("m1".into()).to_string(),
+            NetlistError::InvalidValue {
+                device: "r1".into(),
+                detail: "resistance must be positive".into(),
+            }
+            .to_string(),
+            NetlistError::UnknownNode("n9".into()).to_string(),
+            NetlistError::MalformedWave("v1".into()).to_string(),
+            NetlistError::FloatingNode("x".into()).to_string(),
+            NetlistError::UnknownPort("y".into()).to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(!m.ends_with('.'));
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

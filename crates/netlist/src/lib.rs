@@ -1,0 +1,50 @@
+//! Circuit and device representation for the clocksense electrical simulator.
+//!
+//! This crate provides the *structural* half of an electrical-level
+//! simulator: nodes, devices (resistors, capacitors, independent sources and
+//! Level-1 MOSFETs) and the [`Circuit`] container that owns them. The
+//! *behavioural* half (modified nodal analysis, Newton–Raphson, transient
+//! integration) lives in `clocksense-spice`.
+//!
+//! Circuits are built programmatically through the [`Circuit`] builder API,
+//! and can be composed hierarchically with [`instantiate`]. Devices keep
+//! stable [`DeviceId`]s even after removal, which the fault-injection layer
+//! (`clocksense-faults`) relies on to map fault sites to devices.
+//!
+//! # Examples
+//!
+//! Build an RC low-pass filter driven by a 5 V step:
+//!
+//! ```
+//! use clocksense_netlist::{Circuit, SourceWave, GROUND};
+//!
+//! # fn main() -> Result<(), clocksense_netlist::NetlistError> {
+//! let mut ckt = Circuit::new();
+//! let inp = ckt.node("in");
+//! let out = ckt.node("out");
+//! ckt.add_vsource("vin", inp, GROUND, SourceWave::step(0.0, 5.0, 1e-9, 0.1e-9))?;
+//! ckt.add_resistor("r1", inp, out, 1_000.0)?;
+//! ckt.add_capacitor("c1", out, GROUND, 1e-12)?;
+//! assert_eq!(ckt.node_count(), 3); // ground, in, out
+//! ckt.validate()?;
+//! # Ok(())
+//! # }
+//! ```
+
+mod circuit;
+mod device;
+mod error;
+mod mos;
+mod node;
+mod spice_io;
+mod subckt;
+mod waveform;
+
+pub use circuit::{Circuit, CircuitStats, DeviceEntry, DeviceId};
+pub use device::{Capacitor, CurrentSource, Device, Resistor, VoltageSource};
+pub use error::NetlistError;
+pub use mos::{MosParams, MosPolarity, Mosfet};
+pub use node::{NodeId, GROUND};
+pub use spice_io::{from_spice, to_spice};
+pub use subckt::{instantiate, PortMap};
+pub use waveform::SourceWave;

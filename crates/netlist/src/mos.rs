@@ -1,0 +1,163 @@
+//! Level-1 MOSFET device description.
+
+use crate::node::NodeId;
+
+/// Channel polarity of a MOSFET.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MosPolarity {
+    /// n-channel device (conducts for `Vgs > Vth`, `Vth > 0`).
+    Nmos,
+    /// p-channel device (conducts for `Vgs < Vth`, `Vth < 0`).
+    Pmos,
+}
+
+impl MosPolarity {
+    /// Returns `+1.0` for NMOS and `-1.0` for PMOS.
+    ///
+    /// The Level-1 evaluator uses this to fold both polarities onto the
+    /// n-channel equations.
+    #[inline]
+    pub fn sign(self) -> f64 {
+        match self {
+            MosPolarity::Nmos => 1.0,
+            MosPolarity::Pmos => -1.0,
+        }
+    }
+}
+
+/// Level-1 (Shichman–Hodges) MOSFET model parameters.
+///
+/// Values follow SPICE conventions: `vth0` is signed (negative for PMOS),
+/// `kp` is the process transconductance in A/V² (already per square; the
+/// effective device transconductance is `kp * w / l`), `lambda` models
+/// channel-length modulation, and the three capacitances are lumped constant
+/// capacitors added between the corresponding terminals.
+///
+/// The constant-capacitance approximation (instead of the bias-dependent
+/// Meyer model) is deliberate: the paper's conclusions depend on threshold
+/// cut-off and saturation-current-limited delays, which Level-1 with fixed
+/// caps reproduces, and it keeps the transient Jacobian linear in the
+/// reactive part.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosParams {
+    /// Zero-bias threshold voltage (V). Positive for NMOS, negative for PMOS.
+    pub vth0: f64,
+    /// Process transconductance `KP` (A/V²).
+    pub kp: f64,
+    /// Channel-length modulation (1/V).
+    pub lambda: f64,
+    /// Channel width (m).
+    pub w: f64,
+    /// Channel length (m).
+    pub l: f64,
+    /// Gate–source capacitance (F), stamped as a constant capacitor.
+    pub cgs: f64,
+    /// Gate–drain capacitance (F), stamped as a constant capacitor.
+    pub cgd: f64,
+    /// Drain–bulk junction capacitance to the bulk rail (F).
+    pub cdb: f64,
+}
+
+impl MosParams {
+    /// Effective transconductance factor `beta = kp * w / l` (A/V²).
+    #[inline]
+    pub fn beta(&self) -> f64 {
+        self.kp * self.w / self.l
+    }
+
+    /// Returns a copy with the channel width scaled by `factor`.
+    ///
+    /// Width scaling also scales all capacitances, which matches how layout
+    /// resizing affects parasitics to first order.
+    pub fn scaled_width(&self, factor: f64) -> Self {
+        MosParams {
+            w: self.w * factor,
+            cgs: self.cgs * factor,
+            cgd: self.cgd * factor,
+            cdb: self.cdb * factor,
+            ..*self
+        }
+    }
+
+    /// Returns `true` if the parameters are physically meaningful.
+    pub fn is_well_formed(&self) -> bool {
+        self.kp > 0.0
+            && self.w > 0.0
+            && self.l > 0.0
+            && self.lambda >= 0.0
+            && self.vth0.is_finite()
+            && self.cgs >= 0.0
+            && self.cgd >= 0.0
+            && self.cdb >= 0.0
+    }
+}
+
+/// A MOSFET instance: polarity, terminal nodes and model parameters.
+///
+/// The bulk terminal is implicit: NMOS bulks are tied to ground and PMOS
+/// bulks to the positive rail, and the body effect is not modelled (the
+/// sensing circuit has no stacked bodies whose bias would matter to the
+/// paper's conclusions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mosfet {
+    /// Channel polarity.
+    pub polarity: MosPolarity,
+    /// Drain node.
+    pub drain: NodeId,
+    /// Gate node.
+    pub gate: NodeId,
+    /// Source node.
+    pub source: NodeId,
+    /// Model parameters.
+    pub params: MosParams,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> MosParams {
+        MosParams {
+            vth0: 0.7,
+            kp: 60e-6,
+            lambda: 0.02,
+            w: 4e-6,
+            l: 1.2e-6,
+            cgs: 5e-15,
+            cgd: 5e-15,
+            cdb: 4e-15,
+        }
+    }
+
+    #[test]
+    fn beta_is_kp_w_over_l() {
+        let p = params();
+        assert!((p.beta() - 60e-6 * 4.0 / 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn width_scaling_scales_caps() {
+        let p = params().scaled_width(2.0);
+        assert!((p.w - 8e-6).abs() < 1e-18);
+        assert!((p.cgs - 10e-15).abs() < 1e-24);
+        assert!((p.cdb - 8e-15).abs() < 1e-24);
+        assert_eq!(p.l, params().l);
+    }
+
+    #[test]
+    fn polarity_sign() {
+        assert_eq!(MosPolarity::Nmos.sign(), 1.0);
+        assert_eq!(MosPolarity::Pmos.sign(), -1.0);
+    }
+
+    #[test]
+    fn well_formedness_rejects_nonsense() {
+        let mut p = params();
+        assert!(p.is_well_formed());
+        p.w = 0.0;
+        assert!(!p.is_well_formed());
+        p = params();
+        p.kp = -1.0;
+        assert!(!p.is_well_formed());
+    }
+}

@@ -1,0 +1,82 @@
+//! Node identifiers.
+
+use std::fmt;
+
+/// Identifier of a circuit node (an electrical net).
+///
+/// Node `0` is always the ground reference, available as the [`GROUND`]
+/// constant. `NodeId`s are allocated densely by [`Circuit::node`] and index
+/// directly into simulator matrices.
+///
+/// [`Circuit::node`]: crate::Circuit::node
+///
+/// # Examples
+///
+/// ```
+/// use clocksense_netlist::{Circuit, GROUND};
+///
+/// let mut ckt = Circuit::new();
+/// let a = ckt.node("a");
+/// assert_ne!(a, GROUND);
+/// assert_eq!(ckt.node("a"), a); // idempotent lookup
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+/// The ground reference node (node `0`).
+pub const GROUND: NodeId = NodeId(0);
+
+impl NodeId {
+    /// Returns the dense index of this node (ground is `0`).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns `true` if this is the ground reference node.
+    #[inline]
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Creates a `NodeId` from a raw dense index.
+    ///
+    /// Intended for simulator back-ends that enumerate nodes; passing an
+    /// index that was never allocated by the owning [`Circuit`] yields an id
+    /// that the circuit will reject on use.
+    ///
+    /// [`Circuit`]: crate::Circuit
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_is_node_zero() {
+        assert_eq!(GROUND.index(), 0);
+        assert!(GROUND.is_ground());
+        assert!(!NodeId(3).is_ground());
+    }
+
+    #[test]
+    fn roundtrip_through_index() {
+        let n = NodeId(42);
+        assert_eq!(NodeId::from_index(n.index()), n);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(NodeId(7).to_string(), "n7");
+    }
+}

@@ -1,0 +1,639 @@
+//! SPICE-format netlist export and import.
+//!
+//! The exporter writes a [`Circuit`] as a SPICE deck (R/C/V/I elements,
+//! MOSFETs with inline `.model` cards) so any external SPICE-class
+//! simulator can cross-check this crate's engines; the importer reads the
+//! same dialect back. The importer supports the subset the exporter
+//! emits — element cards `R`/`C`/`V`/`I`/`M`, `DC`/`PULSE`/`PWL` sources,
+//! engineering suffixes (`f p n u m k meg g`), `.model` cards with
+//! `VTO/KP/LAMBDA/W/L/CGS/CGD/CDB` parameters, comments and `.end`.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::circuit::Circuit;
+use crate::device::Device;
+use crate::error::NetlistError;
+use crate::mos::{MosParams, MosPolarity};
+use crate::waveform::SourceWave;
+
+/// Formats a value with an engineering suffix.
+fn eng(value: f64) -> String {
+    let a = value.abs();
+    let (scale, suffix) = if a == 0.0 {
+        (1.0, "")
+    } else if a < 1e-12 {
+        (1e15, "f")
+    } else if a < 1e-9 {
+        (1e12, "p")
+    } else if a < 1e-6 {
+        (1e9, "n")
+    } else if a < 1e-3 {
+        (1e6, "u")
+    } else if a < 1.0 {
+        (1e3, "m")
+    } else if a < 1e3 {
+        (1.0, "")
+    } else if a < 1e6 {
+        (1e-3, "k")
+    } else if a < 1e9 {
+        (1e-6, "meg")
+    } else {
+        (1e-9, "g")
+    };
+    let v = value * scale;
+    if (v - v.round()).abs() < 1e-9 * v.abs().max(1.0) {
+        format!("{}{suffix}", v.round())
+    } else {
+        format!("{v:.6}{suffix}")
+    }
+}
+
+fn wave_card(wave: &SourceWave) -> String {
+    match wave {
+        SourceWave::Dc(v) => format!("DC {}", eng(*v)),
+        SourceWave::Pulse {
+            v1,
+            v2,
+            delay,
+            rise,
+            fall,
+            width,
+            period,
+        } => {
+            let per = if period.is_finite() {
+                eng(*period)
+            } else {
+                // A period longer than any practical run models one-shot.
+                eng(1.0)
+            };
+            format!(
+                "PULSE({} {} {} {} {} {} {})",
+                eng(*v1),
+                eng(*v2),
+                eng(*delay),
+                eng(*rise),
+                eng(*fall),
+                eng(*width),
+                per
+            )
+        }
+        SourceWave::Pwl(points) => {
+            let mut s = String::from("PWL(");
+            for (i, (t, v)) in points.iter().enumerate() {
+                if i > 0 {
+                    s.push(' ');
+                }
+                let _ = write!(s, "{} {}", eng(*t), eng(*v));
+            }
+            s.push(')');
+            s
+        }
+    }
+}
+
+/// Serialises a circuit as a SPICE deck.
+///
+/// Node 0 is ground; every other node keeps its name. Each MOSFET gets a
+/// private inline `.model` card carrying its exact Level-1 parameters, so
+/// the deck is self-contained.
+///
+/// # Examples
+///
+/// ```
+/// use clocksense_netlist::{to_spice, Circuit, SourceWave, GROUND};
+///
+/// # fn main() -> Result<(), clocksense_netlist::NetlistError> {
+/// let mut ckt = Circuit::new();
+/// let a = ckt.node("a");
+/// ckt.add_vsource("vin", a, GROUND, SourceWave::Dc(5.0))?;
+/// ckt.add_resistor("r1", a, GROUND, 1_000.0)?;
+/// let deck = to_spice(&ckt, "divider");
+/// assert!(deck.contains("r1 a 0 1k"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_spice(circuit: &Circuit, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "* {title}");
+    let node = |n| {
+        let name = circuit.node_name(n);
+        if name == "0" {
+            "0".to_string()
+        } else {
+            name.to_string()
+        }
+    };
+    let mut models = String::new();
+    for (_, entry) in circuit.devices() {
+        match &entry.device {
+            Device::Resistor(r) => {
+                let _ = writeln!(
+                    out,
+                    "{} {} {} {}",
+                    entry.name,
+                    node(r.a),
+                    node(r.b),
+                    eng(r.ohms)
+                );
+            }
+            Device::Capacitor(c) => {
+                let _ = writeln!(
+                    out,
+                    "{} {} {} {}",
+                    entry.name,
+                    node(c.a),
+                    node(c.b),
+                    eng(c.farads)
+                );
+            }
+            Device::VoltageSource(v) => {
+                let _ = writeln!(
+                    out,
+                    "{} {} {} {}",
+                    entry.name,
+                    node(v.plus),
+                    node(v.minus),
+                    wave_card(&v.wave)
+                );
+            }
+            Device::CurrentSource(i) => {
+                let _ = writeln!(
+                    out,
+                    "{} {} {} {}",
+                    entry.name,
+                    node(i.from),
+                    node(i.to),
+                    wave_card(&i.wave)
+                );
+            }
+            Device::Mosfet(m) => {
+                let model = format!("mod_{}", entry.name);
+                let kind = match m.polarity {
+                    MosPolarity::Nmos => "NMOS",
+                    MosPolarity::Pmos => "PMOS",
+                };
+                // The bulk terminal prints as ground for both polarities:
+                // the simulator ties bulks to their rails implicitly and
+                // models no body effect.
+                let _ = writeln!(
+                    out,
+                    "{} {} {} {} 0 {} W={} L={}",
+                    entry.name,
+                    node(m.drain),
+                    node(m.gate),
+                    node(m.source),
+                    model,
+                    eng(m.params.w),
+                    eng(m.params.l)
+                );
+                let _ = writeln!(
+                    models,
+                    ".model {model} {kind} (LEVEL=1 VTO={} KP={} LAMBDA={} CGS={} CGD={} CDB={})",
+                    eng(m.params.vth0),
+                    eng(m.params.kp),
+                    eng(m.params.lambda),
+                    eng(m.params.cgs),
+                    eng(m.params.cgd),
+                    eng(m.params.cdb)
+                );
+            }
+        }
+    }
+    out.push_str(&models);
+    out.push_str(".end\n");
+    out
+}
+
+/// Parses an engineering-suffixed SPICE number.
+fn parse_value(token: &str) -> Result<f64, NetlistError> {
+    let t = token.trim().to_ascii_lowercase();
+    let (scale, digits) = if let Some(d) = t.strip_suffix("meg") {
+        (1e6, d)
+    } else if let Some(d) = t.strip_suffix('f') {
+        (1e-15, d)
+    } else if let Some(d) = t.strip_suffix('p') {
+        (1e-12, d)
+    } else if let Some(d) = t.strip_suffix('n') {
+        (1e-9, d)
+    } else if let Some(d) = t.strip_suffix('u') {
+        (1e-6, d)
+    } else if let Some(d) = t.strip_suffix('m') {
+        (1e-3, d)
+    } else if let Some(d) = t.strip_suffix('k') {
+        (1e3, d)
+    } else if let Some(d) = t.strip_suffix('g') {
+        (1e9, d)
+    } else {
+        (1.0, t.as_str())
+    };
+    digits
+        .parse::<f64>()
+        .map(|v| v * scale)
+        .map_err(|_| NetlistError::InvalidValue {
+            device: String::new(),
+            detail: format!("cannot parse number {token:?}"),
+        })
+}
+
+/// Splits `PULSE(a b ...)` / `PWL(...)` argument lists.
+fn source_args(rest: &str) -> Result<Vec<f64>, NetlistError> {
+    let open = rest.find('(').ok_or_else(|| NetlistError::InvalidValue {
+        device: String::new(),
+        detail: "source card missing '('".to_string(),
+    })?;
+    let close = rest.rfind(')').ok_or_else(|| NetlistError::InvalidValue {
+        device: String::new(),
+        detail: "source card missing ')'".to_string(),
+    })?;
+    rest[open + 1..close]
+        .split_whitespace()
+        .map(parse_value)
+        .collect()
+}
+
+fn parse_wave(rest: &str) -> Result<SourceWave, NetlistError> {
+    let upper = rest.trim().to_ascii_uppercase();
+    if let Some(v) = upper.strip_prefix("DC") {
+        return Ok(SourceWave::Dc(parse_value(v.trim())?));
+    }
+    if upper.starts_with("PULSE") {
+        let a = source_args(rest)?;
+        if a.len() != 7 {
+            return Err(NetlistError::InvalidValue {
+                device: String::new(),
+                detail: format!("pulse needs 7 parameters, got {}", a.len()),
+            });
+        }
+        return Ok(SourceWave::Pulse {
+            v1: a[0],
+            v2: a[1],
+            delay: a[2],
+            rise: a[3],
+            fall: a[4],
+            width: a[5],
+            period: a[6],
+        });
+    }
+    if upper.starts_with("PWL") {
+        let a = source_args(rest)?;
+        if a.len() % 2 != 0 || a.is_empty() {
+            return Err(NetlistError::InvalidValue {
+                device: String::new(),
+                detail: "pwl needs an even, non-zero parameter count".to_string(),
+            });
+        }
+        return Ok(SourceWave::Pwl(a.chunks(2).map(|c| (c[0], c[1])).collect()));
+    }
+    // A bare number is DC.
+    Ok(SourceWave::Dc(parse_value(rest.trim())?))
+}
+
+#[derive(Debug, Clone, Default)]
+struct ModelCard {
+    nmos: bool,
+    vto: f64,
+    kp: f64,
+    lambda: f64,
+    cgs: f64,
+    cgd: f64,
+    cdb: f64,
+}
+
+fn parse_model_card(line: &str) -> Result<(String, ModelCard), NetlistError> {
+    // .model NAME NMOS|PMOS (K=V ...)
+    let body = line.trim_start_matches(".model").trim();
+    let mut parts = body.splitn(3, char::is_whitespace);
+    let name = parts
+        .next()
+        .ok_or_else(|| NetlistError::InvalidValue {
+            device: String::new(),
+            detail: "model card missing name".to_string(),
+        })?
+        .to_string();
+    let kind = parts.next().unwrap_or_default().to_ascii_uppercase();
+    let mut card = ModelCard {
+        nmos: kind == "NMOS",
+        ..ModelCard::default()
+    };
+    let rest = parts.next().unwrap_or_default();
+    let params = rest.trim().trim_start_matches('(').trim_end_matches(')');
+    for kv in params.split_whitespace() {
+        if let Some((k, v)) = kv.split_once('=') {
+            let v = parse_value(v)?;
+            match k.to_ascii_uppercase().as_str() {
+                "VTO" => card.vto = v,
+                "KP" => card.kp = v,
+                "LAMBDA" => card.lambda = v,
+                "CGS" => card.cgs = v,
+                "CGD" => card.cgd = v,
+                "CDB" => card.cdb = v,
+                "LEVEL" => {}
+                other => {
+                    return Err(NetlistError::InvalidValue {
+                        device: name,
+                        detail: format!("unsupported model parameter {other}"),
+                    })
+                }
+            }
+        }
+    }
+    Ok((name, card))
+}
+
+/// Parses a SPICE deck produced by [`to_spice`] (or hand-written in the
+/// same dialect) back into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::InvalidValue`] for malformed cards, unsupported
+/// elements or dangling model references, plus the usual construction
+/// errors for out-of-domain values.
+///
+/// # Examples
+///
+/// ```
+/// use clocksense_netlist::{from_spice, to_spice, Circuit, SourceWave, GROUND};
+///
+/// # fn main() -> Result<(), clocksense_netlist::NetlistError> {
+/// let mut ckt = Circuit::new();
+/// let a = ckt.node("a");
+/// ckt.add_vsource("vin", a, GROUND, SourceWave::Dc(3.3))?;
+/// ckt.add_capacitor("c1", a, GROUND, 1e-12)?;
+/// let round_trip = from_spice(&to_spice(&ckt, "t"))?;
+/// assert_eq!(round_trip.device_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn from_spice(deck: &str) -> Result<Circuit, NetlistError> {
+    let mut ckt = Circuit::new();
+    let mut models: HashMap<String, ModelCard> = HashMap::new();
+    // First pass: collect models (they may follow their uses).
+    for line in deck.lines() {
+        let line = line.trim();
+        if line.to_ascii_lowercase().starts_with(".model") {
+            let (name, card) = parse_model_card(line)?;
+            models.insert(name.to_ascii_lowercase(), card);
+        }
+    }
+    for (idx, raw) in deck.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('*') || line.starts_with('.') || idx == 0 {
+            continue;
+        }
+        let mut tok = line.split_whitespace();
+        let name = tok.next().ok_or_else(|| NetlistError::InvalidValue {
+            device: String::new(),
+            detail: format!("empty card at line {idx}"),
+        })?;
+        let kind = name.chars().next().unwrap_or(' ').to_ascii_lowercase();
+        let mut next_node = |tok: &mut std::str::SplitWhitespace<'_>| -> Result<_, NetlistError> {
+            let t = tok.next().ok_or_else(|| NetlistError::InvalidValue {
+                device: name.to_string(),
+                detail: "missing node".to_string(),
+            })?;
+            Ok(ckt.node(t))
+        };
+        match kind {
+            'r' | 'c' => {
+                let a = next_node(&mut tok)?;
+                let b = next_node(&mut tok)?;
+                let value = parse_value(tok.next().ok_or_else(|| NetlistError::InvalidValue {
+                    device: name.to_string(),
+                    detail: "missing value".to_string(),
+                })?)?;
+                if kind == 'r' {
+                    ckt.add_resistor(name, a, b, value)?;
+                } else {
+                    ckt.add_capacitor(name, a, b, value)?;
+                }
+            }
+            'v' | 'i' => {
+                let plus = next_node(&mut tok)?;
+                let minus = next_node(&mut tok)?;
+                let rest = line
+                    .splitn(4, char::is_whitespace)
+                    .nth(3)
+                    .unwrap_or_default();
+                let wave = parse_wave(rest).map_err(|e| match e {
+                    NetlistError::InvalidValue { detail, .. } => NetlistError::InvalidValue {
+                        device: name.to_string(),
+                        detail,
+                    },
+                    other => other,
+                })?;
+                if kind == 'v' {
+                    ckt.add_vsource(name, plus, minus, wave)?;
+                } else {
+                    ckt.add_isource(name, plus, minus, wave)?;
+                }
+            }
+            'm' => {
+                let d = next_node(&mut tok)?;
+                let g = next_node(&mut tok)?;
+                let s = next_node(&mut tok)?;
+                let _bulk = next_node(&mut tok)?;
+                let model_name = tok.next().ok_or_else(|| NetlistError::InvalidValue {
+                    device: name.to_string(),
+                    detail: "missing model name".to_string(),
+                })?;
+                let card = models
+                    .get(&model_name.to_ascii_lowercase())
+                    .ok_or_else(|| NetlistError::InvalidValue {
+                        device: name.to_string(),
+                        detail: format!("unknown model {model_name}"),
+                    })?
+                    .clone();
+                let mut w = 1e-6;
+                let mut l = 1e-6;
+                for kv in tok {
+                    if let Some((k, v)) = kv.split_once('=') {
+                        match k.to_ascii_uppercase().as_str() {
+                            "W" => w = parse_value(v)?,
+                            "L" => l = parse_value(v)?,
+                            _ => {}
+                        }
+                    }
+                }
+                let params = MosParams {
+                    vth0: card.vto,
+                    kp: card.kp,
+                    lambda: card.lambda,
+                    w,
+                    l,
+                    cgs: card.cgs,
+                    cgd: card.cgd,
+                    cdb: card.cdb,
+                };
+                let polarity = if card.nmos {
+                    MosPolarity::Nmos
+                } else {
+                    MosPolarity::Pmos
+                };
+                ckt.add_mosfet(name, polarity, d, g, s, params)?;
+            }
+            other => {
+                return Err(NetlistError::InvalidValue {
+                    device: name.to_string(),
+                    detail: format!("unsupported element kind {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(ckt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::GROUND;
+
+    #[test]
+    fn eng_formatting() {
+        assert_eq!(eng(1000.0), "1k");
+        assert_eq!(eng(1e-12), "1p");
+        assert_eq!(eng(160e-15), "160f");
+        assert_eq!(eng(0.0), "0");
+        assert_eq!(eng(2.5e6), "2.500000meg");
+    }
+
+    #[test]
+    fn value_parsing() {
+        assert_eq!(parse_value("1k").unwrap(), 1000.0);
+        assert!((parse_value("160f").unwrap() - 160e-15).abs() < 1e-24);
+        assert_eq!(parse_value("2meg").unwrap(), 2e6);
+        assert_eq!(parse_value("-0.9").unwrap(), -0.9);
+        assert!(parse_value("abc").is_err());
+    }
+
+    fn rc_circuit() -> Circuit {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("in");
+        let b = ckt.node("out");
+        ckt.add_vsource(
+            "vin",
+            a,
+            GROUND,
+            SourceWave::Pulse {
+                v1: 0.0,
+                v2: 5.0,
+                delay: 1e-9,
+                rise: 0.2e-9,
+                fall: 0.2e-9,
+                width: 2e-9,
+                period: 10e-9,
+            },
+        )
+        .unwrap();
+        ckt.add_resistor("r1", a, b, 1e3).unwrap();
+        ckt.add_capacitor("c1", b, GROUND, 1e-12).unwrap();
+        ckt.add_isource("iload", b, GROUND, SourceWave::Dc(1e-6))
+            .unwrap();
+        ckt
+    }
+
+    #[test]
+    fn rc_deck_round_trips() {
+        let ckt = rc_circuit();
+        let deck = to_spice(&ckt, "rc test");
+        let back = from_spice(&deck).unwrap();
+        assert_eq!(back.device_count(), ckt.device_count());
+        assert_eq!(back.node_count(), ckt.node_count());
+        // Values survive.
+        let id = back.find_device("c1").unwrap();
+        match &back.device(id).unwrap().device {
+            Device::Capacitor(c) => assert!((c.farads - 1e-12).abs() < 1e-21),
+            other => panic!("wrong device {other:?}"),
+        }
+        let id = back.find_device("vin").unwrap();
+        match &back.device(id).unwrap().device {
+            Device::VoltageSource(v) => match &v.wave {
+                SourceWave::Pulse { v2, period, .. } => {
+                    assert_eq!(*v2, 5.0);
+                    assert!((period - 10e-9).abs() < 1e-18);
+                }
+                other => panic!("wrong wave {other:?}"),
+            },
+            other => panic!("wrong device {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mosfet_deck_round_trips() {
+        let mut ckt = Circuit::new();
+        let d = ckt.node("d");
+        let g = ckt.node("g");
+        ckt.add_vsource("vg", g, GROUND, SourceWave::Dc(5.0))
+            .unwrap();
+        ckt.add_resistor("rd", d, GROUND, 1e3).unwrap();
+        ckt.add_mosfet(
+            "m1",
+            MosPolarity::Pmos,
+            d,
+            g,
+            GROUND,
+            MosParams {
+                vth0: -0.9,
+                kp: 20e-6,
+                lambda: 0.02,
+                w: 12e-6,
+                l: 1.2e-6,
+                cgs: 5e-15,
+                cgd: 6e-15,
+                cdb: 7e-15,
+            },
+        )
+        .unwrap();
+        let deck = to_spice(&ckt, "mos test");
+        assert!(deck.contains(".model mod_m1 PMOS"));
+        let back = from_spice(&deck).unwrap();
+        let id = back.find_device("m1").unwrap();
+        let m = back.device(id).unwrap().device.as_mosfet().unwrap();
+        assert_eq!(m.polarity, MosPolarity::Pmos);
+        assert!((m.params.vth0 + 0.9).abs() < 1e-9);
+        assert!((m.params.w - 12e-6).abs() < 1e-12);
+        assert!((m.params.cdb - 7e-15).abs() < 1e-22);
+    }
+
+    #[test]
+    fn pwl_round_trips() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_vsource(
+            "v1",
+            a,
+            GROUND,
+            SourceWave::Pwl(vec![(0.0, 0.0), (1e-9, 5.0), (2e-9, 0.0)]),
+        )
+        .unwrap();
+        ckt.add_resistor("r1", a, GROUND, 50.0).unwrap();
+        let back = from_spice(&to_spice(&ckt, "pwl")).unwrap();
+        let id = back.find_device("v1").unwrap();
+        match &back.device(id).unwrap().device {
+            Device::VoltageSource(v) => match &v.wave {
+                SourceWave::Pwl(points) => {
+                    assert_eq!(points.len(), 3);
+                    assert!((points[1].0 - 1e-9).abs() < 1e-18);
+                    assert_eq!(points[1].1, 5.0);
+                }
+                other => panic!("wrong wave {other:?}"),
+            },
+            other => panic!("wrong device {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_cards_are_rejected() {
+        assert!(from_spice("* t\nr1 a\n.end").is_err());
+        assert!(from_spice("* t\nx1 a b c\n.end").is_err());
+        assert!(from_spice("* t\nm1 d g s 0 nomodel W=1u L=1u\n.end").is_err());
+        assert!(from_spice("* t\nv1 a 0 PULSE(1 2 3)\n.end").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let deck = "* title\n\n* a comment\nr1 a 0 1k\n.end\n";
+        let ckt = from_spice(deck).unwrap();
+        assert_eq!(ckt.device_count(), 1);
+    }
+}

@@ -1,0 +1,207 @@
+//! Hierarchical composition: stamping one circuit into another.
+
+use std::collections::HashMap;
+
+use crate::circuit::{Circuit, DeviceId};
+use crate::device::Device;
+use crate::error::NetlistError;
+use crate::node::{NodeId, GROUND};
+
+/// Mapping from subcircuit node names to nodes of the enclosing circuit.
+///
+/// Built with [`PortMap::new`] and [`PortMap::map`]; consumed by
+/// [`instantiate`].
+///
+/// # Examples
+///
+/// ```
+/// use clocksense_netlist::{Circuit, PortMap, instantiate, GROUND, SourceWave};
+///
+/// # fn main() -> Result<(), clocksense_netlist::NetlistError> {
+/// let mut sub = Circuit::new();
+/// let p = sub.node("in");
+/// let q = sub.node("out");
+/// sub.add_resistor("r", p, q, 1_000.0)?;
+///
+/// let mut top = Circuit::new();
+/// let a = top.node("a");
+/// top.add_vsource("v", a, GROUND, SourceWave::Dc(1.0))?;
+/// let ids = instantiate(&mut top, &sub, "u1", PortMap::new().map("in", a))?;
+/// assert_eq!(ids.len(), 1);
+/// assert!(top.find_node("u1.out").is_some()); // internal node got prefixed
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PortMap {
+    bindings: Vec<(String, NodeId)>,
+}
+
+impl PortMap {
+    /// Creates an empty port map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds the subcircuit node named `port` to `node` in the parent.
+    #[must_use]
+    pub fn map(mut self, port: &str, node: NodeId) -> Self {
+        self.bindings.push((port.to_string(), node));
+        self
+    }
+
+    /// Returns the bound ports as `(name, node)` pairs.
+    pub fn bindings(&self) -> &[(String, NodeId)] {
+        &self.bindings
+    }
+}
+
+/// Copies every device of `sub` into `target`.
+///
+/// Subcircuit nodes listed in `ports` are merged with the given parent
+/// nodes; the subcircuit ground always maps to the parent ground; every
+/// other node and every device name is prefixed with `"{prefix}."` to keep
+/// names unique across instances.
+///
+/// Returns the ids of the devices created in `target`, in the iteration
+/// order of `sub.devices()`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::UnknownPort`] if a port name is not a node of
+/// `sub`, and propagates [`NetlistError::DuplicateDevice`] if a prefixed
+/// device name collides (i.e. the same prefix was used twice).
+pub fn instantiate(
+    target: &mut Circuit,
+    sub: &Circuit,
+    prefix: &str,
+    ports: PortMap,
+) -> Result<Vec<DeviceId>, NetlistError> {
+    let mut node_map: HashMap<NodeId, NodeId> = HashMap::new();
+    node_map.insert(GROUND, GROUND);
+    for (port, parent_node) in ports.bindings() {
+        let sub_node = sub
+            .find_node(port)
+            .ok_or_else(|| NetlistError::UnknownPort(port.clone()))?;
+        node_map.insert(sub_node, *parent_node);
+    }
+    let mut resolve = |target: &mut Circuit, n: NodeId| -> NodeId {
+        if let Some(&mapped) = node_map.get(&n) {
+            return mapped;
+        }
+        let name = format!("{prefix}.{}", sub.node_name(n));
+        let mapped = target.node(&name);
+        node_map.insert(n, mapped);
+        mapped
+    };
+
+    let mut created = Vec::new();
+    for (_, entry) in sub.devices() {
+        let name = format!("{prefix}.{}", entry.name);
+        let id = match &entry.device {
+            Device::Resistor(r) => {
+                let a = resolve(target, r.a);
+                let b = resolve(target, r.b);
+                target.add_resistor(&name, a, b, r.ohms)?
+            }
+            Device::Capacitor(c) => {
+                let a = resolve(target, c.a);
+                let b = resolve(target, c.b);
+                target.add_capacitor(&name, a, b, c.farads)?
+            }
+            Device::VoltageSource(v) => {
+                let plus = resolve(target, v.plus);
+                let minus = resolve(target, v.minus);
+                target.add_vsource(&name, plus, minus, v.wave.clone())?
+            }
+            Device::CurrentSource(i) => {
+                let from = resolve(target, i.from);
+                let to = resolve(target, i.to);
+                target.add_isource(&name, from, to, i.wave.clone())?
+            }
+            Device::Mosfet(m) => {
+                let d = resolve(target, m.drain);
+                let g = resolve(target, m.gate);
+                let s = resolve(target, m.source);
+                target.add_mosfet(&name, m.polarity, d, g, s, m.params)?
+            }
+        };
+        created.push(id);
+    }
+    Ok(created)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::waveform::SourceWave;
+
+    fn divider() -> Circuit {
+        let mut sub = Circuit::new();
+        let top = sub.node("top");
+        let mid = sub.node("mid");
+        sub.add_resistor("r1", top, mid, 1_000.0).unwrap();
+        sub.add_resistor("r2", mid, GROUND, 1_000.0).unwrap();
+        sub
+    }
+
+    #[test]
+    fn ports_merge_and_internals_prefix() {
+        let sub = divider();
+        let mut top = Circuit::new();
+        let vin = top.node("vin");
+        top.add_vsource("v", vin, GROUND, SourceWave::Dc(2.0))
+            .unwrap();
+        let ids = instantiate(&mut top, &sub, "u1", PortMap::new().map("top", vin)).unwrap();
+        assert_eq!(ids.len(), 2);
+        assert!(top.find_device("u1.r1").is_some());
+        assert!(top.find_node("u1.mid").is_some());
+        assert!(top.find_node("u1.top").is_none(), "port node must merge");
+        top.validate().unwrap();
+    }
+
+    #[test]
+    fn two_instances_coexist() {
+        let sub = divider();
+        let mut top = Circuit::new();
+        let vin = top.node("vin");
+        top.add_vsource("v", vin, GROUND, SourceWave::Dc(2.0))
+            .unwrap();
+        instantiate(&mut top, &sub, "u1", PortMap::new().map("top", vin)).unwrap();
+        instantiate(&mut top, &sub, "u2", PortMap::new().map("top", vin)).unwrap();
+        assert_eq!(top.device_count(), 5);
+        assert_ne!(top.find_node("u1.mid"), top.find_node("u2.mid"));
+    }
+
+    #[test]
+    fn unknown_port_is_an_error() {
+        let sub = divider();
+        let mut top = Circuit::new();
+        let vin = top.node("vin");
+        let err = instantiate(&mut top, &sub, "u1", PortMap::new().map("nope", vin)).unwrap_err();
+        assert_eq!(err, NetlistError::UnknownPort("nope".into()));
+    }
+
+    #[test]
+    fn duplicate_prefix_is_an_error() {
+        let sub = divider();
+        let mut top = Circuit::new();
+        let vin = top.node("vin");
+        instantiate(&mut top, &sub, "u1", PortMap::new().map("top", vin)).unwrap();
+        let err = instantiate(&mut top, &sub, "u1", PortMap::new().map("top", vin)).unwrap_err();
+        assert!(matches!(err, NetlistError::DuplicateDevice(_)));
+    }
+
+    #[test]
+    fn ground_maps_to_ground() {
+        let sub = divider();
+        let mut top = Circuit::new();
+        let vin = top.node("vin");
+        top.add_vsource("v", vin, GROUND, SourceWave::Dc(2.0))
+            .unwrap();
+        instantiate(&mut top, &sub, "u1", PortMap::new().map("top", vin)).unwrap();
+        // r2's lower terminal must be the parent's ground, not "u1.0".
+        assert!(top.find_node("u1.0").is_none());
+        top.validate().unwrap();
+    }
+}

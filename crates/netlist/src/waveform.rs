@@ -1,0 +1,291 @@
+//! Time-domain descriptions of independent sources.
+
+/// Waveform of an independent voltage or current source.
+///
+/// All times are in seconds and values in volts (or amperes for current
+/// sources). Waveforms are total functions of time: evaluation before the
+/// first breakpoint returns the initial value, and after the last breakpoint
+/// the final value (or the periodic continuation for [`SourceWave::Pulse`]).
+///
+/// # Examples
+///
+/// ```
+/// use clocksense_netlist::SourceWave;
+///
+/// // 100 MHz, 5 V clock with 0.2 ns edges starting at 1 ns.
+/// let clk = SourceWave::Pulse {
+///     v1: 0.0,
+///     v2: 5.0,
+///     delay: 1e-9,
+///     rise: 0.2e-9,
+///     fall: 0.2e-9,
+///     width: 4.8e-9,
+///     period: 10e-9,
+/// };
+/// assert_eq!(clk.value_at(0.0), 0.0);
+/// assert!((clk.value_at(1.1e-9) - 2.5).abs() < 1e-9); // mid-rise
+/// assert_eq!(clk.value_at(3e-9), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceWave {
+    /// A constant value.
+    Dc(f64),
+    /// A periodic trapezoidal pulse (the SPICE `PULSE` source).
+    ///
+    /// The source sits at `v1` until `delay`, ramps to `v2` over `rise`,
+    /// holds for `width`, ramps back over `fall`, and repeats with `period`.
+    /// A `period` of `f64::INFINITY` gives a single pulse.
+    Pulse {
+        /// Initial (resting) value.
+        v1: f64,
+        /// Pulsed value.
+        v2: f64,
+        /// Time of the first rising-edge start.
+        delay: f64,
+        /// Rise time (`v1` → `v2`), must be positive.
+        rise: f64,
+        /// Fall time (`v2` → `v1`), must be positive.
+        fall: f64,
+        /// Time spent at `v2` between the edges.
+        width: f64,
+        /// Repetition period; `f64::INFINITY` for a one-shot pulse.
+        period: f64,
+    },
+    /// Piecewise-linear interpolation through `(time, value)` breakpoints.
+    ///
+    /// Breakpoints must be sorted by strictly increasing time; the value is
+    /// held constant before the first and after the last breakpoint.
+    Pwl(Vec<(f64, f64)>),
+}
+
+impl SourceWave {
+    /// Convenience constructor for a single step from `v1` to `v2` starting
+    /// at `delay` with the given `rise` time.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use clocksense_netlist::SourceWave;
+    /// let step = SourceWave::step(0.0, 5.0, 1e-9, 0.1e-9);
+    /// assert_eq!(step.value_at(0.5e-9), 0.0);
+    /// assert_eq!(step.value_at(2e-9), 5.0);
+    /// ```
+    pub fn step(v1: f64, v2: f64, delay: f64, rise: f64) -> Self {
+        SourceWave::Pwl(vec![(delay, v1), (delay + rise, v2)])
+    }
+
+    /// Evaluates the waveform at time `t` (seconds).
+    pub fn value_at(&self, t: f64) -> f64 {
+        match self {
+            SourceWave::Dc(v) => *v,
+            SourceWave::Pulse {
+                v1,
+                v2,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
+                if t < *delay {
+                    return *v1;
+                }
+                let cycle = if period.is_finite() && *period > 0.0 {
+                    (t - delay) % period
+                } else {
+                    t - delay
+                };
+                if cycle < *rise {
+                    v1 + (v2 - v1) * cycle / rise
+                } else if cycle < rise + width {
+                    *v2
+                } else if cycle < rise + width + fall {
+                    v2 + (v1 - v2) * (cycle - rise - width) / fall
+                } else {
+                    *v1
+                }
+            }
+            SourceWave::Pwl(points) => {
+                if points.is_empty() {
+                    return 0.0;
+                }
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                let last = points[points.len() - 1];
+                if t >= last.0 {
+                    return last.1;
+                }
+                // Binary search for the surrounding segment.
+                let idx = points.partition_point(|&(pt, _)| pt <= t);
+                let (t0, v0) = points[idx - 1];
+                let (t1, v1) = points[idx];
+                v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+            }
+        }
+    }
+
+    /// Returns the times at which the waveform has a slope discontinuity,
+    /// restricted to `[0, t_stop]`.
+    ///
+    /// Transient simulators use these as mandatory time points so that sharp
+    /// source edges are never stepped over.
+    pub fn breakpoints(&self, t_stop: f64) -> Vec<f64> {
+        let mut pts = Vec::new();
+        match self {
+            SourceWave::Dc(_) => {}
+            SourceWave::Pulse {
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+                ..
+            } => {
+                let mut base = *delay;
+                loop {
+                    for off in [0.0, *rise, rise + width, rise + width + fall] {
+                        let t = base + off;
+                        if t <= t_stop {
+                            pts.push(t);
+                        }
+                    }
+                    if !(period.is_finite() && *period > 0.0) {
+                        break;
+                    }
+                    base += period;
+                    if base > t_stop {
+                        break;
+                    }
+                }
+            }
+            SourceWave::Pwl(points) => {
+                pts.extend(points.iter().map(|&(t, _)| t).filter(|&t| t <= t_stop));
+            }
+        }
+        pts
+    }
+
+    /// Returns `true` if the breakpoint list is valid (sorted, positive edge
+    /// times for pulses).
+    pub fn is_well_formed(&self) -> bool {
+        match self {
+            SourceWave::Dc(v) => v.is_finite(),
+            SourceWave::Pulse {
+                v1,
+                v2,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
+                v1.is_finite()
+                    && v2.is_finite()
+                    && *delay >= 0.0
+                    && *rise > 0.0
+                    && *fall > 0.0
+                    && *width >= 0.0
+                    && (*period > rise + width + fall || !period.is_finite())
+            }
+            SourceWave::Pwl(points) => {
+                !points.is_empty()
+                    && points.windows(2).all(|w| w[0].0 < w[1].0)
+                    && points.iter().all(|&(t, v)| t.is_finite() && v.is_finite())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_constant() {
+        let w = SourceWave::Dc(3.3);
+        assert_eq!(w.value_at(0.0), 3.3);
+        assert_eq!(w.value_at(1.0), 3.3);
+        assert!(w.breakpoints(1.0).is_empty());
+    }
+
+    #[test]
+    fn pulse_shape() {
+        let w = SourceWave::Pulse {
+            v1: 0.0,
+            v2: 5.0,
+            delay: 1.0,
+            rise: 1.0,
+            fall: 1.0,
+            width: 2.0,
+            period: 10.0,
+        };
+        assert_eq!(w.value_at(0.0), 0.0);
+        assert!((w.value_at(1.5) - 2.5).abs() < 1e-12);
+        assert_eq!(w.value_at(3.0), 5.0);
+        assert!((w.value_at(4.5) - 2.5).abs() < 1e-12);
+        assert_eq!(w.value_at(6.0), 0.0);
+        // Periodic continuation.
+        assert!((w.value_at(11.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_shot_pulse_does_not_repeat() {
+        let w = SourceWave::Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: 0.0,
+            rise: 1.0,
+            fall: 1.0,
+            width: 1.0,
+            period: f64::INFINITY,
+        };
+        assert_eq!(w.value_at(100.0), 0.0);
+        assert_eq!(w.breakpoints(100.0).len(), 4);
+    }
+
+    #[test]
+    fn pwl_interpolates_and_clamps() {
+        let w = SourceWave::Pwl(vec![(1.0, 0.0), (2.0, 10.0), (4.0, 10.0)]);
+        assert_eq!(w.value_at(0.0), 0.0);
+        assert!((w.value_at(1.5) - 5.0).abs() < 1e-12);
+        assert_eq!(w.value_at(3.0), 10.0);
+        assert_eq!(w.value_at(99.0), 10.0);
+    }
+
+    #[test]
+    fn pwl_step_constructor() {
+        let w = SourceWave::step(1.0, 2.0, 5.0, 1.0);
+        assert_eq!(w.value_at(4.9), 1.0);
+        assert!((w.value_at(5.5) - 1.5).abs() < 1e-12);
+        assert_eq!(w.value_at(6.1), 2.0);
+    }
+
+    #[test]
+    fn pulse_breakpoints_cover_edges() {
+        let w = SourceWave::Pulse {
+            v1: 0.0,
+            v2: 5.0,
+            delay: 1.0,
+            rise: 0.5,
+            fall: 0.5,
+            width: 1.0,
+            period: 5.0,
+        };
+        let bps = w.breakpoints(6.5);
+        assert!(bps.contains(&1.0));
+        assert!(bps.contains(&1.5));
+        assert!(bps.contains(&2.5));
+        assert!(bps.contains(&3.0));
+        assert!(bps.contains(&6.0)); // second period rise start
+    }
+
+    #[test]
+    fn well_formedness() {
+        assert!(SourceWave::Dc(1.0).is_well_formed());
+        assert!(!SourceWave::Dc(f64::NAN).is_well_formed());
+        assert!(!SourceWave::Pwl(vec![]).is_well_formed());
+        assert!(!SourceWave::Pwl(vec![(1.0, 0.0), (1.0, 1.0)]).is_well_formed());
+        assert!(SourceWave::Pwl(vec![(0.0, 0.0), (1.0, 1.0)]).is_well_formed());
+    }
+}

@@ -1,0 +1,339 @@
+//! DC operating-point analysis and quiescent-current (IDDQ) measurement.
+
+use clocksense_netlist::{Circuit, Device, NodeId, SourceWave};
+
+use crate::engine::MnaSystem;
+use crate::error::SpiceError;
+use crate::options::SimOptions;
+
+/// A DC solution: node voltages and voltage-source branch currents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcSolution {
+    x: Vec<f64>,
+    n_v: usize,
+    source_branches: Vec<(String, usize)>,
+}
+
+impl DcSolution {
+    /// Voltage of `node` (ground reads 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node was not part of the analysed circuit.
+    pub fn voltage(&self, node: NodeId) -> f64 {
+        if node.is_ground() {
+            0.0
+        } else {
+            self.x[node.index() - 1]
+        }
+    }
+
+    /// Branch current of the named voltage source, defined flowing from its
+    /// `plus` terminal through the source to `minus`. A supply delivering
+    /// current into the circuit therefore reads *negative*; see [`iddq`]
+    /// for the sign-corrected supply draw.
+    pub fn source_current(&self, name: &str) -> Option<f64> {
+        self.source_branches
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, row)| self.x[row])
+    }
+
+    /// The raw solution vector (node voltages then branch currents).
+    pub fn as_vector(&self) -> &[f64] {
+        &self.x
+    }
+}
+
+/// Crate-internal entry used by the transient analysis for its `t = 0`
+/// initial condition.
+pub(crate) fn solve_with_continuation_pub(
+    sys: &MnaSystem,
+    t: f64,
+    opts: &SimOptions,
+) -> Result<Vec<f64>, SpiceError> {
+    solve_with_continuation(sys, t, opts)
+}
+
+fn solve_with_continuation(
+    sys: &MnaSystem,
+    t: f64,
+    opts: &SimOptions,
+) -> Result<Vec<f64>, SpiceError> {
+    let flat = vec![0.0; sys.dim];
+    // 1. Direct attempt from a flat start.
+    if let Ok(x) = sys.newton_solve(t, &flat, opts, opts.gmin, 1.0, |_, _| {}) {
+        return Ok(x);
+    }
+    // 2. gmin stepping: start heavily damped, relax towards the target.
+    let mut x = flat.clone();
+    let mut gmin = 1e-2;
+    let mut ok = true;
+    while gmin > opts.gmin {
+        match sys.newton_solve(t, &x, opts, gmin, 1.0, |_, _| {}) {
+            Ok(next) => x = next,
+            Err(_) => {
+                ok = false;
+                break;
+            }
+        }
+        gmin /= 10.0;
+    }
+    if ok {
+        if let Ok(final_x) = sys.newton_solve(t, &x, opts, opts.gmin, 1.0, |_, _| {}) {
+            return Ok(final_x);
+        }
+    }
+    // 3. Source stepping: ramp all sources from 0 to full value.
+    let mut x = flat;
+    for step in 1..=20 {
+        let scale = step as f64 / 20.0;
+        x = sys
+            .newton_solve(t, &x, opts, opts.gmin, scale, |_, _| {})
+            .map_err(|_| SpiceError::NonConvergence { time: t })?;
+    }
+    Ok(x)
+}
+
+/// Computes the DC operating point of `circuit` with all sources at their
+/// `t = 0` values and all capacitors open.
+///
+/// Convergence is attempted directly, then with gmin stepping, then with
+/// source stepping — the standard SPICE continuation ladder.
+///
+/// # Errors
+///
+/// Returns [`SpiceError::Netlist`] for structurally invalid circuits,
+/// [`SpiceError::SingularMatrix`] for un-solvable topologies and
+/// [`SpiceError::NonConvergence`] when every continuation strategy fails.
+///
+/// # Examples
+///
+/// ```
+/// use clocksense_netlist::{Circuit, SourceWave, GROUND};
+/// use clocksense_spice::{dc_operating_point, SimOptions};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut ckt = Circuit::new();
+/// let a = ckt.node("a");
+/// let b = ckt.node("b");
+/// ckt.add_vsource("v", a, GROUND, SourceWave::Dc(10.0))?;
+/// ckt.add_resistor("r1", a, b, 1_000.0)?;
+/// ckt.add_resistor("r2", b, GROUND, 3_000.0)?;
+/// let op = dc_operating_point(&ckt, &SimOptions::default())?;
+/// assert!((op.voltage(b) - 7.5).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn dc_operating_point(circuit: &Circuit, opts: &SimOptions) -> Result<DcSolution, SpiceError> {
+    opts.validate()?;
+    let sys = MnaSystem::build(circuit)?;
+    let x = solve_with_continuation(&sys, 0.0, opts)?;
+    Ok(DcSolution {
+        n_v: sys.n_v,
+        source_branches: sys
+            .vsources
+            .iter()
+            .map(|v| (v.name.clone(), sys.n_v + v.branch))
+            .collect(),
+        x,
+    })
+}
+
+/// Sweeps the DC value of the voltage source named `source` over `values`,
+/// returning one operating point per value.
+///
+/// The source's waveform is replaced by `SourceWave::Dc` at each point;
+/// solutions are warm-started from the previous point, which is what makes
+/// transfer-curve extraction robust around high-gain transitions.
+///
+/// # Errors
+///
+/// Returns [`SpiceError::UnknownProbe`] if `source` does not name a voltage
+/// source, plus any error [`dc_operating_point`] can produce.
+pub fn dc_sweep(
+    circuit: &Circuit,
+    source: &str,
+    values: &[f64],
+    opts: &SimOptions,
+) -> Result<Vec<DcSolution>, SpiceError> {
+    opts.validate()?;
+    let id = circuit
+        .find_device(source)
+        .ok_or_else(|| SpiceError::UnknownProbe(source.to_string()))?;
+    let mut work = circuit.clone();
+    let mut out = Vec::with_capacity(values.len());
+    let mut prev: Option<Vec<f64>> = None;
+    for &value in values {
+        match &mut work.device_mut(id).expect("checked above").device {
+            Device::VoltageSource(v) => v.wave = SourceWave::Dc(value),
+            _ => return Err(SpiceError::UnknownProbe(source.to_string())),
+        }
+        let sys = MnaSystem::build(&work)?;
+        let x = match &prev {
+            Some(x0) => sys
+                .newton_solve(0.0, x0, opts, opts.gmin, 1.0, |_, _| {})
+                .or_else(|_| solve_with_continuation(&sys, 0.0, opts))?,
+            None => solve_with_continuation(&sys, 0.0, opts)?,
+        };
+        prev = Some(x.clone());
+        out.push(DcSolution {
+            n_v: sys.n_v,
+            source_branches: sys
+                .vsources
+                .iter()
+                .map(|v| (v.name.clone(), sys.n_v + v.branch))
+                .collect(),
+            x,
+        });
+    }
+    Ok(out)
+}
+
+/// Measures the quiescent supply current drawn from the voltage source
+/// named `supply` at the DC operating point.
+///
+/// This is the IDDQ observable the paper uses to catch pull-up stuck-on
+/// transistors and resistive bridgings that produce no logic error: a
+/// conducting fight between the pull-up and pull-down networks shows up as
+/// static current orders of magnitude above the fault-free leakage.
+///
+/// The returned value is the current *delivered by* the supply (positive
+/// for a normally loaded rail).
+///
+/// # Errors
+///
+/// Returns [`SpiceError::UnknownProbe`] if `supply` does not name a voltage
+/// source, plus any error of [`dc_operating_point`].
+pub fn iddq(circuit: &Circuit, supply: &str, opts: &SimOptions) -> Result<f64, SpiceError> {
+    let op = dc_operating_point(circuit, opts)?;
+    op.source_current(supply)
+        .map(|i| -i)
+        .ok_or_else(|| SpiceError::UnknownProbe(supply.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clocksense_netlist::{MosParams, MosPolarity, GROUND};
+
+    fn nmos() -> MosParams {
+        MosParams {
+            vth0: 0.7,
+            kp: 60e-6,
+            lambda: 0.02,
+            w: 4e-6,
+            l: 1.2e-6,
+            cgs: 0.0,
+            cgd: 0.0,
+            cdb: 0.0,
+        }
+    }
+
+    fn pmos() -> MosParams {
+        MosParams {
+            vth0: -0.9,
+            kp: 20e-6,
+            lambda: 0.02,
+            w: 8e-6,
+            l: 1.2e-6,
+            cgs: 0.0,
+            cgd: 0.0,
+            cdb: 0.0,
+        }
+    }
+
+    /// Builds a CMOS inverter; returns (circuit, in, out).
+    fn inverter(vin: f64) -> (Circuit, NodeId, NodeId) {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add_vsource("vdd", vdd, GROUND, SourceWave::Dc(5.0))
+            .unwrap();
+        ckt.add_vsource("vin", inp, GROUND, SourceWave::Dc(vin))
+            .unwrap();
+        ckt.add_mosfet("mp", MosPolarity::Pmos, out, inp, vdd, pmos())
+            .unwrap();
+        ckt.add_mosfet("mn", MosPolarity::Nmos, out, inp, GROUND, nmos())
+            .unwrap();
+        (ckt, inp, out)
+    }
+
+    #[test]
+    fn divider_dc() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource("v", a, GROUND, SourceWave::Dc(9.0))
+            .unwrap();
+        ckt.add_resistor("r1", a, b, 2000.0).unwrap();
+        ckt.add_resistor("r2", b, GROUND, 1000.0).unwrap();
+        let op = dc_operating_point(&ckt, &SimOptions::default()).unwrap();
+        assert!((op.voltage(b) - 3.0).abs() < 1e-6);
+        assert!((op.voltage(GROUND)).abs() < 1e-15);
+        // 3 mA delivered.
+        assert!((op.source_current("v").unwrap() + 3e-3).abs() < 1e-7);
+    }
+
+    #[test]
+    fn inverter_rails() {
+        let opts = SimOptions::default();
+        let (low_in, _, out) = inverter(0.0);
+        let op = dc_operating_point(&low_in, &opts).unwrap();
+        assert!(op.voltage(out) > 4.99, "input low -> output at vdd");
+
+        let (high_in, _, out) = inverter(5.0);
+        let op = dc_operating_point(&high_in, &opts).unwrap();
+        assert!(op.voltage(out) < 0.01, "input high -> output at ground");
+    }
+
+    #[test]
+    fn inverter_transfer_curve_is_monotone_falling() {
+        let (ckt, _, out) = inverter(0.0);
+        let values: Vec<f64> = (0..=50).map(|i| i as f64 * 0.1).collect();
+        let sweep = dc_sweep(&ckt, "vin", &values, &SimOptions::default()).unwrap();
+        let vout: Vec<f64> = sweep.iter().map(|s| s.voltage(out)).collect();
+        assert!(vout[0] > 4.9);
+        assert!(vout[50] < 0.1);
+        for w in vout.windows(2) {
+            assert!(w[1] <= w[0] + 1e-6, "vtc must be non-increasing");
+        }
+    }
+
+    #[test]
+    fn iddq_of_healthy_inverter_is_tiny() {
+        let (ckt, _, _) = inverter(0.0);
+        let i = iddq(&ckt, "vdd", &SimOptions::default()).unwrap();
+        assert!(
+            i.abs() < 1e-6,
+            "quiescent current should be leakage only, got {i}"
+        );
+    }
+
+    #[test]
+    fn iddq_of_fighting_networks_is_large() {
+        // Tie the inverter input to mid-rail: both devices conduct.
+        let (ckt, _, _) = inverter(2.5);
+        let i = iddq(&ckt, "vdd", &SimOptions::default()).unwrap();
+        assert!(
+            i > 1e-5,
+            "conducting fight must draw static current, got {i}"
+        );
+    }
+
+    #[test]
+    fn unknown_supply_is_reported() {
+        let (ckt, _, _) = inverter(0.0);
+        let err = iddq(&ckt, "nope", &SimOptions::default()).unwrap_err();
+        assert_eq!(err, SpiceError::UnknownProbe("nope".into()));
+    }
+
+    #[test]
+    fn sweep_rejects_non_source() {
+        let (mut ckt, _, out) = inverter(0.0);
+        ckt.add_resistor("rl", out, GROUND, 1e6).unwrap();
+        let err = dc_sweep(&ckt, "rl", &[0.0], &SimOptions::default()).unwrap_err();
+        assert_eq!(err, SpiceError::UnknownProbe("rl".into()));
+    }
+}

@@ -1,0 +1,382 @@
+//! MNA system assembly and the shared Newton–Raphson loop.
+//!
+//! The unknown vector is `[v_1 .. v_{n-1}, i_1 .. i_m]`: one voltage per
+//! non-ground node followed by one branch current per voltage source. The
+//! branch current `i_k` is defined flowing from the source's `plus` node
+//! through the source to its `minus` node, so a supply delivering current
+//! into the circuit shows a *negative* branch current.
+
+use clocksense_netlist::{Circuit, Device, MosParams, MosPolarity, NodeId, SourceWave};
+
+use crate::error::SpiceError;
+use crate::matrix::DenseMatrix;
+use crate::mos_eval::channel_current;
+use crate::options::SimOptions;
+
+/// Row index of a node in the MNA system; `None` is ground.
+pub(crate) type Row = Option<usize>;
+
+#[derive(Debug, Clone)]
+pub(crate) struct ResistorInst {
+    pub a: Row,
+    pub b: Row,
+    pub conductance: f64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct CapacitorInst {
+    pub a: Row,
+    pub b: Row,
+    pub farads: f64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct VsourceInst {
+    pub plus: Row,
+    pub minus: Row,
+    pub wave: SourceWave,
+    /// Index of the branch-current unknown (offset past the node rows).
+    pub branch: usize,
+    pub name: String,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct IsourceInst {
+    pub from: Row,
+    pub to: Row,
+    pub wave: SourceWave,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct MosInst {
+    pub d: Row,
+    pub g: Row,
+    pub s: Row,
+    pub polarity: MosPolarity,
+    pub params: MosParams,
+}
+
+/// Flattened, solver-ready view of a [`Circuit`].
+#[derive(Debug, Clone)]
+pub(crate) struct MnaSystem {
+    pub n_nodes: usize, // including ground
+    pub n_v: usize,     // node unknowns
+    pub dim: usize,     // n_v + number of voltage sources
+    pub resistors: Vec<ResistorInst>,
+    pub capacitors: Vec<CapacitorInst>,
+    pub vsources: Vec<VsourceInst>,
+    pub isources: Vec<IsourceInst>,
+    pub mosfets: Vec<MosInst>,
+    pub node_names: Vec<String>,
+}
+
+fn row_of(node: NodeId) -> Row {
+    if node.is_ground() {
+        None
+    } else {
+        Some(node.index() - 1)
+    }
+}
+
+impl MnaSystem {
+    /// Builds the solver view. Validates the circuit structurally first.
+    pub fn build(circuit: &Circuit) -> Result<Self, SpiceError> {
+        circuit.validate()?;
+        let n_nodes = circuit.node_count();
+        let n_v = n_nodes - 1;
+        let mut sys = MnaSystem {
+            n_nodes,
+            n_v,
+            dim: n_v,
+            resistors: Vec::new(),
+            capacitors: Vec::new(),
+            vsources: Vec::new(),
+            isources: Vec::new(),
+            mosfets: Vec::new(),
+            node_names: circuit
+                .nodes()
+                .map(|n| circuit.node_name(n).to_string())
+                .collect(),
+        };
+        for (_, entry) in circuit.devices() {
+            match &entry.device {
+                Device::Resistor(r) => sys.resistors.push(ResistorInst {
+                    a: row_of(r.a),
+                    b: row_of(r.b),
+                    conductance: 1.0 / r.ohms,
+                }),
+                Device::Capacitor(c) => sys.capacitors.push(CapacitorInst {
+                    a: row_of(c.a),
+                    b: row_of(c.b),
+                    farads: c.farads,
+                }),
+                Device::VoltageSource(v) => {
+                    let branch = sys.vsources.len();
+                    sys.vsources.push(VsourceInst {
+                        plus: row_of(v.plus),
+                        minus: row_of(v.minus),
+                        wave: v.wave.clone(),
+                        branch,
+                        name: entry.name.clone(),
+                    });
+                }
+                Device::CurrentSource(i) => sys.isources.push(IsourceInst {
+                    from: row_of(i.from),
+                    to: row_of(i.to),
+                    wave: i.wave.clone(),
+                }),
+                Device::Mosfet(m) => {
+                    let (d, g, s) = (row_of(m.drain), row_of(m.gate), row_of(m.source));
+                    sys.mosfets.push(MosInst {
+                        d,
+                        g,
+                        s,
+                        polarity: m.polarity,
+                        params: m.params,
+                    });
+                    // Constant parasitic capacitances become plain caps.
+                    // The drain-bulk junction goes to AC ground.
+                    if m.params.cgs > 0.0 {
+                        sys.capacitors.push(CapacitorInst {
+                            a: g,
+                            b: s,
+                            farads: m.params.cgs,
+                        });
+                    }
+                    if m.params.cgd > 0.0 {
+                        sys.capacitors.push(CapacitorInst {
+                            a: g,
+                            b: d,
+                            farads: m.params.cgd,
+                        });
+                    }
+                    if m.params.cdb > 0.0 {
+                        sys.capacitors.push(CapacitorInst {
+                            a: d,
+                            b: None,
+                            farads: m.params.cdb,
+                        });
+                    }
+                }
+            }
+        }
+        sys.dim = sys.n_v + sys.vsources.len();
+        Ok(sys)
+    }
+
+    /// Voltage of `row` in the solution vector `x` (ground is 0).
+    #[inline]
+    pub fn voltage(x: &[f64], row: Row) -> f64 {
+        match row {
+            Some(r) => x[r],
+            None => 0.0,
+        }
+    }
+
+    /// Stamps the linear, time-dependent part of the system: resistors,
+    /// voltage sources (scaled by `source_scale`) and current sources.
+    pub fn stamp_static(&self, m: &mut DenseMatrix, rhs: &mut [f64], t: f64, source_scale: f64) {
+        for r in &self.resistors {
+            stamp_conductance(m, r.a, r.b, r.conductance);
+        }
+        for v in &self.vsources {
+            let row = self.n_v + v.branch;
+            if let Some(p) = v.plus {
+                m.add(p, row, 1.0);
+                m.add(row, p, 1.0);
+            }
+            if let Some(n) = v.minus {
+                m.add(n, row, -1.0);
+                m.add(row, n, -1.0);
+            }
+            rhs[row] += v.wave.value_at(t) * source_scale;
+        }
+        for i in &self.isources {
+            let value = i.wave.value_at(t) * source_scale;
+            if let Some(f) = i.from {
+                rhs[f] -= value;
+            }
+            if let Some(to) = i.to {
+                rhs[to] += value;
+            }
+        }
+    }
+
+    /// Stamps the linearised MOSFET companion models around solution `x`,
+    /// adding `gmin` across every channel.
+    pub fn stamp_mosfets(&self, m: &mut DenseMatrix, rhs: &mut [f64], x: &[f64], gmin: f64) {
+        for mos in &self.mosfets {
+            let vd = Self::voltage(x, mos.d);
+            let vg = Self::voltage(x, mos.g);
+            let vs = Self::voltage(x, mos.s);
+            let op = channel_current(mos.polarity, &mos.params, vd, vg, vs);
+            // I(v) ≈ id0 + g_d (vd - vd0) + g_g (vg - vg0) + g_s (vs - vs0)
+            let i_eq = op.id - op.g_d * vd - op.g_g * vg - op.g_s * vs;
+            stamp_partial(m, mos.d, mos.d, op.g_d);
+            stamp_partial(m, mos.d, mos.g, op.g_g);
+            stamp_partial(m, mos.d, mos.s, op.g_s);
+            stamp_partial(m, mos.s, mos.d, -op.g_d);
+            stamp_partial(m, mos.s, mos.g, -op.g_g);
+            stamp_partial(m, mos.s, mos.s, -op.g_s);
+            if let Some(d) = mos.d {
+                rhs[d] -= i_eq;
+            }
+            if let Some(s) = mos.s {
+                rhs[s] += i_eq;
+            }
+            stamp_conductance(m, mos.d, mos.s, gmin);
+        }
+    }
+
+    /// Runs Newton–Raphson from `x_init`. The `reactive` closure stamps
+    /// capacitor companion models (empty for DC).
+    ///
+    /// Returns the converged solution vector.
+    pub fn newton_solve(
+        &self,
+        t: f64,
+        x_init: &[f64],
+        opts: &SimOptions,
+        gmin: f64,
+        source_scale: f64,
+        mut reactive: impl FnMut(&mut DenseMatrix, &mut [f64]),
+    ) -> Result<Vec<f64>, SpiceError> {
+        let dim = self.dim;
+        let mut x = x_init.to_vec();
+        let mut m = DenseMatrix::new(dim);
+        let mut rhs = vec![0.0; dim];
+        for _ in 0..opts.max_newton_iters {
+            m.clear();
+            rhs.fill(0.0);
+            self.stamp_static(&mut m, &mut rhs, t, source_scale);
+            reactive(&mut m, &mut rhs);
+            self.stamp_mosfets(&mut m, &mut rhs, &x, gmin);
+            // Diagonal gmin on node rows keeps near-floating gates solvable.
+            for r in 0..self.n_v {
+                m.add(r, r, gmin);
+            }
+            let x_new = m.solve(&rhs)?;
+            let mut converged = true;
+            for r in 0..dim {
+                let delta = x_new[r] - x[r];
+                let tol = if r < self.n_v {
+                    opts.vntol + opts.reltol * x[r].abs().max(x_new[r].abs())
+                } else {
+                    opts.abstol + opts.reltol * x[r].abs().max(x_new[r].abs())
+                };
+                if delta.abs() > tol {
+                    converged = false;
+                }
+                // Damp node-voltage updates to tame the quadratic model.
+                let clamped = if r < self.n_v {
+                    delta.clamp(-opts.newton_damping, opts.newton_damping)
+                } else {
+                    delta
+                };
+                x[r] += clamped;
+            }
+            if converged {
+                return Ok(x);
+            }
+        }
+        Err(SpiceError::NonConvergence { time: t })
+    }
+}
+
+/// Stamps a two-terminal conductance between rows `a` and `b`.
+#[inline]
+pub(crate) fn stamp_conductance(m: &mut DenseMatrix, a: Row, b: Row, g: f64) {
+    if let Some(ra) = a {
+        m.add(ra, ra, g);
+        if let Some(rb) = b {
+            m.add(ra, rb, -g);
+        }
+    }
+    if let Some(rb) = b {
+        m.add(rb, rb, g);
+        if let Some(ra) = a {
+            m.add(rb, ra, -g);
+        }
+    }
+}
+
+/// Stamps a single Jacobian partial `∂I(row)/∂V(col)`.
+#[inline]
+fn stamp_partial(m: &mut DenseMatrix, row: Row, col: Row, g: f64) {
+    if let (Some(r), Some(c)) = (row, col) {
+        m.add(r, c, g);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clocksense_netlist::GROUND;
+
+    #[test]
+    fn build_counts_unknowns() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource("v1", a, GROUND, SourceWave::Dc(1.0))
+            .unwrap();
+        ckt.add_resistor("r1", a, b, 10.0).unwrap();
+        ckt.add_resistor("r2", b, GROUND, 10.0).unwrap();
+        let sys = MnaSystem::build(&ckt).unwrap();
+        assert_eq!(sys.n_v, 2);
+        assert_eq!(sys.dim, 3);
+        assert_eq!(sys.vsources.len(), 1);
+        assert_eq!(sys.vsources[0].name, "v1");
+    }
+
+    #[test]
+    fn mos_parasitics_become_capacitors() {
+        let mut ckt = Circuit::new();
+        let d = ckt.node("d");
+        let g = ckt.node("g");
+        ckt.add_vsource("vg", g, GROUND, SourceWave::Dc(5.0))
+            .unwrap();
+        ckt.add_resistor("rd", d, GROUND, 1e3).unwrap();
+        ckt.add_mosfet(
+            "m1",
+            MosPolarity::Nmos,
+            d,
+            g,
+            GROUND,
+            MosParams {
+                vth0: 0.7,
+                kp: 60e-6,
+                lambda: 0.0,
+                w: 2e-6,
+                l: 1e-6,
+                cgs: 1e-15,
+                cgd: 2e-15,
+                cdb: 3e-15,
+            },
+        )
+        .unwrap();
+        let sys = MnaSystem::build(&ckt).unwrap();
+        assert_eq!(sys.capacitors.len(), 3);
+        assert_eq!(sys.mosfets.len(), 1);
+    }
+
+    #[test]
+    fn resistive_divider_solves() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource("v1", a, GROUND, SourceWave::Dc(2.0))
+            .unwrap();
+        ckt.add_resistor("r1", a, b, 1000.0).unwrap();
+        ckt.add_resistor("r2", b, GROUND, 1000.0).unwrap();
+        let sys = MnaSystem::build(&ckt).unwrap();
+        let opts = SimOptions::default();
+        let x = sys
+            .newton_solve(0.0, &vec![0.0; sys.dim], &opts, opts.gmin, 1.0, |_, _| {})
+            .unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-9);
+        assert!((x[1] - 1.0).abs() < 1e-6);
+        // Branch current: 1 mA flows out of the circuit into the source.
+        assert!((x[2] + 1e-3).abs() < 1e-8);
+    }
+}

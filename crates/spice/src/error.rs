@@ -1,0 +1,72 @@
+//! Error type for the simulator.
+
+use std::error::Error;
+use std::fmt;
+
+use clocksense_netlist::NetlistError;
+
+/// Errors produced by DC and transient analyses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpiceError {
+    /// The MNA matrix is singular: a node has no conductive path to ground
+    /// or voltage sources form an inconsistent loop.
+    SingularMatrix,
+    /// Newton–Raphson failed to converge.
+    NonConvergence {
+        /// Simulation time at which convergence failed (`0.0` for DC).
+        time: f64,
+    },
+    /// The circuit failed structural validation.
+    Netlist(NetlistError),
+    /// A requested probe refers to a node or device the circuit lacks.
+    UnknownProbe(String),
+    /// A simulation option is out of its valid domain.
+    InvalidOption(String),
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiceError::SingularMatrix => write!(f, "singular mna matrix"),
+            SpiceError::NonConvergence { time } => {
+                write!(f, "newton iteration failed to converge at t = {time:.4e} s")
+            }
+            SpiceError::Netlist(e) => write!(f, "netlist error: {e}"),
+            SpiceError::UnknownProbe(name) => write!(f, "unknown probe {name:?}"),
+            SpiceError::InvalidOption(detail) => write!(f, "invalid option: {detail}"),
+        }
+    }
+}
+
+impl Error for SpiceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SpiceError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for SpiceError {
+    fn from(e: NetlistError) -> Self {
+        SpiceError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn netlist_error_is_wrapped_with_source() {
+        let e: SpiceError = NetlistError::FloatingNode("x".into()).into();
+        assert!(e.to_string().contains("netlist error"));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SpiceError>();
+    }
+}

@@ -1,0 +1,53 @@
+//! Modified-nodal-analysis (MNA) transient simulator with Level-1 MOSFETs.
+//!
+//! This crate is the electrical-level engine the paper's evaluation runs on:
+//! a from-scratch analog simulator covering exactly the device set the
+//! skew-sensing circuit needs — resistors, capacitors, independent sources
+//! and Shichman–Hodges (SPICE Level-1) MOSFETs.
+//!
+//! * [`dc_operating_point`] — Newton–Raphson DC solution with gmin and
+//!   source stepping fallbacks.
+//! * [`transient`] — trapezoidal integration (backward-Euler start) with
+//!   Newton iteration per step, source-breakpoint alignment and step
+//!   halving on non-convergence.
+//! * [`iddq`] — quiescent supply-current measurement, the detection
+//!   criterion the paper invokes for pull-up stuck-on and resistive
+//!   bridging faults.
+//!
+//! # Examples
+//!
+//! Simulate an RC low-pass step response and check the time constant:
+//!
+//! ```
+//! use clocksense_netlist::{Circuit, SourceWave, GROUND};
+//! use clocksense_spice::{transient, SimOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut ckt = Circuit::new();
+//! let inp = ckt.node("in");
+//! let out = ckt.node("out");
+//! ckt.add_vsource("vin", inp, GROUND, SourceWave::step(0.0, 1.0, 0.0, 1e-12))?;
+//! ckt.add_resistor("r", inp, out, 1_000.0)?;
+//! ckt.add_capacitor("c", out, GROUND, 1e-12)?; // tau = 1 ns
+//! let result = transient(&ckt, 5e-9, &SimOptions::default())?;
+//! let v_out = result.waveform(out);
+//! let v_at_tau = v_out.value_at(1e-9);
+//! assert!((v_at_tau - 0.632).abs() < 0.01);
+//! # Ok(())
+//! # }
+//! ```
+
+mod dc;
+mod engine;
+mod error;
+mod matrix;
+mod mos_eval;
+mod options;
+mod tran;
+
+pub use dc::{dc_operating_point, dc_sweep, iddq, DcSolution};
+pub use error::SpiceError;
+pub use matrix::DenseMatrix;
+pub use mos_eval::{channel_current, MosOperatingPoint, MosRegion};
+pub use options::{IntegrationMethod, SimOptions};
+pub use tran::{transient, TranResult};

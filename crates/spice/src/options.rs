@@ -1,0 +1,149 @@
+//! Simulation options.
+
+use crate::error::SpiceError;
+
+/// Time-integration method for the transient analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IntegrationMethod {
+    /// Trapezoidal rule, with a backward-Euler step after DC and after each
+    /// source breakpoint to damp the trapezoidal start-up ringing. This is
+    /// the default and matches common SPICE practice.
+    #[default]
+    Trapezoidal,
+    /// Backward Euler throughout: more damping, first-order accurate.
+    BackwardEuler,
+}
+
+/// Tolerances and controls for DC and transient analyses.
+///
+/// The defaults mirror Berkeley SPICE (`reltol = 1e-3`, `vntol = 1e-6`,
+/// `abstol = 1e-12`, `gmin = 1e-12`) with a 1 ps base time step suited to
+/// the sub-nanosecond edges of the paper's experiments.
+///
+/// # Examples
+///
+/// ```
+/// use clocksense_spice::SimOptions;
+///
+/// let opts = SimOptions {
+///     tstep: 0.5e-12,
+///     ..SimOptions::default()
+/// };
+/// assert!(opts.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOptions {
+    /// Relative convergence tolerance on node voltages.
+    pub reltol: f64,
+    /// Absolute convergence tolerance on node voltages (V).
+    pub vntol: f64,
+    /// Absolute convergence tolerance on branch currents (A).
+    pub abstol: f64,
+    /// Minimum conductance added across MOSFET channels (S).
+    pub gmin: f64,
+    /// Maximum Newton iterations per solve point.
+    pub max_newton_iters: usize,
+    /// Base transient time step (s).
+    pub tstep: f64,
+    /// Smallest time step the step-halving control may reach before giving
+    /// up with [`SpiceError::NonConvergence`].
+    ///
+    /// [`SpiceError::NonConvergence`]: crate::SpiceError::NonConvergence
+    pub tstep_min: f64,
+    /// Integration method.
+    pub method: IntegrationMethod,
+    /// Largest per-iteration Newton voltage update (V); larger updates are
+    /// clamped, which tames the quadratic Level-1 characteristics.
+    pub newton_damping: f64,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            reltol: 1e-3,
+            vntol: 1e-6,
+            abstol: 1e-12,
+            gmin: 1e-12,
+            max_newton_iters: 100,
+            tstep: 1e-12,
+            tstep_min: 1e-16,
+            method: IntegrationMethod::default(),
+            newton_damping: 2.0,
+        }
+    }
+}
+
+impl SimOptions {
+    /// Checks that every option lies in its valid domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::InvalidOption`] naming the first offending
+    /// field.
+    pub fn validate(&self) -> Result<(), SpiceError> {
+        let positive = [
+            ("reltol", self.reltol),
+            ("vntol", self.vntol),
+            ("abstol", self.abstol),
+            ("gmin", self.gmin),
+            ("tstep", self.tstep),
+            ("tstep_min", self.tstep_min),
+            ("newton_damping", self.newton_damping),
+        ];
+        for (name, v) in positive {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(SpiceError::InvalidOption(format!(
+                    "{name} must be finite and positive, got {v}"
+                )));
+            }
+        }
+        if self.max_newton_iters < 2 {
+            return Err(SpiceError::InvalidOption(
+                "max_newton_iters must be at least 2".to_string(),
+            ));
+        }
+        if self.tstep_min > self.tstep {
+            return Err(SpiceError::InvalidOption(
+                "tstep_min must not exceed tstep".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        SimOptions::default().validate().unwrap();
+    }
+
+    #[test]
+    fn bad_options_are_named() {
+        let o = SimOptions {
+            tstep: -1.0,
+            ..SimOptions::default()
+        };
+        let err = o.validate().unwrap_err();
+        assert!(err.to_string().contains("tstep"));
+
+        let o = SimOptions {
+            max_newton_iters: 1,
+            ..SimOptions::default()
+        };
+        assert!(o.validate().is_err());
+
+        let o = SimOptions {
+            tstep_min: 1.0,
+            ..SimOptions::default()
+        };
+        assert!(o.validate().is_err());
+    }
+
+    #[test]
+    fn default_method_is_trapezoidal() {
+        assert_eq!(SimOptions::default().method, IntegrationMethod::Trapezoidal);
+    }
+}

@@ -1,0 +1,394 @@
+//! Transient analysis.
+
+use clocksense_netlist::{Circuit, NodeId};
+use clocksense_wave::Waveform;
+
+use crate::engine::{stamp_conductance, MnaSystem};
+use crate::error::SpiceError;
+use crate::matrix::DenseMatrix;
+use crate::options::{IntegrationMethod, SimOptions};
+
+/// Result of a transient analysis: every node voltage and every
+/// voltage-source branch current, sampled at each accepted time point.
+#[derive(Debug, Clone)]
+pub struct TranResult {
+    times: Vec<f64>,
+    node_values: Vec<Vec<f64>>,
+    branch_values: Vec<Vec<f64>>,
+    node_names: Vec<String>,
+    source_names: Vec<String>,
+}
+
+impl TranResult {
+    /// The accepted time points.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Voltage waveform at `node` (ground yields the all-zero waveform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was not part of the analysed circuit.
+    pub fn waveform(&self, node: NodeId) -> Waveform {
+        assert!(
+            node.index() < self.node_values.len(),
+            "node {node} not in this analysis"
+        );
+        Waveform::new(self.times.clone(), self.node_values[node.index()].clone())
+    }
+
+    /// Voltage waveform looked up by node name.
+    pub fn waveform_named(&self, name: &str) -> Option<Waveform> {
+        let idx = self.node_names.iter().position(|n| n == name)?;
+        Some(Waveform::new(
+            self.times.clone(),
+            self.node_values[idx].clone(),
+        ))
+    }
+
+    /// Branch-current waveform of the named voltage source (current flowing
+    /// `plus` → `minus` through the source; supplies deliver negative
+    /// values — see [`iddq`](crate::iddq) for the DC sign convention).
+    pub fn source_current(&self, name: &str) -> Option<Waveform> {
+        let idx = self.source_names.iter().position(|n| n == name)?;
+        Some(Waveform::new(
+            self.times.clone(),
+            self.branch_values[idx].clone(),
+        ))
+    }
+
+    /// Names of all recorded nodes, in node-id order.
+    pub fn node_names(&self) -> &[String] {
+        &self.node_names
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CapState {
+    /// Branch voltage at the previous accepted point.
+    u: f64,
+    /// Branch current at the previous accepted point.
+    i: f64,
+}
+
+/// One integration attempt over `[t_cur, t_cur + h]`.
+fn try_step(
+    sys: &MnaSystem,
+    x: &[f64],
+    states: &[CapState],
+    t_next: f64,
+    h: f64,
+    backward_euler: bool,
+    opts: &SimOptions,
+) -> Result<(Vec<f64>, Vec<CapState>), SpiceError> {
+    // Companion model per capacitor: i = geq * u - ieq.
+    let companions: Vec<(f64, f64)> = sys
+        .capacitors
+        .iter()
+        .zip(states)
+        .map(|(c, st)| {
+            if backward_euler {
+                let geq = c.farads / h;
+                (geq, geq * st.u)
+            } else {
+                let geq = 2.0 * c.farads / h;
+                (geq, geq * st.u + st.i)
+            }
+        })
+        .collect();
+
+    let x_new = sys.newton_solve(
+        t_next,
+        x,
+        opts,
+        opts.gmin,
+        1.0,
+        |m: &mut DenseMatrix, rhs| {
+            for (cap, &(geq, ieq)) in sys.capacitors.iter().zip(&companions) {
+                stamp_conductance(m, cap.a, cap.b, geq);
+                if let Some(a) = cap.a {
+                    rhs[a] += ieq;
+                }
+                if let Some(b) = cap.b {
+                    rhs[b] -= ieq;
+                }
+            }
+        },
+    )?;
+
+    let new_states = sys
+        .capacitors
+        .iter()
+        .zip(&companions)
+        .map(|(cap, &(geq, ieq))| {
+            let u = MnaSystem::voltage(&x_new, cap.a) - MnaSystem::voltage(&x_new, cap.b);
+            CapState {
+                u,
+                i: geq * u - ieq,
+            }
+        })
+        .collect();
+    Ok((x_new, new_states))
+}
+
+/// Runs a transient analysis of `circuit` from `t = 0` to `t_stop`.
+///
+/// The initial condition is the DC operating point with sources at their
+/// `t = 0` values. Integration uses the method in [`SimOptions::method`];
+/// with the default trapezoidal rule, the step immediately after `t = 0`
+/// and after every source breakpoint is taken with backward Euler to damp
+/// start-up ringing. Source breakpoints are always hit exactly, and steps
+/// that fail to converge are recursively halved down to
+/// [`SimOptions::tstep_min`].
+///
+/// # Errors
+///
+/// Propagates [`SpiceError::Netlist`] / [`SpiceError::SingularMatrix`] from
+/// system assembly and returns [`SpiceError::NonConvergence`] if a step
+/// cannot be completed even at the minimum step size.
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+pub fn transient(
+    circuit: &Circuit,
+    t_stop: f64,
+    opts: &SimOptions,
+) -> Result<TranResult, SpiceError> {
+    opts.validate()?;
+    if !(t_stop.is_finite() && t_stop > 0.0) {
+        return Err(SpiceError::InvalidOption(format!(
+            "t_stop must be finite and positive, got {t_stop}"
+        )));
+    }
+    let sys = MnaSystem::build(circuit)?;
+
+    // Initial condition: DC operating point at t = 0.
+    let x0 = crate::dc::solve_with_continuation_pub(&sys, 0.0, opts)?;
+
+    // Collect and dedupe source breakpoints inside (0, t_stop].
+    let mut breakpoints: Vec<f64> = Vec::new();
+    for v in &sys.vsources {
+        breakpoints.extend(v.wave.breakpoints(t_stop));
+    }
+    for i in &sys.isources {
+        breakpoints.extend(i.wave.breakpoints(t_stop));
+    }
+    breakpoints.retain(|&t| t > 0.0 && t <= t_stop);
+    breakpoints.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
+    breakpoints.dedup_by(|a, b| (*a - *b).abs() < opts.tstep_min);
+
+    let mut states: Vec<CapState> = sys
+        .capacitors
+        .iter()
+        .map(|c| CapState {
+            u: MnaSystem::voltage(&x0, c.a) - MnaSystem::voltage(&x0, c.b),
+            i: 0.0,
+        })
+        .collect();
+
+    let mut times = vec![0.0];
+    let mut samples = vec![x0.clone()];
+    let mut x = x0;
+    let mut t = 0.0;
+    let mut bp_iter = breakpoints.into_iter().peekable();
+    // Force a damping backward-Euler step after DC and after breakpoints.
+    let mut force_be = true;
+
+    while t < t_stop - opts.tstep_min {
+        let mut t_next = t + opts.tstep;
+        let mut hit_breakpoint = false;
+        if let Some(&bp) = bp_iter.peek() {
+            if bp <= t_next + opts.tstep_min {
+                t_next = bp;
+                bp_iter.next();
+                hit_breakpoint = true;
+            }
+        }
+        if t_next > t_stop {
+            t_next = t_stop;
+        }
+
+        // Take the step, halving on non-convergence.
+        let mut sub_t = t;
+        let mut remaining = t_next - t;
+        while remaining > 0.5 * opts.tstep_min {
+            let mut h = remaining;
+            loop {
+                let be = force_be || opts.method == IntegrationMethod::BackwardEuler;
+                match try_step(&sys, &x, &states, sub_t + h, h, be, opts) {
+                    Ok((x_new, new_states)) => {
+                        sub_t += h;
+                        x = x_new;
+                        states = new_states;
+                        times.push(sub_t);
+                        samples.push(x.clone());
+                        force_be = false;
+                        break;
+                    }
+                    Err(SpiceError::NonConvergence { .. }) if h / 2.0 >= opts.tstep_min => {
+                        h /= 2.0;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            remaining = t_next - sub_t;
+        }
+        t = t_next;
+        if hit_breakpoint {
+            force_be = true;
+        }
+    }
+
+    // Transpose samples into per-node and per-branch series.
+    let n_points = times.len();
+    let mut node_values = vec![vec![0.0; n_points]; sys.n_nodes];
+    let mut branch_values = vec![vec![0.0; n_points]; sys.vsources.len()];
+    for (k, sample) in samples.iter().enumerate() {
+        for node in 1..sys.n_nodes {
+            node_values[node][k] = sample[node - 1];
+        }
+        for b in 0..sys.vsources.len() {
+            branch_values[b][k] = sample[sys.n_v + b];
+        }
+    }
+    Ok(TranResult {
+        times,
+        node_values,
+        branch_values,
+        node_names: sys.node_names.clone(),
+        source_names: sys.vsources.iter().map(|v| v.name.clone()).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clocksense_netlist::{MosParams, MosPolarity, SourceWave, GROUND};
+
+    fn rc_circuit(r: f64, c: f64) -> (Circuit, NodeId) {
+        let mut ckt = Circuit::new();
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add_vsource("vin", inp, GROUND, SourceWave::step(0.0, 1.0, 0.0, 1e-13))
+            .unwrap();
+        ckt.add_resistor("r", inp, out, r).unwrap();
+        ckt.add_capacitor("c", out, GROUND, c).unwrap();
+        (ckt, out)
+    }
+
+    #[test]
+    fn rc_step_response_matches_analytic() {
+        let (ckt, out) = rc_circuit(1e3, 1e-12); // tau = 1 ns
+        let res = transient(&ckt, 5e-9, &SimOptions::default()).unwrap();
+        let w = res.waveform(out);
+        for frac in [0.5f64, 1.0, 2.0, 3.0] {
+            let t = frac * 1e-9;
+            let expect = 1.0 - (-frac).exp();
+            let got = w.value_at(t + 1e-13); // offset by the source rise
+            assert!(
+                (got - expect).abs() < 5e-3,
+                "at {frac} tau: got {got}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn backward_euler_also_converges_to_final_value() {
+        let (ckt, out) = rc_circuit(1e3, 1e-12);
+        let opts = SimOptions {
+            method: IntegrationMethod::BackwardEuler,
+            ..SimOptions::default()
+        };
+        let res = transient(&ckt, 10e-9, &opts).unwrap();
+        assert!((res.waveform(out).value_at(10e-9) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn times_strictly_increase_and_hit_breakpoints() {
+        let (ckt, _) = rc_circuit(1e3, 1e-12);
+        let res = transient(&ckt, 2e-9, &SimOptions::default()).unwrap();
+        let t = res.times();
+        assert!(t.windows(2).all(|w| w[1] > w[0]));
+        // The source has a breakpoint at 1e-13.
+        assert!(t.iter().any(|&x| (x - 1e-13).abs() < 1e-15));
+        assert!((t[t.len() - 1] - 2e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cmos_inverter_switches_dynamically() {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add_vsource("vdd", vdd, GROUND, SourceWave::Dc(5.0))
+            .unwrap();
+        ckt.add_vsource(
+            "vin",
+            inp,
+            GROUND,
+            SourceWave::Pulse {
+                v1: 0.0,
+                v2: 5.0,
+                delay: 1e-9,
+                rise: 0.2e-9,
+                fall: 0.2e-9,
+                width: 2e-9,
+                period: f64::INFINITY,
+            },
+        )
+        .unwrap();
+        let nmos = MosParams {
+            vth0: 0.7,
+            kp: 60e-6,
+            lambda: 0.02,
+            w: 4e-6,
+            l: 1.2e-6,
+            cgs: 3e-15,
+            cgd: 3e-15,
+            cdb: 4e-15,
+        };
+        let pmos = MosParams {
+            vth0: -0.9,
+            kp: 20e-6,
+            lambda: 0.02,
+            w: 10e-6,
+            l: 1.2e-6,
+            cgs: 7e-15,
+            cgd: 7e-15,
+            cdb: 9e-15,
+        };
+        ckt.add_mosfet("mp", MosPolarity::Pmos, out, inp, vdd, pmos)
+            .unwrap();
+        ckt.add_mosfet("mn", MosPolarity::Nmos, out, inp, GROUND, nmos)
+            .unwrap();
+        ckt.add_capacitor("cl", out, GROUND, 50e-15).unwrap();
+
+        let res = transient(&ckt, 6e-9, &SimOptions::default()).unwrap();
+        let w = res.waveform(out);
+        assert!(w.value_at(0.9e-9) > 4.9, "output high before the pulse");
+        assert!(w.value_at(2.5e-9) < 0.1, "output low during the pulse");
+        assert!(w.value_at(5.8e-9) > 4.9, "output recovers after the pulse");
+    }
+
+    #[test]
+    fn waveform_lookup_by_name_and_source_current() {
+        let (ckt, _) = rc_circuit(1e3, 1e-12);
+        let res = transient(&ckt, 1e-9, &SimOptions::default()).unwrap();
+        assert!(res.waveform_named("out").is_some());
+        assert!(res.waveform_named("nope").is_none());
+        let i = res.source_current("vin").unwrap();
+        // Right after the step the full 1 V sits across R: 1 mA leaves the
+        // source (negative branch current by convention).
+        assert!(i.value_at(2e-13) < -0.5e-3);
+        assert!(res.source_current("nope").is_none());
+    }
+
+    #[test]
+    fn rejects_bad_t_stop() {
+        let (ckt, _) = rc_circuit(1e3, 1e-12);
+        assert!(transient(&ckt, 0.0, &SimOptions::default()).is_err());
+        assert!(transient(&ckt, f64::NAN, &SimOptions::default()).is_err());
+    }
+}

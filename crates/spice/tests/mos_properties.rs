@@ -1,0 +1,124 @@
+//! Property tests on the Level-1 MOSFET model: the physical monotonicity
+//! and continuity facts the sensing analysis relies on.
+
+use clocksense_netlist::{MosParams, MosPolarity};
+use clocksense_spice::channel_current;
+use proptest::prelude::*;
+
+fn params_strategy() -> impl Strategy<Value = MosParams> {
+    (
+        0.3f64..1.2,      // vth
+        10e-6f64..120e-6, // kp
+        0.0f64..0.1,      // lambda
+        1e-6f64..40e-6,   // w
+    )
+        .prop_map(|(vth0, kp, lambda, w)| MosParams {
+            vth0,
+            kp,
+            lambda,
+            w,
+            l: 1.2e-6,
+            cgs: 0.0,
+            cgd: 0.0,
+            cdb: 0.0,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 256,
+        ..ProptestConfig::default()
+    })]
+
+    /// Drain current is non-decreasing in Vgs at fixed positive Vds.
+    #[test]
+    fn id_monotone_in_vgs(
+        p in params_strategy(),
+        vds in 0.1f64..5.0,
+        vgs in 0.0f64..4.5,
+        dv in 0.01f64..0.5,
+    ) {
+        let lo = channel_current(MosPolarity::Nmos, &p, vds, vgs, 0.0).id;
+        let hi = channel_current(MosPolarity::Nmos, &p, vds, vgs + dv, 0.0).id;
+        prop_assert!(hi >= lo - 1e-15, "id must grow with vgs: {lo} -> {hi}");
+    }
+
+    /// Drain current is non-decreasing in Vds for an on device.
+    #[test]
+    fn id_monotone_in_vds(
+        p in params_strategy(),
+        vds in 0.0f64..4.5,
+        dv in 0.01f64..0.5,
+    ) {
+        let vgs = p.vth0 + 1.5;
+        let lo = channel_current(MosPolarity::Nmos, &p, vds, vgs, 0.0).id;
+        let hi = channel_current(MosPolarity::Nmos, &p, vds + dv, vgs, 0.0).id;
+        prop_assert!(hi >= lo - 1e-15, "id must grow with vds: {lo} -> {hi}");
+    }
+
+    /// PMOS is the exact mirror of NMOS: negating all terminal voltages
+    /// (and the threshold) negates the current.
+    #[test]
+    fn pmos_mirrors_nmos(
+        p in params_strategy(),
+        vd in -5.0f64..5.0,
+        vg in -5.0f64..5.0,
+        vs in -5.0f64..5.0,
+    ) {
+        let n = channel_current(MosPolarity::Nmos, &p, vd, vg, vs);
+        let p_mirror = MosParams { vth0: -p.vth0, ..p };
+        let m = channel_current(MosPolarity::Pmos, &p_mirror, -vd, -vg, -vs);
+        prop_assert!((n.id + m.id).abs() <= 1e-12 * n.id.abs().max(1.0));
+    }
+
+    /// Channel symmetry: exchanging drain and source negates the current.
+    #[test]
+    fn drain_source_exchange_negates_current(
+        p in params_strategy(),
+        vd in -3.0f64..3.0,
+        vg in 0.0f64..5.0,
+        vs in -3.0f64..3.0,
+    ) {
+        let fwd = channel_current(MosPolarity::Nmos, &p, vd, vg, vs).id;
+        let rev = channel_current(MosPolarity::Nmos, &p, vs, vg, vd).id;
+        prop_assert!((fwd + rev).abs() <= 1e-12 * fwd.abs().max(1.0));
+    }
+
+    /// The current is continuous across the triode/saturation boundary.
+    #[test]
+    fn continuity_at_saturation_boundary(
+        p in params_strategy(),
+        vgs in 0.5f64..4.5,
+    ) {
+        prop_assume!(vgs > p.vth0 + 0.05);
+        let vov = vgs - p.vth0;
+        let eps = 1e-9;
+        let below = channel_current(MosPolarity::Nmos, &p, vov - eps, vgs, 0.0).id;
+        let above = channel_current(MosPolarity::Nmos, &p, vov + eps, vgs, 0.0).id;
+        prop_assert!(
+            (below - above).abs() <= 1e-6 * above.abs().max(1e-12),
+            "discontinuity at pinch-off: {below} vs {above}"
+        );
+    }
+
+    /// Conservation: the three terminal partials sum to zero (KCL on the
+    /// linearised device).
+    #[test]
+    fn partials_conserve_current(
+        p in params_strategy(),
+        vd in -5.0f64..5.0,
+        vg in -5.0f64..5.0,
+        vs in -5.0f64..5.0,
+        polarity_flip in any::<bool>(),
+    ) {
+        let (pol, params) = if polarity_flip {
+            (MosPolarity::Pmos, MosParams { vth0: -p.vth0, ..p })
+        } else {
+            (MosPolarity::Nmos, p)
+        };
+        let op = channel_current(pol, &params, vd, vg, vs);
+        let sum = op.g_d + op.g_g + op.g_s;
+        let scale = op.g_d.abs().max(op.g_g.abs()).max(op.g_s.abs()).max(1e-12);
+        prop_assert!(sum.abs() <= 1e-9 * scale, "partials sum to {sum}");
+    }
+}

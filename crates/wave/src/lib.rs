@@ -1,0 +1,28 @@
+//! Waveform containers and analog measurement utilities for clocksense.
+//!
+//! A [`Waveform`] is a sampled signal — a strictly increasing time axis with
+//! one value per sample — as produced by the transient simulator in
+//! `clocksense-spice`. This crate provides the measurement vocabulary the
+//! paper's evaluation needs: linear interpolation, windowed minima/maxima
+//! ([`Waveform::min_in`] is how V_min in Fig. 4/5 is extracted), threshold
+//! crossings, slew and delay measurements, and interpretation of analog
+//! levels as logic values against a threshold ([`LogicLevel`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use clocksense_wave::Waveform;
+//!
+//! let ramp = Waveform::from_fn(0.0, 1.0, 101, |t| 5.0 * t);
+//! assert!((ramp.value_at(0.5) - 2.5).abs() < 1e-9);
+//! let cross = ramp.rising_crossings(2.5);
+//! assert!((cross[0] - 0.5).abs() < 1e-9);
+//! ```
+
+mod logic;
+mod measure;
+mod waveform;
+
+pub use logic::{LogicLevel, LogicThresholds};
+pub use measure::{cross_delay, skew_between, slew_time};
+pub use waveform::Waveform;

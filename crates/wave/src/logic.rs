@@ -1,0 +1,146 @@
+//! Interpretation of analog levels as logic values.
+
+use crate::waveform::Waveform;
+
+/// Logic interpretation of an analog voltage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LogicLevel {
+    /// Below the low threshold.
+    Low,
+    /// Above the high threshold.
+    High,
+    /// Between the thresholds: neither a clean `0` nor a clean `1`.
+    Indeterminate,
+}
+
+impl LogicLevel {
+    /// Returns `true` for [`LogicLevel::High`].
+    pub fn is_high(self) -> bool {
+        self == LogicLevel::High
+    }
+
+    /// Returns `true` for [`LogicLevel::Low`].
+    pub fn is_low(self) -> bool {
+        self == LogicLevel::Low
+    }
+}
+
+/// Threshold pair used to discretise analog levels.
+///
+/// The paper interprets the sensing-circuit response with a gate whose
+/// logic threshold is `V_DD/2`, derated by a worst-case ±10 % parameter
+/// variation, giving `V_th = 2.75 V` for a 5 V supply. That corresponds to
+/// [`LogicThresholds::single`]`(2.75)`, where one voltage separates the two
+/// logic values; [`LogicThresholds::with_guard_band`] instead leaves an
+/// indeterminate band, which detection criteria can treat pessimistically.
+///
+/// # Examples
+///
+/// ```
+/// use clocksense_wave::{LogicLevel, LogicThresholds};
+///
+/// let th = LogicThresholds::single(2.75);
+/// assert_eq!(th.classify(5.0), LogicLevel::High);
+/// assert_eq!(th.classify(0.3), LogicLevel::Low);
+///
+/// let guarded = LogicThresholds::with_guard_band(2.5, 0.5);
+/// assert_eq!(guarded.classify(2.5), LogicLevel::Indeterminate);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogicThresholds {
+    v_low: f64,
+    v_high: f64,
+}
+
+impl LogicThresholds {
+    /// A single switching threshold: at or above is high, below is low.
+    pub fn single(v_th: f64) -> Self {
+        LogicThresholds {
+            v_low: v_th,
+            v_high: v_th,
+        }
+    }
+
+    /// A threshold at `center` with an indeterminate band of `±half_band`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `half_band` is negative.
+    pub fn with_guard_band(center: f64, half_band: f64) -> Self {
+        assert!(half_band >= 0.0, "guard band must be non-negative");
+        LogicThresholds {
+            v_low: center - half_band,
+            v_high: center + half_band,
+        }
+    }
+
+    /// The voltage below which a level is [`LogicLevel::Low`].
+    pub fn v_low(&self) -> f64 {
+        self.v_low
+    }
+
+    /// The voltage at or above which a level is [`LogicLevel::High`].
+    pub fn v_high(&self) -> f64 {
+        self.v_high
+    }
+
+    /// Classifies a single voltage.
+    pub fn classify(&self, v: f64) -> LogicLevel {
+        if v >= self.v_high {
+            LogicLevel::High
+        } else if v < self.v_low {
+            LogicLevel::Low
+        } else {
+            LogicLevel::Indeterminate
+        }
+    }
+
+    /// Classifies the value of `w` at time `t`.
+    pub fn classify_at(&self, w: &Waveform, t: f64) -> LogicLevel {
+        self.classify(w.value_at(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_threshold_has_no_band() {
+        let th = LogicThresholds::single(2.5);
+        assert_eq!(th.classify(2.5), LogicLevel::High);
+        assert_eq!(th.classify(2.4999), LogicLevel::Low);
+    }
+
+    #[test]
+    fn guard_band_classification() {
+        let th = LogicThresholds::with_guard_band(2.5, 0.5);
+        assert_eq!(th.classify(3.0), LogicLevel::High);
+        assert_eq!(th.classify(2.99), LogicLevel::Indeterminate);
+        assert_eq!(th.classify(2.0), LogicLevel::Indeterminate);
+        assert_eq!(th.classify(1.99), LogicLevel::Low);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_band_panics() {
+        LogicThresholds::with_guard_band(2.5, -0.1);
+    }
+
+    #[test]
+    fn classify_waveform_at_time() {
+        let th = LogicThresholds::single(2.5);
+        let w = Waveform::new(vec![0.0, 1.0], vec![0.0, 5.0]);
+        assert_eq!(th.classify_at(&w, 0.1), LogicLevel::Low);
+        assert_eq!(th.classify_at(&w, 0.9), LogicLevel::High);
+    }
+
+    #[test]
+    fn level_predicates() {
+        assert!(LogicLevel::High.is_high());
+        assert!(!LogicLevel::High.is_low());
+        assert!(LogicLevel::Low.is_low());
+        assert!(!LogicLevel::Indeterminate.is_high());
+        assert!(!LogicLevel::Indeterminate.is_low());
+    }
+}

@@ -1,0 +1,125 @@
+//! Timing measurements between waveforms.
+
+use crate::waveform::Waveform;
+
+/// Delay from the `n`-th rising crossing of `threshold` on `from` to the
+/// first crossing on `to` at or after it.
+///
+/// Returns `None` if either waveform lacks the required crossing. `rising`
+/// selects the edge direction on both waveforms.
+///
+/// # Examples
+///
+/// ```
+/// use clocksense_wave::{cross_delay, Waveform};
+///
+/// let a = Waveform::new(vec![0.0, 1.0], vec![0.0, 5.0]);
+/// let b = Waveform::new(vec![0.0, 1.0, 2.0], vec![0.0, 0.0, 5.0]);
+/// let d = cross_delay(&a, &b, 2.5, 0, true).expect("both cross");
+/// assert!((d - 1.0).abs() < 1e-9);
+/// ```
+pub fn cross_delay(
+    from: &Waveform,
+    to: &Waveform,
+    threshold: f64,
+    n: usize,
+    rising: bool,
+) -> Option<f64> {
+    let (from_cross, to_cross) = if rising {
+        (
+            from.rising_crossings(threshold),
+            to.rising_crossings(threshold),
+        )
+    } else {
+        (
+            from.falling_crossings(threshold),
+            to.falling_crossings(threshold),
+        )
+    };
+    let t_from = *from_cross.get(n)?;
+    let t_to = to_cross.iter().copied().find(|&t| t >= t_from)?;
+    Some(t_to - t_from)
+}
+
+/// Skew between the first rising edges of two clock waveforms, measured at
+/// `threshold`.
+///
+/// Positive result means `b` is late with respect to `a`. Returns `None` if
+/// either waveform never crosses the threshold.
+pub fn skew_between(a: &Waveform, b: &Waveform, threshold: f64) -> Option<f64> {
+    let ta = *a.rising_crossings(threshold).first()?;
+    let tb = *b.rising_crossings(threshold).first()?;
+    Some(tb - ta)
+}
+
+/// 10 %–90 % rise (or 90 %–10 % fall) time of the first edge between
+/// `v_low` and `v_high`.
+///
+/// Returns `None` if the waveform does not traverse both measurement levels
+/// in the requested direction.
+pub fn slew_time(w: &Waveform, v_low: f64, v_high: f64, rising: bool) -> Option<f64> {
+    let lo = v_low + 0.1 * (v_high - v_low);
+    let hi = v_low + 0.9 * (v_high - v_low);
+    if rising {
+        let t_lo = *w.rising_crossings(lo).first()?;
+        let t_hi = w.rising_crossings(hi).into_iter().find(|&t| t >= t_lo)?;
+        Some(t_hi - t_lo)
+    } else {
+        let t_hi = *w.falling_crossings(hi).first()?;
+        let t_lo = w.falling_crossings(lo).into_iter().find(|&t| t >= t_hi)?;
+        Some(t_lo - t_hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(delay: f64) -> Waveform {
+        Waveform::from_fn(0.0, 10.0, 1001, move |t| {
+            ((t - delay).clamp(0.0, 1.0)) * 5.0
+        })
+    }
+
+    #[test]
+    fn skew_is_signed() {
+        let a = ramp(1.0);
+        let b = ramp(1.3);
+        let s = skew_between(&a, &b, 2.5).unwrap();
+        assert!((s - 0.3).abs() < 0.02);
+        let s2 = skew_between(&b, &a, 2.5).unwrap();
+        assert!((s2 + 0.3).abs() < 0.02);
+    }
+
+    #[test]
+    fn skew_none_without_crossing() {
+        let flat = Waveform::new(vec![0.0, 1.0], vec![0.0, 0.0]);
+        assert!(skew_between(&flat, &ramp(0.0), 2.5).is_none());
+    }
+
+    #[test]
+    fn cross_delay_picks_next_edge() {
+        let a = ramp(1.0);
+        let b = ramp(2.0);
+        let d = cross_delay(&a, &b, 2.5, 0, true).unwrap();
+        assert!((d - 1.0).abs() < 0.02);
+        // b never has a second rising edge.
+        assert!(cross_delay(&a, &b, 2.5, 1, true).is_none());
+    }
+
+    #[test]
+    fn slew_of_linear_ramp() {
+        // 0→5 V in exactly 1 s: 10–90 % occupies 0.8 s.
+        let w = ramp(0.0);
+        let s = slew_time(&w, 0.0, 5.0, true).unwrap();
+        assert!((s - 0.8).abs() < 0.02);
+    }
+
+    #[test]
+    fn falling_slew() {
+        let w = Waveform::from_fn(0.0, 2.0, 401, |t| 5.0 * (1.0 - t.clamp(0.0, 1.0)));
+        let s = slew_time(&w, 0.0, 5.0, false).unwrap();
+        assert!((s - 0.8).abs() < 0.02);
+        assert!(slew_time(&w, 0.0, 5.0, true).is_none());
+    }
+}

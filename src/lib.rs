@@ -1,0 +1,24 @@
+//! clocksense — facade crate.
+//!
+//! Re-exports every crate of the workspace under one roof. See the
+//! individual crates for full documentation:
+//!
+//! * [`core`] — the skew-sensing circuit (the paper's contribution)
+//! * [`netlist`] — circuit representation
+//! * [`spice`] — MNA electrical simulator
+//! * [`wave`] — waveforms and measurements
+//! * [`faults`] — fault models and campaigns
+//! * [`clocktree`] — clock distribution substrate
+//! * [`digital`] — gate-level logic simulation (the synchronous context)
+//! * [`checker`] — error indicators, two-rail checkers, scan paths
+//! * [`montecarlo`] — parameter variation and statistics
+
+pub use clocksense_checker as checker;
+pub use clocksense_clocktree as clocktree;
+pub use clocksense_core as core;
+pub use clocksense_digital as digital;
+pub use clocksense_faults as faults;
+pub use clocksense_montecarlo as montecarlo;
+pub use clocksense_netlist as netlist;
+pub use clocksense_spice as spice;
+pub use clocksense_wave as wave;

@@ -1,0 +1,107 @@
+//! Property tests on the gate-level simulator.
+
+use clocksense::digital::{schedule_from_waveform, GateKind, GateNetwork, Schedule};
+use clocksense::wave::Waveform;
+use proptest::prelude::*;
+
+/// Strategy: a valid random edge list in (0, 90 ns).
+fn edges_strategy() -> impl Strategy<Value = Vec<(f64, bool)>> {
+    prop::collection::vec((1u64..90_000, any::<bool>()), 0..12).prop_map(|raw| {
+        let mut times: Vec<u64> = raw.iter().map(|&(t, _)| t).collect();
+        times.sort_unstable();
+        times.dedup();
+        times
+            .into_iter()
+            .zip(raw.into_iter().map(|(_, v)| v))
+            .map(|(t, v)| (t as f64 * 1e-12, v))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        ..ProptestConfig::default()
+    })]
+
+    /// A buffer chain is a pure delay: the output equals the input
+    /// shifted by the total chain delay.
+    #[test]
+    fn buffer_chain_is_a_pure_delay(
+        initial in any::<bool>(),
+        edges in edges_strategy(),
+        stages in 1usize..5,
+    ) {
+        let schedule = Schedule::from_edges(initial, &edges);
+        let mut net = GateNetwork::new();
+        let a = net.input("a", schedule);
+        let delay = 0.4e-9;
+        let mut out = a;
+        for _ in 0..stages {
+            out = net.gate(GateKind::Buf, &[out], delay).expect("buf");
+        }
+        let run = net.simulate(120e-9).expect("simulates");
+        let total = delay * stages as f64;
+        // Compare at probe points away from edges.
+        for k in 0..24 {
+            let t = 2e-9 + k as f64 * 4.4e-9;
+            let near_edge = edges
+                .iter()
+                .any(|&(te, _)| (t - (te + total)).abs() < 2.0 * total + 1e-12);
+            if near_edge {
+                continue;
+            }
+            let expect = if t < total {
+                Some(initial)
+            } else {
+                run.value_at(a, t - total)
+            };
+            prop_assert_eq!(run.value_at(out, t), expect, "at t = {}", t);
+        }
+    }
+
+    /// Double inversion is the identity (after the settle time).
+    #[test]
+    fn double_inversion_is_identity(
+        initial in any::<bool>(),
+        edges in edges_strategy(),
+    ) {
+        let schedule = Schedule::from_edges(initial, &edges);
+        let mut net = GateNetwork::new();
+        let a = net.input("a", schedule);
+        let n1 = net.gate(GateKind::Not, &[a], 0.1e-9).expect("not");
+        let n2 = net.gate(GateKind::Not, &[n1], 0.1e-9).expect("not");
+        let run = net.simulate(120e-9).expect("simulates");
+        for k in 0..20 {
+            let t = 1e-9 + k as f64 * 5e-9;
+            let near_edge = edges.iter().any(|&(te, _)| (t - te).abs() < 0.5e-9);
+            if near_edge || t < 0.5e-9 {
+                continue;
+            }
+            prop_assert_eq!(run.value_at(n2, t), run.value_at(a, t - 0.2e-9));
+        }
+    }
+
+    /// Thresholding an analog square wave and re-simulating preserves the
+    /// edge count.
+    #[test]
+    fn analog_digital_bridge_preserves_edges(
+        n_pulses in 1usize..5,
+    ) {
+        // Clean 5 V pulses, 2 ns period.
+        let period = 2e-9;
+        let w = Waveform::from_fn(0.0, n_pulses as f64 * period + 1e-9, 4000, |t| {
+            let phase = (t / period).fract();
+            if t < n_pulses as f64 * period && (0.25..0.75).contains(&phase) {
+                5.0
+            } else {
+                0.0
+            }
+        });
+        let schedule = schedule_from_waveform(&w, 2.5, 50e-12);
+        let mut net = GateNetwork::new();
+        let a = net.input("a", schedule);
+        let run = net.simulate(w.t_end()).expect("simulates");
+        prop_assert_eq!(run.signal(a).edges_to(true).len(), n_pulses);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests on the sensing circuit's core invariants.
+
+use clocksense::core::{interpret, ClockPair, SensorBuilder, SkewVerdict, Technology};
+use clocksense::spice::{transient, SimOptions};
+use proptest::prelude::*;
+
+fn fast_opts() -> SimOptions {
+    SimOptions {
+        tstep: 4e-12,
+        ..SimOptions::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        ..ProptestConfig::default()
+    })]
+
+    /// The verdict follows the sign of the injected skew, for any load and
+    /// slew in the paper's ranges, once the skew is well above sensitivity.
+    #[test]
+    fn verdict_tracks_skew_sign(
+        load in 40e-15f64..300e-15,
+        slew in 0.1e-9f64..0.4e-9,
+        tau in 0.35e-9f64..0.8e-9,
+        phi1_late in any::<bool>(),
+    ) {
+        let tech = Technology::cmos12();
+        let sensor = SensorBuilder::new(tech)
+            .load_capacitance(load)
+            .build()
+            .expect("valid sensor");
+        let signed = if phi1_late { -tau } else { tau };
+        let clocks = ClockPair::single_shot(tech.vdd, slew).with_skew(signed);
+        let r = sensor.simulate(&clocks, &fast_opts()).expect("sim converges");
+        let expect = if phi1_late {
+            SkewVerdict::Phi1Late
+        } else {
+            SkewVerdict::Phi2Late
+        };
+        prop_assert_eq!(r.verdict, expect);
+    }
+
+    /// Zero skew never produces an error for the nominal circuit,
+    /// regardless of load and slew.
+    #[test]
+    fn no_skew_never_flags(
+        load in 40e-15f64..300e-15,
+        slew in 0.1e-9f64..0.4e-9,
+    ) {
+        let tech = Technology::cmos12();
+        let sensor = SensorBuilder::new(tech)
+            .load_capacitance(load)
+            .build()
+            .expect("valid sensor");
+        let clocks = ClockPair::single_shot(tech.vdd, slew);
+        let r = sensor.simulate(&clocks, &fast_opts()).expect("sim converges");
+        prop_assert_eq!(r.verdict, SkewVerdict::NoError);
+        // The no-skew floor sits between ground and the logic threshold:
+        // the feedback cut-off the paper describes.
+        prop_assert!(r.vmin_y1 > 0.1 && r.vmin_y1 < tech.logic_threshold());
+    }
+
+    /// V_min of the late output is monotone non-decreasing in tau
+    /// (sampled at three points per case).
+    #[test]
+    fn vmin_monotone_in_tau(
+        load in 60e-15f64..260e-15,
+        base in 0.02e-9f64..0.1e-9,
+    ) {
+        let tech = Technology::cmos12();
+        let sensor = SensorBuilder::new(tech)
+            .load_capacitance(load)
+            .build()
+            .expect("valid sensor");
+        let clocks = ClockPair::single_shot(tech.vdd, 0.2e-9);
+        let taus = [base, 2.0 * base, 4.0 * base];
+        let mut prev = -1.0;
+        for &tau in &taus {
+            let r = sensor
+                .simulate(&clocks.with_skew(tau), &fast_opts())
+                .expect("sim converges");
+            let vmin = r.vmin_late(tau);
+            prop_assert!(
+                vmin >= prev - 0.08,
+                "vmin must not decrease with tau: {vmin} after {prev}"
+            );
+            prev = vmin;
+        }
+    }
+}
+
+/// Mirror symmetry: swapping which phase is late mirrors the outputs.
+#[test]
+fn skew_sign_symmetry_is_exact() {
+    let tech = Technology::cmos12();
+    let sensor = SensorBuilder::new(tech)
+        .load_capacitance(160e-15)
+        .build()
+        .expect("valid sensor");
+    let opts = fast_opts();
+    let clocks = ClockPair::single_shot(tech.vdd, 0.2e-9);
+    let plus = sensor.simulate(&clocks.with_skew(0.25e-9), &opts).unwrap();
+    let minus = sensor.simulate(&clocks.with_skew(-0.25e-9), &opts).unwrap();
+    // The circuit is symmetric, so the roles of y1/y2 swap exactly.
+    assert!((plus.vmin_y1 - minus.vmin_y2).abs() < 1e-6);
+    assert!((plus.vmin_y2 - minus.vmin_y1).abs() < 1e-6);
+}
+
+/// `interpret` on simulator output agrees with `simulate`'s own verdict.
+#[test]
+fn interpret_matches_simulate() {
+    let tech = Technology::cmos12();
+    let sensor = SensorBuilder::new(tech)
+        .load_capacitance(120e-15)
+        .build()
+        .expect("valid sensor");
+    let clocks = ClockPair::single_shot(tech.vdd, 0.2e-9).with_skew(0.4e-9);
+    let opts = fast_opts();
+    let via_simulate = sensor.simulate(&clocks, &opts).unwrap();
+    let bench = sensor.testbench(&clocks).unwrap();
+    let result = transient(&bench, clocks.sim_stop_time(), &opts).unwrap();
+    let (y1, y2) = sensor.outputs();
+    let via_interpret = interpret(
+        result.waveform(y1),
+        result.waveform(y2),
+        &clocks,
+        sensor.edge(),
+        tech.logic_threshold(),
+    );
+    assert_eq!(via_simulate.verdict, via_interpret.verdict);
+    assert!((via_simulate.vmin_y2 - via_interpret.vmin_y2).abs() < 1e-9);
+}

@@ -1,0 +1,139 @@
+//! Property test: the O(n) tree transient solver and the dense MNA engine
+//! must agree on arbitrary RC trees — they are independent implementations
+//! of the same physics, so this cross-validates both.
+
+use clocksense::clocktree::{RcNodeId, RcTree};
+use clocksense::netlist::{Circuit, SourceWave, GROUND};
+use clocksense::spice::{transient, SimOptions};
+use proptest::prelude::*;
+
+/// A randomly shaped RC tree description: each node names its parent
+/// (index into the already-created list), a resistance and a capacitance.
+#[derive(Debug, Clone)]
+struct TreeSpec {
+    nodes: Vec<(usize, f64, f64)>,
+    root_cap: f64,
+    driver_r: f64,
+}
+
+fn tree_spec() -> impl Strategy<Value = TreeSpec> {
+    let node = (0usize..8, 50.0f64..5_000.0, 5e-15f64..200e-15);
+    (
+        prop::collection::vec(node, 1..8),
+        5e-15f64..100e-15,
+        50.0f64..500.0,
+    )
+        .prop_map(|(raw, root_cap, driver_r)| {
+            // Clamp parent indices to already-existing nodes.
+            let nodes = raw
+                .into_iter()
+                .enumerate()
+                .map(|(i, (p, r, c))| (p % (i + 1), r, c))
+                .collect();
+            TreeSpec {
+                nodes,
+                root_cap,
+                driver_r,
+            }
+        })
+}
+
+fn build_both(spec: &TreeSpec) -> (RcTree, Circuit, Vec<RcNodeId>) {
+    let mut tree = RcTree::new(spec.root_cap);
+    let mut ids = vec![tree.root()];
+    for &(parent, r, c) in &spec.nodes {
+        let id = tree.add_node(ids[parent], r, c).expect("valid node");
+        ids.push(id);
+    }
+
+    let mut ckt = Circuit::new();
+    let src = ckt.node("src");
+    let root = ckt.node("n0");
+    ckt.add_vsource(
+        "vin",
+        src,
+        GROUND,
+        SourceWave::step(0.0, 1.0, 0.1e-9, 1e-12),
+    )
+    .expect("valid source");
+    ckt.add_resistor("rdrv", src, root, spec.driver_r)
+        .expect("valid r");
+    ckt.add_capacitor("c0", root, GROUND, spec.root_cap.max(1e-18))
+        .expect("valid c");
+    for (k, &(parent, r, c)) in spec.nodes.iter().enumerate() {
+        let a = ckt.node(&format!("n{parent}"));
+        let b = ckt.node(&format!("n{}", k + 1));
+        ckt.add_resistor(&format!("r{}", k + 1), a, b, r)
+            .expect("valid r");
+        ckt.add_capacitor(&format!("c{}", k + 1), b, GROUND, c)
+            .expect("valid c");
+    }
+    (tree, ckt, ids)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn tree_solver_matches_dense_mna(spec in tree_spec()) {
+        let (tree, ckt, ids) = build_both(&spec);
+        let t_stop = 4e-9;
+        let dt = 1e-12;
+
+        let drive = SourceWave::step(0.0, 1.0, 0.1e-9, 1e-12);
+        let fast = tree
+            .transient(&drive, spec.driver_r, t_stop, dt, &[])
+            .expect("tree solve");
+        let dense = transient(
+            &ckt,
+            t_stop,
+            &SimOptions {
+                tstep: dt,
+                ..SimOptions::default()
+            },
+        )
+        .expect("mna solve");
+
+        for (k, &id) in ids.iter().enumerate() {
+            let w_fast = fast.waveform(id);
+            let w_dense = dense
+                .waveform_named(&format!("n{k}"))
+                .expect("node exists");
+            for t in [0.5e-9, 1e-9, 2e-9, 3.9e-9] {
+                let a = w_fast.value_at(t);
+                let b = w_dense.value_at(t);
+                prop_assert!(
+                    (a - b).abs() < 0.02,
+                    "node n{k} at {t}: tree={a} dense={b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn elmore_bounds_the_fifty_percent_crossing(spec in tree_spec()) {
+        // For monotone RC step responses the 50% point is below the Elmore
+        // delay (Elmore is the mean of the impulse response, and RC tree
+        // responses are right-skewed).
+        let (tree, _, ids) = build_both(&spec);
+        let drive = SourceWave::step(0.0, 1.0, 0.1e-9, 1e-12);
+        let delays = tree.elmore_delays(spec.driver_r);
+        let total: f64 = delays.iter().cloned().fold(0.0, f64::max);
+        let t_stop = (20.0 * total).max(1e-9);
+        let result = tree
+            .transient(&drive, spec.driver_r, t_stop, (t_stop / 8000.0).max(0.2e-12), &[])
+            .expect("tree solve");
+        for &id in &ids {
+            if let Some(t50) = result.rising_arrival(id, 0.5) {
+                let elmore = delays[id.index()] + 0.1e-9; // source offset
+                prop_assert!(
+                    t50 <= elmore + 0.05e-9,
+                    "t50 {t50} must not exceed elmore {elmore}"
+                );
+            }
+        }
+    }
+}

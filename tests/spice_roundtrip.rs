@@ -1,0 +1,57 @@
+//! SPICE deck round-trip: exporting a circuit and re-importing it must
+//! preserve its electrical behaviour, not just its structure.
+
+use clocksense::core::{ClockPair, SensorBuilder, Technology};
+use clocksense::netlist::{from_spice, to_spice};
+use clocksense::spice::{transient, SimOptions};
+
+#[test]
+fn sensor_testbench_survives_the_deck() {
+    let tech = Technology::cmos12();
+    let sensor = SensorBuilder::new(tech)
+        .load_capacitance(160e-15)
+        .build()
+        .expect("valid sensor");
+    let clocks = ClockPair::single_shot(tech.vdd, 0.2e-9).with_skew(0.3e-9);
+    let bench = sensor.testbench(&clocks).expect("bench builds");
+
+    let deck = to_spice(&bench, "sensor testbench");
+    assert!(deck.contains("m_a"));
+    assert!(deck.contains(".model"));
+    let back = from_spice(&deck).expect("deck parses");
+    assert_eq!(back.device_count(), bench.device_count());
+
+    let opts = SimOptions {
+        tstep: 2e-12,
+        ..SimOptions::default()
+    };
+    let stop = clocks.sim_stop_time();
+    let a = transient(&bench, stop, &opts).expect("original simulates");
+    let b = transient(&back, stop, &opts).expect("round-trip simulates");
+    for node in ["y1", "y2", "mid_a", "top_b"] {
+        let wa = a.waveform_named(node).expect("node exists");
+        let wb = b.waveform_named(node).expect("node exists");
+        let diff = wa.max_abs_difference(&wb);
+        assert!(
+            diff < 2e-3,
+            "node {node} diverges by {diff} V after the round trip"
+        );
+    }
+}
+
+#[test]
+fn deck_is_human_readable() {
+    let tech = Technology::cmos12();
+    let sensor = SensorBuilder::new(tech).build().expect("valid sensor");
+    let deck = to_spice(sensor.circuit(), "bare sensor");
+    // Spot-check the dialect: title, element cards, model cards, .end.
+    let lines: Vec<&str> = deck.lines().collect();
+    assert!(lines[0].starts_with("* "));
+    assert!(lines.last().unwrap().eq_ignore_ascii_case(".end"));
+    assert_eq!(
+        lines.iter().filter(|l| l.starts_with("m_")).count(),
+        10,
+        "ten labelled transistors"
+    );
+    assert_eq!(lines.iter().filter(|l| l.starts_with(".model")).count(), 10);
+}

@@ -1,0 +1,88 @@
+//! Property tests on the zero-skew router and the clock-tree substrate.
+
+use clocksense::clocktree::{
+    zero_skew_tree, Point, Sink, SkewAnalysis, TreeVariation, WireParasitics,
+};
+use proptest::prelude::*;
+
+fn sinks_strategy() -> impl Strategy<Value = Vec<Sink>> {
+    prop::collection::vec((0.0f64..3e-3, 0.0f64..3e-3, 10e-15f64..200e-15), 2..20).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (x, y, c))| Sink::new(&format!("s{i}"), Point::new(x, y), c))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        ..ProptestConfig::default()
+    })]
+
+    /// The router achieves (numerically) exact zero skew for any sink set.
+    #[test]
+    fn zero_skew_holds_for_any_sinks(sinks in sinks_strategy()) {
+        let zst = zero_skew_tree(&sinks, WireParasitics::metal2()).expect("routes");
+        let delays = zst.tree.elmore_delays(123.0);
+        let d0 = delays[zst.sink_nodes[0].index()];
+        for &s in &zst.sink_nodes {
+            let d = delays[s.index()];
+            prop_assert!(
+                (d - d0).abs() <= d0.max(1e-15) * 1e-8,
+                "sink delay {d} deviates from {d0}"
+            );
+        }
+    }
+
+    /// Wirelength is at least half the maximum pairwise Manhattan span
+    /// (any tree connecting two points must cover their distance).
+    #[test]
+    fn wirelength_lower_bound(sinks in sinks_strategy()) {
+        let zst = zero_skew_tree(&sinks, WireParasitics::metal2()).expect("routes");
+        let mut span: f64 = 0.0;
+        for i in 0..sinks.len() {
+            for j in (i + 1)..sinks.len() {
+                span = span.max(sinks[i].position.manhattan(sinks[j].position));
+            }
+        }
+        prop_assert!(
+            zst.total_wirelength >= span - 1e-12,
+            "wirelength {} below span {span}",
+            zst.total_wirelength
+        );
+    }
+
+    /// Uniform variation within ±spread keeps every sink delay within the
+    /// analytically worst corner bound (all parameters at the corner).
+    #[test]
+    fn variation_bounded_by_corners(
+        sinks in sinks_strategy(),
+        spread in 0.01f64..0.3,
+        seed in any::<u64>(),
+    ) {
+        let zst = zero_skew_tree(&sinks, WireParasitics::metal2()).expect("routes");
+        let nominal = SkewAnalysis::elmore(&zst.tree, &zst.sink_nodes, 100.0);
+        let mut varied = zst.tree.clone();
+        let mut state = seed | 1;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        TreeVariation::new(spread)
+            .apply_with(&mut varied, &mut rnd)
+            .expect("valid spread");
+        let after = SkewAnalysis::elmore(&varied, &zst.sink_nodes, 100.0);
+        // Elmore delay is multilinear in r and c with positive weights,
+        // so the corner factor bounds every node delay.
+        let corner = (1.0 + spread) * (1.0 + spread);
+        for i in 0..zst.sink_nodes.len() {
+            let d = after.sink_delay(i);
+            let n = nominal.sink_delay(i);
+            prop_assert!(d <= n * corner + 1e-18, "delay {d} above corner {}", n * corner);
+            prop_assert!(d >= n * (1.0 - spread) * (1.0 - spread) - 1e-18);
+        }
+    }
+}
