@@ -155,8 +155,10 @@ pub fn zero_skew_tree(
         })
         .collect();
     let mut total_wirelength = 0.0;
+    let mut merges: u64 = 0;
 
     while forest.len() > 1 {
+        merges += 1;
         // Greedy nearest-neighbour pairing on tap positions.
         let (mut bi, mut bj, mut best) = (0, 1, f64::INFINITY);
         for i in 0..forest.len() {
@@ -237,6 +239,9 @@ pub fn zero_skew_tree(
         &parasitics,
         &mut sink_nodes,
     )?;
+    let tele = clocksense_telemetry::global().scope("clocktree");
+    tele.counter("dme_merges").add(merges);
+    tele.counter("rc_nodes").add(tree.len() as u64);
     Ok(ZstResult {
         tree,
         sink_nodes,

@@ -376,6 +376,10 @@ pub fn run_campaign(
     } else {
         cfg.threads
     };
+    let tele = clocksense_telemetry::global().scope("faults");
+    let faults_evaluated = tele.counter("faults_evaluated");
+    let chunks_run = tele.counter("chunks");
+    let chunk_wall = tele.timer("chunk_wall");
     let chunk_size = faults.len().div_ceil(threads).max(1);
     let mut slots: Vec<Option<Result<FaultRecord, FaultError>>> = vec![None; faults.len()];
     thread::scope(|scope| {
@@ -383,13 +387,21 @@ pub fn run_campaign(
         for (chunk_idx, chunk) in faults.chunks(chunk_size).enumerate() {
             let rails = &rails;
             let fault_free_static = &fault_free_static;
+            let faults_evaluated = faults_evaluated.clone();
+            let chunks_run = chunks_run.clone();
+            let chunk_wall = chunk_wall.clone();
             handles.push((
                 chunk_idx,
                 scope.spawn(move || {
-                    chunk
+                    let stopwatch = chunk_wall.start();
+                    let out = chunk
                         .iter()
                         .map(|f| evaluate_fault(sensor, f, cfg, rails, fault_free_static))
-                        .collect::<Vec<_>>()
+                        .collect::<Vec<_>>();
+                    stopwatch.stop();
+                    chunks_run.incr();
+                    faults_evaluated.add(out.len() as u64);
+                    out
                 }),
             ));
         }
@@ -403,6 +415,16 @@ pub fn run_campaign(
     let mut records = Vec::with_capacity(faults.len());
     for slot in slots {
         records.push(slot.expect("all slots filled")?);
+    }
+    let tallies = [
+        (DetectionOutcome::DetectedLogic, "detected_logic"),
+        (DetectionOutcome::DetectedIddq, "detected_iddq"),
+        (DetectionOutcome::Undetected, "undetected"),
+        (DetectionOutcome::Inconclusive, "inconclusive"),
+    ];
+    for (outcome, name) in tallies {
+        let n = records.iter().filter(|r| r.outcome == outcome).count();
+        tele.counter(name).add(n as u64);
     }
     Ok(CampaignResult { records })
 }

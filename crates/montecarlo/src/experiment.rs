@@ -130,22 +130,34 @@ pub fn run_scatter(
     } else {
         cfg.threads
     };
+    let tele = clocksense_telemetry::global().scope("montecarlo");
+    let samples_run = tele.counter("samples");
+    let chunks_run = tele.counter("chunks");
+    let chunk_wall = tele.timer("chunk_wall");
     let indices: Vec<usize> = (0..cfg.samples).collect();
     let chunk_size = cfg.samples.div_ceil(threads).max(1);
     let mut slots: Vec<Option<Result<McSample, CoreError>>> = vec![None; cfg.samples];
     thread::scope(|scope| {
         let mut handles = Vec::new();
         for (chunk_idx, chunk) in indices.chunks(chunk_size).enumerate() {
+            let samples_run = samples_run.clone();
+            let chunks_run = chunks_run.clone();
+            let chunk_wall = chunk_wall.clone();
             handles.push((
                 chunk_idx,
                 scope.spawn(move || {
-                    chunk
+                    let stopwatch = chunk_wall.start();
+                    let out = chunk
                         .iter()
                         .map(|&i| {
                             let tau = taus[i % taus.len()];
                             one_sample(builder, clocks, tau, cfg, i as u64)
                         })
-                        .collect::<Vec<_>>()
+                        .collect::<Vec<_>>();
+                    stopwatch.stop();
+                    chunks_run.incr();
+                    samples_run.add(out.len() as u64);
+                    out
                 }),
             ));
         }
@@ -160,10 +172,15 @@ pub fn run_scatter(
             }
         }
     });
-    slots
+    let samples: Result<Vec<McSample>, CoreError> = slots
         .into_iter()
         .map(|s| s.expect("all slots filled"))
-        .collect()
+        .collect();
+    if let Ok(samples) = &samples {
+        let detected = samples.iter().filter(|s| s.detected).count();
+        tele.counter("detected").add(detected as u64);
+    }
+    samples
 }
 
 #[cfg(test)]

@@ -66,10 +66,12 @@ fn solve_with_continuation(
         return Ok(x);
     }
     // 2. gmin stepping: start heavily damped, relax towards the target.
+    let tm = crate::metrics::metrics();
     let mut x = flat.clone();
     let mut gmin = 1e-2;
     let mut ok = true;
     while gmin > opts.gmin {
+        tm.gmin_steps.incr();
         match sys.newton_solve(t, &x, opts, gmin, 1.0, |_, _| {}) {
             Ok(next) => x = next,
             Err(_) => {
@@ -87,6 +89,7 @@ fn solve_with_continuation(
     // 3. Source stepping: ramp all sources from 0 to full value.
     let mut x = flat;
     for step in 1..=20 {
+        tm.source_steps.incr();
         let scale = step as f64 / 20.0;
         x = sys
             .newton_solve(t, &x, opts, opts.gmin, scale, |_, _| {})

@@ -239,12 +239,37 @@ impl MnaSystem {
         opts: &SimOptions,
         gmin: f64,
         source_scale: f64,
-        mut reactive: impl FnMut(&mut DenseMatrix, &mut [f64]),
+        reactive: impl FnMut(&mut DenseMatrix, &mut [f64]),
     ) -> Result<Vec<f64>, SpiceError> {
+        // Iteration counts are accumulated locally and flushed to the
+        // telemetry registry once per solve, keeping the Newton loop free
+        // of atomics.
+        let (iters, result) = self.newton_loop(t, x_init, opts, gmin, source_scale, reactive);
+        let tm = crate::metrics::metrics();
+        tm.newton_solves.incr();
+        tm.newton_iterations.add(iters);
+        tm.lu_factorizations.add(iters);
+        tm.iters_per_solve.record(iters);
+        if matches!(result, Err(SpiceError::NonConvergence { .. })) {
+            tm.convergence_failures.incr();
+        }
+        result
+    }
+
+    fn newton_loop(
+        &self,
+        t: f64,
+        x_init: &[f64],
+        opts: &SimOptions,
+        gmin: f64,
+        source_scale: f64,
+        mut reactive: impl FnMut(&mut DenseMatrix, &mut [f64]),
+    ) -> (u64, Result<Vec<f64>, SpiceError>) {
         let dim = self.dim;
         let mut x = x_init.to_vec();
         let mut m = DenseMatrix::new(dim);
         let mut rhs = vec![0.0; dim];
+        let mut iters: u64 = 0;
         for _ in 0..opts.max_newton_iters {
             m.clear();
             rhs.fill(0.0);
@@ -255,7 +280,11 @@ impl MnaSystem {
             for r in 0..self.n_v {
                 m.add(r, r, gmin);
             }
-            let x_new = m.solve(&rhs)?;
+            iters += 1;
+            let x_new = match m.solve(&rhs) {
+                Ok(v) => v,
+                Err(e) => return (iters, Err(e)),
+            };
             let mut converged = true;
             for r in 0..dim {
                 let delta = x_new[r] - x[r];
@@ -276,10 +305,10 @@ impl MnaSystem {
                 x[r] += clamped;
             }
             if converged {
-                return Ok(x);
+                return (iters, Ok(x));
             }
         }
-        Err(SpiceError::NonConvergence { time: t })
+        (iters, Err(SpiceError::NonConvergence { time: t }))
     }
 }
 

@@ -41,6 +41,7 @@ mod dc;
 mod engine;
 mod error;
 mod matrix;
+mod metrics;
 mod mos_eval;
 mod options;
 mod tran;

@@ -1,0 +1,58 @@
+//! Solver instrumentation, recorded through the process-wide telemetry
+//! registry under the `spice.` scope.
+//!
+//! Handles are created once (lazily) and shared; every record is a
+//! single relaxed atomic op, and the registry starts paused so
+//! uninstrumented runs pay one relaxed load per solve. Telemetry never
+//! feeds back into the numerics: solver outputs are bit-identical with
+//! recording on or off.
+
+use std::sync::OnceLock;
+
+use clocksense_telemetry::{Counter, Histogram};
+
+pub(crate) struct SpiceMetrics {
+    /// Completed `newton_solve` calls (converged or not).
+    pub newton_solves: Counter,
+    /// Total Newton iterations across all solves.
+    pub newton_iterations: Counter,
+    /// LU factorizations performed (one per Newton iteration).
+    pub lu_factorizations: Counter,
+    /// `newton_solve` calls that exhausted `max_newton_iters`.
+    pub convergence_failures: Counter,
+    /// Rungs taken on the gmin-continuation ladder.
+    pub gmin_steps: Counter,
+    /// Source-stepping ramp points solved.
+    pub source_steps: Counter,
+    /// Accepted transient time steps.
+    pub steps_accepted: Counter,
+    /// Transient step attempts rejected for non-convergence.
+    pub steps_rejected: Counter,
+    /// Step-size halvings following a rejection.
+    pub step_halvings: Counter,
+    /// Source breakpoints the time grid was aligned to.
+    pub breakpoints_hit: Counter,
+    /// Distribution of Newton iterations per solve.
+    pub iters_per_solve: Histogram,
+}
+
+static METRICS: OnceLock<SpiceMetrics> = OnceLock::new();
+
+pub(crate) fn metrics() -> &'static SpiceMetrics {
+    METRICS.get_or_init(|| {
+        let scope = clocksense_telemetry::global().scope("spice");
+        SpiceMetrics {
+            newton_solves: scope.counter("newton_solves"),
+            newton_iterations: scope.counter("newton_iterations"),
+            lu_factorizations: scope.counter("lu_factorizations"),
+            convergence_failures: scope.counter("convergence_failures"),
+            gmin_steps: scope.counter("gmin_steps"),
+            source_steps: scope.counter("source_steps"),
+            steps_accepted: scope.counter("steps_accepted"),
+            steps_rejected: scope.counter("steps_rejected"),
+            step_halvings: scope.counter("step_halvings"),
+            breakpoints_hit: scope.counter("breakpoints_hit"),
+            iters_per_solve: scope.histogram("newton_iters_per_solve", &[1, 2, 4, 8, 16, 32, 64]),
+        }
+    })
+}

@@ -1,8 +1,50 @@
-//! Simulation options.
+//! Simulation options: convergence tolerances, time-step control and the
+//! integration method shared by every DC and transient analysis.
+//!
+//! All entry points ([`dc_operating_point`](crate::dc_operating_point),
+//! [`dc_sweep`](crate::dc_sweep), [`transient`](crate::transient),
+//! [`iddq`](crate::iddq)) take a [`SimOptions`] and call
+//! [`SimOptions::validate`] first, so an out-of-domain option surfaces as
+//! a named [`SpiceError::InvalidOption`] instead of a silent
+//! mis-simulation:
+//!
+//! ```
+//! use clocksense_spice::SimOptions;
+//!
+//! let bad = SimOptions {
+//!     tstep: -1e-12, // negative time step
+//!     ..SimOptions::default()
+//! };
+//! let err = bad.validate().unwrap_err();
+//! assert!(err.to_string().contains("tstep"));
+//! ```
+//!
+//! The cost of a given option set is observable: run any analysis with
+//! the global telemetry registry enabled and the `spice.*` counters
+//! report Newton iterations, LU factorizations and transient step
+//! accept/reject statistics (see the `clocksense-telemetry` crate and
+//! the `--report` flag of the experiment binaries).
 
 use crate::error::SpiceError;
 
 /// Time-integration method for the transient analysis.
+///
+/// # Examples
+///
+/// Backward Euler trades the trapezoidal rule's second-order accuracy
+/// for unconditional damping — useful when start-up ringing of an
+/// under-damped circuit is itself the problem being debugged:
+///
+/// ```
+/// use clocksense_spice::{IntegrationMethod, SimOptions};
+///
+/// let opts = SimOptions {
+///     method: IntegrationMethod::BackwardEuler,
+///     ..SimOptions::default()
+/// };
+/// assert!(opts.validate().is_ok());
+/// assert_eq!(SimOptions::default().method, IntegrationMethod::Trapezoidal);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum IntegrationMethod {
     /// Trapezoidal rule, with a backward-Euler step after DC and after each
@@ -20,6 +62,22 @@ pub enum IntegrationMethod {
 /// `abstol = 1e-12`, `gmin = 1e-12`) with a 1 ps base time step suited to
 /// the sub-nanosecond edges of the paper's experiments.
 ///
+/// Field interplay worth knowing:
+///
+/// * A Newton update is accepted when every node voltage moved by less
+///   than `vntol + reltol · |v|` (branch currents use `abstol` in place
+///   of `vntol`). Tightening `reltol` grows iteration counts roughly
+///   logarithmically; the `spice.newton_iters_per_solve` telemetry
+///   histogram makes the effect measurable.
+/// * `tstep` is the *base* transient step; on non-convergence the step
+///   is halved repeatedly until it would drop below `tstep_min`, at
+///   which point the analysis fails with
+///   [`NonConvergence`](SpiceError::NonConvergence).
+/// * `gmin` is both the DC continuation floor and the conductance tied
+///   across every MOSFET channel, so raising it helps convergence at
+///   the price of leakage-current accuracy (IDDQ measurements are the
+///   sensitive consumer).
+///
 /// # Examples
 ///
 /// ```
@@ -30,6 +88,20 @@ pub enum IntegrationMethod {
 ///     ..SimOptions::default()
 /// };
 /// assert!(opts.validate().is_ok());
+/// ```
+///
+/// A tighter tolerance set for convergence-sensitive measurements:
+///
+/// ```
+/// use clocksense_spice::SimOptions;
+///
+/// let precise = SimOptions {
+///     reltol: 1e-4,
+///     vntol: 1e-7,
+///     ..SimOptions::default()
+/// };
+/// assert!(precise.validate().is_ok());
+/// assert!(precise.reltol < SimOptions::default().reltol);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimOptions {

@@ -195,6 +195,7 @@ pub fn transient(
     let mut bp_iter = breakpoints.into_iter().peekable();
     // Force a damping backward-Euler step after DC and after breakpoints.
     let mut force_be = true;
+    let tm = crate::metrics::metrics();
 
     while t < t_stop - opts.tstep_min {
         let mut t_next = t + opts.tstep;
@@ -204,6 +205,7 @@ pub fn transient(
                 t_next = bp;
                 bp_iter.next();
                 hit_breakpoint = true;
+                tm.breakpoints_hit.incr();
             }
         }
         if t_next > t_stop {
@@ -225,10 +227,13 @@ pub fn transient(
                         times.push(sub_t);
                         samples.push(x.clone());
                         force_be = false;
+                        tm.steps_accepted.incr();
                         break;
                     }
                     Err(SpiceError::NonConvergence { .. }) if h / 2.0 >= opts.tstep_min => {
                         h /= 2.0;
+                        tm.steps_rejected.incr();
+                        tm.step_halvings.incr();
                     }
                     Err(e) => return Err(e),
                 }

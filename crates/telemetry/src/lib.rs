@@ -1,0 +1,95 @@
+//! Runtime telemetry for the clocksense workspace: cheap atomic
+//! counters, monotonic timers and fixed-bucket histograms behind a
+//! [`Scope`]/[`Registry`] API, with a machine-readable JSON run report.
+//!
+//! The crate is `std`-only (no serde, no external dependencies) because
+//! the build environment has no crates.io access and the hot paths it
+//! instruments — the Newton loop of the SPICE engine, fault-campaign
+//! workers, Monte-Carlo sampling — cannot afford heavyweight
+//! observability machinery.
+//!
+//! # Design
+//!
+//! * Every metric handle ([`Counter`], [`Timer`], [`Histogram`]) is a
+//!   cheap clonable reference into its [`Registry`]. Handles obtained
+//!   from [`Registry::disabled`] are permanent no-ops: recording through
+//!   them compiles down to a branch on a `None`, so fully
+//!   uninstrumented builds pay nothing and solver outputs are
+//!   bit-identical with telemetry on or off (telemetry never feeds back
+//!   into numerics).
+//! * A *paused* registry ([`Registry::paused`], which is how the
+//!   process-wide [`global`] registry starts) allocates real metrics but
+//!   records only after [`Registry::enable`] — one relaxed atomic load
+//!   guards each write. Bench binaries enable it when `--report` is
+//!   requested.
+//! * [`Registry::snapshot`] freezes all metrics into a [`Report`],
+//!   which serialises to deterministic, sorted-key JSON via
+//!   [`Report::to_json`] — diff-able run artifacts for perf tracking.
+//!
+//! # Examples
+//!
+//! ```
+//! use clocksense_telemetry::Registry;
+//!
+//! let registry = Registry::new();
+//! let scope = registry.scope("spice");
+//! let iterations = scope.counter("newton_iterations");
+//! let solve_time = scope.timer("solve_wall");
+//!
+//! {
+//!     let _guard = solve_time.start(); // records on drop
+//!     iterations.add(17);
+//! }
+//!
+//! let report = registry.snapshot();
+//! assert_eq!(report.counter("spice.newton_iterations"), Some(17));
+//! assert!(report.to_json().contains("\"spice.newton_iterations\": 17"));
+//! ```
+//!
+//! Zero-cost-when-disabled: a disabled registry hands out no-op handles
+//! and its reports are empty.
+//!
+//! ```
+//! use clocksense_telemetry::Registry;
+//!
+//! let registry = Registry::disabled();
+//! let c = registry.counter("never");
+//! c.add(1_000_000);
+//! assert_eq!(c.get(), 0);
+//! assert_eq!(registry.snapshot().counter("never"), None);
+//! ```
+
+#![deny(missing_docs)]
+
+mod metrics;
+mod registry;
+mod report;
+
+pub use metrics::{Counter, Histogram, Stopwatch, Timer};
+pub use registry::{Registry, Scope};
+pub use report::{HistogramSnapshot, Report, TimerSnapshot};
+
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry.
+///
+/// It starts *paused*: instrumented code paths allocate real metrics
+/// through it, but nothing is recorded until [`Registry::enable`] is
+/// called (the bench binaries do so when `--report` is passed). This
+/// keeps the disabled-by-default overhead to one relaxed atomic load
+/// per record call.
+///
+/// # Examples
+///
+/// ```
+/// let registry = clocksense_telemetry::global();
+/// let c = registry.counter("example.hits");
+/// c.incr();
+/// // The global registry starts paused: nothing was recorded.
+/// assert_eq!(c.get(), 0);
+/// ```
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::paused)
+}

@@ -1,0 +1,486 @@
+//! The metric primitives: counters, timers and fixed-bucket histograms.
+//!
+//! Each public type is a handle wrapping an optional `Arc` cell. A
+//! `None` cell is a permanent no-op (from [`Registry::disabled`]); a
+//! `Some` cell records only while its registry's shared switch is on.
+//!
+//! [`Registry::disabled`]: crate::Registry::disabled
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The registry-wide recording switch shared by all its metric cells.
+#[derive(Debug, Default)]
+pub(crate) struct Switch(AtomicBool);
+
+impl Switch {
+    pub(crate) fn set(&self, on: bool) {
+        self.0.store(on, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn is_on(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct CounterCell {
+    pub(crate) switch: Arc<Switch>,
+    pub(crate) value: AtomicU64,
+}
+
+/// A monotonically increasing event counter.
+///
+/// Increments are relaxed atomics; hot loops should accumulate locally
+/// and [`add`](Counter::add) once per batch (the SPICE engine adds its
+/// Newton-iteration count once per solve, not once per iteration).
+///
+/// # Examples
+///
+/// ```
+/// let registry = clocksense_telemetry::Registry::new();
+/// let c = registry.counter("events");
+/// c.incr();
+/// c.add(9);
+/// assert_eq!(c.get(), 10);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    pub(crate) cell: Option<Arc<CounterCell>>,
+}
+
+impl Counter {
+    /// A permanent no-op counter, for code that may run without any
+    /// registry at all.
+    pub fn noop() -> Counter {
+        Counter { cell: None }
+    }
+
+    /// Adds `n` to the counter (dropped while recording is off).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.cell {
+            if cell.switch.is_on() {
+                cell.value.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current value (0 for no-op handles).
+    pub fn get(&self) -> u64 {
+        self.cell
+            .as_ref()
+            .map_or(0, |c| c.value.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct TimerCell {
+    pub(crate) switch: Arc<Switch>,
+    pub(crate) nanos: AtomicU64,
+    pub(crate) count: AtomicU64,
+}
+
+/// Accumulates wall-clock time over any number of timed intervals.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+///
+/// let registry = clocksense_telemetry::Registry::new();
+/// let t = registry.timer("work");
+/// t.record(Duration::from_millis(3));
+/// {
+///     let _guard = t.start(); // records the elapsed time on drop
+/// }
+/// assert_eq!(t.count(), 2);
+/// assert!(t.total() >= Duration::from_millis(3));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Timer {
+    pub(crate) cell: Option<Arc<TimerCell>>,
+}
+
+impl Timer {
+    /// A permanent no-op timer.
+    pub fn noop() -> Timer {
+        Timer { cell: None }
+    }
+
+    /// Starts a stopwatch that records into this timer when dropped.
+    ///
+    /// While recording is off the stopwatch does not even read the
+    /// clock.
+    pub fn start(&self) -> Stopwatch<'_> {
+        let recording = self
+            .cell
+            .as_ref()
+            .is_some_and(|cell| cell.switch.is_on());
+        Stopwatch {
+            timer: self,
+            started: recording.then(Instant::now),
+        }
+    }
+
+    /// Records one interval of `elapsed` (dropped while recording is
+    /// off).
+    #[inline]
+    pub fn record(&self, elapsed: Duration) {
+        if let Some(cell) = &self.cell {
+            if cell.switch.is_on() {
+                let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+                cell.nanos.fetch_add(nanos, Ordering::Relaxed);
+                cell.count.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Total recorded time.
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(
+            self.cell
+                .as_ref()
+                .map_or(0, |c| c.nanos.load(Ordering::Relaxed)),
+        )
+    }
+
+    /// Number of recorded intervals.
+    pub fn count(&self) -> u64 {
+        self.cell
+            .as_ref()
+            .map_or(0, |c| c.count.load(Ordering::Relaxed))
+    }
+}
+
+/// Guard returned by [`Timer::start`]; records the elapsed interval
+/// into its timer when dropped.
+#[derive(Debug)]
+pub struct Stopwatch<'a> {
+    timer: &'a Timer,
+    started: Option<Instant>,
+}
+
+impl Stopwatch<'_> {
+    /// Stops and records now (equivalent to dropping the guard).
+    pub fn stop(self) {}
+}
+
+impl Drop for Stopwatch<'_> {
+    fn drop(&mut self) {
+        if let Some(t0) = self.started.take() {
+            self.timer.record(t0.elapsed());
+        }
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct HistogramCell {
+    pub(crate) switch: Arc<Switch>,
+    /// Inclusive upper bounds of the finite buckets, strictly
+    /// increasing; one extra overflow bucket follows.
+    pub(crate) bounds: Box<[u64]>,
+    pub(crate) buckets: Box<[AtomicU64]>,
+    pub(crate) count: AtomicU64,
+    pub(crate) sum: AtomicU64,
+    pub(crate) min: AtomicU64,
+    pub(crate) max: AtomicU64,
+}
+
+/// A fixed-bucket histogram of `u64` observations.
+///
+/// Buckets are defined by inclusive upper bounds (`value <= bound`)
+/// plus an implicit overflow bucket, so recording is a short linear
+/// scan and two relaxed atomic adds — fine for per-solve or per-sample
+/// cadence.
+///
+/// # Examples
+///
+/// ```
+/// let registry = clocksense_telemetry::Registry::new();
+/// let h = registry.histogram("iters", &[2, 4, 8]);
+/// for v in [1, 3, 9, 100] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.bucket_counts(), vec![1, 1, 0, 2]); // <=2, <=4, <=8, overflow
+/// assert_eq!((h.min(), h.max()), (Some(1), Some(100)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    pub(crate) cell: Option<Arc<HistogramCell>>,
+}
+
+impl Histogram {
+    /// A permanent no-op histogram.
+    pub fn noop() -> Histogram {
+        Histogram { cell: None }
+    }
+
+    /// Records one observation (dropped while recording is off).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if let Some(cell) = &self.cell {
+            if cell.switch.is_on() {
+                let idx = cell
+                    .bounds
+                    .iter()
+                    .position(|&b| value <= b)
+                    .unwrap_or(cell.bounds.len());
+                cell.buckets[idx].fetch_add(1, Ordering::Relaxed);
+                cell.count.fetch_add(1, Ordering::Relaxed);
+                cell.sum.fetch_add(value, Ordering::Relaxed);
+                cell.min.fetch_min(value, Ordering::Relaxed);
+                cell.max.fetch_max(value, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.cell
+            .as_ref()
+            .map_or(0, |c| c.count.load(Ordering::Relaxed))
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.cell
+            .as_ref()
+            .map_or(0, |c| c.sum.load(Ordering::Relaxed))
+    }
+
+    /// Smallest observation, if any were recorded.
+    pub fn min(&self) -> Option<u64> {
+        self.cell.as_ref().and_then(|c| {
+            let v = c.min.load(Ordering::Relaxed);
+            (v != u64::MAX || c.count.load(Ordering::Relaxed) > 0).then_some(v)
+        })
+    }
+
+    /// Largest observation, if any were recorded.
+    pub fn max(&self) -> Option<u64> {
+        self.cell.as_ref().and_then(|c| {
+            (c.count.load(Ordering::Relaxed) > 0).then(|| c.max.load(Ordering::Relaxed))
+        })
+    }
+
+    /// The inclusive upper bounds this histogram was created with.
+    pub fn bounds(&self) -> Vec<u64> {
+        self.cell.as_ref().map_or(Vec::new(), |c| c.bounds.to_vec())
+    }
+
+    /// Per-bucket counts: one entry per bound plus the overflow bucket.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.cell.as_ref().map_or(Vec::new(), |c| {
+            c.buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect()
+        })
+    }
+}
+
+impl CounterCell {
+    pub(crate) fn new(switch: Arc<Switch>) -> Arc<Self> {
+        Arc::new(CounterCell {
+            switch,
+            value: AtomicU64::new(0),
+        })
+    }
+
+    pub(crate) fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+impl TimerCell {
+    pub(crate) fn new(switch: Arc<Switch>) -> Arc<Self> {
+        Arc::new(TimerCell {
+            switch,
+            nanos: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        })
+    }
+
+    pub(crate) fn reset(&self) {
+        self.nanos.store(0, Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed);
+    }
+}
+
+impl HistogramCell {
+    pub(crate) fn new(switch: Arc<Switch>, bounds: &[u64]) -> Arc<Self> {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing, got {bounds:?}"
+        );
+        Arc::new(HistogramCell {
+            switch,
+            bounds: bounds.into(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        })
+    }
+
+    pub(crate) fn reset(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Registry;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn counter_accumulates_under_concurrent_writers() {
+        let registry = Registry::new();
+        let c = registry.counter("concurrent");
+        thread::scope(|scope| {
+            for _ in 0..8 {
+                let c = c.clone();
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn histogram_is_consistent_under_concurrent_writers() {
+        let registry = Registry::new();
+        let h = registry.histogram("concurrent_h", &[10, 100]);
+        thread::scope(|scope| {
+            for t in 0..4u64 {
+                let h = h.clone();
+                scope.spawn(move || {
+                    for i in 0..5_000u64 {
+                        h.record((t * 5_000 + i) % 200);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 20_000);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 20_000);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(199));
+    }
+
+    #[test]
+    fn timer_counts_intervals_under_concurrent_writers() {
+        let registry = Registry::new();
+        let t = registry.timer("concurrent_t");
+        thread::scope(|scope| {
+            for _ in 0..4 {
+                let t = t.clone();
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        t.record(Duration::from_nanos(5));
+                    }
+                });
+            }
+        });
+        assert_eq!(t.count(), 400);
+        assert_eq!(t.total(), Duration::from_nanos(2_000));
+    }
+
+    #[test]
+    fn paused_registry_drops_records_then_enables() {
+        let registry = Registry::paused();
+        let c = registry.counter("gated");
+        let h = registry.histogram("gated_h", &[1]);
+        let t = registry.timer("gated_t");
+        c.incr();
+        h.record(5);
+        t.record(Duration::from_secs(1));
+        assert_eq!((c.get(), h.count(), t.count()), (0, 0, 0));
+        registry.enable();
+        c.incr();
+        h.record(5);
+        t.record(Duration::from_secs(1));
+        assert_eq!((c.get(), h.count(), t.count()), (1, 1, 1));
+        registry.disable();
+        c.incr();
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn noop_handles_record_nothing() {
+        let c = crate::Counter::noop();
+        let t = crate::Timer::noop();
+        let h = crate::Histogram::noop();
+        c.add(7);
+        t.record(Duration::from_secs(7));
+        h.record(7);
+        assert_eq!(c.get(), 0);
+        assert_eq!(t.count(), 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert!(h.bounds().is_empty());
+    }
+
+    #[test]
+    fn stopwatch_records_on_drop_and_stop() {
+        let registry = Registry::new();
+        let t = registry.timer("sw");
+        t.start().stop();
+        {
+            let _guard = t.start();
+        }
+        assert_eq!(t.count(), 2);
+    }
+
+    #[test]
+    fn histogram_bucket_edges_are_inclusive() {
+        let registry = Registry::new();
+        let h = registry.histogram("edges", &[2, 4]);
+        for v in [2, 3, 4, 5] {
+            h.record(v);
+        }
+        assert_eq!(h.bucket_counts(), vec![1, 2, 1]);
+        assert_eq!(h.sum(), 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_are_rejected() {
+        let registry = Registry::new();
+        let _ = registry.histogram("bad", &[4, 2]);
+    }
+
+    #[test]
+    fn handles_are_shared_not_copied() {
+        let registry = Registry::new();
+        let a = registry.counter("shared");
+        let b = registry.counter("shared");
+        a.add(2);
+        b.add(3);
+        assert_eq!(a.get(), 5);
+        let arc = Arc::strong_count(&a.cell.clone().unwrap());
+        assert!(arc >= 2);
+    }
+}

@@ -1,0 +1,309 @@
+//! The [`Registry`] of named metrics and the [`Scope`] naming helper.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::{Counter, CounterCell, Histogram, HistogramCell, Switch, Timer, TimerCell};
+use crate::report::Report;
+
+#[derive(Debug)]
+pub(crate) enum Metric {
+    Counter(Arc<CounterCell>),
+    Timer(Arc<TimerCell>),
+    Histogram(Arc<HistogramCell>),
+}
+
+#[derive(Debug)]
+struct RegistryInner {
+    switch: Arc<Switch>,
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+/// A collection of named metrics sharing one recording switch.
+///
+/// Cloning a registry clones the *reference*: all clones see the same
+/// metrics. The registry hands out metric handles by name
+/// (get-or-create); handles stay valid for the life of the registry and
+/// record through relaxed atomics.
+///
+/// Three construction modes:
+///
+/// * [`Registry::new`] — recording from the start;
+/// * [`Registry::paused`] — real metrics, recording off until
+///   [`enable`](Registry::enable) (how [`global`](crate::global)
+///   starts);
+/// * [`Registry::disabled`] — permanent no-op handles, nothing is ever
+///   allocated or recorded.
+///
+/// # Examples
+///
+/// ```
+/// use clocksense_telemetry::Registry;
+///
+/// let registry = Registry::new();
+/// registry.scope("tran").counter("steps").add(3);
+/// assert_eq!(registry.snapshot().counter("tran.steps"), Some(3));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Option<Arc<RegistryInner>>,
+}
+
+impl Registry {
+    /// A registry that records immediately.
+    pub fn new() -> Registry {
+        let registry = Registry::paused();
+        registry.enable();
+        registry
+    }
+
+    /// A registry whose metrics exist but do not record until
+    /// [`enable`](Registry::enable).
+    pub fn paused() -> Registry {
+        Registry {
+            inner: Some(Arc::new(RegistryInner {
+                switch: Arc::new(Switch::default()),
+                metrics: Mutex::new(BTreeMap::new()),
+            })),
+        }
+    }
+
+    /// A registry whose handles are permanent no-ops.
+    pub fn disabled() -> Registry {
+        Registry { inner: None }
+    }
+
+    /// Turns recording on.
+    pub fn enable(&self) {
+        if let Some(inner) = &self.inner {
+            inner.switch.set(true);
+        }
+    }
+
+    /// Turns recording off (values are kept, not reset).
+    pub fn disable(&self) {
+        if let Some(inner) = &self.inner {
+            inner.switch.set(false);
+        }
+    }
+
+    /// Whether records are currently accepted.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.switch.is_on())
+    }
+
+    /// Zeroes every metric, keeping registrations and the switch state.
+    pub fn reset(&self) {
+        if let Some(inner) = &self.inner {
+            for metric in inner.metrics.lock().expect("registry poisoned").values() {
+                match metric {
+                    Metric::Counter(c) => c.reset(),
+                    Metric::Timer(t) => t.reset(),
+                    Metric::Histogram(h) => h.reset(),
+                }
+            }
+        }
+    }
+
+    /// Gets or creates the counter `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric
+    /// kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        let Some(inner) = &self.inner else {
+            return Counter::noop();
+        };
+        let mut metrics = inner.metrics.lock().expect("registry poisoned");
+        let metric = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(CounterCell::new(inner.switch.clone())));
+        match metric {
+            Metric::Counter(cell) => Counter {
+                cell: Some(cell.clone()),
+            },
+            _ => panic!("metric `{name}` is already registered with a different kind"),
+        }
+    }
+
+    /// Gets or creates the timer `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric
+    /// kind.
+    pub fn timer(&self, name: &str) -> Timer {
+        let Some(inner) = &self.inner else {
+            return Timer::noop();
+        };
+        let mut metrics = inner.metrics.lock().expect("registry poisoned");
+        let metric = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Timer(TimerCell::new(inner.switch.clone())));
+        match metric {
+            Metric::Timer(cell) => Timer {
+                cell: Some(cell.clone()),
+            },
+            _ => panic!("metric `{name}` is already registered with a different kind"),
+        }
+    }
+
+    /// Gets or creates the histogram `name` with the given inclusive
+    /// upper bucket bounds (an overflow bucket is implicit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric
+    /// kind, or if `bounds` is not strictly increasing.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        let Some(inner) = &self.inner else {
+            return Histogram::noop();
+        };
+        let mut metrics = inner.metrics.lock().expect("registry poisoned");
+        let metric = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(HistogramCell::new(inner.switch.clone(), bounds)));
+        match metric {
+            Metric::Histogram(cell) => Histogram {
+                cell: Some(cell.clone()),
+            },
+            _ => panic!("metric `{name}` is already registered with a different kind"),
+        }
+    }
+
+    /// A naming scope: metrics created through it get `prefix.`-
+    /// qualified names.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let registry = clocksense_telemetry::Registry::new();
+    /// let spice = registry.scope("spice");
+    /// spice.counter("solves").incr();
+    /// assert_eq!(registry.snapshot().counter("spice.solves"), Some(1));
+    /// ```
+    pub fn scope(&self, prefix: &str) -> Scope {
+        Scope {
+            registry: self.clone(),
+            prefix: prefix.to_string(),
+        }
+    }
+
+    /// Freezes the current metric values into a [`Report`].
+    pub fn snapshot(&self) -> Report {
+        let mut report = Report::new();
+        if let Some(inner) = &self.inner {
+            for (name, metric) in inner.metrics.lock().expect("registry poisoned").iter() {
+                report.absorb(name, metric);
+            }
+        }
+        report
+    }
+}
+
+/// A name prefix over a [`Registry`].
+///
+/// Scopes nest: `registry.scope("faults").scope("worker")` produces
+/// `faults.worker.*` metric names. Cloning is cheap.
+///
+/// # Examples
+///
+/// ```
+/// let registry = clocksense_telemetry::Registry::new();
+/// let worker = registry.scope("faults").scope("worker");
+/// worker.counter("chunks").incr();
+/// assert_eq!(registry.snapshot().counter("faults.worker.chunks"), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scope {
+    registry: Registry,
+    prefix: String,
+}
+
+impl Scope {
+    fn qualify(&self, name: &str) -> String {
+        format!("{}.{name}", self.prefix)
+    }
+
+    /// Gets or creates the counter `prefix.name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.registry.counter(&self.qualify(name))
+    }
+
+    /// Gets or creates the timer `prefix.name`.
+    pub fn timer(&self, name: &str) -> Timer {
+        self.registry.timer(&self.qualify(name))
+    }
+
+    /// Gets or creates the histogram `prefix.name`.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        self.registry.histogram(&self.qualify(name), bounds)
+    }
+
+    /// A nested scope `prefix.sub`.
+    pub fn scope(&self, sub: &str) -> Scope {
+        Scope {
+            registry: self.registry.clone(),
+            prefix: self.qualify(sub),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_metrics() {
+        let a = Registry::new();
+        let b = a.clone();
+        a.counter("shared").add(1);
+        b.counter("shared").add(2);
+        assert_eq!(a.snapshot().counter("shared"), Some(3));
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_registrations() {
+        let registry = Registry::new();
+        let c = registry.counter("c");
+        let t = registry.timer("t");
+        let h = registry.histogram("h", &[1]);
+        c.add(5);
+        t.record(std::time::Duration::from_nanos(5));
+        h.record(9);
+        registry.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(t.count(), 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        c.incr();
+        assert_eq!(registry.snapshot().counter("c"), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let registry = Registry::new();
+        let _ = registry.counter("x");
+        let _ = registry.timer("x");
+    }
+
+    #[test]
+    fn disabled_registry_is_inert() {
+        let registry = Registry::disabled();
+        assert!(!registry.is_enabled());
+        registry.enable();
+        assert!(!registry.is_enabled());
+        registry.counter("x").add(5);
+        registry.reset();
+        assert!(registry.snapshot().is_empty());
+    }
+
+    #[test]
+    fn scopes_nest() {
+        let registry = Registry::new();
+        registry.scope("a").scope("b").counter("c").incr();
+        assert_eq!(registry.snapshot().counter("a.b.c"), Some(1));
+    }
+}

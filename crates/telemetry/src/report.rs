@@ -1,0 +1,369 @@
+//! Frozen metric snapshots and their JSON serialisation.
+//!
+//! The serialiser is hand-rolled (the workspace has no serde): output
+//! keys are sorted, indentation is fixed, and every number is an
+//! integer, so two reports from identical runs are byte-identical and
+//! diff cleanly — the property the `results/*_report.json` artifacts
+//! rely on for tracking perf between commits.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::Ordering;
+
+use crate::registry::Metric;
+
+/// Snapshot of one timer: interval count and accumulated wall-clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimerSnapshot {
+    /// Number of recorded intervals.
+    pub count: u64,
+    /// Total recorded time in nanoseconds.
+    pub total_nanos: u64,
+}
+
+/// Snapshot of one fixed-bucket histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Smallest observation, when any were recorded.
+    pub min: Option<u64>,
+    /// Largest observation, when any were recorded.
+    pub max: Option<u64>,
+    /// Inclusive upper bounds of the finite buckets.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; one entry per bound plus the overflow bucket.
+    pub buckets: Vec<u64>,
+}
+
+/// A frozen, serialisable view of a registry's metrics.
+///
+/// Obtained from [`Registry::snapshot`](crate::Registry::snapshot).
+/// Optional free-form `meta` entries (set with [`Report::set_meta`])
+/// let a run label its report — the bench binaries record the binary
+/// name and invocation there.
+///
+/// # Examples
+///
+/// ```
+/// let registry = clocksense_telemetry::Registry::new();
+/// registry.counter("hits").add(2);
+/// let mut report = registry.snapshot();
+/// report.set_meta("bench", "example");
+/// let json = report.to_json();
+/// assert!(json.contains("\"hits\": 2"));
+/// assert!(json.contains("\"bench\": \"example\""));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    meta: BTreeMap<String, String>,
+    counters: BTreeMap<String, u64>,
+    timers: BTreeMap<String, TimerSnapshot>,
+    histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Report {
+    pub(crate) fn new() -> Report {
+        Report::default()
+    }
+
+    pub(crate) fn absorb(&mut self, name: &str, metric: &Metric) {
+        match metric {
+            Metric::Counter(c) => {
+                self.counters
+                    .insert(name.to_string(), c.value.load(Ordering::Relaxed));
+            }
+            Metric::Timer(t) => {
+                self.timers.insert(
+                    name.to_string(),
+                    TimerSnapshot {
+                        count: t.count.load(Ordering::Relaxed),
+                        total_nanos: t.nanos.load(Ordering::Relaxed),
+                    },
+                );
+            }
+            Metric::Histogram(h) => {
+                let count = h.count.load(Ordering::Relaxed);
+                self.histograms.insert(
+                    name.to_string(),
+                    HistogramSnapshot {
+                        count,
+                        sum: h.sum.load(Ordering::Relaxed),
+                        min: (count > 0).then(|| h.min.load(Ordering::Relaxed)),
+                        max: (count > 0).then(|| h.max.load(Ordering::Relaxed)),
+                        bounds: h.bounds.to_vec(),
+                        buckets: h
+                            .buckets
+                            .iter()
+                            .map(|b| b.load(Ordering::Relaxed))
+                            .collect(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Attaches a free-form metadata entry (run label, invocation, …).
+    pub fn set_meta(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.meta.insert(key.into(), value.into());
+    }
+
+    /// The value of counter `name`, if it exists in this snapshot.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// The snapshot of timer `name`, if it exists.
+    pub fn timer(&self, name: &str) -> Option<&TimerSnapshot> {
+        self.timers.get(name)
+    }
+
+    /// The snapshot of histogram `name`, if it exists.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// `true` when the snapshot holds no metrics at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.timers.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Serialises the report as deterministic pretty-printed JSON
+    /// (sorted keys, two-space indent, trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"clocksense-telemetry/v1\",\n");
+
+        out.push_str("  \"meta\": {");
+        let mut first = true;
+        for (k, v) in &self.meta {
+            sep(&mut out, &mut first);
+            let _ = write!(out, "    {}: {}", json_string(k), json_string(v));
+        }
+        close_map(&mut out, first);
+        out.push_str(",\n");
+
+        out.push_str("  \"counters\": {");
+        let mut first = true;
+        for (name, value) in &self.counters {
+            sep(&mut out, &mut first);
+            let _ = write!(out, "    {}: {value}", json_string(name));
+        }
+        close_map(&mut out, first);
+        out.push_str(",\n");
+
+        out.push_str("  \"timers\": {");
+        let mut first = true;
+        for (name, t) in &self.timers {
+            sep(&mut out, &mut first);
+            let _ = write!(
+                out,
+                "    {}: {{ \"count\": {}, \"total_nanos\": {} }}",
+                json_string(name),
+                t.count,
+                t.total_nanos
+            );
+        }
+        close_map(&mut out, first);
+        out.push_str(",\n");
+
+        out.push_str("  \"histograms\": {");
+        let mut first = true;
+        for (name, h) in &self.histograms {
+            sep(&mut out, &mut first);
+            let _ = write!(
+                out,
+                "    {}: {{ \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"bounds\": {}, \"buckets\": {} }}",
+                json_string(name),
+                h.count,
+                h.sum,
+                json_opt(h.min),
+                json_opt(h.max),
+                json_u64_array(&h.bounds),
+                json_u64_array(&h.buckets)
+            );
+        }
+        close_map(&mut out, first);
+        out.push('\n');
+
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes [`to_json`](Report::to_json) to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn write_json_file(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+fn sep(out: &mut String, first: &mut bool) {
+    if *first {
+        out.push('\n');
+        *first = false;
+    } else {
+        out.push_str(",\n");
+    }
+}
+
+fn close_map(out: &mut String, was_empty: bool) {
+    if was_empty {
+        out.push('}');
+    } else {
+        out.push_str("\n  }");
+    }
+}
+
+fn json_opt(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |x| x.to_string())
+}
+
+fn json_u64_array(values: &[u64]) -> String {
+    let body = values
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("[{body}]")
+}
+
+/// Escapes `s` as a JSON string literal, quotes included.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Registry;
+    use std::time::Duration;
+
+    /// Golden test: the exact serialised form of a small report. Any
+    /// change to the JSON layout must update this expectation (and is a
+    /// schema change consumers of `results/*_report.json` will see).
+    #[test]
+    fn golden_json_layout() {
+        let registry = Registry::new();
+        registry.counter("spice.newton_iterations").add(42);
+        registry.counter("tran.steps_accepted").add(7);
+        registry
+            .timer("faults.chunk_wall")
+            .record(Duration::from_nanos(1_500));
+        let h = registry.histogram("spice.iters_per_solve", &[2, 8]);
+        h.record(1);
+        h.record(9);
+        h.record(100);
+        let mut report = registry.snapshot();
+        report.set_meta("bench", "golden \"test\"");
+
+        let expected = concat!(
+            "{\n",
+            "  \"schema\": \"clocksense-telemetry/v1\",\n",
+            "  \"meta\": {\n",
+            "    \"bench\": \"golden \\\"test\\\"\"\n",
+            "  },\n",
+            "  \"counters\": {\n",
+            "    \"spice.newton_iterations\": 42,\n",
+            "    \"tran.steps_accepted\": 7\n",
+            "  },\n",
+            "  \"timers\": {\n",
+            "    \"faults.chunk_wall\": { \"count\": 1, \"total_nanos\": 1500 }\n",
+            "  },\n",
+            "  \"histograms\": {\n",
+            "    \"spice.iters_per_solve\": { \"count\": 3, \"sum\": 110, \"min\": 1, ",
+            "\"max\": 100, \"bounds\": [2, 8], \"buckets\": [1, 0, 2] }\n",
+            "  }\n",
+            "}\n",
+        );
+        assert_eq!(report.to_json(), expected);
+    }
+
+    #[test]
+    fn empty_report_is_valid_and_stable() {
+        let report = Registry::disabled().snapshot();
+        let expected = concat!(
+            "{\n",
+            "  \"schema\": \"clocksense-telemetry/v1\",\n",
+            "  \"meta\": {},\n",
+            "  \"counters\": {},\n",
+            "  \"timers\": {},\n",
+            "  \"histograms\": {}\n",
+            "}\n",
+        );
+        assert_eq!(report.to_json(), expected);
+        assert!(report.is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_a_point_in_time() {
+        let registry = Registry::new();
+        let c = registry.counter("c");
+        c.add(1);
+        let report = registry.snapshot();
+        c.add(10);
+        assert_eq!(report.counter("c"), Some(1));
+        assert_eq!(registry.snapshot().counter("c"), Some(11));
+    }
+
+    #[test]
+    fn accessors_expose_snapshots() {
+        let registry = Registry::new();
+        registry.timer("t").record(Duration::from_nanos(5));
+        let h = registry.histogram("h", &[10]);
+        h.record(3);
+        let report = registry.snapshot();
+        let t = report.timer("t").unwrap();
+        assert_eq!((t.count, t.total_nanos), (1, 5));
+        let h = report.histogram("h").unwrap();
+        assert_eq!(h.min, Some(3));
+        assert_eq!(h.buckets, vec![1, 0]);
+        assert!(report.timer("missing").is_none());
+        assert!(report.histogram("missing").is_none());
+        assert!(!report.is_empty());
+    }
+
+    #[test]
+    fn json_escapes_control_characters() {
+        let mut report = Registry::new().snapshot();
+        report.set_meta("k", "line\nbreak\x01");
+        let json = report.to_json();
+        assert!(json.contains("line\\nbreak\\u0001"));
+    }
+
+    #[test]
+    fn write_json_file_round_trips_bytes() {
+        let registry = Registry::new();
+        registry.counter("c").add(3);
+        let report = registry.snapshot();
+        let dir = std::env::temp_dir().join("clocksense-telemetry-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        report.write_json_file(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), report.to_json());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, test, and doc the whole workspace.
+# Run from the repository root: ./scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo doc --no-deps"
+cargo doc --no-deps
+
+echo "verify: OK"

@@ -12,6 +12,7 @@
 //! * [`digital`] — gate-level logic simulation (the synchronous context)
 //! * [`checker`] — error indicators, two-rail checkers, scan paths
 //! * [`montecarlo`] — parameter variation and statistics
+//! * [`telemetry`] — runtime counters, timers and JSON run reports
 
 pub use clocksense_checker as checker;
 pub use clocksense_clocktree as clocktree;
@@ -21,4 +22,5 @@ pub use clocksense_faults as faults;
 pub use clocksense_montecarlo as montecarlo;
 pub use clocksense_netlist as netlist;
 pub use clocksense_spice as spice;
+pub use clocksense_telemetry as telemetry;
 pub use clocksense_wave as wave;

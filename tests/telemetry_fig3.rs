@@ -1,0 +1,52 @@
+//! End-to-end telemetry over the paper's Fig. 3 experiment: simulate the
+//! sensing circuit with an abnormal 0.5 ns skew and check that the solver
+//! counters recorded through the global registry are populated and
+//! mutually consistent.
+
+use clocksense::core::{ClockPair, SensorBuilder, SkewVerdict, Technology};
+use clocksense::spice::SimOptions;
+
+#[test]
+fn fig3_run_populates_solver_telemetry() {
+    let registry = clocksense::telemetry::global();
+    registry.enable();
+    registry.reset();
+
+    let tech = Technology::cmos12();
+    let sensor = SensorBuilder::new(tech)
+        .load_capacitance(160e-15)
+        .build()
+        .expect("valid default sensor");
+    let clocks = ClockPair::single_shot(tech.vdd, 0.2e-9).with_skew(0.5e-9);
+    let response = sensor
+        .simulate(&clocks, &SimOptions::default())
+        .expect("simulation converges");
+    assert_eq!(response.verdict, SkewVerdict::Phi2Late);
+
+    let report = registry.snapshot();
+    registry.disable();
+
+    let iters = report.counter("spice.newton_iterations").unwrap();
+    assert!(iters > 0, "a transient run must iterate Newton");
+    // One LU factorization per Newton iteration, by construction.
+    assert_eq!(report.counter("spice.lu_factorizations"), Some(iters));
+
+    let solves = report.counter("spice.newton_solves").unwrap();
+    assert!(solves > 0 && iters >= solves);
+
+    let accepted = report.counter("spice.steps_accepted").unwrap();
+    let rejected = report.counter("spice.steps_rejected").unwrap();
+    assert!(accepted > 0, "the transient must accept time steps");
+    // Every accepted step and every rejected attempt ran one Newton
+    // solve; the DC initial condition accounts for the remainder.
+    assert!(
+        solves >= accepted + rejected,
+        "solves={solves} accepted={accepted} rejected={rejected}"
+    );
+    // In this integrator each rejection halves the step exactly once.
+    assert_eq!(report.counter("spice.step_halvings"), Some(rejected));
+
+    let hist = report.histogram("spice.newton_iters_per_solve").unwrap();
+    assert_eq!(hist.count, solves, "one histogram record per solve");
+    assert_eq!(hist.sum, iters, "histogram sums the iteration counter");
+}

@@ -1,0 +1,50 @@
+//! Telemetry consistency on a plain transient run, and the zero-cost
+//! guarantee: enabling telemetry must not change solver outputs.
+
+use clocksense::netlist::{Circuit, SourceWave, GROUND};
+use clocksense::spice::{transient, SimOptions, TranResult};
+
+fn rc_lowpass() -> Circuit {
+    let mut ckt = Circuit::new();
+    let inp = ckt.node("in");
+    let out = ckt.node("out");
+    ckt.add_vsource("vin", inp, GROUND, SourceWave::step(0.0, 1.0, 1e-10, 1e-12))
+        .unwrap();
+    ckt.add_resistor("r", inp, out, 1_000.0).unwrap();
+    ckt.add_capacitor("c", out, GROUND, 1e-12).unwrap();
+    ckt
+}
+
+fn run() -> TranResult {
+    transient(&rc_lowpass(), 5e-9, &SimOptions::default()).unwrap()
+}
+
+#[test]
+fn accepted_steps_match_the_time_grid_and_recording_is_invisible() {
+    let registry = clocksense::telemetry::global();
+
+    // Baseline run with the registry paused (the default state).
+    let baseline = run();
+
+    registry.enable();
+    registry.reset();
+    let recorded = run();
+    let report = registry.snapshot();
+    registry.disable();
+
+    // Each accepted step appended exactly one time point after t = 0.
+    let accepted = report.counter("spice.steps_accepted").unwrap();
+    assert_eq!(accepted as usize, recorded.times().len() - 1);
+
+    // The step source has breakpoints the grid must have aligned to.
+    assert!(report.counter("spice.breakpoints_hit").unwrap() >= 1);
+
+    // Zero-cost guarantee: telemetry never feeds back into numerics, so
+    // the recorded run is bit-identical to the paused baseline.
+    assert_eq!(baseline.times(), recorded.times());
+    let out_a = baseline.waveform_named("out").unwrap();
+    let out_b = recorded.waveform_named("out").unwrap();
+    for (&t, _) in baseline.times().iter().zip(0..) {
+        assert_eq!(out_a.value_at(t).to_bits(), out_b.value_at(t).to_bits());
+    }
+}

@@ -1,0 +1,258 @@
+//! Offline vendored subset of the
+//! [`criterion`](https://crates.io/crates/criterion) 0.5 API.
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so the workspace vendors the slice of `criterion` its benches use:
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`], [`BenchmarkId`]
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's full statistical pipeline, each benchmark runs
+//! a short warm-up followed by `sample_size` timed samples (bounded by a
+//! per-benchmark wall-clock budget) and prints the mean and minimum
+//! sample time. That is enough to track the perf trajectory of the
+//! workspace between commits; it makes no outlier or significance
+//! claims.
+//!
+//! # Examples
+//!
+//! ```
+//! use criterion::{black_box, Criterion};
+//!
+//! let mut c = Criterion::default();
+//! c.bench_function("sum_1_to_100", |b| {
+//!     b.iter(|| (1u64..=100).map(black_box).sum::<u64>())
+//! });
+//! ```
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-benchmark wall-clock budget; sampling stops early once exceeded.
+const SAMPLE_BUDGET: Duration = Duration::from_secs(5);
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Times closures for one benchmark; handed to the `|b| ...` callbacks.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly: a short warm-up, then up to
+    /// `sample_size` timed samples within the wall-clock budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..2 {
+            black_box(routine());
+        }
+        let budget_start = Instant::now();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.durations.push(t0.elapsed());
+            if budget_start.elapsed() > SAMPLE_BUDGET {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: samples.max(1),
+        durations: Vec::new(),
+    };
+    f(&mut b);
+    if b.durations.is_empty() {
+        println!("bench {label:<40} (no samples)");
+        return;
+    }
+    let total: Duration = b.durations.iter().sum();
+    let mean = total / b.durations.len() as u32;
+    let min = b.durations.iter().min().expect("non-empty");
+    println!(
+        "bench {label:<40} mean {mean:>12?}   min {min:>12?}   samples {n}",
+        n = b.durations.len(),
+    );
+}
+
+/// A named set of related benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for upstream compatibility; throughput is not reported.
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Throughput annotation, accepted but not reported.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, self.default_sample_size, &mut f);
+        self
+    }
+}
+
+/// Bundles benchmark functions into one group runner, as in upstream
+/// criterion's simple form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0u32;
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_run_with_inputs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut seen = 0u64;
+        group.bench_with_input(BenchmarkId::new("f", 7), &7u64, |b, &x| {
+            b.iter(|| seen = x)
+        });
+        group.finish();
+        assert_eq!(seen, 7);
+    }
+
+    #[test]
+    fn ids_render_like_upstream() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("1ps").to_string(), "1ps");
+    }
+
+    criterion_group!(sample_group, noop_bench);
+
+    fn noop_bench(c: &mut Criterion) {
+        c.bench_function("macro_noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn macro_group_is_callable() {
+        sample_group();
+    }
+}
