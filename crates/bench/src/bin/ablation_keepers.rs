@@ -41,7 +41,8 @@ fn main() {
             .map(ps)
             .unwrap_or_else(|| "n/a".to_string());
         let faults = sensor_fault_universe(&sensor, 100.0);
-        let cfg = CampaignConfig::new(clocks);
+        let mut cfg = CampaignConfig::new(clocks);
+        cfg.threads = clocksense_bench::threads_arg();
         let result = run_campaign(&sensor, &faults, &cfg).expect("campaign runs");
         table.row(&[
             if keepers { "with keepers" } else { "bare" }.to_string(),

@@ -15,6 +15,7 @@ fn main() {
     let _report = clocksense_bench::RunReport::from_env("ablation_variation");
     let tech = Technology::cmos12();
     let clocks = ClockPair::single_shot(tech.vdd, 0.2e-9);
+    let threads = clocksense_bench::threads_arg();
     let n = scaled(48, 8);
 
     print_header("tau_min distribution per load (spread ±15%)");
@@ -30,7 +31,8 @@ fn main() {
     for &load in &[80e-15, 160e-15, 240e-15] {
         let builder = SensorBuilder::new(tech).load_capacitance(load);
         let cfg = McConfig {
-            seed: 0xd15_7 ^ load.to_bits(),
+            seed: 0xd157 ^ load.to_bits(),
+            threads,
             ..McConfig::default()
         };
         let samples =
@@ -51,7 +53,8 @@ fn main() {
     // Histogram of the mid-load distribution.
     let builder = SensorBuilder::new(tech).load_capacitance(160e-15);
     let cfg = McConfig {
-        seed: 0xd15_7 ^ 160e-15f64.to_bits(),
+        seed: 0xd157 ^ 160e-15f64.to_bits(),
+        threads,
         ..McConfig::default()
     };
     let samples = tau_min_samples(&builder, &clocks, 0.6e-9, n, &cfg).expect("runs");
@@ -73,7 +76,8 @@ fn main() {
         let builder = SensorBuilder::new(tech).load_capacitance(160e-15);
         let cfg = McConfig {
             spread,
-            seed: 0xd15_7,
+            seed: 0xd157,
+            threads,
             ..McConfig::default()
         };
         let samples = tau_min_samples(&builder, &clocks, 0.6e-9, n.min(24), &cfg).expect("runs");

@@ -1,0 +1,81 @@
+//! Thread-scaling run of the Section-3 fault campaign on the shared
+//! work-stealing executor.
+//!
+//! The sensor fault universe is deliberately imbalanced: stuck-open
+//! faults leave nodes without a DC path and push the solver through its
+//! gmin/source continuation ladder, costing many times the median fault.
+//! Under the old static per-thread chunking one such fault serialised its
+//! whole chunk; the executor hands items out one at a time, so adding
+//! workers keeps shortening the critical path. This binary measures the
+//! wall clock at 1, 2, 4 and 8 workers and cross-checks that the records
+//! stay identical (`--report <path>` archives the numbers — see
+//! `results/README.md` for the machine caveats of the committed run).
+
+use std::time::Instant;
+
+use clocksense_bench::{print_header, Table};
+use clocksense_core::{ClockPair, SensorBuilder, Technology};
+use clocksense_faults::{run_campaign, sensor_fault_universe, CampaignConfig};
+
+fn main() {
+    let report = clocksense_bench::RunReport::from_env("campaign_scaling");
+    let tech = Technology::cmos12();
+    let sensor = SensorBuilder::new(tech)
+        .load_capacitance(160e-15)
+        .build()
+        .expect("valid sensor");
+    let mut faults = sensor_fault_universe(&sensor, 100.0);
+    if clocksense_bench::fast_mode() {
+        faults.truncate(12);
+    }
+    let cfg = CampaignConfig::new(ClockPair::single_shot(tech.vdd, 0.2e-9));
+    let scaling = clocksense_telemetry::global().scope("scaling");
+    scaling.counter("faults").add(faults.len() as u64);
+    scaling
+        .counter("cores_available")
+        .add(std::thread::available_parallelism().map_or(1, |n| n.get()) as u64);
+
+    print_header(&format!(
+        "Campaign wall clock vs worker count ({} faults, work-stealing executor)",
+        faults.len()
+    ));
+    let mut table = Table::new(&["threads", "wall [ms]", "speedup", "identical records"]);
+    let mut baseline_ms = 0.0;
+    let mut baseline_records = None;
+    for threads in [1usize, 2, 4, 8] {
+        let cfg = CampaignConfig {
+            threads,
+            ..cfg.clone()
+        };
+        let start = Instant::now();
+        let result = run_campaign(&sensor, &faults, &cfg).expect("campaign runs");
+        let wall = start.elapsed();
+        let ms = wall.as_secs_f64() * 1e3;
+        if threads == 1 {
+            baseline_ms = ms;
+        }
+        let identical = match &baseline_records {
+            None => {
+                baseline_records = Some(result.records().to_vec());
+                true
+            }
+            Some(base) => base.as_slice() == result.records(),
+        };
+        scaling
+            .counter(&format!("wall_us_threads_{threads}"))
+            .add(wall.as_micros() as u64);
+        table.row(&[
+            format!("{threads}"),
+            format!("{ms:.1}"),
+            format!("{:.2}x", baseline_ms / ms),
+            if identical { "yes".into() } else { "NO".into() },
+        ]);
+        assert!(identical, "records must not depend on the worker count");
+    }
+    println!("{}", table.render());
+    println!(
+        "speedup saturates at the machine's core count; on a single-core host\n\
+         all rows measure the same serial work plus executor overhead"
+    );
+    report.finish();
+}

@@ -15,6 +15,7 @@ fn main() {
     let tech = Technology::cmos12();
     let taus: Vec<f64> = (0..=8).map(|i| i as f64 * 0.03e-9).collect();
     let samples = scaled(432, 72);
+    let threads = clocksense_bench::threads_arg();
     let clocks = ClockPair::single_shot(tech.vdd, 0.2e-9);
 
     for &load in &[80e-15, 160e-15, 240e-15] {
@@ -22,6 +23,7 @@ fn main() {
         let cfg = McConfig {
             samples,
             seed: 0x1997_0317 ^ (load.to_bits()),
+            threads,
             ..McConfig::default()
         };
         let scatter = run_scatter(&builder, &clocks, &taus, &cfg).expect("mc run converges");

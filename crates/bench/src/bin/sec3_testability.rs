@@ -25,7 +25,8 @@ fn main() {
         .build()
         .expect("valid sensor");
     let faults = sensor_fault_universe(&sensor, 100.0);
-    let cfg = CampaignConfig::new(ClockPair::single_shot(tech.vdd, 0.2e-9));
+    let mut cfg = CampaignConfig::new(ClockPair::single_shot(tech.vdd, 0.2e-9));
+    cfg.threads = clocksense_bench::threads_arg();
     let result = run_campaign(&sensor, &faults, &cfg).expect("campaign runs");
 
     print_header("Section 3: fault coverage per class");

@@ -52,6 +52,7 @@ fn main() {
         let cfg = McConfig {
             samples,
             seed: 0x7ab1 ^ load.to_bits(),
+            threads: clocksense_bench::threads_arg(),
             ..McConfig::default()
         };
         let scatter = run_scatter(&builder, &clocks, &taus, &cfg).expect("mc run converges");

@@ -11,6 +11,7 @@
 //! | `fig5_montecarlo` | Fig. 5 — Monte-Carlo scatter of V_min vs τ |
 //! | `tab1_probabilities` | Tab. 1 — p_loose / p_false per load |
 //! | `sec3_testability` | Section 3 — fault coverage per class |
+//! | `campaign_scaling` | campaign wall clock vs `--threads` worker count |
 //! | `fig6_clock_distribution` | Fig. 6 — sensors monitoring an H-tree |
 //! | `ablation_threshold` | sensitivity vs V_th and device sizing |
 //! | `ablation_keepers` | effect of the full-swing keepers |
@@ -88,10 +89,7 @@ impl RunReport {
         };
         let mut report = clocksense_telemetry::global().snapshot();
         report.set_meta("bench", &self.bench);
-        report.set_meta(
-            "invocation",
-            std::env::args().collect::<Vec<_>>().join(" "),
-        );
+        report.set_meta("invocation", std::env::args().collect::<Vec<_>>().join(" "));
         if fast_mode() {
             report.set_meta("fast_mode", "1");
         }
@@ -108,6 +106,35 @@ impl Drop for RunReport {
     fn drop(&mut self) {
         self.write();
     }
+}
+
+/// Parses the shared `--threads N` (or `--threads=N`) flag from the
+/// process arguments. Returns `0` — "one worker per available core" for
+/// every driver in the workspace — when the flag is absent; aborts with
+/// exit code 2 on a malformed value.
+pub fn threads_arg() -> usize {
+    let mut threads = 0;
+    let mut args = std::env::args().skip(1);
+    let parse = |value: &str| -> usize {
+        value.parse().unwrap_or_else(|_| {
+            eprintln!("error: --threads requires a non-negative integer, got {value:?}");
+            std::process::exit(2);
+        })
+    };
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            match args.next() {
+                Some(v) => threads = parse(&v),
+                None => {
+                    eprintln!("error: --threads requires a worker count");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(v) = arg.strip_prefix("--threads=") {
+            threads = parse(v);
+        }
+    }
+    threads
 }
 
 /// Picks `full` or `fast` depending on [`fast_mode`].
@@ -192,6 +219,9 @@ pub fn ascii_chart(
     let mut grid = vec![vec![' '; width]; height];
     for (s, (_, w)) in series.iter().enumerate() {
         let mark = MARKS[s % MARKS.len()];
+        // Column-major walk over a row-major grid: the row index depends on
+        // the sampled value, so the column loop stays index-based.
+        #[allow(clippy::needless_range_loop)]
         for col in 0..width {
             let t = t0 + (t1 - t0) * col as f64 / (width - 1).max(1) as f64;
             let v = w.value_at(t);

@@ -15,6 +15,8 @@ pub enum CoreError {
     Spice(SpiceError),
     /// A sensor or stimulus parameter is out of its valid domain.
     InvalidParameter(String),
+    /// A parallel worker item panicked; the payload message is preserved.
+    WorkerPanic(String),
 }
 
 impl fmt::Display for CoreError {
@@ -25,6 +27,7 @@ impl fmt::Display for CoreError {
             CoreError::InvalidParameter(detail) => {
                 write!(f, "invalid parameter: {detail}")
             }
+            CoreError::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
         }
     }
 }
@@ -34,7 +37,7 @@ impl Error for CoreError {
         match self {
             CoreError::Netlist(e) => Some(e),
             CoreError::Spice(e) => Some(e),
-            CoreError::InvalidParameter(_) => None,
+            CoreError::InvalidParameter(_) | CoreError::WorkerPanic(_) => None,
         }
     }
 }

@@ -1,0 +1,267 @@
+//! Work-stealing executor shared by the fault-campaign and Monte-Carlo
+//! drivers.
+//!
+//! The three parallel drivers in this workspace (`faults::run_campaign`,
+//! `montecarlo::run_scatter`, `montecarlo::tau_min_samples`) used to carry
+//! copy-pasted `thread::scope` blocks that split the work into static
+//! per-thread chunks. Static chunking is pathological for fault campaigns:
+//! one stuck-open fault that needs the full gmin/source continuation ladder
+//! costs 10–100× the median item, and every other core idles behind it.
+//!
+//! [`Executor::run`] instead has each worker pull the *next* item index off
+//! a shared atomic counter — self-balancing regardless of per-item cost —
+//! while preserving the two invariants the drivers rely on:
+//!
+//! * **deterministic ordering** — results land in a slot per item, so the
+//!   output `Vec` is in item order no matter which worker ran what when;
+//! * **panic isolation** — each item runs under
+//!   [`std::panic::catch_unwind`]; a panicking item becomes a
+//!   [`JobPanic`] record in its slot instead of aborting the run.
+//!
+//! Per-item wall clock and panic counts are recorded through an optional
+//! `clocksense-telemetry` scope (`items`, `panics`, `item_wall`).
+//!
+//! ```
+//! use clocksense_exec::Executor;
+//!
+//! let squares = Executor::new(4).run(8, |i| i * i);
+//! let squares: Vec<usize> = squares.into_iter().map(Result::unwrap).collect();
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+
+use clocksense_telemetry::{Counter, Scope, Timer};
+
+/// A worker item panicked; its slot carries this record instead of a value.
+///
+/// The message is the stringified panic payload (`&str` / `String`
+/// payloads are preserved verbatim; anything else becomes a placeholder).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Index of the item whose closure panicked.
+    pub index: usize,
+    /// Stringified panic payload.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "item {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+/// Shared work-stealing executor over scoped threads.
+///
+/// Construction is cheap (no threads are kept alive between [`run`]
+/// calls); the pool lives only for the duration of one `run`.
+///
+/// [`run`]: Executor::run
+#[derive(Debug, Clone, Default)]
+pub struct Executor {
+    threads: usize,
+    telemetry: Option<Scope>,
+}
+
+impl Executor {
+    /// An executor with `threads` workers; `0` means one per available core.
+    pub fn new(threads: usize) -> Executor {
+        Executor {
+            threads,
+            telemetry: None,
+        }
+    }
+
+    /// Record `items` / `panics` counters and the `item_wall` timer under
+    /// `scope` for every subsequent [`run`](Executor::run).
+    pub fn with_telemetry(mut self, scope: Scope) -> Executor {
+        self.telemetry = Some(scope);
+        self
+    }
+
+    /// The worker count a call to [`run`](Executor::run) over `items`
+    /// items would use.
+    pub fn workers_for(&self, items: usize) -> usize {
+        let threads = if self.threads == 0 {
+            thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
+        };
+        threads.min(items).max(1)
+    }
+
+    /// Run `job` for every index in `0..items`, in parallel, returning the
+    /// results in item order.
+    ///
+    /// Workers repeatedly claim the next unclaimed index from a shared
+    /// atomic counter, so expensive items do not serialise the rest of the
+    /// batch behind one thread. Slot `i` of the returned `Vec` holds
+    /// `Ok(job(i))`, or `Err(JobPanic)` if that particular call panicked;
+    /// panics never propagate across items or out of `run`.
+    pub fn run<T, F>(&self, items: usize, job: F) -> Vec<Result<T, JobPanic>>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if items == 0 {
+            return Vec::new();
+        }
+        let workers = self.workers_for(items);
+        let (item_counter, panic_counter, item_wall) = match &self.telemetry {
+            Some(scope) => (
+                scope.counter("items"),
+                scope.counter("panics"),
+                scope.timer("item_wall"),
+            ),
+            None => (Counter::noop(), Counter::noop(), Timer::noop()),
+        };
+
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, Result<T, JobPanic>)>();
+        let job = &job;
+
+        let mut slots: Vec<Option<Result<T, JobPanic>>> = Vec::new();
+        slots.resize_with(items, || None);
+
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let item_counter = item_counter.clone();
+                let panic_counter = panic_counter.clone();
+                let item_wall = item_wall.clone();
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items {
+                        break;
+                    }
+                    let tick = item_wall.start();
+                    let outcome = catch_unwind(AssertUnwindSafe(|| job(i)));
+                    tick.stop();
+                    item_counter.incr();
+                    let outcome = outcome.map_err(|payload| {
+                        panic_counter.incr();
+                        JobPanic {
+                            index: i,
+                            message: panic_message(payload),
+                        }
+                    });
+                    if tx.send((i, outcome)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (i, outcome) in rx {
+                slots[i] = Some(outcome);
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every item index is claimed exactly once"))
+            .collect()
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_are_in_item_order() {
+        // Make later items finish first by sleeping on the early ones.
+        let out = Executor::new(4).run(16, |i| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            i * 10
+        });
+        let values: Vec<usize> = out.into_iter().map(Result::unwrap).collect();
+        assert_eq!(values, (0..16).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_matches_parallel() {
+        let seq = Executor::new(1).run(33, |i| i * i + 1);
+        let par = Executor::new(8).run(33, |i| i * i + 1);
+        let seq: Vec<usize> = seq.into_iter().map(Result::unwrap).collect();
+        let par: Vec<usize> = par.into_iter().map(Result::unwrap).collect();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn a_panicking_item_is_isolated() {
+        let out = Executor::new(3).run(10, |i| {
+            if i == 4 {
+                panic!("injected failure on item {i}");
+            }
+            i
+        });
+        for (i, slot) in out.iter().enumerate() {
+            if i == 4 {
+                let err = slot.as_ref().unwrap_err();
+                assert_eq!(err.index, 4);
+                assert!(err.message.contains("injected failure"), "{}", err.message);
+            } else {
+                assert_eq!(*slot.as_ref().unwrap(), i);
+            }
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let out = Executor::new(7).run(100, |_| {
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(out.len(), 100);
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn zero_items_is_a_noop() {
+        let out = Executor::new(4).run(0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_items() {
+        let ex = Executor::new(8);
+        assert_eq!(ex.workers_for(3), 3);
+        assert_eq!(ex.workers_for(100), 8);
+        assert_eq!(ex.workers_for(1), 1);
+    }
+
+    #[test]
+    fn telemetry_counts_items_and_panics() {
+        let registry = clocksense_telemetry::Registry::new();
+        let scope = registry.scope("exec_test");
+        let out = Executor::new(2).with_telemetry(scope).run(6, |i| {
+            if i == 1 {
+                panic!("boom");
+            }
+            i
+        });
+        assert_eq!(out.iter().filter(|r| r.is_err()).count(), 1);
+        let report = registry.snapshot();
+        assert_eq!(report.counter("exec_test.items"), Some(6));
+        assert_eq!(report.counter("exec_test.panics"), Some(1));
+    }
+}

@@ -2,9 +2,9 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::thread;
 
 use clocksense_core::{ClockPair, SensingCircuit};
+use clocksense_exec::Executor;
 use clocksense_netlist::SourceWave;
 use clocksense_spice::{dc_operating_point, iddq, transient, SimOptions};
 
@@ -90,7 +90,7 @@ impl CampaignConfig {
 }
 
 /// Per-fault campaign record.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaultRecord {
     /// The injected fault.
     pub fault: Fault,
@@ -350,13 +350,17 @@ fn evaluate_fault(
 /// sensor's test bench, simulated under fault-free clocks, and classified
 /// per the paper's criteria (logic error indication, then IDDQ, then a
 /// skew-masking check for escapes). Faults are distributed over worker
-/// threads.
+/// threads pulled from a shared work queue ([`clocksense_exec::Executor`]),
+/// so one expensive fault (continuation ladders for stuck-opens) does not
+/// serialise the rest of the universe behind a static chunk boundary.
 ///
 /// # Errors
 ///
 /// Returns the first *structural* error (unknown fault target, invalid
 /// fault). Simulation failures of individual faulty circuits are not
-/// errors; they are reported as [`DetectionOutcome::Inconclusive`].
+/// errors; they are reported as [`DetectionOutcome::Inconclusive`] — and
+/// so is a fault whose evaluation *panics*: the panic is contained by the
+/// executor and recorded against that fault alone.
 pub fn run_campaign(
     sensor: &SensingCircuit,
     faults: &[Fault],
@@ -369,53 +373,10 @@ pub fn run_campaign(
     }
     let rails = Rails::vdd_gnd("vdd");
     let fault_free_static = static_levels(sensor, None, cfg, &rails)?;
-    let threads = if cfg.threads == 0 {
-        thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        cfg.threads
-    };
+    let records = campaign_records(faults, cfg.threads, |f| {
+        evaluate_fault(sensor, f, cfg, &rails, &fault_free_static)
+    })?;
     let tele = clocksense_telemetry::global().scope("faults");
-    let faults_evaluated = tele.counter("faults_evaluated");
-    let chunks_run = tele.counter("chunks");
-    let chunk_wall = tele.timer("chunk_wall");
-    let chunk_size = faults.len().div_ceil(threads).max(1);
-    let mut slots: Vec<Option<Result<FaultRecord, FaultError>>> = vec![None; faults.len()];
-    thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (chunk_idx, chunk) in faults.chunks(chunk_size).enumerate() {
-            let rails = &rails;
-            let fault_free_static = &fault_free_static;
-            let faults_evaluated = faults_evaluated.clone();
-            let chunks_run = chunks_run.clone();
-            let chunk_wall = chunk_wall.clone();
-            handles.push((
-                chunk_idx,
-                scope.spawn(move || {
-                    let stopwatch = chunk_wall.start();
-                    let out = chunk
-                        .iter()
-                        .map(|f| evaluate_fault(sensor, f, cfg, rails, fault_free_static))
-                        .collect::<Vec<_>>();
-                    stopwatch.stop();
-                    chunks_run.incr();
-                    faults_evaluated.add(out.len() as u64);
-                    out
-                }),
-            ));
-        }
-        for (chunk_idx, handle) in handles {
-            let results = handle.join().expect("campaign worker panicked");
-            for (i, r) in results.into_iter().enumerate() {
-                slots[chunk_idx * chunk_size + i] = Some(r);
-            }
-        }
-    });
-    let mut records = Vec::with_capacity(faults.len());
-    for slot in slots {
-        records.push(slot.expect("all slots filled")?);
-    }
     let tallies = [
         (DetectionOutcome::DetectedLogic, "detected_logic"),
         (DetectionOutcome::DetectedIddq, "detected_iddq"),
@@ -427,6 +388,38 @@ pub fn run_campaign(
         tele.counter(name).add(n as u64);
     }
     Ok(CampaignResult { records })
+}
+
+/// Evaluates every fault through the shared executor and applies the
+/// campaign's error policy: structural errors abort (first one, in fault
+/// order), panics degrade to [`DetectionOutcome::Inconclusive`] records.
+///
+/// Factored out of [`run_campaign`] so the panic policy is testable with
+/// an injected evaluator.
+fn campaign_records(
+    faults: &[Fault],
+    threads: usize,
+    eval: impl Fn(&Fault) -> Result<FaultRecord, FaultError> + Sync,
+) -> Result<Vec<FaultRecord>, FaultError> {
+    let tele = clocksense_telemetry::global().scope("faults");
+    let faults_evaluated = tele.counter("faults_evaluated");
+    let outcomes = Executor::new(threads)
+        .with_telemetry(tele)
+        .run(faults.len(), |i| eval(&faults[i]));
+    faults_evaluated.add(faults.len() as u64);
+    let mut records = Vec::with_capacity(faults.len());
+    for (fault, outcome) in faults.iter().zip(outcomes) {
+        match outcome {
+            Ok(record) => records.push(record?),
+            Err(_panic) => records.push(FaultRecord {
+                fault: fault.clone(),
+                outcome: DetectionOutcome::Inconclusive,
+                iddq: None,
+                masks_skew: None,
+            }),
+        }
+    }
+    Ok(records)
 }
 
 #[cfg(test)]
@@ -539,5 +532,60 @@ mod tests {
         let text = result.to_string();
         assert!(text.contains("stuck-at"));
         assert!(text.contains("bridging"));
+    }
+
+    #[test]
+    fn a_panicking_evaluation_degrades_to_inconclusive() {
+        let faults: Vec<Fault> = ["y1", "y2", "n1"]
+            .iter()
+            .map(|n| Fault::NodeStuckAt {
+                node: (*n).into(),
+                level: StuckLevel::Zero,
+            })
+            .collect();
+        let records = campaign_records(&faults, 2, |f| {
+            if matches!(f, Fault::NodeStuckAt { node, .. } if node == "y2") {
+                panic!("injected evaluator panic");
+            }
+            Ok(FaultRecord {
+                fault: f.clone(),
+                outcome: DetectionOutcome::DetectedLogic,
+                iddq: None,
+                masks_skew: None,
+            })
+        })
+        .unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].outcome, DetectionOutcome::DetectedLogic);
+        assert_eq!(records[1].outcome, DetectionOutcome::Inconclusive);
+        assert_eq!(records[1].fault, faults[1]);
+        assert_eq!(records[2].outcome, DetectionOutcome::DetectedLogic);
+    }
+
+    #[test]
+    fn a_structural_error_still_aborts_the_run() {
+        let faults = vec![
+            Fault::NodeStuckAt {
+                node: "y1".into(),
+                level: StuckLevel::Zero,
+            },
+            Fault::NodeStuckAt {
+                node: "no_such_node".into(),
+                level: StuckLevel::One,
+            },
+        ];
+        let err = campaign_records(&faults, 1, |f| match f {
+            Fault::NodeStuckAt { node, .. } if node == "no_such_node" => {
+                Err(FaultError::UnknownNode(node.clone()))
+            }
+            _ => Ok(FaultRecord {
+                fault: f.clone(),
+                outcome: DetectionOutcome::DetectedLogic,
+                iddq: None,
+                masks_skew: None,
+            }),
+        })
+        .unwrap_err();
+        assert_eq!(err, FaultError::UnknownNode("no_such_node".into()));
     }
 }

@@ -1,8 +1,7 @@
 //! The Monte-Carlo scatter experiment (paper Fig. 5).
 
-use std::thread;
-
 use clocksense_core::{ClockPair, CoreError, SensorBuilder};
+use clocksense_exec::Executor;
 use clocksense_spice::{transient, SimOptions};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -110,8 +109,11 @@ fn one_sample(
 ///
 /// # Errors
 ///
-/// Propagates construction/simulation errors from any sample; rejects an
-/// empty `taus` list.
+/// Propagates construction/simulation errors from any sample (first in
+/// sample order); rejects an empty `taus` list. A worker panic is
+/// contained by the executor and surfaces as
+/// [`CoreError::WorkerPanic`] for that sample instead of aborting the
+/// process.
 pub fn run_scatter(
     builder: &SensorBuilder,
     clocks: &ClockPair,
@@ -123,64 +125,43 @@ pub fn run_scatter(
             "tau list must not be empty".to_string(),
         ));
     }
-    let threads = if cfg.threads == 0 {
-        thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        cfg.threads
-    };
-    let tele = clocksense_telemetry::global().scope("montecarlo");
-    let samples_run = tele.counter("samples");
-    let chunks_run = tele.counter("chunks");
-    let chunk_wall = tele.timer("chunk_wall");
-    let indices: Vec<usize> = (0..cfg.samples).collect();
-    let chunk_size = cfg.samples.div_ceil(threads).max(1);
-    let mut slots: Vec<Option<Result<McSample, CoreError>>> = vec![None; cfg.samples];
-    thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (chunk_idx, chunk) in indices.chunks(chunk_size).enumerate() {
-            let samples_run = samples_run.clone();
-            let chunks_run = chunks_run.clone();
-            let chunk_wall = chunk_wall.clone();
-            handles.push((
-                chunk_idx,
-                scope.spawn(move || {
-                    let stopwatch = chunk_wall.start();
-                    let out = chunk
-                        .iter()
-                        .map(|&i| {
-                            let tau = taus[i % taus.len()];
-                            one_sample(builder, clocks, tau, cfg, i as u64)
-                        })
-                        .collect::<Vec<_>>();
-                    stopwatch.stop();
-                    chunks_run.incr();
-                    samples_run.add(out.len() as u64);
-                    out
-                }),
-            ));
-        }
-        for (chunk_idx, handle) in handles {
-            for (i, r) in handle
-                .join()
-                .expect("mc worker panicked")
-                .into_iter()
-                .enumerate()
-            {
-                slots[chunk_idx * chunk_size + i] = Some(r);
-            }
-        }
+    let samples = scatter_records(cfg.samples, cfg.threads, |i| {
+        let tau = taus[i % taus.len()];
+        one_sample(builder, clocks, tau, cfg, i as u64)
     });
-    let samples: Result<Vec<McSample>, CoreError> = slots
-        .into_iter()
-        .map(|s| s.expect("all slots filled"))
-        .collect();
     if let Ok(samples) = &samples {
         let detected = samples.iter().filter(|s| s.detected).count();
-        tele.counter("detected").add(detected as u64);
+        clocksense_telemetry::global()
+            .scope("montecarlo")
+            .counter("detected")
+            .add(detected as u64);
     }
     samples
+}
+
+/// Runs `sample` for every index through the shared executor and applies
+/// the scatter's error policy: the first per-sample error (in sample
+/// order) aborts the run, and a panicking sample is converted into
+/// [`CoreError::WorkerPanic`] rather than poisoning the whole batch.
+///
+/// Factored out of [`run_scatter`] so the panic policy is testable with an
+/// injected sampler.
+fn scatter_records(
+    n: usize,
+    threads: usize,
+    sample: impl Fn(usize) -> Result<McSample, CoreError> + Sync,
+) -> Result<Vec<McSample>, CoreError> {
+    let tele = clocksense_telemetry::global().scope("montecarlo");
+    let samples_run = tele.counter("samples");
+    let outcomes = Executor::new(threads).with_telemetry(tele).run(n, sample);
+    samples_run.add(n as u64);
+    outcomes
+        .into_iter()
+        .map(|outcome| match outcome {
+            Ok(result) => result,
+            Err(panic) => Err(CoreError::WorkerPanic(panic.message)),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -243,5 +224,32 @@ mod tests {
         let builder = SensorBuilder::new(tech);
         let clocks = ClockPair::single_shot(tech.vdd, 0.2e-9);
         assert!(run_scatter(&builder, &clocks, &[], &quick_cfg(1)).is_err());
+    }
+
+    #[test]
+    fn a_panicking_sample_becomes_a_worker_panic_error() {
+        let dummy = McSample {
+            tau: 0.0,
+            vmin: 0.0,
+            detected: false,
+            slew1: 0.2e-9,
+            slew2: 0.2e-9,
+        };
+        let err = scatter_records(5, 2, |i| {
+            if i == 3 {
+                panic!("injected sampler panic");
+            }
+            Ok(dummy)
+        })
+        .unwrap_err();
+        match err {
+            CoreError::WorkerPanic(msg) => {
+                assert!(msg.contains("injected sampler panic"), "{msg}");
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+        // A run with no panics is unaffected.
+        let ok = scatter_records(5, 2, |_| Ok(dummy)).unwrap();
+        assert_eq!(ok.len(), 5);
     }
 }

@@ -2,8 +2,14 @@
 
 use std::fmt;
 
-/// A fixed-bin histogram over a closed interval, with a text rendering
-/// used by the ablation binaries.
+/// A fixed-bin histogram over the half-open interval `[lo, hi)`, with a
+/// text rendering used by the ablation binaries.
+///
+/// Out-of-range and NaN samples are never silently mixed into the edge
+/// bins: they are tallied in explicit [`underflow`](Histogram::underflow),
+/// [`overflow`](Histogram::overflow) and [`nan`](Histogram::nan) counts so
+/// a mis-scaled axis shows up as a discrepancy instead of a skewed edge
+/// bin.
 ///
 /// # Examples
 ///
@@ -14,7 +20,8 @@ use std::fmt;
 /// for v in [1.0, 1.5, 6.0, 9.9, 12.0] {
 ///     h.add(v);
 /// }
-/// assert_eq!(h.count(), 4); // 12.0 is out of range
+/// assert_eq!(h.count(), 4); // 12.0 is out of range...
+/// assert_eq!(h.overflow(), 1); // ...and accounted for here
 /// assert_eq!(h.bin_counts()[0], 2);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
@@ -23,10 +30,13 @@ pub struct Histogram {
     hi: f64,
     bins: Vec<usize>,
     total: usize,
+    underflow: usize,
+    overflow: usize,
+    nan: usize,
 }
 
 impl Histogram {
-    /// Creates a histogram over `[lo, hi]` with `bins` equal bins.
+    /// Creates a histogram over `[lo, hi)` with `bins` equal bins.
     ///
     /// # Panics
     ///
@@ -39,19 +49,51 @@ impl Histogram {
             hi,
             bins: vec![0; bins],
             total: 0,
+            underflow: 0,
+            overflow: 0,
+            nan: 0,
         }
     }
 
-    /// Adds a sample; values outside `[lo, hi]` are ignored (the upper
-    /// bound is inclusive).
+    /// Adds a sample. Values in `[lo, hi)` land in their bin; everything
+    /// else is rejected into the explicit side counts: `value < lo` in
+    /// [`underflow`](Histogram::underflow), `value >= hi` in
+    /// [`overflow`](Histogram::overflow) and NaN in
+    /// [`nan`](Histogram::nan).
     pub fn add(&mut self, value: f64) {
-        if !(value >= self.lo && value <= self.hi) {
+        if value.is_nan() {
+            self.nan += 1;
+            return;
+        }
+        if value < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        if value >= self.hi {
+            self.overflow += 1;
             return;
         }
         let n = self.bins.len();
         let idx = (((value - self.lo) / (self.hi - self.lo)) * n as f64) as usize;
+        // min() guards the roundoff case where a value just below `hi`
+        // scales to exactly `n`.
         self.bins[idx.min(n - 1)] += 1;
         self.total += 1;
+    }
+
+    /// Samples rejected because they fell below `lo`.
+    pub fn underflow(&self) -> usize {
+        self.underflow
+    }
+
+    /// Samples rejected because they fell at or above `hi`.
+    pub fn overflow(&self) -> usize {
+        self.overflow
+    }
+
+    /// Samples rejected because they were NaN.
+    pub fn nan(&self) -> usize {
+        self.nan
     }
 
     /// Adds every sample from an iterator.
@@ -117,12 +159,54 @@ mod tests {
     }
 
     #[test]
-    fn upper_bound_is_inclusive() {
+    fn upper_bound_is_exclusive() {
         let mut h = Histogram::new(0.0, 1.0, 4);
         h.add(1.0);
-        assert_eq!(h.bin_counts()[3], 1);
-        h.add(1.0001);
+        assert_eq!(h.bin_counts()[3], 0, "hi itself is out of range");
+        assert_eq!(h.overflow(), 1);
+        h.add(0.999_999);
+        assert_eq!(h.bin_counts()[3], 1, "just below hi lands in the last bin");
         assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn lower_bound_is_inclusive() {
+        let mut h = Histogram::new(2.0, 6.0, 4);
+        h.add(2.0);
+        assert_eq!(h.bin_counts()[0], 1);
+        assert_eq!(h.underflow(), 0);
+    }
+
+    #[test]
+    fn under_range_is_counted_not_binned() {
+        let mut h = Histogram::new(2.0, 6.0, 4);
+        h.add(1.999);
+        h.add(-1e30);
+        h.add(f64::NEG_INFINITY);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.underflow(), 3);
+        assert!(h.bin_counts().iter().all(|&c| c == 0), "bin 0 stays clean");
+    }
+
+    #[test]
+    fn over_range_is_counted_not_binned() {
+        let mut h = Histogram::new(2.0, 6.0, 4);
+        h.add(6.001);
+        h.add(f64::INFINITY);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.overflow(), 2);
+        assert!(h.bin_counts().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn nan_is_counted_not_binned() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add(f64::NAN);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.nan(), 1);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+        assert!(h.bin_counts().iter().all(|&c| c == 0));
     }
 
     #[test]

@@ -5,9 +5,8 @@
 //! slowest die's τ_min is classified differently by different dies. The
 //! distribution quantifies how wide that ambiguous band is.
 
-use std::thread;
-
 use clocksense_core::{find_tau_min, ClockPair, CoreError, SensorBuilder};
+use clocksense_exec::Executor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -72,56 +71,24 @@ pub fn tau_min_samples(
             "tau_hi must be positive, got {tau_hi}"
         )));
     }
-    let threads = if cfg.threads == 0 {
-        thread::available_parallelism()
-            .map(|t| t.get())
-            .unwrap_or(1)
-    } else {
-        cfg.threads
-    };
-    let indices: Vec<usize> = (0..n).collect();
-    let chunk_size = n.div_ceil(threads).max(1);
-    let mut slots: Vec<Option<Result<Option<f64>, CoreError>>> = vec![None; n];
-    thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (chunk_idx, chunk) in indices.chunks(chunk_size).enumerate() {
-            handles.push((
-                chunk_idx,
-                scope.spawn(move || {
-                    chunk
-                        .iter()
-                        .map(|&i| {
-                            let mut rng = StdRng::seed_from_u64(
-                                cfg.seed.wrapping_mul(0x2545f4914f6cdd1d) ^ i as u64,
-                            );
-                            let mut sensor = builder.build()?;
-                            perturb_circuit_global(
-                                sensor.circuit_mut(),
-                                cfg.spread,
-                                &["cl1", "cl2"],
-                                &mut rng,
-                            );
-                            find_tau_min(&sensor, clocks, tau_hi, 2e-12, &cfg.sim)
-                        })
-                        .collect::<Vec<_>>()
-                }),
-            ));
-        }
-        for (chunk_idx, handle) in handles {
-            for (i, r) in handle
-                .join()
-                .expect("worker panicked")
-                .into_iter()
-                .enumerate()
-            {
-                slots[chunk_idx * chunk_size + i] = Some(r);
-            }
-        }
+    let tele = clocksense_telemetry::global()
+        .scope("montecarlo")
+        .scope("tau_min");
+    let outcomes = Executor::new(cfg.threads).with_telemetry(tele).run(n, |i| {
+        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x2545f4914f6cdd1d) ^ i as u64);
+        let mut sensor = builder.build()?;
+        perturb_circuit_global(sensor.circuit_mut(), cfg.spread, &["cl1", "cl2"], &mut rng);
+        find_tau_min(&sensor, clocks, tau_hi, 2e-12, &cfg.sim)
     });
     let mut out = Vec::with_capacity(n);
-    for slot in slots {
-        if let Some(tau) = slot.expect("all slots filled")? {
-            out.push(tau);
+    for outcome in outcomes {
+        match outcome {
+            Ok(per_die) => {
+                if let Some(tau) = per_die? {
+                    out.push(tau);
+                }
+            }
+            Err(panic) => return Err(CoreError::WorkerPanic(panic.message)),
         }
     }
     Ok(out)

@@ -444,8 +444,8 @@ impl Circuit {
             }
         }
         let ground_root = find(&mut parent, GROUND.index());
-        for i in 1..n {
-            if !touched[i] {
+        for (i, &is_touched) in touched.iter().enumerate().take(n).skip(1) {
+            if !is_touched {
                 return Err(NetlistError::FloatingNode(self.node_names[i].clone()));
             }
             if find(&mut parent, i) != ground_root {

@@ -9,9 +9,36 @@
 use clocksense_netlist::{Circuit, Device, MosParams, MosPolarity, NodeId, SourceWave};
 
 use crate::error::SpiceError;
-use crate::matrix::DenseMatrix;
+use crate::matrix::{DenseMatrix, LuScratch};
 use crate::mos_eval::channel_current;
 use crate::options::SimOptions;
+
+/// Reusable buffers for the Newton loop: the MNA matrix, RHS, LU scratch
+/// and the current/next solution vectors. One workspace serves every
+/// Newton solve of a transient, so the hot path performs no heap
+/// allocation after the first step.
+#[derive(Debug, Clone)]
+pub(crate) struct NewtonWorkspace {
+    pub m: DenseMatrix,
+    pub rhs: Vec<f64>,
+    /// Current iterate on entry to a solve; the converged solution on a
+    /// successful return.
+    pub x: Vec<f64>,
+    pub x_new: Vec<f64>,
+    pub lu: LuScratch,
+}
+
+impl NewtonWorkspace {
+    pub fn new(dim: usize) -> Self {
+        NewtonWorkspace {
+            m: DenseMatrix::new(dim),
+            rhs: vec![0.0; dim],
+            x: vec![0.0; dim],
+            x_new: Vec::with_capacity(dim),
+            lu: LuScratch::new(),
+        }
+    }
+}
 
 /// Row index of a node in the MNA system; `None` is ground.
 pub(crate) type Row = Option<usize>;
@@ -228,10 +255,13 @@ impl MnaSystem {
         }
     }
 
-    /// Runs Newton–Raphson from `x_init`. The `reactive` closure stamps
-    /// capacitor companion models (empty for DC).
+    /// Runs Newton–Raphson from `x_init`, allocating a fresh workspace.
+    /// The `reactive` closure stamps capacitor companion models (empty
+    /// for DC).
     ///
-    /// Returns the converged solution vector.
+    /// Returns the converged solution vector. One-shot callers (DC
+    /// analyses) use this; the transient loop reuses a workspace through
+    /// [`newton_solve_ws`](MnaSystem::newton_solve_ws).
     pub fn newton_solve(
         &self,
         t: f64,
@@ -241,10 +271,29 @@ impl MnaSystem {
         source_scale: f64,
         reactive: impl FnMut(&mut DenseMatrix, &mut [f64]),
     ) -> Result<Vec<f64>, SpiceError> {
+        let mut ws = NewtonWorkspace::new(self.dim);
+        self.newton_solve_ws(t, x_init, opts, gmin, source_scale, reactive, &mut ws)?;
+        Ok(std::mem::take(&mut ws.x))
+    }
+
+    /// Workspace-reusing Newton solve: iterates from `x_init`, leaving the
+    /// converged solution in `ws.x`. No heap allocation once the
+    /// workspace buffers have reached the system dimension.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn newton_solve_ws(
+        &self,
+        t: f64,
+        x_init: &[f64],
+        opts: &SimOptions,
+        gmin: f64,
+        source_scale: f64,
+        reactive: impl FnMut(&mut DenseMatrix, &mut [f64]),
+        ws: &mut NewtonWorkspace,
+    ) -> Result<(), SpiceError> {
         // Iteration counts are accumulated locally and flushed to the
         // telemetry registry once per solve, keeping the Newton loop free
         // of atomics.
-        let (iters, result) = self.newton_loop(t, x_init, opts, gmin, source_scale, reactive);
+        let (iters, result) = self.newton_loop(t, x_init, opts, gmin, source_scale, reactive, ws);
         let tm = crate::metrics::metrics();
         tm.newton_solves.incr();
         tm.newton_iterations.add(iters);
@@ -256,6 +305,7 @@ impl MnaSystem {
         result
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn newton_loop(
         &self,
         t: f64,
@@ -264,34 +314,34 @@ impl MnaSystem {
         gmin: f64,
         source_scale: f64,
         mut reactive: impl FnMut(&mut DenseMatrix, &mut [f64]),
-    ) -> (u64, Result<Vec<f64>, SpiceError>) {
+        ws: &mut NewtonWorkspace,
+    ) -> (u64, Result<(), SpiceError>) {
         let dim = self.dim;
-        let mut x = x_init.to_vec();
-        let mut m = DenseMatrix::new(dim);
-        let mut rhs = vec![0.0; dim];
+        debug_assert_eq!(ws.m.dim(), dim, "workspace sized for this system");
+        ws.x.clear();
+        ws.x.extend_from_slice(x_init);
         let mut iters: u64 = 0;
         for _ in 0..opts.max_newton_iters {
-            m.clear();
-            rhs.fill(0.0);
-            self.stamp_static(&mut m, &mut rhs, t, source_scale);
-            reactive(&mut m, &mut rhs);
-            self.stamp_mosfets(&mut m, &mut rhs, &x, gmin);
+            ws.m.clear();
+            ws.rhs.fill(0.0);
+            self.stamp_static(&mut ws.m, &mut ws.rhs, t, source_scale);
+            reactive(&mut ws.m, &mut ws.rhs);
+            self.stamp_mosfets(&mut ws.m, &mut ws.rhs, &ws.x, gmin);
             // Diagonal gmin on node rows keeps near-floating gates solvable.
             for r in 0..self.n_v {
-                m.add(r, r, gmin);
+                ws.m.add(r, r, gmin);
             }
             iters += 1;
-            let x_new = match m.solve(&rhs) {
-                Ok(v) => v,
-                Err(e) => return (iters, Err(e)),
-            };
+            if let Err(e) = ws.m.solve_into(&ws.rhs, &mut ws.lu, &mut ws.x_new) {
+                return (iters, Err(e));
+            }
             let mut converged = true;
             for r in 0..dim {
-                let delta = x_new[r] - x[r];
+                let delta = ws.x_new[r] - ws.x[r];
                 let tol = if r < self.n_v {
-                    opts.vntol + opts.reltol * x[r].abs().max(x_new[r].abs())
+                    opts.vntol + opts.reltol * ws.x[r].abs().max(ws.x_new[r].abs())
                 } else {
-                    opts.abstol + opts.reltol * x[r].abs().max(x_new[r].abs())
+                    opts.abstol + opts.reltol * ws.x[r].abs().max(ws.x_new[r].abs())
                 };
                 if delta.abs() > tol {
                     converged = false;
@@ -302,10 +352,10 @@ impl MnaSystem {
                 } else {
                     delta
                 };
-                x[r] += clamped;
+                ws.x[r] += clamped;
             }
             if converged {
-                return (iters, Ok(x));
+                return (iters, Ok(()));
             }
         }
         (iters, Err(SpiceError::NonConvergence { time: t }))

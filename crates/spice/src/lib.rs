@@ -48,7 +48,7 @@ mod tran;
 
 pub use dc::{dc_operating_point, dc_sweep, iddq, DcSolution};
 pub use error::SpiceError;
-pub use matrix::DenseMatrix;
+pub use matrix::{DenseMatrix, LuScratch};
 pub use mos_eval::{channel_current, MosOperatingPoint, MosRegion};
 pub use options::{IntegrationMethod, SimOptions};
 pub use tran::{transient, TranResult};

@@ -32,6 +32,9 @@ pub(crate) struct SpiceMetrics {
     pub step_halvings: Counter,
     /// Source breakpoints the time grid was aligned to.
     pub breakpoints_hit: Counter,
+    /// Sub-`tstep_min` window remainders accepted as already reached
+    /// instead of failing the whole transient.
+    pub slivers_accepted: Counter,
     /// Distribution of Newton iterations per solve.
     pub iters_per_solve: Histogram,
 }
@@ -52,6 +55,7 @@ pub(crate) fn metrics() -> &'static SpiceMetrics {
             steps_rejected: scope.counter("steps_rejected"),
             step_halvings: scope.counter("step_halvings"),
             breakpoints_hit: scope.counter("breakpoints_hit"),
+            slivers_accepted: scope.counter("slivers_accepted"),
             iters_per_solve: scope.histogram("newton_iters_per_solve", &[1, 2, 4, 8, 16, 32, 64]),
         }
     })

@@ -121,10 +121,7 @@ impl Timer {
     /// While recording is off the stopwatch does not even read the
     /// clock.
     pub fn start(&self) -> Stopwatch<'_> {
-        let recording = self
-            .cell
-            .as_ref()
-            .is_some_and(|cell| cell.switch.is_on());
+        let recording = self.cell.as_ref().is_some_and(|cell| cell.switch.is_on());
         Stopwatch {
             timer: self,
             started: recording.then(Instant::now),

@@ -77,8 +77,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let th = LogicThresholds::single(v_th);
     let checker = TwoRailChecker::new();
     println!("\ncycle  strobe(y1,y2)  two-rail code  status");
-    for k in 0..cycles {
-        let strobe = rises1[k] + slew + 0.9 * width;
+    for (k, rise) in rises1.iter().enumerate().take(cycles) {
+        let strobe = rise + slew + 0.9 * width;
         let l1 = th.classify_at(&y1, strobe).is_high();
         let l2 = th.classify_at(&y2, strobe).is_high();
         let pair = checker.encode_sensor(l1, l2);

@@ -1,0 +1,80 @@
+//! Determinism invariant of the shared work-stealing executor: the
+//! thread count changes *scheduling*, never *results*. Campaign records
+//! and Monte-Carlo scatters must be identical for `threads = 1` and
+//! `threads = 8` on the same seed and universe.
+
+use clocksense_core::{ClockPair, SensorBuilder, Technology};
+use clocksense_faults::{run_campaign, CampaignConfig, Fault, StuckLevel};
+use clocksense_montecarlo::{run_scatter, McConfig};
+use clocksense_spice::SimOptions;
+
+fn quick_sim() -> SimOptions {
+    SimOptions {
+        tstep: 4e-12,
+        ..SimOptions::default()
+    }
+}
+
+#[test]
+fn campaign_is_identical_for_1_and_8_threads() {
+    let tech = Technology::cmos12();
+    let sensor = SensorBuilder::new(tech)
+        .load_capacitance(160e-15)
+        .build()
+        .expect("valid sensor");
+    // A small mixed universe with per-item cost imbalance (the bridge
+    // needs IDDQ patterns, the stuck-at is cheap).
+    let faults = vec![
+        Fault::NodeStuckAt {
+            node: "y1".into(),
+            level: StuckLevel::Zero,
+        },
+        Fault::NodeStuckAt {
+            node: "y2".into(),
+            level: StuckLevel::One,
+        },
+        Fault::Bridge {
+            a: "y1".into(),
+            b: "y2".into(),
+            ohms: 100.0,
+        },
+        Fault::StuckOpen {
+            device: "m_a".into(),
+        },
+    ];
+    let mut cfg = CampaignConfig::new(ClockPair::single_shot(tech.vdd, 0.2e-9));
+    cfg.sim = quick_sim();
+
+    cfg.threads = 1;
+    let serial = run_campaign(&sensor, &faults, &cfg).expect("serial campaign runs");
+    cfg.threads = 8;
+    let parallel = run_campaign(&sensor, &faults, &cfg).expect("parallel campaign runs");
+
+    assert_eq!(
+        serial.records(),
+        parallel.records(),
+        "campaign records must not depend on the worker count"
+    );
+}
+
+#[test]
+fn scatter_is_identical_for_1_and_8_threads() {
+    let tech = Technology::cmos12();
+    let builder = SensorBuilder::new(tech).load_capacitance(160e-15);
+    let clocks = ClockPair::single_shot(tech.vdd, 0.2e-9);
+    let taus = [0.0, 0.15e-9, 0.3e-9];
+    let cfg = |threads: usize| McConfig {
+        samples: 9,
+        threads,
+        sim: quick_sim(),
+        ..McConfig::default()
+    };
+
+    let serial = run_scatter(&builder, &clocks, &taus, &cfg(1)).expect("serial scatter runs");
+    let parallel = run_scatter(&builder, &clocks, &taus, &cfg(8)).expect("parallel scatter runs");
+
+    assert_eq!(
+        serial, parallel,
+        "scatter samples must not depend on the worker count"
+    );
+}

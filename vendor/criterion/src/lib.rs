@@ -232,9 +232,7 @@ mod tests {
         let mut group = c.benchmark_group("g");
         group.sample_size(3);
         let mut seen = 0u64;
-        group.bench_with_input(BenchmarkId::new("f", 7), &7u64, |b, &x| {
-            b.iter(|| seen = x)
-        });
+        group.bench_with_input(BenchmarkId::new("f", 7), &7u64, |b, &x| b.iter(|| seen = x));
         group.finish();
         assert_eq!(seen, 7);
     }

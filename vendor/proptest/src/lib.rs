@@ -24,13 +24,16 @@
 //! proptest! {
 //!     #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
 //!
-//!     #[test]
 //!     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
 //!         prop_assert_eq!(a + b, b + a);
 //!     }
 //! }
 //! # addition_commutes();
 //! ```
+//!
+//! Inside a test module each item normally carries `#[test]` (the macro
+//! forwards attributes); the example above invokes the generated
+//! function directly instead.
 
 pub mod test_runner {
     //! Test-runner configuration and error types.
@@ -399,7 +402,7 @@ mod tests {
             flag in any::<bool>(),
         ) {
             prop_assert!(pair <= 18);
-            prop_assert!(flag || !flag);
+            prop_assert!(u8::from(flag) <= 1);
         }
 
         #[test]
