@@ -1,0 +1,136 @@
+//! Sparse-vs-dense solver scaling on generated H-tree RC netlists.
+//!
+//! The paper's own circuits are small enough that the dense reference
+//! solver wins, but a sensor deployed across a real clock distribution
+//! sees the tree itself: hundreds of RC nodes per simulated variant.
+//! This binary builds balanced H-tree netlists of 16 → 512 nodes, runs
+//! the same transient through both [`SolverKind`] backends, checks the
+//! waveforms agree, and reports the wall-clock ratio. With `--report`
+//! the JSON snapshot additionally archives the sparse backend's
+//! structure-reuse telemetry (`spice.symbolic_analyses`,
+//! `spice.symbolic_reuse_hits`, `spice.numeric_refactors`,
+//! `spice.fill_in`) — the committed run lives in
+//! `results/solver_scaling.json`.
+
+use std::time::Instant;
+
+use clocksense_bench::{print_header, Table};
+use clocksense_netlist::{Circuit, NodeId, SourceWave, GROUND};
+use clocksense_spice::{transient, SimOptions, SolverKind};
+
+/// Builds a complete binary RC tree with `n_nodes` tree nodes (heap
+/// layout, node 0 is the root) behind a driver resistor, pulsed by an
+/// ideal source — the MNA view of an H-tree clock net. Returns the
+/// circuit and the deepest leaf node.
+fn htree_netlist(n_nodes: usize) -> (Circuit, NodeId) {
+    let mut ckt = Circuit::new();
+    let src = ckt.node("src");
+    ckt.add_vsource(
+        "vclk",
+        src,
+        GROUND,
+        SourceWave::Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: 10e-12,
+            rise: 50e-12,
+            fall: 50e-12,
+            width: 400e-12,
+            period: f64::INFINITY,
+        },
+    )
+    .expect("source");
+    let nodes: Vec<NodeId> = (0..n_nodes).map(|i| ckt.node(&format!("n{i}"))).collect();
+    ckt.add_resistor("rdrv", src, nodes[0], 50.0)
+        .expect("driver");
+    for (i, &node) in nodes.iter().enumerate() {
+        // Wire segments halve in length (and resistance) per H-tree
+        // level; depth via the heap index.
+        let depth = (usize::BITS - (i + 1).leading_zeros()) as i32;
+        for child in [2 * i + 1, 2 * i + 2] {
+            if child < n_nodes {
+                ckt.add_resistor(
+                    &format!("r{i}_{child}"),
+                    node,
+                    nodes[child],
+                    200.0 / f64::powi(2.0, depth - 1),
+                )
+                .expect("segment");
+            }
+        }
+        let is_leaf = 2 * i + 1 >= n_nodes;
+        let farads = if is_leaf { 20e-15 } else { 5e-15 };
+        ckt.add_capacitor(&format!("c{i}"), node, GROUND, farads)
+            .expect("node cap");
+    }
+    (ckt, nodes[n_nodes - 1])
+}
+
+fn main() {
+    let report = clocksense_bench::RunReport::from_env("solver_scaling");
+    let mut sizes: Vec<usize> = vec![16, 64, 256, 512];
+    let mut t_stop = 1.0e-9;
+    if clocksense_bench::fast_mode() {
+        sizes.truncate(2);
+        t_stop = 0.2e-9;
+    }
+    let opts = SimOptions {
+        tstep: 20e-12,
+        ..SimOptions::default()
+    };
+    let scaling = clocksense_telemetry::global().scope("scaling");
+
+    print_header("Transient wall clock: dense vs sparse MNA solver on H-tree netlists");
+    let mut table = Table::new(&[
+        "nodes",
+        "dense [ms]",
+        "sparse [ms]",
+        "speedup",
+        "max |dV| [V]",
+    ]);
+    for &n in &sizes {
+        let (ckt, leaf) = htree_netlist(n);
+        let run = |solver: SolverKind| {
+            let opts = SimOptions {
+                solver,
+                ..opts.clone()
+            };
+            let start = Instant::now();
+            let result = transient(&ckt, t_stop, &opts).expect("transient runs");
+            (start.elapsed(), result)
+        };
+        let (dense_wall, dense) = run(SolverKind::Dense);
+        let (sparse_wall, sparse) = run(SolverKind::Sparse);
+        // Backend equivalence at the observation node across the window.
+        let dw = dense.waveform(leaf);
+        let sw = sparse.waveform(leaf);
+        let max_dv = (0..=100)
+            .map(|k| {
+                let t = t_stop * k as f64 / 100.0;
+                (dw.value_at(t) - sw.value_at(t)).abs()
+            })
+            .fold(0.0f64, f64::max);
+        assert!(max_dv < 1e-6, "backends diverged by {max_dv} V at n={n}");
+        let dense_ms = dense_wall.as_secs_f64() * 1e3;
+        let sparse_ms = sparse_wall.as_secs_f64() * 1e3;
+        scaling
+            .counter(&format!("dense_us_nodes_{n}"))
+            .add(dense_wall.as_micros() as u64);
+        scaling
+            .counter(&format!("sparse_us_nodes_{n}"))
+            .add(sparse_wall.as_micros() as u64);
+        table.row(&[
+            format!("{n}"),
+            format!("{dense_ms:.1}"),
+            format!("{sparse_ms:.1}"),
+            format!("{:.2}x", dense_ms / sparse_ms),
+            format!("{max_dv:.2e}"),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "dense is O(n^3) per Newton iteration, sparse refactors a fixed\n\
+         fill pattern; the crossover sits near the paper's own circuit sizes"
+    );
+    report.finish();
+}

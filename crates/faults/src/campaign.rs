@@ -6,12 +6,13 @@ use std::fmt;
 use clocksense_core::{ClockPair, SensingCircuit};
 use clocksense_exec::Executor;
 use clocksense_netlist::SourceWave;
-use clocksense_spice::{dc_operating_point, iddq, transient, SimOptions};
+use clocksense_spice::SimOptions;
 
 use crate::detect::{logic_detected, static_flip, DetectionCriteria, DetectionOutcome};
 use crate::error::FaultError;
 use crate::inject::{inject, Rails};
 use crate::model::{Fault, FaultClass};
+use crate::template::SimTemplate;
 
 /// Configuration of a fault-simulation campaign.
 ///
@@ -210,6 +211,7 @@ fn static_levels(
     fault: Option<&Fault>,
     cfg: &CampaignConfig,
     rails: &Rails,
+    template: &SimTemplate,
 ) -> Result<Vec<Option<(f64, f64)>>, FaultError> {
     let (y1, y2) = sensor.outputs();
     let mut out = Vec::with_capacity(cfg.iddq_patterns.len());
@@ -220,7 +222,8 @@ fn static_levels(
             None => bench,
         };
         out.push(
-            dc_operating_point(&bench, &cfg.sim)
+            template
+                .dc_operating_point(&bench)
                 .ok()
                 .map(|op| (op.voltage(y1), op.voltage(y2))),
         );
@@ -233,6 +236,7 @@ fn evaluate_fault(
     fault: &Fault,
     cfg: &CampaignConfig,
     rails: &Rails,
+    template: &SimTemplate,
     fault_free_static: &[Option<(f64, f64)>],
 ) -> Result<FaultRecord, FaultError> {
     let v_th = sensor.technology().logic_threshold();
@@ -245,7 +249,7 @@ fn evaluate_fault(
     // Static DC comparison against the fault-free levels — the paper's
     // criterion for stuck-on faults, and a common-mode complement to the
     // divergence scan for the other classes.
-    let faulted_static = static_levels(sensor, Some(fault), cfg, rails)?;
+    let faulted_static = static_levels(sensor, Some(fault), cfg, rails, template)?;
     let mut flip = false;
     let mut compared = false;
     for (ff, f) in fault_free_static.iter().zip(&faulted_static) {
@@ -264,7 +268,7 @@ fn evaluate_fault(
     {
         let bench = sensor.testbench(&cfg.clocks)?;
         let faulted = inject(&bench, fault, rails)?;
-        match transient(&faulted, cfg.stop_time(), &cfg.sim) {
+        match template.transient(&faulted, cfg.stop_time()) {
             Ok(result) => {
                 divergent = logic_detected(
                     &result.waveform(y1),
@@ -286,7 +290,7 @@ fn evaluate_fault(
             let static_bench =
                 sensor.testbench_with_waves(SourceWave::Dc(v1), SourceWave::Dc(v2))?;
             let faulted_static = inject(&static_bench, fault, rails)?;
-            if let Ok(current) = iddq(&faulted_static, SensingCircuit::SUPPLY, &cfg.sim) {
+            if let Ok(current) = template.iddq(&faulted_static, SensingCircuit::SUPPLY) {
                 let current = current.abs();
                 max_iddq = Some(max_iddq.map_or(current, |m: f64| m.max(current)));
                 if current > criteria.iddq_threshold {
@@ -319,7 +323,7 @@ fn evaluate_fault(
                 let skewed = cfg.clocks.with_skew(signed);
                 let skewed_bench = sensor.testbench(&skewed)?;
                 let faulted_skewed = inject(&skewed_bench, fault, rails)?;
-                if let Ok(result) = transient(&faulted_skewed, cfg.stop_time(), &cfg.sim) {
+                if let Ok(result) = template.transient(&faulted_skewed, cfg.stop_time()) {
                     checked = true;
                     let detected = logic_detected(
                         &result.waveform(y1),
@@ -372,11 +376,18 @@ pub fn run_campaign(
         });
     }
     let rails = Rails::vdd_gnd("vdd");
-    let fault_free_static = static_levels(sensor, None, cfg, &rails)?;
+    // One template serves the whole campaign: with the sparse backend,
+    // every fault variant that preserves the bench's stamp topology
+    // reuses the symbolic structure analysed for the first one.
+    let template = SimTemplate::new(cfg.sim.clone());
+    let fault_free_static = static_levels(sensor, None, cfg, &rails, &template)?;
     let records = campaign_records(faults, cfg.threads, |f| {
-        evaluate_fault(sensor, f, cfg, &rails, &fault_free_static)
+        evaluate_fault(sensor, f, cfg, &rails, &template, &fault_free_static)
     })?;
     let tele = clocksense_telemetry::global().scope("faults");
+    let (cache_hits, cache_misses) = template.cache_stats();
+    tele.counter("template_cache_hits").add(cache_hits);
+    tele.counter("template_cache_misses").add(cache_misses);
     let tallies = [
         (DetectionOutcome::DetectedLogic, "detected_logic"),
         (DetectionOutcome::DetectedIddq, "detected_iddq"),

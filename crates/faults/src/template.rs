@@ -1,0 +1,198 @@
+//! Shared simulation template for batched fault-variant runs.
+//!
+//! A fault campaign simulates hundreds of circuit variants that are
+//! mostly *the same topology*: every static-pattern DC solve of one
+//! faulted bench shares a structure, every skew-check transient re-uses
+//! the structure the detection transient already analysed, and faults
+//! that only change device values (bridges of different resistance on
+//! the same pair, stuck levels on the same node) collapse onto one
+//! structure too. [`SimTemplate`] exploits that: it owns a
+//! [`SymbolicCache`] and routes every simulation through the
+//! structure-cached entry points of `clocksense-spice`, so the sparse
+//! backend performs its fill-reducing symbolic analysis once per
+//! *distinct* topology and every later variant clones only numeric
+//! state. Faults that do change the topology (an extra bridge resistor,
+//! a removed transistor) simply miss the cache and get a fresh analysis
+//! — correctness never depends on the cache's hit rate.
+//!
+//! With the default [`Dense`](SolverKind::Dense) backend the template is
+//! a plain pass-through to the uncached entry points; there is no
+//! symbolic structure to share.
+
+use clocksense_netlist::Circuit;
+use clocksense_spice::{
+    dc_operating_point, dc_operating_point_cached, iddq, iddq_cached, transient, transient_cached,
+    DcSolution, SimOptions, SolverKind, SpiceError, SymbolicCache, TranResult,
+};
+
+/// Builds the simulation engine's per-topology structure once and shares
+/// it across every variant of a batched run.
+///
+/// The template is `Sync`: one instance serves all campaign worker
+/// threads, and the interior cache handles concurrent lookups (first
+/// analysis wins, racers drop their duplicate).
+///
+/// # Examples
+///
+/// ```
+/// use clocksense_faults::SimTemplate;
+/// use clocksense_spice::{SimOptions, SolverKind};
+///
+/// let tpl = SimTemplate::new(SimOptions {
+///     solver: SolverKind::Sparse,
+///     ..SimOptions::default()
+/// });
+/// assert_eq!(tpl.cache_stats(), (0, 0));
+/// ```
+#[derive(Debug)]
+pub struct SimTemplate {
+    opts: SimOptions,
+    cache: SymbolicCache,
+}
+
+impl SimTemplate {
+    /// A template simulating with `opts`. The symbolic cache starts
+    /// empty and fills as topologies are first seen.
+    pub fn new(opts: SimOptions) -> SimTemplate {
+        SimTemplate {
+            opts,
+            cache: SymbolicCache::new(),
+        }
+    }
+
+    /// The simulator options every run of this template uses.
+    pub fn options(&self) -> &SimOptions {
+        &self.opts
+    }
+
+    /// Transient analysis of `circuit`, sharing this template's symbolic
+    /// structures. See [`clocksense_spice::transient`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`clocksense_spice::transient`].
+    pub fn transient(&self, circuit: &Circuit, t_stop: f64) -> Result<TranResult, SpiceError> {
+        match self.opts.solver {
+            SolverKind::Dense => transient(circuit, t_stop, &self.opts),
+            SolverKind::Sparse => transient_cached(circuit, t_stop, &self.opts, &self.cache),
+        }
+    }
+
+    /// DC operating point of `circuit`, sharing symbolic structures. See
+    /// [`clocksense_spice::dc_operating_point`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`clocksense_spice::dc_operating_point`].
+    pub fn dc_operating_point(&self, circuit: &Circuit) -> Result<DcSolution, SpiceError> {
+        match self.opts.solver {
+            SolverKind::Dense => dc_operating_point(circuit, &self.opts),
+            SolverKind::Sparse => dc_operating_point_cached(circuit, &self.opts, &self.cache),
+        }
+    }
+
+    /// Quiescent supply current of `circuit`, sharing symbolic
+    /// structures. See [`clocksense_spice::iddq`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`clocksense_spice::iddq`].
+    pub fn iddq(&self, circuit: &Circuit, supply: &str) -> Result<f64, SpiceError> {
+        match self.opts.solver {
+            SolverKind::Dense => iddq(circuit, supply, &self.opts),
+            SolverKind::Sparse => iddq_cached(circuit, supply, &self.opts, &self.cache),
+        }
+    }
+
+    /// `(hits, misses)` of the symbolic cache so far. Dense runs always
+    /// read `(0, 0)`.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+
+    /// Number of distinct topologies analysed so far.
+    pub fn topologies(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clocksense_netlist::{SourceWave, GROUND};
+
+    fn rc_bench(r: f64) -> Circuit {
+        let mut ckt = Circuit::new();
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add_vsource("vin", inp, GROUND, SourceWave::step(0.0, 1.0, 0.0, 1e-12))
+            .unwrap();
+        ckt.add_resistor("r", inp, out, r).unwrap();
+        ckt.add_capacitor("c", out, GROUND, 1e-12).unwrap();
+        ckt
+    }
+
+    #[test]
+    fn dense_template_is_a_pass_through() {
+        let tpl = SimTemplate::new(SimOptions::default());
+        tpl.transient(&rc_bench(1e3), 1e-9).unwrap();
+        tpl.dc_operating_point(&rc_bench(1e3)).unwrap();
+        assert_eq!(tpl.cache_stats(), (0, 0));
+        assert_eq!(tpl.topologies(), 0);
+    }
+
+    #[test]
+    fn sparse_template_shares_one_structure_across_value_variants() {
+        let tpl = SimTemplate::new(SimOptions {
+            solver: SolverKind::Sparse,
+            ..SimOptions::default()
+        });
+        // Three value-only variants of one topology: one analysis.
+        for r in [1e3, 2e3, 5e3] {
+            tpl.transient(&rc_bench(r), 1e-10).unwrap();
+        }
+        let (hits, misses) = tpl.cache_stats();
+        assert_eq!(misses, 1, "one distinct topology");
+        assert!(hits >= 2, "later variants must reuse the structure");
+        assert_eq!(tpl.topologies(), 1);
+    }
+
+    #[test]
+    fn topology_change_falls_back_to_a_fresh_build() {
+        let tpl = SimTemplate::new(SimOptions {
+            solver: SolverKind::Sparse,
+            ..SimOptions::default()
+        });
+        tpl.transient(&rc_bench(1e3), 1e-10).unwrap();
+        // A resistor to ground on an existing node adds no new stamp
+        // positions — the structure is legitimately shared.
+        let mut grounded = rc_bench(1e3);
+        let out = grounded.node("out");
+        grounded.add_resistor("rb", out, GROUND, 1e6).unwrap();
+        tpl.transient(&grounded, 1e-10).unwrap();
+        assert_eq!(tpl.topologies(), 1, "same pattern, same structure");
+        // An extra internal node does change the pattern: fresh build.
+        let mut extended = rc_bench(1e3);
+        let out = extended.node("out");
+        let mid = extended.node("mid");
+        extended.add_resistor("r2", out, mid, 1e3).unwrap();
+        extended.add_capacitor("c2", mid, GROUND, 1e-13).unwrap();
+        tpl.transient(&extended, 1e-10).unwrap();
+        assert_eq!(tpl.topologies(), 2);
+    }
+
+    #[test]
+    fn sparse_template_matches_dense_results() {
+        let dense = SimTemplate::new(SimOptions::default());
+        let sparse = SimTemplate::new(SimOptions {
+            solver: SolverKind::Sparse,
+            ..SimOptions::default()
+        });
+        let ckt = rc_bench(1e3);
+        let d = dense.dc_operating_point(&ckt).unwrap();
+        let s = sparse.dc_operating_point(&ckt).unwrap();
+        for (dv, sv) in d.as_vector().iter().zip(s.as_vector()) {
+            assert!((dv - sv).abs() < 1e-9, "dense {dv} vs sparse {sv}");
+        }
+    }
+}

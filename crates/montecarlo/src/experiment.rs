@@ -2,7 +2,7 @@
 
 use clocksense_core::{ClockPair, CoreError, SensorBuilder};
 use clocksense_exec::Executor;
-use clocksense_spice::{transient, SimOptions};
+use clocksense_spice::{transient_cached, SimOptions, SymbolicCache};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -65,6 +65,7 @@ fn one_sample(
     tau: f64,
     cfg: &McConfig,
     index: u64,
+    cache: &SymbolicCache,
 ) -> Result<McSample, CoreError> {
     // Independent, reproducible stream per sample.
     let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9e3779b97f4a7c15) ^ index);
@@ -81,7 +82,7 @@ fn one_sample(
     let start_offset = tau + 0.5 * (slew1 - slew2);
     let clocks = clocks.with_skew(start_offset);
     let bench = sensor.testbench_with_slews(&clocks, slew1, slew2)?;
-    let result = transient(&bench, clocks.sim_stop_time(), &cfg.sim)?;
+    let result = transient_cached(&bench, clocks.sim_stop_time(), &cfg.sim, cache)?;
     let (y1, y2) = sensor.outputs();
     let v_th = sensor.technology().logic_threshold();
     let response = clocksense_core::interpret(
@@ -125,9 +126,13 @@ pub fn run_scatter(
             "tau list must not be empty".to_string(),
         ));
     }
+    // Every perturbed sample is a value-only variant of one topology, so
+    // with the sparse backend the whole scatter shares a single symbolic
+    // analysis through this cache (the dense backend ignores it).
+    let cache = SymbolicCache::new();
     let samples = scatter_records(cfg.samples, cfg.threads, |i| {
         let tau = taus[i % taus.len()];
-        one_sample(builder, clocks, tau, cfg, i as u64)
+        one_sample(builder, clocks, tau, cfg, i as u64, &cache)
     });
     if let Ok(samples) = &samples {
         let detected = samples.iter().filter(|s| s.detected).count();

@@ -2,9 +2,10 @@
 
 use clocksense_netlist::{Circuit, Device, NodeId, SourceWave};
 
-use crate::engine::MnaSystem;
+use crate::engine::{MnaSystem, NewtonWorkspace};
 use crate::error::SpiceError;
 use crate::options::SimOptions;
+use crate::sparse::SymbolicCache;
 
 /// A DC solution: node voltages and voltage-source branch currents.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,19 +52,28 @@ pub(crate) fn solve_with_continuation_pub(
     sys: &MnaSystem,
     t: f64,
     opts: &SimOptions,
+    cache: Option<&SymbolicCache>,
 ) -> Result<Vec<f64>, SpiceError> {
-    solve_with_continuation(sys, t, opts)
+    solve_with_continuation(sys, t, opts, cache)
 }
 
 fn solve_with_continuation(
     sys: &MnaSystem,
     t: f64,
     opts: &SimOptions,
+    cache: Option<&SymbolicCache>,
 ) -> Result<Vec<f64>, SpiceError> {
+    // One workspace (matrix structure + stamp plan) serves the whole
+    // continuation ladder — the sparse backend analyses the topology at
+    // most once per DC solve even without an external cache.
+    let mut ws = NewtonWorkspace::for_system(sys, opts.solver, cache);
     let flat = vec![0.0; sys.dim];
     // 1. Direct attempt from a flat start.
-    if let Ok(x) = sys.newton_solve(t, &flat, opts, opts.gmin, 1.0, |_, _| {}) {
-        return Ok(x);
+    if sys
+        .newton_solve_ws(t, &flat, opts, opts.gmin, 1.0, |_, _, _| {}, &mut ws)
+        .is_ok()
+    {
+        return Ok(ws.x);
     }
     // 2. gmin stepping: start heavily damped, relax towards the target.
     let tm = crate::metrics::metrics();
@@ -72,8 +82,8 @@ fn solve_with_continuation(
     let mut ok = true;
     while gmin > opts.gmin {
         tm.gmin_steps.incr();
-        match sys.newton_solve(t, &x, opts, gmin, 1.0, |_, _| {}) {
-            Ok(next) => x = next,
+        match sys.newton_solve_ws(t, &x, opts, gmin, 1.0, |_, _, _| {}, &mut ws) {
+            Ok(()) => x.copy_from_slice(&ws.x),
             Err(_) => {
                 ok = false;
                 break;
@@ -81,19 +91,21 @@ fn solve_with_continuation(
         }
         gmin /= 10.0;
     }
-    if ok {
-        if let Ok(final_x) = sys.newton_solve(t, &x, opts, opts.gmin, 1.0, |_, _| {}) {
-            return Ok(final_x);
-        }
+    if ok
+        && sys
+            .newton_solve_ws(t, &x, opts, opts.gmin, 1.0, |_, _, _| {}, &mut ws)
+            .is_ok()
+    {
+        return Ok(ws.x);
     }
     // 3. Source stepping: ramp all sources from 0 to full value.
     let mut x = flat;
     for step in 1..=20 {
         tm.source_steps.incr();
         let scale = step as f64 / 20.0;
-        x = sys
-            .newton_solve(t, &x, opts, opts.gmin, scale, |_, _| {})
+        sys.newton_solve_ws(t, &x, opts, opts.gmin, scale, |_, _, _| {}, &mut ws)
             .map_err(|_| SpiceError::NonConvergence { time: t })?;
+        x.copy_from_slice(&ws.x);
     }
     Ok(x)
 }
@@ -129,9 +141,31 @@ fn solve_with_continuation(
 /// # }
 /// ```
 pub fn dc_operating_point(circuit: &Circuit, opts: &SimOptions) -> Result<DcSolution, SpiceError> {
+    dc_operating_point_with(circuit, opts, None)
+}
+
+/// [`dc_operating_point`] with a shared [`SymbolicCache`]: when
+/// `opts.solver` is [`Sparse`](crate::SolverKind::Sparse), the symbolic
+/// analysis of the circuit's topology is taken from (or inserted into)
+/// `cache`, so batched analyses of same-topology variants — a fault
+/// campaign's DC static levels, an IDDQ pattern set — pay for the
+/// fill-reducing ordering once.
+pub fn dc_operating_point_cached(
+    circuit: &Circuit,
+    opts: &SimOptions,
+    cache: &SymbolicCache,
+) -> Result<DcSolution, SpiceError> {
+    dc_operating_point_with(circuit, opts, Some(cache))
+}
+
+fn dc_operating_point_with(
+    circuit: &Circuit,
+    opts: &SimOptions,
+    cache: Option<&SymbolicCache>,
+) -> Result<DcSolution, SpiceError> {
     opts.validate()?;
     let sys = MnaSystem::build(circuit)?;
-    let x = solve_with_continuation(&sys, 0.0, opts)?;
+    let x = solve_with_continuation(&sys, 0.0, opts, cache)?;
     Ok(DcSolution {
         n_v: sys.n_v,
         source_branches: sys
@@ -167,6 +201,9 @@ pub fn dc_sweep(
     let mut work = circuit.clone();
     let mut out = Vec::with_capacity(values.len());
     let mut prev: Option<Vec<f64>> = None;
+    // Every sweep point shares one topology; a local cache keeps the
+    // sparse backend at a single symbolic analysis for the whole sweep.
+    let cache = SymbolicCache::new();
     for &value in values {
         match &mut work.device_mut(id).expect("checked above").device {
             Device::VoltageSource(v) => v.wave = SourceWave::Dc(value),
@@ -175,9 +212,9 @@ pub fn dc_sweep(
         let sys = MnaSystem::build(&work)?;
         let x = match &prev {
             Some(x0) => sys
-                .newton_solve(0.0, x0, opts, opts.gmin, 1.0, |_, _| {})
-                .or_else(|_| solve_with_continuation(&sys, 0.0, opts))?,
-            None => solve_with_continuation(&sys, 0.0, opts)?,
+                .newton_solve(0.0, x0, opts, opts.gmin, 1.0, |_, _, _| {}, Some(&cache))
+                .or_else(|_| solve_with_continuation(&sys, 0.0, opts, Some(&cache)))?,
+            None => solve_with_continuation(&sys, 0.0, opts, Some(&cache))?,
         };
         prev = Some(x.clone());
         out.push(DcSolution {
@@ -210,6 +247,20 @@ pub fn dc_sweep(
 /// source, plus any error of [`dc_operating_point`].
 pub fn iddq(circuit: &Circuit, supply: &str, opts: &SimOptions) -> Result<f64, SpiceError> {
     let op = dc_operating_point(circuit, opts)?;
+    op.source_current(supply)
+        .map(|i| -i)
+        .ok_or_else(|| SpiceError::UnknownProbe(supply.to_string()))
+}
+
+/// [`iddq`] with a shared [`SymbolicCache`]; see
+/// [`dc_operating_point_cached`] for the reuse semantics.
+pub fn iddq_cached(
+    circuit: &Circuit,
+    supply: &str,
+    opts: &SimOptions,
+    cache: &SymbolicCache,
+) -> Result<f64, SpiceError> {
+    let op = dc_operating_point_cached(circuit, opts, cache)?;
     op.source_current(supply)
         .map(|i| -i)
         .ok_or_else(|| SpiceError::UnknownProbe(supply.to_string()))

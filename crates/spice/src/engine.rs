@@ -5,21 +5,174 @@
 //! branch current `i_k` is defined flowing from the source's `plus` node
 //! through the source to its `minus` node, so a supply delivering current
 //! into the circuit shows a *negative* branch current.
+//!
+//! Stamping is compiled: [`MnaSystem`] derives the set of matrix positions
+//! its devices touch once ([`MnaSystem::stamp_pattern`]) and resolves them
+//! into a [`StampPlan`] of direct slot indices for the chosen backend
+//! ([`DenseMatrix`] row-major offsets, or CSR slots of the sparse solver's
+//! [`Symbolic`] structure). Every Newton iteration then writes through the
+//! precomputed offsets — no coordinate arithmetic or binary searches on
+//! the hot path, and the same plan drives both backends so their stamped
+//! matrices are entry-for-entry identical.
+
+use std::sync::Arc;
 
 use clocksense_netlist::{Circuit, Device, MosParams, MosPolarity, NodeId, SourceWave};
 
 use crate::error::SpiceError;
 use crate::matrix::{DenseMatrix, LuScratch};
 use crate::mos_eval::channel_current;
-use crate::options::SimOptions;
+use crate::options::{SimOptions, SolverKind};
+use crate::sparse::{SparseMatrix, Symbolic, SymbolicCache};
 
-/// Reusable buffers for the Newton loop: the MNA matrix, RHS, LU scratch
-/// and the current/next solution vectors. One workspace serves every
-/// Newton solve of a transient, so the hot path performs no heap
-/// allocation after the first step.
+/// The MNA matrix behind a Newton solve: dense reference backend or the
+/// sparse structure-caching backend, selected by [`SimOptions::solver`].
+/// Both expose the slot-addressed stamping the [`StampPlan`] compiles to.
+#[derive(Debug, Clone)]
+pub(crate) enum MnaMatrix {
+    Dense(DenseMatrix),
+    Sparse(SparseMatrix),
+}
+
+impl MnaMatrix {
+    pub fn clear(&mut self) {
+        match self {
+            MnaMatrix::Dense(m) => m.clear(),
+            MnaMatrix::Sparse(m) => m.clear(),
+        }
+    }
+
+    #[inline]
+    pub fn add_slot(&mut self, slot: usize, value: f64) {
+        match self {
+            MnaMatrix::Dense(m) => m.add_slot(slot, value),
+            MnaMatrix::Sparse(m) => m.add_slot(slot, value),
+        }
+    }
+
+    pub fn solve_into(
+        &mut self,
+        b: &[f64],
+        scratch: &mut LuScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), SpiceError> {
+        match self {
+            MnaMatrix::Dense(m) => m.solve_into(b, scratch, out),
+            MnaMatrix::Sparse(m) => m.solve_into(b, scratch, out),
+        }
+    }
+}
+
+/// Resolved slots of a two-terminal conductance stamp between rows `a`
+/// and `b` (`None` where a terminal is ground).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct PairSlots {
+    aa: Option<usize>,
+    ab: Option<usize>,
+    bb: Option<usize>,
+    ba: Option<usize>,
+}
+
+impl PairSlots {
+    fn resolve(a: Row, b: Row, slot: &mut impl FnMut(usize, usize) -> usize) -> PairSlots {
+        PairSlots {
+            aa: a.map(|ra| slot(ra, ra)),
+            ab: a.and_then(|ra| b.map(|rb| slot(ra, rb))),
+            bb: b.map(|rb| slot(rb, rb)),
+            ba: b.and_then(|rb| a.map(|ra| slot(rb, ra))),
+        }
+    }
+
+    /// Stamps conductance `g` (diagonal `+g`, off-diagonal `-g`), in the
+    /// same operation order as the historical coordinate-based stamp so
+    /// floating-point accumulation is bit-identical.
+    #[inline]
+    pub fn stamp(&self, m: &mut MnaMatrix, g: f64) {
+        if let Some(s) = self.aa {
+            m.add_slot(s, g);
+        }
+        if let Some(s) = self.ab {
+            m.add_slot(s, -g);
+        }
+        if let Some(s) = self.bb {
+            m.add_slot(s, g);
+        }
+        if let Some(s) = self.ba {
+            m.add_slot(s, -g);
+        }
+    }
+}
+
+/// Resolved slots of one capacitor's companion-model stamp.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CapSlots {
+    pair: PairSlots,
+    a: Option<usize>,
+    b: Option<usize>,
+}
+
+impl CapSlots {
+    /// Stamps the companion model `i = geq·u − ieq`.
+    #[inline]
+    pub fn stamp(&self, m: &mut MnaMatrix, rhs: &mut [f64], geq: f64, ieq: f64) {
+        self.pair.stamp(m, geq);
+        if let Some(a) = self.a {
+            rhs[a] += ieq;
+        }
+        if let Some(b) = self.b {
+            rhs[b] -= ieq;
+        }
+    }
+}
+
+/// Resolved slots of one voltage source's constraint rows.
+#[derive(Debug, Clone, Copy)]
+struct VsrcSlots {
+    p_b: Option<usize>,
+    b_p: Option<usize>,
+    n_b: Option<usize>,
+    b_n: Option<usize>,
+    rhs_row: usize,
+}
+
+/// Resolved slots of one MOSFET's linearised companion stamp: the six
+/// Jacobian partials that touch non-ground rows, the two RHS rows, and
+/// the channel `gmin` conductance.
+#[derive(Debug, Clone, Copy)]
+struct MosSlots {
+    dd: Option<usize>,
+    dg: Option<usize>,
+    ds: Option<usize>,
+    sd: Option<usize>,
+    sg: Option<usize>,
+    ss: Option<usize>,
+    d: Option<usize>,
+    s: Option<usize>,
+    gmin: PairSlots,
+}
+
+/// A compiled stamp program for one circuit topology on one matrix
+/// layout: every position a device writes, resolved to a direct slot
+/// index. Built once per [`MnaSystem`] + backend and reused by every
+/// Newton iteration, timestep and (via workspace cloning) variant.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct StampPlan {
+    res: Vec<PairSlots>,
+    vsrc: Vec<VsrcSlots>,
+    pub caps: Vec<CapSlots>,
+    mos: Vec<MosSlots>,
+    node_diag: Vec<usize>,
+}
+
+/// Reusable buffers for the Newton loop: the MNA matrix (dense or
+/// sparse), the compiled stamp plan, RHS, LU scratch and the
+/// current/next solution vectors. One workspace serves every Newton
+/// solve of a transient, so the hot path performs no heap allocation
+/// after the first step.
 #[derive(Debug, Clone)]
 pub(crate) struct NewtonWorkspace {
-    pub m: DenseMatrix,
+    pub m: MnaMatrix,
+    pub plan: Arc<StampPlan>,
     pub rhs: Vec<f64>,
     /// Current iterate on entry to a solve; the converged solution on a
     /// successful return.
@@ -29,9 +182,41 @@ pub(crate) struct NewtonWorkspace {
 }
 
 impl NewtonWorkspace {
-    pub fn new(dim: usize) -> Self {
+    /// Builds a workspace for `sys` on the chosen backend. For the sparse
+    /// backend the symbolic analysis is taken from `cache` when one is
+    /// supplied (hit ⇒ only numeric state is fresh), or computed here.
+    pub fn for_system(
+        sys: &MnaSystem,
+        solver: SolverKind,
+        cache: Option<&SymbolicCache>,
+    ) -> NewtonWorkspace {
+        let dim = sys.dim;
+        let (m, plan) = match solver {
+            SolverKind::Dense => {
+                let plan = sys.build_plan(&mut |r, c| r * dim + c);
+                (MnaMatrix::Dense(DenseMatrix::new(dim)), plan)
+            }
+            SolverKind::Sparse => {
+                let pattern = sys.stamp_pattern();
+                let n_tail = sys.vsources.len();
+                let (sym, hit) = match cache {
+                    Some(cache) => cache.get_or_analyze(dim, &pattern, n_tail),
+                    None => (Arc::new(Symbolic::analyze(dim, &pattern, n_tail)), false),
+                };
+                let plan = sys.build_plan(&mut |r, c| {
+                    sym.slot(r, c).expect("stamped position is in the pattern")
+                });
+                let m = if hit {
+                    SparseMatrix::new_cached(sym)
+                } else {
+                    SparseMatrix::new(sym)
+                };
+                (MnaMatrix::Sparse(m), plan)
+            }
+        };
         NewtonWorkspace {
-            m: DenseMatrix::new(dim),
+            m,
+            plan: Arc::new(plan),
             rhs: vec![0.0; dim],
             x: vec![0.0; dim],
             x_new: Vec::with_capacity(dim),
@@ -200,23 +385,152 @@ impl MnaSystem {
         }
     }
 
-    /// Stamps the linear, time-dependent part of the system: resistors,
-    /// voltage sources (scaled by `source_scale`) and current sources.
-    pub fn stamp_static(&self, m: &mut DenseMatrix, rhs: &mut [f64], t: f64, source_scale: f64) {
+    /// Every matrix position this system's devices stamp, sorted and
+    /// deduplicated — the topology fingerprint the sparse backend's
+    /// symbolic analysis (and the [`SymbolicCache`] key) is computed from.
+    pub fn stamp_pattern(&self) -> Vec<(usize, usize)> {
+        let mut pattern = Vec::new();
+        self.each_position(&mut |r, c| pattern.push((r, c)));
+        pattern.sort_unstable();
+        pattern.dedup();
+        pattern
+    }
+
+    /// Visits every `(row, col)` position the stamp methods can write.
+    fn each_position(&self, visit: &mut impl FnMut(usize, usize)) {
+        let pair = |a: Row, b: Row, visit: &mut dyn FnMut(usize, usize)| {
+            if let Some(ra) = a {
+                visit(ra, ra);
+                if let Some(rb) = b {
+                    visit(ra, rb);
+                }
+            }
+            if let Some(rb) = b {
+                visit(rb, rb);
+                if let Some(ra) = a {
+                    visit(rb, ra);
+                }
+            }
+        };
         for r in &self.resistors {
-            stamp_conductance(m, r.a, r.b, r.conductance);
+            pair(r.a, r.b, visit);
+        }
+        for c in &self.capacitors {
+            pair(c.a, c.b, visit);
         }
         for v in &self.vsources {
             let row = self.n_v + v.branch;
             if let Some(p) = v.plus {
-                m.add(p, row, 1.0);
-                m.add(row, p, 1.0);
+                visit(p, row);
+                visit(row, p);
             }
             if let Some(n) = v.minus {
-                m.add(n, row, -1.0);
-                m.add(row, n, -1.0);
+                visit(n, row);
+                visit(row, n);
             }
-            rhs[row] += v.wave.value_at(t) * source_scale;
+        }
+        for m in &self.mosfets {
+            for (r, c) in [
+                (m.d, m.d),
+                (m.d, m.g),
+                (m.d, m.s),
+                (m.s, m.d),
+                (m.s, m.g),
+                (m.s, m.s),
+            ] {
+                if let (Some(r), Some(c)) = (r, c) {
+                    visit(r, c);
+                }
+            }
+            pair(m.d, m.s, visit);
+        }
+        for r in 0..self.n_v {
+            visit(r, r);
+        }
+    }
+
+    /// Compiles the stamp plan for this system on a matrix layout
+    /// described by `slot` (row-major offsets for dense, CSR slots for
+    /// sparse).
+    pub fn build_plan(&self, slot: &mut impl FnMut(usize, usize) -> usize) -> StampPlan {
+        StampPlan {
+            res: self
+                .resistors
+                .iter()
+                .map(|r| PairSlots::resolve(r.a, r.b, slot))
+                .collect(),
+            caps: self
+                .capacitors
+                .iter()
+                .map(|c| CapSlots {
+                    pair: PairSlots::resolve(c.a, c.b, slot),
+                    a: c.a,
+                    b: c.b,
+                })
+                .collect(),
+            vsrc: self
+                .vsources
+                .iter()
+                .map(|v| {
+                    let row = self.n_v + v.branch;
+                    VsrcSlots {
+                        p_b: v.plus.map(|p| slot(p, row)),
+                        b_p: v.plus.map(|p| slot(row, p)),
+                        n_b: v.minus.map(|n| slot(n, row)),
+                        b_n: v.minus.map(|n| slot(row, n)),
+                        rhs_row: row,
+                    }
+                })
+                .collect(),
+            mos: self
+                .mosfets
+                .iter()
+                .map(|m| {
+                    let mut partial = |r: Row, c: Row| r.and_then(|r| c.map(|c| slot(r, c)));
+                    MosSlots {
+                        dd: partial(m.d, m.d),
+                        dg: partial(m.d, m.g),
+                        ds: partial(m.d, m.s),
+                        sd: partial(m.s, m.d),
+                        sg: partial(m.s, m.g),
+                        ss: partial(m.s, m.s),
+                        d: m.d,
+                        s: m.s,
+                        gmin: PairSlots::resolve(m.d, m.s, slot),
+                    }
+                })
+                .collect(),
+            node_diag: (0..self.n_v).map(|r| slot(r, r)).collect(),
+        }
+    }
+
+    /// Stamps the linear, time-dependent part of the system: resistors,
+    /// voltage sources (scaled by `source_scale`) and current sources.
+    pub fn stamp_static(
+        &self,
+        plan: &StampPlan,
+        m: &mut MnaMatrix,
+        rhs: &mut [f64],
+        t: f64,
+        source_scale: f64,
+    ) {
+        for (r, slots) in self.resistors.iter().zip(&plan.res) {
+            slots.stamp(m, r.conductance);
+        }
+        for (v, slots) in self.vsources.iter().zip(&plan.vsrc) {
+            if let Some(s) = slots.p_b {
+                m.add_slot(s, 1.0);
+            }
+            if let Some(s) = slots.b_p {
+                m.add_slot(s, 1.0);
+            }
+            if let Some(s) = slots.n_b {
+                m.add_slot(s, -1.0);
+            }
+            if let Some(s) = slots.b_n {
+                m.add_slot(s, -1.0);
+            }
+            rhs[slots.rhs_row] += v.wave.value_at(t) * source_scale;
         }
         for i in &self.isources {
             let value = i.wave.value_at(t) * source_scale;
@@ -231,37 +545,52 @@ impl MnaSystem {
 
     /// Stamps the linearised MOSFET companion models around solution `x`,
     /// adding `gmin` across every channel.
-    pub fn stamp_mosfets(&self, m: &mut DenseMatrix, rhs: &mut [f64], x: &[f64], gmin: f64) {
-        for mos in &self.mosfets {
+    pub fn stamp_mosfets(
+        &self,
+        plan: &StampPlan,
+        m: &mut MnaMatrix,
+        rhs: &mut [f64],
+        x: &[f64],
+        gmin: f64,
+    ) {
+        for (mos, slots) in self.mosfets.iter().zip(&plan.mos) {
             let vd = Self::voltage(x, mos.d);
             let vg = Self::voltage(x, mos.g);
             let vs = Self::voltage(x, mos.s);
             let op = channel_current(mos.polarity, &mos.params, vd, vg, vs);
             // I(v) ≈ id0 + g_d (vd - vd0) + g_g (vg - vg0) + g_s (vs - vs0)
             let i_eq = op.id - op.g_d * vd - op.g_g * vg - op.g_s * vs;
-            stamp_partial(m, mos.d, mos.d, op.g_d);
-            stamp_partial(m, mos.d, mos.g, op.g_g);
-            stamp_partial(m, mos.d, mos.s, op.g_s);
-            stamp_partial(m, mos.s, mos.d, -op.g_d);
-            stamp_partial(m, mos.s, mos.g, -op.g_g);
-            stamp_partial(m, mos.s, mos.s, -op.g_s);
-            if let Some(d) = mos.d {
+            for (slot, g) in [
+                (slots.dd, op.g_d),
+                (slots.dg, op.g_g),
+                (slots.ds, op.g_s),
+                (slots.sd, -op.g_d),
+                (slots.sg, -op.g_g),
+                (slots.ss, -op.g_s),
+            ] {
+                if let Some(s) = slot {
+                    m.add_slot(s, g);
+                }
+            }
+            if let Some(d) = slots.d {
                 rhs[d] -= i_eq;
             }
-            if let Some(s) = mos.s {
+            if let Some(s) = slots.s {
                 rhs[s] += i_eq;
             }
-            stamp_conductance(m, mos.d, mos.s, gmin);
+            slots.gmin.stamp(m, gmin);
         }
     }
 
-    /// Runs Newton–Raphson from `x_init`, allocating a fresh workspace.
-    /// The `reactive` closure stamps capacitor companion models (empty
-    /// for DC).
+    /// Runs Newton–Raphson from `x_init`, building a fresh workspace on
+    /// the backend selected by `opts.solver` (symbolic structure from
+    /// `cache` when given). The `reactive` closure stamps capacitor
+    /// companion models (empty for DC).
     ///
     /// Returns the converged solution vector. One-shot callers (DC
     /// analyses) use this; the transient loop reuses a workspace through
     /// [`newton_solve_ws`](MnaSystem::newton_solve_ws).
+    #[allow(clippy::too_many_arguments)]
     pub fn newton_solve(
         &self,
         t: f64,
@@ -269,9 +598,10 @@ impl MnaSystem {
         opts: &SimOptions,
         gmin: f64,
         source_scale: f64,
-        reactive: impl FnMut(&mut DenseMatrix, &mut [f64]),
+        reactive: impl FnMut(&mut MnaMatrix, &mut [f64], &StampPlan),
+        cache: Option<&SymbolicCache>,
     ) -> Result<Vec<f64>, SpiceError> {
-        let mut ws = NewtonWorkspace::new(self.dim);
+        let mut ws = NewtonWorkspace::for_system(self, opts.solver, cache);
         self.newton_solve_ws(t, x_init, opts, gmin, source_scale, reactive, &mut ws)?;
         Ok(std::mem::take(&mut ws.x))
     }
@@ -287,7 +617,7 @@ impl MnaSystem {
         opts: &SimOptions,
         gmin: f64,
         source_scale: f64,
-        reactive: impl FnMut(&mut DenseMatrix, &mut [f64]),
+        reactive: impl FnMut(&mut MnaMatrix, &mut [f64], &StampPlan),
         ws: &mut NewtonWorkspace,
     ) -> Result<(), SpiceError> {
         // Iteration counts are accumulated locally and flushed to the
@@ -313,23 +643,22 @@ impl MnaSystem {
         opts: &SimOptions,
         gmin: f64,
         source_scale: f64,
-        mut reactive: impl FnMut(&mut DenseMatrix, &mut [f64]),
+        mut reactive: impl FnMut(&mut MnaMatrix, &mut [f64], &StampPlan),
         ws: &mut NewtonWorkspace,
     ) -> (u64, Result<(), SpiceError>) {
         let dim = self.dim;
-        debug_assert_eq!(ws.m.dim(), dim, "workspace sized for this system");
         ws.x.clear();
         ws.x.extend_from_slice(x_init);
         let mut iters: u64 = 0;
         for _ in 0..opts.max_newton_iters {
             ws.m.clear();
             ws.rhs.fill(0.0);
-            self.stamp_static(&mut ws.m, &mut ws.rhs, t, source_scale);
-            reactive(&mut ws.m, &mut ws.rhs);
-            self.stamp_mosfets(&mut ws.m, &mut ws.rhs, &ws.x, gmin);
+            self.stamp_static(&ws.plan, &mut ws.m, &mut ws.rhs, t, source_scale);
+            reactive(&mut ws.m, &mut ws.rhs, &ws.plan);
+            self.stamp_mosfets(&ws.plan, &mut ws.m, &mut ws.rhs, &ws.x, gmin);
             // Diagonal gmin on node rows keeps near-floating gates solvable.
-            for r in 0..self.n_v {
-                ws.m.add(r, r, gmin);
+            for &slot in &ws.plan.node_diag {
+                ws.m.add_slot(slot, gmin);
             }
             iters += 1;
             if let Err(e) = ws.m.solve_into(&ws.rhs, &mut ws.lu, &mut ws.x_new) {
@@ -359,31 +688,6 @@ impl MnaSystem {
             }
         }
         (iters, Err(SpiceError::NonConvergence { time: t }))
-    }
-}
-
-/// Stamps a two-terminal conductance between rows `a` and `b`.
-#[inline]
-pub(crate) fn stamp_conductance(m: &mut DenseMatrix, a: Row, b: Row, g: f64) {
-    if let Some(ra) = a {
-        m.add(ra, ra, g);
-        if let Some(rb) = b {
-            m.add(ra, rb, -g);
-        }
-    }
-    if let Some(rb) = b {
-        m.add(rb, rb, g);
-        if let Some(ra) = a {
-            m.add(rb, ra, -g);
-        }
-    }
-}
-
-/// Stamps a single Jacobian partial `∂I(row)/∂V(col)`.
-#[inline]
-fn stamp_partial(m: &mut DenseMatrix, row: Row, col: Row, g: f64) {
-    if let (Some(r), Some(c)) = (row, col) {
-        m.add(r, c, g);
     }
 }
 
@@ -451,11 +755,85 @@ mod tests {
         let sys = MnaSystem::build(&ckt).unwrap();
         let opts = SimOptions::default();
         let x = sys
-            .newton_solve(0.0, &vec![0.0; sys.dim], &opts, opts.gmin, 1.0, |_, _| {})
+            .newton_solve(
+                0.0,
+                &vec![0.0; sys.dim],
+                &opts,
+                opts.gmin,
+                1.0,
+                |_, _, _| {},
+                None,
+            )
             .unwrap();
         assert!((x[0] - 2.0).abs() < 1e-9);
         assert!((x[1] - 1.0).abs() < 1e-6);
         // Branch current: 1 mA flows out of the circuit into the source.
         assert!((x[2] + 1e-3).abs() < 1e-8);
+    }
+
+    #[test]
+    fn divider_solves_identically_on_both_backends() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource("v1", a, GROUND, SourceWave::Dc(2.0))
+            .unwrap();
+        ckt.add_resistor("r1", a, b, 1000.0).unwrap();
+        ckt.add_resistor("r2", b, GROUND, 1000.0).unwrap();
+        let sys = MnaSystem::build(&ckt).unwrap();
+        let dense_opts = SimOptions::default();
+        let sparse_opts = SimOptions {
+            solver: SolverKind::Sparse,
+            ..SimOptions::default()
+        };
+        let x0 = vec![0.0; sys.dim];
+        let xd = sys
+            .newton_solve(
+                0.0,
+                &x0,
+                &dense_opts,
+                dense_opts.gmin,
+                1.0,
+                |_, _, _| {},
+                None,
+            )
+            .unwrap();
+        let xs = sys
+            .newton_solve(
+                0.0,
+                &x0,
+                &sparse_opts,
+                sparse_opts.gmin,
+                1.0,
+                |_, _, _| {},
+                None,
+            )
+            .unwrap();
+        for (d, s) in xd.iter().zip(&xs) {
+            assert!((d - s).abs() < 1e-12, "dense {d} vs sparse {s}");
+        }
+    }
+
+    #[test]
+    fn stamp_pattern_is_canonical_and_covers_the_diagonal() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource("v1", a, GROUND, SourceWave::Dc(1.0))
+            .unwrap();
+        ckt.add_resistor("r1", a, b, 10.0).unwrap();
+        ckt.add_resistor("r2", b, GROUND, 10.0).unwrap();
+        let sys = MnaSystem::build(&ckt).unwrap();
+        let pattern = sys.stamp_pattern();
+        let mut sorted = pattern.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(pattern, sorted, "pattern is sorted and deduplicated");
+        for r in 0..sys.n_v {
+            assert!(pattern.contains(&(r, r)), "node diagonal ({r},{r})");
+        }
+        // The vsource couples node row 0 and branch row 2 both ways.
+        assert!(pattern.contains(&(0, 2)));
+        assert!(pattern.contains(&(2, 0)));
     }
 }

@@ -44,11 +44,15 @@ mod matrix;
 mod metrics;
 mod mos_eval;
 mod options;
+mod sparse;
 mod tran;
 
-pub use dc::{dc_operating_point, dc_sweep, iddq, DcSolution};
+pub use dc::{
+    dc_operating_point, dc_operating_point_cached, dc_sweep, iddq, iddq_cached, DcSolution,
+};
 pub use error::SpiceError;
 pub use matrix::{DenseMatrix, LuScratch};
 pub use mos_eval::{channel_current, MosOperatingPoint, MosRegion};
-pub use options::{IntegrationMethod, SimOptions};
-pub use tran::{transient, TranResult};
+pub use options::{IntegrationMethod, SimOptions, SolverKind};
+pub use sparse::{SparseMatrix, Symbolic, SymbolicCache};
+pub use tran::{transient, transient_cached, TranResult};

@@ -82,6 +82,13 @@ impl DenseMatrix {
         self.data[row * self.n + col] += value;
     }
 
+    /// Adds `value` at a precomputed row-major `slot` (`row * dim + col`)
+    /// — the zero-lookup path the compiled stamp plans use.
+    #[inline]
+    pub fn add_slot(&mut self, slot: usize, value: f64) {
+        self.data[slot] += value;
+    }
+
     /// Solves `A x = b`, allocating the scratch and output buffers.
     ///
     /// Convenience wrapper over [`solve_into`](DenseMatrix::solve_into)
@@ -191,7 +198,7 @@ impl DenseMatrix {
 #[derive(Debug, Clone, Default)]
 pub struct LuScratch {
     perm: Vec<usize>,
-    rhs: Vec<f64>,
+    pub(crate) rhs: Vec<f64>,
 }
 
 impl LuScratch {

@@ -35,6 +35,21 @@ pub(crate) struct SpiceMetrics {
     /// Sub-`tstep_min` window remainders accepted as already reached
     /// instead of failing the whole transient.
     pub slivers_accepted: Counter,
+    /// Symbolic analyses performed (fill-reducing ordering + fill
+    /// prediction); one per distinct topology when a cache is in play.
+    pub symbolic_analyses: Counter,
+    /// Numeric factorisations that reused an existing symbolic structure
+    /// instead of analysing one.
+    pub symbolic_reuse_hits: Counter,
+    /// Sparse numeric refactorisations (one per sparse `solve_into`).
+    pub numeric_refactors: Counter,
+    /// Total fill-in slots the symbolic analyses predicted beyond the
+    /// stamped pattern.
+    pub fill_in: Counter,
+    /// `SymbolicCache` lookups that found an existing structure.
+    pub symbolic_cache_hits: Counter,
+    /// `SymbolicCache` lookups that had to analyse a new topology.
+    pub symbolic_cache_misses: Counter,
     /// Distribution of Newton iterations per solve.
     pub iters_per_solve: Histogram,
 }
@@ -56,6 +71,12 @@ pub(crate) fn metrics() -> &'static SpiceMetrics {
             step_halvings: scope.counter("step_halvings"),
             breakpoints_hit: scope.counter("breakpoints_hit"),
             slivers_accepted: scope.counter("slivers_accepted"),
+            symbolic_analyses: scope.counter("symbolic_analyses"),
+            symbolic_reuse_hits: scope.counter("symbolic_reuse_hits"),
+            numeric_refactors: scope.counter("numeric_refactors"),
+            fill_in: scope.counter("fill_in"),
+            symbolic_cache_hits: scope.counter("symbolic_cache_hits"),
+            symbolic_cache_misses: scope.counter("symbolic_cache_misses"),
             iters_per_solve: scope.histogram("newton_iters_per_solve", &[1, 2, 4, 8, 16, 32, 64]),
         }
     })

@@ -1,0 +1,735 @@
+//! Sparse linear algebra: CSR-backed LU with a cached symbolic structure.
+//!
+//! The dense solver in [`matrix`](crate::matrix) refactors an `n × n`
+//! matrix in O(n³) per Newton iteration, which stops being viable for the
+//! clock-distribution workloads (H-trees of hundreds of RC nodes) this
+//! workspace targets. MNA matrices of such circuits are overwhelmingly
+//! sparse — a few entries per row — and, crucially, their *structure* never
+//! changes during an analysis: every Newton iteration and every transient
+//! step stamps the same set of `(row, col)` positions with different
+//! values.
+//!
+//! This module splits the solve accordingly:
+//!
+//! * [`Symbolic`] — the one-time **symbolic analysis**: a fill-reducing
+//!   (minimum-degree) elimination ordering, the symbolic factorisation
+//!   that predicts the complete fill-in pattern, and the CSR slot layout
+//!   shared by every numeric factorisation. Built once per circuit
+//!   topology and shared via `Arc` across Newton iterations, timesteps
+//!   and whole simulation variants.
+//! * [`SparseMatrix`] — the per-solve numeric state: one `f64` per slot of
+//!   the symbolic pattern, with the same `set`/`add`/`solve_into` surface
+//!   as [`DenseMatrix`](crate::DenseMatrix). Each
+//!   [`solve_into`](SparseMatrix::solve_into) is a **numeric-refactor
+//!   only**: Gaussian elimination over the fixed pattern in the fixed
+//!   order, no searching, no allocation.
+//! * [`SymbolicCache`] — a thread-safe topology-keyed cache so batched
+//!   campaigns (fault variants, Monte-Carlo samples) analyse each
+//!   topology once and clone only numeric state per variant.
+//!
+//! # Pivoting
+//!
+//! The elimination order is *static*: minimum degree over the node rows,
+//! with the voltage-source branch rows (structurally zero diagonal until
+//! fill from their terminal nodes arrives) constrained to the end of the
+//! order. MNA node rows carry `gmin` on the diagonal and are near
+//! diagonally dominant, so no numeric pivoting is needed in practice; a
+//! pivot that still falls below the norm-relative threshold (the same
+//! `ε · ‖A‖_∞ · √n` rule as the dense solver) reports
+//! [`SpiceError::SingularMatrix`] rather than dividing through roundoff.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use clocksense_spice::{SparseMatrix, Symbolic};
+//!
+//! // 2x2 pattern with every position present; no tail rows.
+//! let pattern = [(0, 0), (0, 1), (1, 0), (1, 1)];
+//! let sym = Arc::new(Symbolic::analyze(2, &pattern, 0));
+//! let mut m = SparseMatrix::new(sym);
+//! m.add(0, 0, 2.0);
+//! m.add(0, 1, 1.0);
+//! m.add(1, 0, 1.0);
+//! m.add(1, 1, 3.0);
+//! let x = m.solve(&[5.0, 10.0]).expect("non-singular");
+//! assert!((x[0] - 1.0).abs() < 1e-12);
+//! assert!((x[1] - 3.0).abs() < 1e-12);
+//! ```
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::error::SpiceError;
+use crate::matrix::LuScratch;
+
+/// One-time symbolic analysis of a sparse system: fill-reducing ordering
+/// plus the complete LU fill-in pattern, reused by every numeric
+/// factorisation of matrices with this structure.
+///
+/// The pattern is symmetrised (LU fill of an unsymmetric-pattern matrix is
+/// bounded by the fill of its symmetrised pattern) and a structural
+/// diagonal is always included, so every stamped position and every fill
+/// position has a fixed slot in the CSR arrays.
+#[derive(Debug)]
+pub struct Symbolic {
+    n: usize,
+    /// Elimination position → original row index.
+    perm: Vec<usize>,
+    /// Original row index → elimination position.
+    inv_perm: Vec<usize>,
+    /// CSR row pointers over the *permuted* LU pattern (`n + 1` entries).
+    row_start: Vec<usize>,
+    /// Permuted column indices, ascending within each row.
+    cols: Vec<usize>,
+    /// Slot of the diagonal entry of each permuted row.
+    diag: Vec<usize>,
+    /// Column lists for the factorisation: for permuted column `k`,
+    /// `col_rows/col_slots[col_start[k]..col_start[k+1]]` enumerate the
+    /// sub-diagonal entries `(i, k)`, `i > k`, in ascending row order.
+    col_start: Vec<usize>,
+    col_rows: Vec<usize>,
+    col_slots: Vec<usize>,
+    /// Nonzeros of the symmetrised stamp pattern (before fill).
+    nnz_pattern: usize,
+}
+
+impl Symbolic {
+    /// Analyses the structure of an `n × n` system whose stamped positions
+    /// are `pattern` (duplicates are fine; the diagonal is always added
+    /// structurally).
+    ///
+    /// The final `n_tail` indices (`n - n_tail ..= n - 1`) are constrained
+    /// to the *end* of the elimination order, in their original relative
+    /// order. MNA callers pass the voltage-source branch rows here: their
+    /// diagonal is structurally zero until elimination of their terminal
+    /// node rows fills it in, so they must never be pivoted early.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_tail > n` or any pattern index is out of bounds.
+    pub fn analyze(n: usize, pattern: &[(usize, usize)], n_tail: usize) -> Symbolic {
+        assert!(n_tail <= n, "n_tail exceeds dimension");
+        for &(r, c) in pattern {
+            assert!(r < n && c < n, "pattern index ({r},{c}) out of bounds");
+        }
+        let head = n - n_tail;
+
+        // Symmetrised adjacency (no self loops).
+        let mut adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+        for &(r, c) in pattern {
+            if r != c {
+                adj[r].insert(c);
+                adj[c].insert(r);
+            }
+        }
+        let nnz_pattern = n + adj.iter().map(BTreeSet::len).sum::<usize>();
+
+        // Minimum-degree ordering over the head rows; elimination of a row
+        // cliques its remaining neighbours, mirroring the fill the numeric
+        // factorisation will create.
+        let mut md = adj.clone();
+        let mut eliminated = vec![false; n];
+        let mut perm = Vec::with_capacity(n);
+        for _ in 0..head {
+            let v = (0..head)
+                .filter(|&v| !eliminated[v])
+                .min_by_key(|&v| (md[v].len(), v))
+                .expect("head row available");
+            eliminated[v] = true;
+            perm.push(v);
+            let neighbours: Vec<usize> =
+                md[v].iter().copied().filter(|&u| !eliminated[u]).collect();
+            for &a in &neighbours {
+                md[a].remove(&v);
+                for &b in &neighbours {
+                    if b != a {
+                        md[a].insert(b);
+                    }
+                }
+            }
+        }
+        perm.extend(head..n);
+        let mut inv_perm = vec![0usize; n];
+        for (pos, &orig) in perm.iter().enumerate() {
+            inv_perm[orig] = pos;
+        }
+
+        // Symbolic factorisation in the permuted order: `upper[k]` holds
+        // the columns `> k` of permuted row `k`; eliminating `k` unions its
+        // remaining pattern into every row it updates. The pattern is kept
+        // structurally symmetric, so `(i, k)` is nonzero iff `i ∈ upper[k]`.
+        let mut upper: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+        for (orig, neighbours) in adj.iter().enumerate() {
+            let pr = inv_perm[orig];
+            for &c in neighbours {
+                let pc = inv_perm[c];
+                let (lo, hi) = if pr < pc { (pr, pc) } else { (pc, pr) };
+                upper[lo].insert(hi);
+            }
+        }
+        for k in 0..n {
+            let reach: Vec<usize> = upper[k].iter().copied().collect();
+            for (idx, &i) in reach.iter().enumerate() {
+                for &c in &reach[idx + 1..] {
+                    upper[i].insert(c);
+                }
+            }
+        }
+
+        // CSR layout of L + U: row k gets its lower entries (cols c < k
+        // with k in upper[c]), the diagonal, and its upper entries.
+        let mut rows: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (c, ups) in upper.iter().enumerate() {
+            for &i in ups {
+                rows[i].push(c); // lower entry (i, c)
+            }
+        }
+        let mut row_start = Vec::with_capacity(n + 1);
+        let mut cols = Vec::new();
+        let mut diag = Vec::with_capacity(n);
+        row_start.push(0);
+        for (k, lower) in rows.iter().enumerate() {
+            debug_assert!(lower.windows(2).all(|w| w[0] < w[1]));
+            cols.extend_from_slice(lower);
+            diag.push(cols.len());
+            cols.push(k);
+            cols.extend(upper[k].iter().copied());
+            row_start.push(cols.len());
+        }
+
+        // Column lists over the lower triangle, rows ascending per column.
+        let mut per_col: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+        for i in 0..n {
+            for slot in row_start[i]..diag[i] {
+                per_col[cols[slot]].push((i, slot));
+            }
+        }
+        let mut col_start = Vec::with_capacity(n + 1);
+        let mut col_rows = Vec::new();
+        let mut col_slots = Vec::new();
+        col_start.push(0);
+        for entries in &per_col {
+            for &(i, slot) in entries {
+                col_rows.push(i);
+                col_slots.push(slot);
+            }
+            col_start.push(col_rows.len());
+        }
+
+        let sym = Symbolic {
+            n,
+            perm,
+            inv_perm,
+            row_start,
+            cols,
+            diag,
+            col_start,
+            col_rows,
+            col_slots,
+            nnz_pattern,
+        };
+        let tm = crate::metrics::metrics();
+        tm.symbolic_analyses.incr();
+        tm.fill_in.add(sym.fill_in() as u64);
+        sym
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Nonzero slots of the full LU pattern (stamp pattern plus fill).
+    pub fn nnz(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Slots the symbolic factorisation added beyond the (symmetrised)
+    /// stamp pattern.
+    pub fn fill_in(&self) -> usize {
+        self.cols.len() - self.nnz_pattern
+    }
+
+    /// Slot of original position `(row, col)`, if it is in the pattern.
+    pub fn slot(&self, row: usize, col: usize) -> Option<usize> {
+        if row >= self.n || col >= self.n {
+            return None;
+        }
+        let pr = self.inv_perm[row];
+        let pc = self.inv_perm[col];
+        let range = &self.cols[self.row_start[pr]..self.row_start[pr + 1]];
+        range
+            .binary_search(&pc)
+            .ok()
+            .map(|off| self.row_start[pr] + off)
+    }
+}
+
+/// A sparse square matrix over a shared [`Symbolic`] structure, with the
+/// same `set`/`add`/`solve_into` surface as
+/// [`DenseMatrix`](crate::DenseMatrix).
+///
+/// Cloning a `SparseMatrix` clones only the numeric values; the symbolic
+/// structure stays shared.
+#[derive(Debug, Clone)]
+pub struct SparseMatrix {
+    sym: Arc<Symbolic>,
+    vals: Vec<f64>,
+    /// Whether the next factorisation counts as a symbolic *reuse*: true
+    /// once this matrix has factored before, or from construction when the
+    /// structure came out of a [`SymbolicCache`].
+    reused: bool,
+}
+
+impl SparseMatrix {
+    /// A zero matrix over `sym`'s pattern.
+    pub fn new(sym: Arc<Symbolic>) -> SparseMatrix {
+        let vals = vec![0.0; sym.nnz()];
+        SparseMatrix {
+            sym,
+            vals,
+            reused: false,
+        }
+    }
+
+    /// A zero matrix over a structure that was retrieved from a cache, so
+    /// even its first factorisation counts as a symbolic reuse.
+    pub fn new_cached(sym: Arc<Symbolic>) -> SparseMatrix {
+        SparseMatrix {
+            reused: true,
+            ..SparseMatrix::new(sym)
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.sym.n
+    }
+
+    /// The shared symbolic structure.
+    pub fn symbolic(&self) -> &Arc<Symbolic> {
+        &self.sym
+    }
+
+    /// Resets all values to zero, keeping the structure and allocation.
+    pub fn clear(&mut self) {
+        self.vals.fill(0.0);
+    }
+
+    /// Reads entry `(row, col)`; positions outside the pattern read 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.sym.n && col < self.sym.n, "index out of bounds");
+        self.sym.slot(row, col).map_or(0.0, |s| self.vals[s])
+    }
+
+    /// Sets entry `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is outside the symbolic pattern.
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        let slot = self
+            .sym
+            .slot(row, col)
+            .unwrap_or_else(|| panic!("({row},{col}) not in the symbolic pattern"));
+        self.vals[slot] = value;
+    }
+
+    /// Adds `value` to entry `(row, col)` — the MNA stamping primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is outside the symbolic pattern.
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        let slot = self
+            .sym
+            .slot(row, col)
+            .unwrap_or_else(|| panic!("({row},{col}) not in the symbolic pattern"));
+        self.vals[slot] += value;
+    }
+
+    /// Adds `value` at a precomputed `slot` (from [`Symbolic::slot`]) —
+    /// the zero-lookup path the compiled stamp plans use.
+    #[inline]
+    pub fn add_slot(&mut self, slot: usize, value: f64) {
+        self.vals[slot] += value;
+    }
+
+    /// Solves `A x = b`, allocating the scratch and output buffers.
+    ///
+    /// # Errors
+    ///
+    /// See [`solve_into`](SparseMatrix::solve_into).
+    pub fn solve(&mut self, b: &[f64]) -> Result<Vec<f64>, SpiceError> {
+        let mut scratch = LuScratch::new();
+        let mut out = Vec::new();
+        self.solve_into(b, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Solves `A x = b` by numeric LU refactorisation over the fixed
+    /// symbolic pattern, writing the solution into `out`. The elimination
+    /// order and fill pattern come from the shared [`Symbolic`]; this call
+    /// performs no searching and no allocation (the scratch RHS buffer is
+    /// reused). The factorisation consumes the matrix values — callers
+    /// re-stamp every Newton iteration anyway.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::SingularMatrix`] when a pivot drops below the
+    /// norm-relative threshold `ε · ‖A‖_∞ · √n` (same rule as the dense
+    /// solver), or when the solution is non-finite.
+    pub fn solve_into(
+        &mut self,
+        b: &[f64],
+        scratch: &mut LuScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), SpiceError> {
+        let sym = &*self.sym;
+        let n = sym.n;
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        let tm = crate::metrics::metrics();
+        tm.numeric_refactors.incr();
+        if self.reused {
+            tm.symbolic_reuse_hits.incr();
+        }
+        self.reused = true;
+
+        // Infinity norm of the stamped matrix (fill slots are still zero),
+        // anchoring the pivot threshold to the system's scale.
+        let norm = (0..n)
+            .map(|k| {
+                self.vals[sym.row_start[k]..sym.row_start[k + 1]]
+                    .iter()
+                    .map(|v| v.abs())
+                    .sum::<f64>()
+            })
+            .fold(0.0f64, f64::max);
+        let threshold = (f64::EPSILON * norm * (n as f64).sqrt()).max(f64::MIN_POSITIVE);
+
+        // Permute the RHS into elimination order.
+        scratch.rhs.clear();
+        scratch.rhs.extend(sym.perm.iter().map(|&orig| b[orig]));
+        let y = &mut scratch.rhs;
+        let vals = &mut self.vals;
+
+        // Factor column by column, folding the forward substitution in:
+        // by the time column k is eliminated, y[k] has received every
+        // update from columns < k.
+        for k in 0..n {
+            let pivot = vals[sym.diag[k]];
+            if pivot.abs() < threshold {
+                return Err(SpiceError::SingularMatrix);
+            }
+            let yk = y[k];
+            for idx in sym.col_start[k]..sym.col_start[k + 1] {
+                let i = sym.col_rows[idx];
+                let s_ik = sym.col_slots[idx];
+                let factor = vals[s_ik] / pivot;
+                vals[s_ik] = factor;
+                if factor != 0.0 {
+                    // row_i -= factor * row_k over columns > k. Row i's
+                    // columns past (i, k) are a superset of row k's
+                    // columns past the diagonal, so a single merge walk
+                    // finds every target slot.
+                    let mut t = s_ik + 1;
+                    for a in sym.diag[k] + 1..sym.row_start[k + 1] {
+                        let c = sym.cols[a];
+                        while sym.cols[t] < c {
+                            t += 1;
+                        }
+                        debug_assert_eq!(sym.cols[t], c, "fill slot predicted by symbolic");
+                        vals[t] -= factor * vals[a];
+                        t += 1;
+                    }
+                    y[i] -= factor * yk;
+                }
+            }
+        }
+
+        // Back substitution, in place over the permuted solution.
+        for k in (0..n).rev() {
+            let mut sum = y[k];
+            for slot in sym.diag[k] + 1..sym.row_start[k + 1] {
+                sum -= vals[slot] * y[sym.cols[slot]];
+            }
+            y[k] = sum / vals[sym.diag[k]];
+        }
+        out.clear();
+        out.resize(n, 0.0);
+        for (k, &orig) in sym.perm.iter().enumerate() {
+            out[orig] = y[k];
+        }
+        if out.iter().any(|v| !v.is_finite()) {
+            return Err(SpiceError::SingularMatrix);
+        }
+        Ok(())
+    }
+}
+
+/// Cache key: the full canonical structure, so equal keys really are equal
+/// topologies (no hash-collision risk).
+type CacheKey = (usize, usize, Vec<(u32, u32)>);
+
+/// Thread-safe cache of [`Symbolic`] structures keyed by topology.
+///
+/// Batched drivers (fault campaigns, Monte-Carlo sweeps) simulate
+/// thousands of circuit *variants* that share a handful of topologies:
+/// parameter perturbation changes device values, never the stamp pattern.
+/// One `SymbolicCache` per batch makes the symbolic analysis a once-per-
+/// topology cost; every variant clones only numeric state. Hits and
+/// misses are also recorded on the global telemetry registry as
+/// `spice.symbolic_cache_hits` / `spice.symbolic_cache_misses`.
+#[derive(Debug, Default)]
+pub struct SymbolicCache {
+    map: Mutex<std::collections::HashMap<CacheKey, Arc<Symbolic>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SymbolicCache {
+    /// An empty cache.
+    pub fn new() -> SymbolicCache {
+        SymbolicCache::default()
+    }
+
+    /// Returns the cached structure for `(n, pattern, n_tail)`, analysing
+    /// and inserting it on first sight. The boolean is `true` on a hit.
+    pub fn get_or_analyze(
+        &self,
+        n: usize,
+        pattern: &[(usize, usize)],
+        n_tail: usize,
+    ) -> (Arc<Symbolic>, bool) {
+        let key: CacheKey = (
+            n,
+            n_tail,
+            pattern.iter().map(|&(r, c)| (r as u32, c as u32)).collect(),
+        );
+        let tm = crate::metrics::metrics();
+        {
+            let map = self.map.lock().expect("cache lock");
+            if let Some(sym) = map.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                tm.symbolic_cache_hits.incr();
+                return (Arc::clone(sym), true);
+            }
+        }
+        // Analyse outside the lock; a racing analysis of the same topology
+        // wastes work but stays correct (first insert wins).
+        let sym = Arc::new(Symbolic::analyze(n, pattern, n_tail));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        tm.symbolic_cache_misses.incr();
+        let mut map = self.map.lock().expect("cache lock");
+        let entry = map.entry(key).or_insert_with(|| Arc::clone(&sym));
+        (Arc::clone(entry), false)
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of distinct topologies analysed.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache lock").len()
+    }
+
+    /// `true` when no topology has been analysed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::DenseMatrix;
+
+    fn full_pattern(n: usize) -> Vec<(usize, usize)> {
+        (0..n).flat_map(|r| (0..n).map(move |c| (r, c))).collect()
+    }
+
+    #[test]
+    fn identity_solve() {
+        let pattern: Vec<(usize, usize)> = (0..3).map(|i| (i, i)).collect();
+        let sym = Arc::new(Symbolic::analyze(3, &pattern, 0));
+        assert_eq!(sym.fill_in(), 0);
+        let mut m = SparseMatrix::new(sym);
+        for i in 0..3 {
+            m.set(i, i, 1.0);
+        }
+        let x = m.solve(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn tridiagonal_matches_dense() {
+        let n = 8;
+        let mut pattern = Vec::new();
+        for i in 0..n {
+            pattern.push((i, i));
+            if i + 1 < n {
+                pattern.push((i, i + 1));
+                pattern.push((i + 1, i));
+            }
+        }
+        let sym = Arc::new(Symbolic::analyze(n, &pattern, 0));
+        // A chain ordered by minimum degree generates no fill.
+        assert_eq!(sym.fill_in(), 0);
+        let mut sp = SparseMatrix::new(Arc::clone(&sym));
+        let mut de = DenseMatrix::new(n);
+        for i in 0..n {
+            sp.add(i, i, 2.5 + i as f64 * 0.1);
+            de.add(i, i, 2.5 + i as f64 * 0.1);
+            if i + 1 < n {
+                sp.add(i, i + 1, -1.0);
+                sp.add(i + 1, i, -1.0);
+                de.add(i, i + 1, -1.0);
+                de.add(i + 1, i, -1.0);
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i as f64) - 3.0).collect();
+        let xs = sp.solve(&b).unwrap();
+        let xd = de.solve(&b).unwrap();
+        for (a, b) in xs.iter().zip(&xd) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn tail_rows_with_zero_diagonal_solve() {
+        // MNA shape: node row 0 with a conductance, voltage-source branch
+        // row 1 with a structurally/numerically zero diagonal. A naive
+        // static order that pivots row 1 first would divide by zero; the
+        // tail constraint defers it until fill arrives.
+        let pattern = [(0, 0), (0, 1), (1, 0)];
+        let sym = Arc::new(Symbolic::analyze(2, &pattern, 1));
+        let mut m = SparseMatrix::new(sym);
+        // [g 1; 1 0] x = [0; v]  -> x = [v, -g v]
+        m.add(0, 0, 1e-3);
+        m.add(0, 1, 1.0);
+        m.add(1, 0, 1.0);
+        let x = m.solve(&[0.0, 2.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] + 2e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scaled_down_singular_is_reported() {
+        // Same regression as the dense solver: rank-1 at ~1e-6 S scale
+        // must be caught by the norm-relative pivot threshold.
+        let sym = Arc::new(Symbolic::analyze(2, &full_pattern(2), 0));
+        let mut m = SparseMatrix::new(sym);
+        m.set(0, 0, 1.1e-6);
+        m.set(0, 1, 0.7e-6);
+        m.set(1, 0, 1.1e-6 / 3.0);
+        m.set(1, 1, 0.7e-6 / 3.0);
+        assert_eq!(
+            m.solve(&[1.0e-6, 2.0e-6]).unwrap_err(),
+            SpiceError::SingularMatrix
+        );
+    }
+
+    #[test]
+    fn random_sparse_system_matches_dense() {
+        // Deterministic pseudo-random diagonally dominant system over a
+        // random sparsity pattern.
+        let n = 24;
+        let mut seed = 0x2545f4914f6cdd1du64;
+        let mut rnd = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed as f64 / u64::MAX as f64) - 0.5
+        };
+        let mut pattern: Vec<(usize, usize)> = (0..n).map(|i| (i, i)).collect();
+        let mut entries = Vec::new();
+        for i in 0..n {
+            for _ in 0..3 {
+                let j = ((rnd() + 0.5) * n as f64) as usize % n;
+                if i != j {
+                    let v = rnd();
+                    pattern.push((i, j));
+                    entries.push((i, j, v));
+                }
+            }
+        }
+        let sym = Arc::new(Symbolic::analyze(n, &pattern, 0));
+        let mut sp = SparseMatrix::new(Arc::clone(&sym));
+        let mut de = DenseMatrix::new(n);
+        for i in 0..n {
+            sp.add(i, i, 6.0);
+            de.add(i, i, 6.0);
+        }
+        for &(i, j, v) in &entries {
+            sp.add(i, j, v);
+            de.add(i, j, v);
+        }
+        let b: Vec<f64> = (0..n).map(|_| rnd()).collect();
+        let xs = sp.solve(&b).unwrap();
+        let xd = de.solve(&b).unwrap();
+        for (k, (a, bb)) in xs.iter().zip(&xd).enumerate() {
+            assert!((a - bb).abs() < 1e-10, "x[{k}]: {a} vs {bb}");
+        }
+    }
+
+    #[test]
+    fn add_outside_pattern_panics() {
+        let sym = Arc::new(Symbolic::analyze(3, &[(0, 0), (1, 1), (2, 2)], 0));
+        let mut m = SparseMatrix::new(sym);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.add(0, 2, 1.0);
+        }));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn clear_resets_values_and_reuse_flag_persists() {
+        let sym = Arc::new(Symbolic::analyze(2, &full_pattern(2), 0));
+        let mut m = SparseMatrix::new(sym);
+        m.add(0, 0, 5.0);
+        m.clear();
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.dim(), 2);
+    }
+
+    #[test]
+    fn cache_hits_and_misses() {
+        let cache = SymbolicCache::new();
+        let pattern = full_pattern(3);
+        let (a, hit_a) = cache.get_or_analyze(3, &pattern, 0);
+        let (b, hit_b) = cache.get_or_analyze(3, &pattern, 0);
+        assert!(!hit_a);
+        assert!(hit_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        let (_, hit_c) = cache.get_or_analyze(3, &pattern, 1);
+        assert!(!hit_c, "different tail split is a different key");
+        assert_eq!(cache.stats(), (1, 2));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn min_degree_reduces_fill_on_a_star() {
+        // Star graph: hub 0 connected to 15 leaves. Natural order (hub
+        // first) fills the whole leaf clique; min degree eliminates the
+        // leaves first and creates no fill at all.
+        let n = 16;
+        let mut pattern: Vec<(usize, usize)> = (0..n).map(|i| (i, i)).collect();
+        for leaf in 1..n {
+            pattern.push((0, leaf));
+            pattern.push((leaf, 0));
+        }
+        let sym = Symbolic::analyze(n, &pattern, 0);
+        assert_eq!(sym.fill_in(), 0, "min-degree must not fill a star");
+    }
+}

@@ -3,9 +3,10 @@
 use clocksense_netlist::{Circuit, NodeId};
 use clocksense_wave::Waveform;
 
-use crate::engine::{stamp_conductance, MnaSystem, NewtonWorkspace};
+use crate::engine::{MnaSystem, NewtonWorkspace};
 use crate::error::SpiceError;
 use crate::options::{IntegrationMethod, SimOptions};
+use crate::sparse::SymbolicCache;
 
 /// Result of a transient analysis: every node voltage and every
 /// voltage-source branch current, sampled at each accepted time point.
@@ -85,9 +86,9 @@ struct TranWorkspace {
 }
 
 impl TranWorkspace {
-    fn new(sys: &MnaSystem) -> Self {
+    fn new(sys: &MnaSystem, opts: &SimOptions, cache: Option<&SymbolicCache>) -> Self {
         TranWorkspace {
-            newton: NewtonWorkspace::new(sys.dim),
+            newton: NewtonWorkspace::for_system(sys, opts.solver, cache),
             companions: Vec::with_capacity(sys.capacitors.len()),
             new_states: Vec::with_capacity(sys.capacitors.len()),
         }
@@ -127,15 +128,9 @@ impl TranWorkspace {
             opts,
             opts.gmin,
             1.0,
-            |m, rhs| {
-                for (cap, &(geq, ieq)) in sys.capacitors.iter().zip(companions) {
-                    stamp_conductance(m, cap.a, cap.b, geq);
-                    if let Some(a) = cap.a {
-                        rhs[a] += ieq;
-                    }
-                    if let Some(b) = cap.b {
-                        rhs[b] -= ieq;
-                    }
+            |m, rhs, plan| {
+                for (slots, &(geq, ieq)) in plan.caps.iter().zip(companions) {
+                    slots.stamp(m, rhs, geq, ieq);
                 }
             },
             &mut self.newton,
@@ -184,7 +179,42 @@ pub fn transient(
     t_stop: f64,
     opts: &SimOptions,
 ) -> Result<TranResult, SpiceError> {
+    transient_with(circuit, t_stop, opts, None)
+}
+
+/// [`transient`] with a shared [`SymbolicCache`]: when `opts.solver` is
+/// [`Sparse`](crate::SolverKind::Sparse), the one-time symbolic analysis
+/// (fill-reducing ordering + fill pattern) of the circuit's topology is
+/// looked up in `cache` and computed only on a miss. Batched workloads
+/// simulating many same-topology variants — fault campaigns, Monte-Carlo
+/// scatter — share a cache so every variant after the first pays for
+/// numeric refactorisations only.
+pub fn transient_cached(
+    circuit: &Circuit,
+    t_stop: f64,
+    opts: &SimOptions,
+    cache: &SymbolicCache,
+) -> Result<TranResult, SpiceError> {
+    transient_with(circuit, t_stop, opts, Some(cache))
+}
+
+fn transient_with(
+    circuit: &Circuit,
+    t_stop: f64,
+    opts: &SimOptions,
+    cache: Option<&SymbolicCache>,
+) -> Result<TranResult, SpiceError> {
     opts.validate()?;
+    // Even without a caller-provided cache, the DC initial condition and
+    // the transient loop share one symbolic analysis of the topology.
+    let local_cache;
+    let cache = match cache {
+        Some(c) => Some(c),
+        None => {
+            local_cache = SymbolicCache::new();
+            Some(&local_cache)
+        }
+    };
     if !(t_stop.is_finite() && t_stop > 0.0) {
         return Err(SpiceError::InvalidOption(format!(
             "t_stop must be finite and positive, got {t_stop}"
@@ -193,7 +223,7 @@ pub fn transient(
     let sys = MnaSystem::build(circuit)?;
 
     // Initial condition: DC operating point at t = 0.
-    let x0 = crate::dc::solve_with_continuation_pub(&sys, 0.0, opts)?;
+    let x0 = crate::dc::solve_with_continuation_pub(&sys, 0.0, opts, cache)?;
 
     // Collect and dedupe source breakpoints inside (0, t_stop].
     let mut breakpoints: Vec<f64> = Vec::new();
@@ -234,7 +264,7 @@ pub fn transient(
         };
     record_point(&mut node_values, &mut branch_values, &x0);
 
-    let mut ws = TranWorkspace::new(&sys);
+    let mut ws = TranWorkspace::new(&sys, opts, cache);
     let mut x = x0;
     let mut t = 0.0;
     let mut bp_iter = breakpoints.into_iter().peekable();

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Validate a clocksense telemetry run report (the --report JSON).
+
+Structural gate for the CI bench-smoke job: every experiment binary must
+emit a well-formed report, whatever its numbers are. Checks:
+
+  * top-level shape: schema / meta / counters / timers / histograms;
+  * schema string is the known version;
+  * every counter is a non-negative integer, every timer/histogram
+    statistic a finite number (no NaN / Infinity smuggled through);
+  * histogram invariants: one bucket more than bounds, count equals the
+    bucket sum;
+  * optionally (--bench) the meta block names the expected binary and
+    (--expect-counter, repeatable) specific counters were recorded.
+
+Exits 0 on success, 1 with a message naming the first violation.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+SCHEMA = "clocksense-telemetry/v1"
+
+
+def fail(msg: str) -> None:
+    sys.exit(f"check_report: FAIL: {msg}")
+
+
+def check_finite(value, where: str) -> None:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        fail(f"{where}: expected a number, got {value!r}")
+    if isinstance(value, float) and not math.isfinite(value):
+        fail(f"{where}: non-finite value {value!r}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="path to the --report JSON file")
+    parser.add_argument("--bench", help="expected meta.bench name")
+    parser.add_argument(
+        "--expect-counter",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="counter that must be present (repeatable)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.report, encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read {args.report}: {e}")
+
+    for key in ("schema", "meta", "counters", "timers", "histograms"):
+        if key not in report:
+            fail(f"missing top-level key {key!r}")
+    if report["schema"] != SCHEMA:
+        fail(f"schema {report['schema']!r}, expected {SCHEMA!r}")
+    if args.bench is not None and report["meta"].get("bench") != args.bench:
+        fail(f"meta.bench {report['meta'].get('bench')!r}, expected {args.bench!r}")
+
+    for name, value in report["counters"].items():
+        where = f"counters[{name!r}]"
+        if not isinstance(value, int) or isinstance(value, bool):
+            fail(f"{where}: expected an integer, got {value!r}")
+        if value < 0:
+            fail(f"{where}: negative count {value}")
+
+    for name, value in report["timers"].items():
+        stats = value if isinstance(value, dict) else {"value": value}
+        for stat, v in stats.items():
+            check_finite(v, f"timers[{name!r}].{stat}")
+
+    for name, hist in report["histograms"].items():
+        where = f"histograms[{name!r}]"
+        for key in ("count", "sum", "bounds", "buckets"):
+            if key not in hist:
+                fail(f"{where}: missing {key!r}")
+        for stat in ("count", "sum", "min", "max"):
+            if stat in hist:
+                check_finite(hist[stat], f"{where}.{stat}")
+        bounds, buckets = hist["bounds"], hist["buckets"]
+        if len(buckets) != len(bounds) + 1:
+            fail(
+                f"{where}: {len(buckets)} buckets for {len(bounds)} bounds "
+                "(expected bounds + 1)"
+            )
+        for i, b in enumerate(buckets):
+            check_finite(b, f"{where}.buckets[{i}]")
+        if sum(buckets) != hist["count"]:
+            fail(f"{where}: bucket sum {sum(buckets)} != count {hist['count']}")
+
+    for name in args.expect_counter:
+        if name not in report["counters"]:
+            fail(f"expected counter {name!r} missing")
+
+    print(
+        f"check_report: OK: {args.report} "
+        f"({len(report['counters'])} counters, "
+        f"{len(report['histograms'])} histograms)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,13 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+# Numerics-sensitive suites again under release optimisations: the
+# solver-equivalence bounds (dense vs sparse to 1e-9, tree solver
+# cross-checks) must hold with fast-math-adjacent codegen too.
+echo "==> cargo test --release -q (numerics-sensitive suites)"
+cargo test --release -q -p clocksense-spice
+cargo test --release -q --test solver_equivalence --test spice_roundtrip
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
