@@ -14,57 +14,8 @@
 
 use std::time::Instant;
 
-use clocksense_bench::{print_header, Table};
-use clocksense_netlist::{Circuit, NodeId, SourceWave, GROUND};
+use clocksense_bench::{htree_netlist, print_header, Table};
 use clocksense_spice::{transient, SimOptions, SolverKind};
-
-/// Builds a complete binary RC tree with `n_nodes` tree nodes (heap
-/// layout, node 0 is the root) behind a driver resistor, pulsed by an
-/// ideal source — the MNA view of an H-tree clock net. Returns the
-/// circuit and the deepest leaf node.
-fn htree_netlist(n_nodes: usize) -> (Circuit, NodeId) {
-    let mut ckt = Circuit::new();
-    let src = ckt.node("src");
-    ckt.add_vsource(
-        "vclk",
-        src,
-        GROUND,
-        SourceWave::Pulse {
-            v1: 0.0,
-            v2: 1.0,
-            delay: 10e-12,
-            rise: 50e-12,
-            fall: 50e-12,
-            width: 400e-12,
-            period: f64::INFINITY,
-        },
-    )
-    .expect("source");
-    let nodes: Vec<NodeId> = (0..n_nodes).map(|i| ckt.node(&format!("n{i}"))).collect();
-    ckt.add_resistor("rdrv", src, nodes[0], 50.0)
-        .expect("driver");
-    for (i, &node) in nodes.iter().enumerate() {
-        // Wire segments halve in length (and resistance) per H-tree
-        // level; depth via the heap index.
-        let depth = (usize::BITS - (i + 1).leading_zeros()) as i32;
-        for child in [2 * i + 1, 2 * i + 2] {
-            if child < n_nodes {
-                ckt.add_resistor(
-                    &format!("r{i}_{child}"),
-                    node,
-                    nodes[child],
-                    200.0 / f64::powi(2.0, depth - 1),
-                )
-                .expect("segment");
-            }
-        }
-        let is_leaf = 2 * i + 1 >= n_nodes;
-        let farads = if is_leaf { 20e-15 } else { 5e-15 };
-        ckt.add_capacitor(&format!("c{i}"), node, GROUND, farads)
-            .expect("node cap");
-    }
-    (ckt, nodes[n_nodes - 1])
-}
 
 fn main() {
     let report = clocksense_bench::RunReport::from_env("solver_scaling");

@@ -20,6 +20,7 @@
 
 use std::path::PathBuf;
 
+use clocksense_netlist::{Circuit, NodeId, SourceWave, GROUND};
 use clocksense_wave::Waveform;
 
 /// `true` when the `CLOCKSENSE_FAST` environment variable requests
@@ -135,6 +136,55 @@ pub fn threads_arg() -> usize {
         }
     }
     threads
+}
+
+/// Builds a complete binary RC tree with `n_nodes` tree nodes (heap
+/// layout, node 0 is the root) behind a driver resistor, pulsed by an
+/// ideal source — the MNA view of an H-tree clock net. Returns the
+/// circuit and the deepest leaf node. Shared by the solver- and
+/// timestep-scaling binaries so both benchmark the same workload.
+pub fn htree_netlist(n_nodes: usize) -> (Circuit, NodeId) {
+    let mut ckt = Circuit::new();
+    let src = ckt.node("src");
+    ckt.add_vsource(
+        "vclk",
+        src,
+        GROUND,
+        SourceWave::Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: 10e-12,
+            rise: 50e-12,
+            fall: 50e-12,
+            width: 400e-12,
+            period: f64::INFINITY,
+        },
+    )
+    .expect("source");
+    let nodes: Vec<NodeId> = (0..n_nodes).map(|i| ckt.node(&format!("n{i}"))).collect();
+    ckt.add_resistor("rdrv", src, nodes[0], 50.0)
+        .expect("driver");
+    for (i, &node) in nodes.iter().enumerate() {
+        // Wire segments halve in length (and resistance) per H-tree
+        // level; depth via the heap index.
+        let depth = (usize::BITS - (i + 1).leading_zeros()) as i32;
+        for child in [2 * i + 1, 2 * i + 2] {
+            if child < n_nodes {
+                ckt.add_resistor(
+                    &format!("r{i}_{child}"),
+                    node,
+                    nodes[child],
+                    200.0 / f64::powi(2.0, depth - 1),
+                )
+                .expect("segment");
+            }
+        }
+        let is_leaf = 2 * i + 1 >= n_nodes;
+        let farads = if is_leaf { 20e-15 } else { 5e-15 };
+        ckt.add_capacitor(&format!("c{i}"), node, GROUND, farads)
+            .expect("node cap");
+    }
+    (ckt, nodes[n_nodes - 1])
 }
 
 /// Picks `full` or `fast` depending on [`fast_mode`].

@@ -83,7 +83,7 @@ fn solve_with_continuation(
     while gmin > opts.gmin {
         tm.gmin_steps.incr();
         match sys.newton_solve_ws(t, &x, opts, gmin, 1.0, |_, _, _| {}, &mut ws) {
-            Ok(()) => x.copy_from_slice(&ws.x),
+            Ok(_) => x.copy_from_slice(&ws.x),
             Err(_) => {
                 ok = false;
                 break;

@@ -607,8 +607,9 @@ impl MnaSystem {
     }
 
     /// Workspace-reusing Newton solve: iterates from `x_init`, leaving the
-    /// converged solution in `ws.x`. No heap allocation once the
-    /// workspace buffers have reached the system dimension.
+    /// converged solution in `ws.x` and returning the iteration count the
+    /// solve took. No heap allocation once the workspace buffers have
+    /// reached the system dimension.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn newton_solve_ws(
         &self,
@@ -619,7 +620,7 @@ impl MnaSystem {
         source_scale: f64,
         reactive: impl FnMut(&mut MnaMatrix, &mut [f64], &StampPlan),
         ws: &mut NewtonWorkspace,
-    ) -> Result<(), SpiceError> {
+    ) -> Result<u64, SpiceError> {
         // Iteration counts are accumulated locally and flushed to the
         // telemetry registry once per solve, keeping the Newton loop free
         // of atomics.
@@ -632,7 +633,7 @@ impl MnaSystem {
         if matches!(result, Err(SpiceError::NonConvergence { .. })) {
             tm.convergence_failures.incr();
         }
-        result
+        result.map(|()| iters)
     }
 
     #[allow(clippy::too_many_arguments)]

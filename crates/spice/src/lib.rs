@@ -53,6 +53,6 @@ pub use dc::{
 pub use error::SpiceError;
 pub use matrix::{DenseMatrix, LuScratch};
 pub use mos_eval::{channel_current, MosOperatingPoint, MosRegion};
-pub use options::{IntegrationMethod, SimOptions, SolverKind};
+pub use options::{IntegrationMethod, SimOptions, SolverKind, TimestepControl};
 pub use sparse::{SparseMatrix, Symbolic, SymbolicCache};
 pub use tran::{transient, transient_cached, TranResult};

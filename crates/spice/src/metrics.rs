@@ -54,7 +54,48 @@ pub(crate) struct SpiceMetrics {
     pub iters_per_solve: Histogram,
 }
 
+/// Counters specific to the adaptive (LTE-controlled) transient stepper,
+/// recorded under the `tran.` scope.
+///
+/// Kept in a separate lazily-created block so fixed-step runs — the
+/// golden reference whose archived telemetry reports must stay
+/// byte-identical — never materialise these counters in a snapshot. They
+/// first appear the moment an adaptive transient runs.
+pub(crate) struct TranMetrics {
+    /// Steps the adaptive controller accepted.
+    pub steps_accepted: Counter,
+    /// Attempts rejected, by the LTE overshoot test or non-convergence.
+    pub steps_rejected: Counter,
+    /// Step-size reductions: LTE rejections plus accepted steps whose
+    /// successor was shrunk by the controller.
+    pub lte_step_shrinks: Counter,
+    /// Accepted steps whose successor the controller grew.
+    pub lte_step_growths: Counter,
+    /// Steps whose end was pulled back to a source breakpoint so an edge
+    /// was not stepped over.
+    pub breakpoint_clamps: Counter,
+    /// Estimated Newton iterations the polynomial predictor saved: per
+    /// predicted solve, the iteration count of the most recent
+    /// cold-started solve minus this solve's, clamped at zero.
+    pub predictor_newton_iters_saved: Counter,
+}
+
 static METRICS: OnceLock<SpiceMetrics> = OnceLock::new();
+static TRAN_METRICS: OnceLock<TranMetrics> = OnceLock::new();
+
+pub(crate) fn tran_metrics() -> &'static TranMetrics {
+    TRAN_METRICS.get_or_init(|| {
+        let scope = clocksense_telemetry::global().scope("tran");
+        TranMetrics {
+            steps_accepted: scope.counter("steps_accepted"),
+            steps_rejected: scope.counter("steps_rejected"),
+            lte_step_shrinks: scope.counter("lte_step_shrinks"),
+            lte_step_growths: scope.counter("lte_step_growths"),
+            breakpoint_clamps: scope.counter("breakpoint_clamps"),
+            predictor_newton_iters_saved: scope.counter("predictor_newton_iters_saved"),
+        }
+    })
+}
 
 pub(crate) fn metrics() -> &'static SpiceMetrics {
     METRICS.get_or_init(|| {

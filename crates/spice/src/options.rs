@@ -94,6 +94,68 @@ pub enum IntegrationMethod {
     BackwardEuler,
 }
 
+/// Transient time-step control strategy.
+///
+/// [`Fixed`](TimestepControl::Fixed) marches at the base
+/// [`tstep`](SimOptions::tstep) (halving only on non-convergence) and is
+/// the golden reference: its accepted time grid — and therefore every
+/// sampled waveform — is bit-identical across releases. `Adaptive` is the
+/// opt-in local-truncation-error (LTE) controller: after every accepted
+/// step a divided-difference LTE estimate per node decides whether the
+/// next step grows or shrinks inside `[tstep_min, tstep_max]`, steps whose
+/// LTE overshoots are rejected and retried smaller, and source
+/// breakpoints (PWL corners, clock edges) still clamp the step so edges
+/// are never stepped over. Each Newton solve is warm-started from a
+/// polynomial predictor extrapolating the previous solutions.
+///
+/// # Examples
+///
+/// ```
+/// use clocksense_spice::{SimOptions, TimestepControl};
+///
+/// // Default: the fixed-step golden reference.
+/// assert_eq!(SimOptions::default().timestep, TimestepControl::Fixed);
+///
+/// // Opt in to adaptive stepping: up to 50 ps steps on flat stretches,
+/// // LTE held at 10x the Newton tolerances.
+/// let opts = SimOptions {
+///     timestep: TimestepControl::Adaptive {
+///         tstep_max: 50e-12,
+///         lte_tol: 10.0,
+///     },
+///     ..SimOptions::default()
+/// };
+/// assert!(opts.validate().is_ok());
+///
+/// // tstep_max below the base tstep is rejected by name.
+/// let bad = SimOptions {
+///     timestep: TimestepControl::Adaptive {
+///         tstep_max: 0.5e-12,
+///         lte_tol: 10.0,
+///     },
+///     ..SimOptions::default()
+/// };
+/// assert!(bad.validate().unwrap_err().to_string().contains("tstep_max"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum TimestepControl {
+    /// Fixed stepping at [`SimOptions::tstep`] — the golden reference.
+    #[default]
+    Fixed,
+    /// LTE-controlled variable stepping with predictor warm starts.
+    Adaptive {
+        /// Largest step the controller may grow to (s). Must be at least
+        /// [`SimOptions::tstep`], which doubles as the initial step and
+        /// the restart step after every source breakpoint.
+        tstep_max: f64,
+        /// Multiplier on the Newton tolerances forming the per-node LTE
+        /// target `lte_tol · (vntol + reltol · |v|)`. Larger values take
+        /// longer steps at the price of local accuracy; `1.0` holds the
+        /// truncation error at the solver tolerances themselves.
+        lte_tol: f64,
+    },
+}
+
 /// Tolerances and controls for DC and transient analyses.
 ///
 /// The defaults mirror Berkeley SPICE (`reltol = 1e-3`, `vntol = 1e-6`,
@@ -110,7 +172,11 @@ pub enum IntegrationMethod {
 /// * `tstep` is the *base* transient step; on non-convergence the step
 ///   is halved repeatedly until it would drop below `tstep_min`, at
 ///   which point the analysis fails with
-///   [`NonConvergence`](SpiceError::NonConvergence).
+///   [`NonConvergence`](SpiceError::NonConvergence). With
+///   [`TimestepControl::Adaptive`] it is also the initial step and the
+///   restart step after every source breakpoint, while the
+///   local-truncation-error controller grows and shrinks the running
+///   step inside `[tstep_min, tstep_max]` between breakpoints.
 /// * `gmin` is both the DC continuation floor and the conductance tied
 ///   across every MOSFET channel, so raising it helps convergence at
 ///   the price of leakage-current accuracy (IDDQ measurements are the
@@ -162,6 +228,9 @@ pub struct SimOptions {
     pub tstep_min: f64,
     /// Integration method.
     pub method: IntegrationMethod,
+    /// Transient time-step control: fixed-grid reference (default) or
+    /// LTE-controlled adaptive stepping. See [`TimestepControl`].
+    pub timestep: TimestepControl,
     /// Linear-solver backend for every Newton iteration.
     pub solver: SolverKind,
     /// Largest per-iteration Newton voltage update (V); larger updates are
@@ -180,6 +249,7 @@ impl Default for SimOptions {
             tstep: 1e-12,
             tstep_min: 1e-16,
             method: IntegrationMethod::default(),
+            timestep: TimestepControl::default(),
             solver: SolverKind::default(),
             newton_damping: 2.0,
         }
@@ -220,6 +290,20 @@ impl SimOptions {
                 "tstep_min must not exceed tstep".to_string(),
             ));
         }
+        if let TimestepControl::Adaptive { tstep_max, lte_tol } = self.timestep {
+            for (name, v) in [("tstep_max", tstep_max), ("lte_tol", lte_tol)] {
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(SpiceError::InvalidOption(format!(
+                        "{name} must be finite and positive, got {v}"
+                    )));
+                }
+            }
+            if tstep_max < self.tstep {
+                return Err(SpiceError::InvalidOption(
+                    "tstep_max must be at least the base tstep".to_string(),
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -258,5 +342,42 @@ mod tests {
     #[test]
     fn default_method_is_trapezoidal() {
         assert_eq!(SimOptions::default().method, IntegrationMethod::Trapezoidal);
+    }
+
+    #[test]
+    fn default_timestep_control_is_fixed() {
+        assert_eq!(SimOptions::default().timestep, TimestepControl::Fixed);
+    }
+
+    #[test]
+    fn adaptive_options_are_validated() {
+        let ok = SimOptions {
+            timestep: TimestepControl::Adaptive {
+                tstep_max: 100e-12,
+                lte_tol: 10.0,
+            },
+            ..SimOptions::default()
+        };
+        assert!(ok.validate().is_ok());
+
+        let small_max = SimOptions {
+            timestep: TimestepControl::Adaptive {
+                tstep_max: 0.1e-12,
+                lte_tol: 10.0,
+            },
+            ..SimOptions::default()
+        };
+        let err = small_max.validate().unwrap_err();
+        assert!(err.to_string().contains("tstep_max"));
+
+        let bad_tol = SimOptions {
+            timestep: TimestepControl::Adaptive {
+                tstep_max: 100e-12,
+                lte_tol: f64::NAN,
+            },
+            ..SimOptions::default()
+        };
+        let err = bad_tol.validate().unwrap_err();
+        assert!(err.to_string().contains("lte_tol"));
     }
 }

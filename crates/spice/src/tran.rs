@@ -1,18 +1,25 @@
 //! Transient analysis.
 
+use std::sync::Arc;
+
 use clocksense_netlist::{Circuit, NodeId};
 use clocksense_wave::Waveform;
 
 use crate::engine::{MnaSystem, NewtonWorkspace};
 use crate::error::SpiceError;
-use crate::options::{IntegrationMethod, SimOptions};
+use crate::options::{IntegrationMethod, SimOptions, TimestepControl};
 use crate::sparse::SymbolicCache;
 
 /// Result of a transient analysis: every node voltage and every
 /// voltage-source branch current, sampled at each accepted time point.
+///
+/// The time axis is stored once behind an [`Arc`] and shared with every
+/// [`Waveform`] handed out, so probing many nodes of one result — the
+/// campaign and Monte-Carlo hot loops — copies only the per-node values,
+/// never the grid.
 #[derive(Debug, Clone)]
 pub struct TranResult {
-    times: Vec<f64>,
+    times: Arc<[f64]>,
     node_values: Vec<Vec<f64>>,
     branch_values: Vec<Vec<f64>>,
     node_names: Vec<String>,
@@ -35,14 +42,17 @@ impl TranResult {
             node.index() < self.node_values.len(),
             "node {node} not in this analysis"
         );
-        Waveform::new(self.times.clone(), self.node_values[node.index()].clone())
+        Waveform::with_shared_times(
+            Arc::clone(&self.times),
+            self.node_values[node.index()].clone(),
+        )
     }
 
     /// Voltage waveform looked up by node name.
     pub fn waveform_named(&self, name: &str) -> Option<Waveform> {
         let idx = self.node_names.iter().position(|n| n == name)?;
-        Some(Waveform::new(
-            self.times.clone(),
+        Some(Waveform::with_shared_times(
+            Arc::clone(&self.times),
             self.node_values[idx].clone(),
         ))
     }
@@ -52,8 +62,8 @@ impl TranResult {
     /// values — see [`iddq`](crate::iddq) for the DC sign convention).
     pub fn source_current(&self, name: &str) -> Option<Waveform> {
         let idx = self.source_names.iter().position(|n| n == name)?;
-        Some(Waveform::new(
-            self.times.clone(),
+        Some(Waveform::with_shared_times(
+            Arc::clone(&self.times),
             self.branch_values[idx].clone(),
         ))
     }
@@ -94,9 +104,12 @@ impl TranWorkspace {
         }
     }
 
-    /// One integration attempt over `[t_next - h, t_next]`. On success the
-    /// solution is left in `self.newton.x` and the updated capacitor
-    /// states in `self.new_states`; the caller swaps them in on accept.
+    /// One integration attempt over `[t_next - h, t_next]`, with `x` as
+    /// the Newton starting point (the last accepted solution, or a
+    /// predictor extrapolation). On success the solution is left in
+    /// `self.newton.x` and the updated capacitor states in
+    /// `self.new_states`; the caller swaps them in on accept. Returns the
+    /// Newton iteration count of the solve.
     #[allow(clippy::too_many_arguments)]
     fn try_step(
         &mut self,
@@ -107,7 +120,7 @@ impl TranWorkspace {
         h: f64,
         backward_euler: bool,
         opts: &SimOptions,
-    ) -> Result<(), SpiceError> {
+    ) -> Result<u64, SpiceError> {
         // Companion model per capacitor: i = geq * u - ieq.
         self.companions.clear();
         self.companions
@@ -122,7 +135,7 @@ impl TranWorkspace {
             }));
 
         let companions = &self.companions;
-        sys.newton_solve_ws(
+        let iters = sys.newton_solve_ws(
             t_next,
             x,
             opts,
@@ -151,7 +164,7 @@ impl TranWorkspace {
                         }
                     }),
             );
-        Ok(())
+        Ok(iters)
     }
 }
 
@@ -164,6 +177,14 @@ impl TranWorkspace {
 /// start-up ringing. Source breakpoints are always hit exactly, and steps
 /// that fail to converge are recursively halved down to
 /// [`SimOptions::tstep_min`].
+///
+/// The time grid is governed by [`SimOptions::timestep`]: the default
+/// [`Fixed`](crate::TimestepControl::Fixed) mode marches
+/// [`tstep`](SimOptions::tstep)-sized windows and is the bit-exact golden
+/// reference, while
+/// [`Adaptive`](crate::TimestepControl::Adaptive) re-sizes every step from
+/// a local-truncation-error estimate — same breakpoints, far fewer steps
+/// over quiescent stretches.
 ///
 /// # Errors
 ///
@@ -237,7 +258,7 @@ fn transient_with(
     breakpoints.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
     breakpoints.dedup_by(|a, b| (*a - *b).abs() < opts.tstep_min);
 
-    let mut states: Vec<CapState> = sys
+    let states: Vec<CapState> = sys
         .capacitors
         .iter()
         .map(|c| CapState {
@@ -247,25 +268,86 @@ fn transient_with(
         .collect();
 
     // Per-node / per-branch series are accumulated incrementally as steps
-    // are accepted (row 0 is ground and stays all-zero), replacing the old
-    // clone-every-solution-then-transpose pass.
-    let mut times = vec![0.0];
-    let mut node_values: Vec<Vec<f64>> = vec![Vec::new(); sys.n_nodes];
-    let mut branch_values: Vec<Vec<f64>> = vec![Vec::new(); sys.vsources.len()];
-    let record_point =
-        |node_values: &mut Vec<Vec<f64>>, branch_values: &mut Vec<Vec<f64>>, x: &[f64]| {
-            node_values[0].push(0.0);
-            for node in 1..sys.n_nodes {
-                node_values[node].push(x[node - 1]);
-            }
-            for (b, series) in branch_values.iter_mut().enumerate() {
-                series.push(x[sys.n_v + b]);
-            }
-        };
-    record_point(&mut node_values, &mut branch_values, &x0);
+    // are accepted (row 0 is ground and stays all-zero).
+    let mut samples = Samples {
+        times: vec![0.0],
+        node_values: vec![Vec::new(); sys.n_nodes],
+        branch_values: vec![Vec::new(); sys.vsources.len()],
+    };
+    samples.record(&sys, &x0);
 
     let mut ws = TranWorkspace::new(&sys, opts, cache);
-    let mut x = x0;
+    match opts.timestep {
+        TimestepControl::Fixed => march_fixed(
+            &sys,
+            opts,
+            t_stop,
+            breakpoints,
+            &mut ws,
+            x0,
+            states,
+            &mut samples,
+        )?,
+        TimestepControl::Adaptive { tstep_max, lte_tol } => march_adaptive(
+            &sys,
+            opts,
+            t_stop,
+            tstep_max,
+            lte_tol,
+            breakpoints,
+            &mut ws,
+            x0,
+            states,
+            &mut samples,
+        )?,
+    }
+
+    Ok(TranResult {
+        times: samples.times.into(),
+        node_values: samples.node_values,
+        branch_values: samples.branch_values,
+        node_names: sys.node_names.clone(),
+        source_names: sys.vsources.iter().map(|v| v.name.clone()).collect(),
+    })
+}
+
+/// Accepted-sample accumulator shared by both marching loops.
+struct Samples {
+    times: Vec<f64>,
+    node_values: Vec<Vec<f64>>,
+    branch_values: Vec<Vec<f64>>,
+}
+
+impl Samples {
+    fn record(&mut self, sys: &MnaSystem, x: &[f64]) {
+        self.node_values[0].push(0.0);
+        for node in 1..sys.n_nodes {
+            self.node_values[node].push(x[node - 1]);
+        }
+        for (b, series) in self.branch_values.iter_mut().enumerate() {
+            series.push(x[sys.n_v + b]);
+        }
+    }
+
+    fn accept(&mut self, sys: &MnaSystem, t: f64, x: &[f64]) {
+        self.times.push(t);
+        self.record(sys, x);
+    }
+}
+
+/// The fixed-step reference marcher: `tstep`-sized windows, halving only
+/// on non-convergence. Bit-identical to every archived golden.
+#[allow(clippy::too_many_arguments)]
+fn march_fixed(
+    sys: &MnaSystem,
+    opts: &SimOptions,
+    t_stop: f64,
+    breakpoints: Vec<f64>,
+    ws: &mut TranWorkspace,
+    mut x: Vec<f64>,
+    mut states: Vec<CapState>,
+    samples: &mut Samples,
+) -> Result<(), SpiceError> {
     let mut t = 0.0;
     let mut bp_iter = breakpoints.into_iter().peekable();
     // Force a damping backward-Euler step after DC and after breakpoints.
@@ -294,13 +376,12 @@ fn transient_with(
             let mut h = remaining;
             loop {
                 let be = force_be || opts.method == IntegrationMethod::BackwardEuler;
-                match ws.try_step(&sys, &x, &states, sub_t + h, h, be, opts) {
-                    Ok(()) => {
+                match ws.try_step(sys, &x, &states, sub_t + h, h, be, opts) {
+                    Ok(_) => {
                         sub_t += h;
                         std::mem::swap(&mut x, &mut ws.newton.x);
                         std::mem::swap(&mut states, &mut ws.new_states);
-                        times.push(sub_t);
-                        record_point(&mut node_values, &mut branch_values, &x);
+                        samples.accept(sys, sub_t, &x);
                         force_be = false;
                         tm.steps_accepted.incr();
                         break;
@@ -332,14 +413,263 @@ fn transient_with(
             force_be = true;
         }
     }
+    Ok(())
+}
 
-    Ok(TranResult {
-        times,
-        node_values,
-        branch_values,
-        node_names: sys.node_names.clone(),
-        source_names: sys.vsources.iter().map(|v| v.name.clone()).collect(),
-    })
+/// Trailing accepted solutions `(t, x)` for the LTE divided differences
+/// and the predictor polynomial, oldest first. Evicted entries donate
+/// their buffers back, so the history allocates nothing at steady state.
+struct History {
+    points: Vec<(f64, Vec<f64>)>,
+}
+
+impl History {
+    const DEPTH: usize = 3;
+
+    fn new(t: f64, x: &[f64]) -> History {
+        let mut h = History {
+            points: Vec::with_capacity(Self::DEPTH),
+        };
+        h.push(t, x);
+        h
+    }
+
+    fn push(&mut self, t: f64, x: &[f64]) {
+        let mut entry = if self.points.len() == Self::DEPTH {
+            self.points.remove(0)
+        } else {
+            (0.0, Vec::with_capacity(x.len()))
+        };
+        entry.0 = t;
+        entry.1.clear();
+        entry.1.extend_from_slice(x);
+        self.points.push(entry);
+    }
+
+    /// Drop everything before the discontinuity at the newest point:
+    /// divided differences across a source breakpoint estimate nothing.
+    fn restart(&mut self) {
+        while self.points.len() > 1 {
+            self.points.remove(0);
+        }
+    }
+
+    /// Polynomial predictor: extrapolates the trailing solutions to `t`
+    /// (quadratic through three points, linear through two) as the Newton
+    /// warm start. Returns `false` when there is not enough history.
+    fn predict_into(&self, t: f64, out: &mut Vec<f64>) -> bool {
+        let n = self.points.len();
+        out.clear();
+        match n {
+            0 | 1 => false,
+            2 => {
+                let (t1, x1) = &self.points[n - 2];
+                let (t2, x2) = &self.points[n - 1];
+                let s = (t - t2) / (t2 - t1);
+                out.extend(x1.iter().zip(x2).map(|(a, b)| b + s * (b - a)));
+                true
+            }
+            _ => {
+                let (t0, x0) = &self.points[n - 3];
+                let (t1, x1) = &self.points[n - 2];
+                let (t2, x2) = &self.points[n - 1];
+                let l0 = ((t - t1) * (t - t2)) / ((t0 - t1) * (t0 - t2));
+                let l1 = ((t - t0) * (t - t2)) / ((t1 - t0) * (t1 - t2));
+                let l2 = ((t - t0) * (t - t1)) / ((t2 - t0) * (t2 - t1));
+                out.extend((0..x0.len()).map(|i| l0 * x0[i] + l1 * x1[i] + l2 * x2[i]));
+                true
+            }
+        }
+    }
+
+    /// Worst per-node ratio of estimated local truncation error to its
+    /// target for the candidate solution `x_new` at `t_new`.
+    ///
+    /// Backward Euler's LTE is `(h²/2)·x″`, the trapezoidal rule's
+    /// `(h³/12)·x‴`; both derivatives come from divided differences over
+    /// the trailing accepted points plus the candidate (`x″ ≈ 2·f[t₋₁,t₀,t₁]`,
+    /// `x‴ ≈ 6·f[t₋₂,t₋₁,t₀,t₁]`). Only node-voltage rows participate —
+    /// branch currents of ideal sources carry no integration error of
+    /// their own. Returns `None` while the history is too short (right
+    /// after DC or a breakpoint), where the estimate has no basis.
+    #[allow(clippy::too_many_arguments)]
+    fn lte_ratio(
+        &self,
+        t_new: f64,
+        x_new: &[f64],
+        n_v: usize,
+        trap: bool,
+        lte_tol: f64,
+        opts: &SimOptions,
+    ) -> Option<f64> {
+        let n = self.points.len();
+        if n < if trap { 3 } else { 2 } {
+            return None;
+        }
+        let (t1, x1) = &self.points[n - 1];
+        let (t2, x2) = &self.points[n - 2];
+        let h_new = t_new - t1;
+        let mut worst = 0.0f64;
+        for i in 0..n_v {
+            let d1a = (x_new[i] - x1[i]) / h_new;
+            let d1b = (x1[i] - x2[i]) / (t1 - t2);
+            let dd2 = (d1a - d1b) / (t_new - t2);
+            let lte = if trap {
+                let (t3, x3) = &self.points[n - 3];
+                let d1c = (x2[i] - x3[i]) / (t2 - t3);
+                let dd2b = (d1b - d1c) / (t1 - t3);
+                let dd3 = (dd2 - dd2b) / (t_new - t3);
+                0.5 * h_new.powi(3) * dd3
+            } else {
+                h_new * h_new * dd2
+            };
+            let target = lte_tol * (opts.vntol + opts.reltol * x_new[i].abs().max(x1[i].abs()));
+            worst = worst.max(lte.abs() / target);
+        }
+        Some(worst)
+    }
+}
+
+/// The LTE-controlled adaptive marcher: every accepted step re-sizes the
+/// next one from a divided-difference truncation-error estimate, steps
+/// whose estimate overshoots the target are rejected and retried smaller,
+/// source breakpoints clamp the step end so edges are never stepped over,
+/// and each Newton solve warm-starts from a polynomial predictor.
+#[allow(clippy::too_many_arguments)]
+fn march_adaptive(
+    sys: &MnaSystem,
+    opts: &SimOptions,
+    t_stop: f64,
+    tstep_max: f64,
+    lte_tol: f64,
+    breakpoints: Vec<f64>,
+    ws: &mut TranWorkspace,
+    mut x: Vec<f64>,
+    mut states: Vec<CapState>,
+    samples: &mut Samples,
+) -> Result<(), SpiceError> {
+    // Accepted-step growth is capped at 2x so the grid cannot jump from
+    // edge-resolving to edge-skipping in one step; shrink decisions come
+    // straight from the controller. 0.9 is the classic safety factor.
+    const SAFETY: f64 = 0.9;
+    const MAX_GROWTH: f64 = 2.0;
+    const MAX_SHRINK: f64 = 0.1;
+
+    let mut t = 0.0;
+    let mut h = opts.tstep.min(tstep_max);
+    let mut bp_iter = breakpoints.into_iter().peekable();
+    let mut force_be = true;
+    let mut hist = History::new(0.0, &x);
+    let mut x_pred: Vec<f64> = Vec::new();
+    // Rolling Newton-iteration count of the most recent cold-started
+    // solve; the basis of the predictor-savings estimate.
+    let mut cold_iters: u64 = 0;
+    let tm = crate::metrics::metrics();
+    let tmt = crate::metrics::tran_metrics();
+
+    while t < t_stop - opts.tstep_min {
+        let mut t_next = t + h.clamp(opts.tstep_min, tstep_max);
+        let mut hit_breakpoint = false;
+        if let Some(&bp) = bp_iter.peek() {
+            if bp <= t_next + opts.tstep_min {
+                if bp < t_next {
+                    tmt.breakpoint_clamps.incr();
+                }
+                t_next = bp;
+                hit_breakpoint = true;
+            }
+        }
+        if t_next > t_stop {
+            t_next = t_stop;
+        }
+        let h_eff = t_next - t;
+        let be = force_be || opts.method == IntegrationMethod::BackwardEuler;
+
+        // Predictor warm start; right after DC or a breakpoint the last
+        // accepted point is the only sensible start.
+        let predicted = !force_be && hist.predict_into(t_next, &mut x_pred);
+        let x_start: &[f64] = if predicted { &x_pred } else { &x };
+
+        match ws.try_step(sys, x_start, &states, t_next, h_eff, be, opts) {
+            Ok(iters) => {
+                // LTE accept/reject and next-step sizing. The error of
+                // this step scales as h² (BE) or h³ (trap), so the
+                // optimal-step exponent is 1/2 resp. 1/3.
+                let exponent = if be { 0.5 } else { 1.0 / 3.0 };
+                match hist.lte_ratio(t_next, &ws.newton.x, sys.n_v, !be, lte_tol, opts) {
+                    Some(ratio) if ratio > 1.0 && h_eff > 2.0 * opts.tstep_min => {
+                        // Overshoot with room to shrink: reject and retry.
+                        tm.steps_rejected.incr();
+                        tmt.steps_rejected.incr();
+                        tmt.lte_step_shrinks.incr();
+                        let factor = (SAFETY * ratio.powf(-exponent)).clamp(MAX_SHRINK, 0.9);
+                        h = (h_eff * factor).max(opts.tstep_min);
+                        continue;
+                    }
+                    Some(ratio) => {
+                        let factor = if ratio > 0.0 {
+                            (SAFETY * ratio.powf(-exponent)).clamp(MAX_SHRINK, MAX_GROWTH)
+                        } else {
+                            MAX_GROWTH
+                        };
+                        let h_next = (h_eff * factor).clamp(opts.tstep_min, tstep_max);
+                        if h_next > h_eff {
+                            tmt.lte_step_growths.incr();
+                        } else if h_next < h_eff {
+                            tmt.lte_step_shrinks.incr();
+                        }
+                        h = h_next;
+                    }
+                    None => {
+                        // No estimate yet: grow cautiously towards the cap.
+                        h = (h_eff * MAX_GROWTH).clamp(opts.tstep_min, tstep_max);
+                    }
+                }
+                if predicted {
+                    tmt.predictor_newton_iters_saved
+                        .add(cold_iters.saturating_sub(iters));
+                } else {
+                    cold_iters = iters;
+                }
+                t = t_next;
+                std::mem::swap(&mut x, &mut ws.newton.x);
+                std::mem::swap(&mut states, &mut ws.new_states);
+                samples.accept(sys, t, &x);
+                hist.push(t, &x);
+                tm.steps_accepted.incr();
+                tmt.steps_accepted.incr();
+                force_be = false;
+                if hit_breakpoint {
+                    bp_iter.next();
+                    tm.breakpoints_hit.incr();
+                    force_be = true;
+                    hist.restart();
+                    h = opts.tstep.min(tstep_max);
+                }
+            }
+            Err(SpiceError::NonConvergence { .. }) if h_eff / 2.0 >= opts.tstep_min => {
+                tm.steps_rejected.incr();
+                tm.step_halvings.incr();
+                tmt.steps_rejected.incr();
+                h = h_eff / 2.0;
+            }
+            Err(SpiceError::NonConvergence { .. }) if t_next - t <= 2.0 * opts.tstep_min => {
+                // Sub-tstep_min sliver that cannot converge: treat the
+                // target as reached, exactly as the fixed marcher does.
+                tm.slivers_accepted.incr();
+                t = t_next;
+                if hit_breakpoint {
+                    bp_iter.next();
+                    tm.breakpoints_hit.incr();
+                    force_be = true;
+                    hist.restart();
+                    h = opts.tstep.min(tstep_max);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -536,5 +866,138 @@ mod tests {
         let (ckt, _) = rc_circuit(1e3, 1e-12);
         assert!(transient(&ckt, 0.0, &SimOptions::default()).is_err());
         assert!(transient(&ckt, f64::NAN, &SimOptions::default()).is_err());
+    }
+
+    fn adaptive_opts() -> SimOptions {
+        SimOptions {
+            timestep: TimestepControl::Adaptive {
+                tstep_max: 200e-12,
+                lte_tol: 1.0,
+            },
+            ..SimOptions::default()
+        }
+    }
+
+    #[test]
+    fn adaptive_rc_matches_analytic_with_far_fewer_steps() {
+        let (ckt, out) = rc_circuit(1e3, 1e-12); // tau = 1 ns
+        let fixed = transient(&ckt, 5e-9, &SimOptions::default()).unwrap();
+        let adaptive = transient(&ckt, 5e-9, &adaptive_opts()).unwrap();
+
+        let w = adaptive.waveform(out);
+        for frac in [0.5f64, 1.0, 2.0, 3.0] {
+            let expect = 1.0 - (-frac).exp();
+            let got = w.value_at(frac * 1e-9 + 1e-13);
+            assert!(
+                (got - expect).abs() < 1e-2,
+                "at {frac} tau: got {got}, expected {expect}"
+            );
+        }
+        assert!(
+            fixed.times().len() >= 3 * adaptive.times().len(),
+            "adaptive took {} steps vs fixed {}",
+            adaptive.times().len(),
+            fixed.times().len()
+        );
+    }
+
+    #[test]
+    fn adaptive_grid_still_hits_breakpoints_exactly() {
+        let (ckt, _) = rc_circuit(1e3, 1e-12);
+        let res = transient(&ckt, 2e-9, &adaptive_opts()).unwrap();
+        let t = res.times();
+        assert!(t.windows(2).all(|w| w[1] > w[0]));
+        // The source has a breakpoint at 1e-13; the grid must land on it
+        // even though the controller would prefer much larger steps.
+        assert!(t.iter().any(|&x| (x - 1e-13).abs() < 1e-15));
+        assert!((t[t.len() - 1] - 2e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn adaptive_backward_euler_matches_analytic() {
+        let (ckt, out) = rc_circuit(1e3, 1e-12);
+        let opts = SimOptions {
+            method: IntegrationMethod::BackwardEuler,
+            ..adaptive_opts()
+        };
+        let res = transient(&ckt, 10e-9, &opts).unwrap();
+        assert!((res.waveform(out).value_at(10e-9) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn adaptive_inverter_agrees_with_fixed_grid() {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add_vsource("vdd", vdd, GROUND, SourceWave::Dc(5.0))
+            .unwrap();
+        ckt.add_vsource(
+            "vin",
+            inp,
+            GROUND,
+            SourceWave::Pulse {
+                v1: 0.0,
+                v2: 5.0,
+                delay: 1e-9,
+                rise: 0.2e-9,
+                fall: 0.2e-9,
+                width: 2e-9,
+                period: f64::INFINITY,
+            },
+        )
+        .unwrap();
+        let nmos = MosParams {
+            vth0: 0.7,
+            kp: 60e-6,
+            lambda: 0.02,
+            w: 4e-6,
+            l: 1.2e-6,
+            cgs: 3e-15,
+            cgd: 3e-15,
+            cdb: 4e-15,
+        };
+        let pmos = MosParams {
+            vth0: -0.9,
+            kp: 20e-6,
+            lambda: 0.02,
+            w: 10e-6,
+            l: 1.2e-6,
+            cgs: 7e-15,
+            cgd: 7e-15,
+            cdb: 9e-15,
+        };
+        ckt.add_mosfet("mp", MosPolarity::Pmos, out, inp, vdd, pmos)
+            .unwrap();
+        ckt.add_mosfet("mn", MosPolarity::Nmos, out, inp, GROUND, nmos)
+            .unwrap();
+        ckt.add_capacitor("cl", out, GROUND, 50e-15).unwrap();
+
+        let fixed = transient(&ckt, 6e-9, &SimOptions::default()).unwrap();
+        let adaptive = transient(&ckt, 6e-9, &adaptive_opts()).unwrap();
+        let diff = adaptive
+            .waveform(out)
+            .max_abs_difference(&fixed.waveform(out));
+        assert!(diff < 0.1, "adaptive deviates from fixed by {diff} V");
+        assert!(fixed.times().len() >= 3 * adaptive.times().len());
+    }
+
+    #[test]
+    fn fixed_mode_is_unaffected_by_timestep_field() {
+        // The default SimOptions carries TimestepControl::Fixed; an
+        // explicit Fixed must produce the identical grid and samples.
+        let (ckt, out) = rc_circuit(1e3, 1e-12);
+        let implicit = transient(&ckt, 2e-9, &SimOptions::default()).unwrap();
+        let explicit = transient(
+            &ckt,
+            2e-9,
+            &SimOptions {
+                timestep: TimestepControl::Fixed,
+                ..SimOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(implicit.times(), explicit.times());
+        assert_eq!(implicit.waveform(out), explicit.waveform(out));
     }
 }

@@ -1,15 +1,21 @@
 //! Sampled waveforms.
 
 use std::fmt;
+use std::sync::Arc;
 
 /// A sampled analog signal: strictly increasing times, one value each.
 ///
 /// Between samples the signal is linearly interpolated; outside the sampled
 /// span it is clamped to the first/last value. Construction validates the
 /// time axis, so every `Waveform` in circulation is well-formed.
+///
+/// The time axis lives behind an [`Arc`], so waveforms probed off one
+/// simulation share a single grid allocation — cloning a `Waveform` or
+/// fanning one transient result out into per-node waveforms copies
+/// values only. Equality still compares contents, not pointers.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Waveform {
-    times: Vec<f64>,
+    times: Arc<[f64]>,
     values: Vec<f64>,
 }
 
@@ -23,6 +29,16 @@ impl Waveform {
     /// this for simulator output where those invariants hold by
     /// construction; data from outside should be checked first.
     pub fn new(times: Vec<f64>, values: Vec<f64>) -> Self {
+        Waveform::with_shared_times(times.into(), values)
+    }
+
+    /// Creates a waveform on an already-shared time axis, avoiding a copy
+    /// of the grid. Validation is identical to [`Waveform::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Waveform::new`].
+    pub fn with_shared_times(times: Arc<[f64]>, values: Vec<f64>) -> Self {
         assert_eq!(times.len(), values.len(), "times/values length mismatch");
         assert!(!times.is_empty(), "waveform must have at least one sample");
         assert!(
@@ -360,5 +376,25 @@ mod tests {
     fn difference_of_identical_is_zero() {
         let w = Waveform::from_fn(0.0, 1.0, 50, f64::sin);
         assert_eq!(w.max_abs_difference(&w.clone()), 0.0);
+    }
+
+    #[test]
+    fn shared_times_share_one_allocation_and_compare_by_contents() {
+        let axis: Arc<[f64]> = vec![0.0, 1.0, 2.0].into();
+        let a = Waveform::with_shared_times(Arc::clone(&axis), vec![0.0, 1.0, 4.0]);
+        let b = Waveform::with_shared_times(Arc::clone(&axis), vec![0.0, 1.0, 4.0]);
+        assert!(std::ptr::eq(a.times().as_ptr(), b.times().as_ptr()));
+        assert_eq!(a, b);
+        // An identical waveform on its own freshly-allocated axis is still
+        // equal: Arc sharing is an optimisation, not part of the value.
+        let c = Waveform::new(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 4.0]);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn shared_times_constructor_still_validates() {
+        let axis: Arc<[f64]> = vec![0.0, 1.0].into();
+        Waveform::with_shared_times(axis, vec![1.0]);
     }
 }

@@ -1,0 +1,168 @@
+//! Measurement tests on irregularly-sampled waveforms.
+//!
+//! The adaptive transient stepper produces grids whose spacing varies by
+//! orders of magnitude within one waveform — dense around clock edges,
+//! sparse across quiescent stretches. Every timing measurement
+//! (`cross_delay`, `skew_between`, `slew_time`) interpolates linearly
+//! between samples, so on such grids it must keep working even when the
+//! crossing of interest falls deep inside one long coarse step.
+
+use clocksense_wave::{cross_delay, skew_between, slew_time, Waveform};
+use proptest::prelude::*;
+
+/// A linear ramp `v(t) = slope * (t - delay)` sampled at the given
+/// (strictly increasing, otherwise arbitrary) times. Linear interpolation
+/// of a linear signal is exact, so measurements on it must not depend on
+/// the sampling at all.
+fn sampled_ramp(times: &[f64], slope: f64, delay: f64) -> Waveform {
+    let values = times.iter().map(|&t| slope * (t - delay)).collect();
+    Waveform::new(times.to_vec(), values)
+}
+
+/// Strictly increasing grids with step sizes spanning three orders of
+/// magnitude — the shape an LTE-controlled stepper emits.
+fn irregular_times() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(1e-3f64..1.0, 4..40).prop_map(|deltas| {
+        let mut t = 0.0;
+        let mut times = vec![0.0];
+        for d in deltas {
+            t += d;
+            times.push(t);
+        }
+        times
+    })
+}
+
+#[test]
+fn crossing_inside_a_long_coarse_step_is_interpolated() {
+    // Three tight samples, then one step a thousand times longer; the
+    // 2.5 V crossing lies deep inside the coarse step.
+    let w = Waveform::new(vec![0.0, 1e-3, 2e-3, 2.0], vec![0.0, 0.0, 0.0, 5.0]);
+    let crossings = w.rising_crossings(2.5);
+    assert_eq!(crossings.len(), 1);
+    // Linear interpolation across [2e-3, 2.0]: half the swing at the
+    // middle of the segment.
+    let expect = 2e-3 + 0.5 * (2.0 - 2e-3);
+    assert!((crossings[0] - expect).abs() < 1e-12);
+}
+
+#[test]
+fn skew_between_coarse_and_fine_grids() {
+    // Same 0→5 V edge at t = 1, one waveform sampled finely, the other
+    // with a single coarse segment spanning the whole edge. The skew is
+    // dominated by the coarse waveform's interpolation, which for a
+    // linear edge is exact: zero skew.
+    let fine = Waveform::from_fn(0.0, 3.0, 3001, |t| 5.0 * (t - 0.5).clamp(0.0, 1.0));
+    let coarse = Waveform::new(vec![0.0, 0.5, 1.5, 3.0], vec![0.0, 0.0, 5.0, 5.0]);
+    let s = skew_between(&fine, &coarse, 2.5).unwrap();
+    assert!(s.abs() < 1e-3, "skew {s} should vanish");
+}
+
+#[test]
+fn cross_delay_with_edges_in_different_density_regions() {
+    // `from` crosses in a dense region, `to` crosses inside a sparse one.
+    let from = Waveform::new(vec![0.0, 0.9, 1.0, 1.1, 4.0], vec![0.0, 0.0, 2.5, 5.0, 5.0]);
+    let to = Waveform::new(vec![0.0, 2.0, 4.0], vec![0.0, 0.0, 5.0]);
+    let d = cross_delay(&from, &to, 2.5, 0, true).unwrap();
+    assert!((d - 2.0).abs() < 1e-12, "delay {d}, expected 2.0");
+}
+
+#[test]
+fn slew_time_across_one_coarse_segment() {
+    // The whole 10–90 % band sits inside the single [1, 3] segment.
+    let w = Waveform::new(vec![0.0, 1.0, 3.0, 10.0], vec![0.0, 0.0, 5.0, 5.0]);
+    let s = slew_time(&w, 0.0, 5.0, true).unwrap();
+    assert!((s - 0.8 * 2.0).abs() < 1e-12, "slew {s}, expected 1.6");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 256,
+        ..ProptestConfig::default()
+    })]
+
+    /// Crossings of a linear ramp are recovered exactly however the ramp
+    /// is sampled, so skew between two shifted copies equals the shift.
+    #[test]
+    fn skew_of_shifted_ramps_is_the_shift(
+        times in irregular_times(),
+        slope in 0.5f64..20.0,
+        shift in 0.0f64..0.2,
+    ) {
+        let span = *times.last().unwrap();
+        prop_assume!(span > 1.0);
+        let threshold = slope * 0.4 * span;
+        let a = sampled_ramp(&times, slope, 0.0);
+        let b = sampled_ramp(&times, slope, shift);
+        let s = skew_between(&a, &b, threshold).expect("both ramps cross");
+        prop_assert!(
+            (s - shift).abs() <= 1e-9 * (1.0 + shift),
+            "skew {s} vs shift {shift}"
+        );
+    }
+
+    /// cross_delay between a ramp and a delayed copy equals the delay,
+    /// independent of either sampling grid.
+    #[test]
+    fn cross_delay_of_delayed_ramp_is_the_delay(
+        times_a in irregular_times(),
+        times_b in irregular_times(),
+        slope in 0.5f64..20.0,
+        delay in 0.0f64..0.3,
+    ) {
+        let span = times_a.last().unwrap().min(*times_b.last().unwrap());
+        prop_assume!(span > 1.0);
+        let threshold = slope * 0.4 * span;
+        let a = sampled_ramp(&times_a, slope, 0.0);
+        let b = sampled_ramp(&times_b, slope, delay);
+        // The crossing must lie inside both sampled spans.
+        prop_assume!(0.4 * span + delay < span);
+        let d = cross_delay(&a, &b, threshold, 0, true).expect("both cross");
+        prop_assert!(
+            (d - delay).abs() <= 1e-9 * (1.0 + delay),
+            "delay {d} vs {delay}"
+        );
+    }
+
+    /// The 10–90 % slew of a linear ramp depends only on its slope, not
+    /// on where the samples fall.
+    #[test]
+    fn slew_of_linear_ramp_is_grid_independent(
+        times in irregular_times(),
+        slope in 0.5f64..20.0,
+    ) {
+        let span = *times.last().unwrap();
+        prop_assume!(span > 1.0);
+        // Measure between 0 V and the ramp's mid-span value so both the
+        // 10 % and 90 % levels are crossed well inside the span.
+        let v_high = slope * 0.5 * span;
+        let w = sampled_ramp(&times, slope, 0.0);
+        let s = slew_time(&w, 0.0, v_high, true).expect("ramp traverses the band");
+        let expect = 0.8 * v_high / slope;
+        prop_assert!(
+            (s - expect).abs() <= 1e-9 * expect.max(1.0),
+            "slew {s} vs {expect}"
+        );
+    }
+
+    /// A rising threshold crossing inside an arbitrarily long coarse
+    /// segment is found at the exact interpolated position.
+    #[test]
+    fn coarse_segment_crossing_position_is_exact(
+        t_dense in 1e-3f64..0.1,
+        gap in 1.0f64..1e3,
+        v1 in -4.0f64..2.0,
+        v2 in 3.0f64..10.0,
+    ) {
+        let threshold = 2.5;
+        prop_assume!(v1 < threshold && v2 > threshold);
+        let w = Waveform::new(vec![0.0, t_dense, t_dense + gap], vec![v1, v1, v2]);
+        let crossings = w.rising_crossings(threshold);
+        prop_assert_eq!(crossings.len(), 1);
+        let expect = t_dense + gap * (threshold - v1) / (v2 - v1);
+        prop_assert!(
+            (crossings[0] - expect).abs() <= 1e-9 * expect.max(1.0),
+            "crossing at {} vs {}", crossings[0], expect
+        );
+    }
+}

@@ -11,7 +11,11 @@ emit a well-formed report, whatever its numbers are. Checks:
   * histogram invariants: one bucket more than bounds, count equals the
     bucket sum;
   * optionally (--bench) the meta block names the expected binary and
-    (--expect-counter, repeatable) specific counters were recorded.
+    (--expect-counter, repeatable) specific counters were recorded;
+  * optionally (--tran-adaptive) the adaptive-timestep scope is coherent:
+    all six tran.* counters present, at least one step accepted, and the
+    rejected/accepted ratio below a sanity bound (a controller rejecting
+    more steps than it accepts is thrashing, not adapting).
 
 Exits 0 on success, 1 with a message naming the first violation.
 """
@@ -22,6 +26,15 @@ import math
 import sys
 
 SCHEMA = "clocksense-telemetry/v1"
+
+TRAN_COUNTERS = (
+    "tran.steps_accepted",
+    "tran.steps_rejected",
+    "tran.lte_step_shrinks",
+    "tran.lte_step_growths",
+    "tran.breakpoint_clamps",
+    "tran.predictor_newton_iters_saved",
+)
 
 
 def fail(msg: str) -> None:
@@ -45,6 +58,11 @@ def main() -> None:
         default=[],
         metavar="NAME",
         help="counter that must be present (repeatable)",
+    )
+    parser.add_argument(
+        "--tran-adaptive",
+        action="store_true",
+        help="require a coherent adaptive-timestep (tran.*) counter scope",
     )
     args = parser.parse_args()
 
@@ -96,6 +114,24 @@ def main() -> None:
     for name in args.expect_counter:
         if name not in report["counters"]:
             fail(f"expected counter {name!r} missing")
+
+    if args.tran_adaptive:
+        counters = report["counters"]
+        for name in TRAN_COUNTERS:
+            if name not in counters:
+                fail(f"adaptive-timestep counter {name!r} missing")
+        accepted = counters["tran.steps_accepted"]
+        rejected = counters["tran.steps_rejected"]
+        if accepted < 1:
+            fail("tran.steps_accepted must be >= 1 for an adaptive run")
+        # Non-negativity is already checked above; here we bound the
+        # controller's thrash: more than 2 rejections per accepted step
+        # means the step sizing is not converging.
+        if rejected > 2 * accepted:
+            fail(
+                f"tran.steps_rejected ({rejected}) exceeds twice "
+                f"tran.steps_accepted ({accepted}): controller is thrashing"
+            )
 
     print(
         f"check_report: OK: {args.report} "

@@ -17,6 +17,14 @@ echo "==> cargo test --release -q (numerics-sensitive suites)"
 cargo test --release -q -p clocksense-spice
 cargo test --release -q --test solver_equivalence --test spice_roundtrip
 
+# The examples are user-facing documentation; they must keep building
+# and the quickstart must actually run against the current API.
+echo "==> cargo build --release --examples"
+cargo build --release --examples
+
+echo "==> cargo run --release --example quickstart (smoke)"
+cargo run --release --example quickstart
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
