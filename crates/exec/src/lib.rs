@@ -30,11 +30,98 @@
 //! ```
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::thread;
+use std::time::{Duration, Instant};
 
 use clocksense_telemetry::{Counter, Scope, Timer};
+
+/// A cooperative cancellation token with an optional wall-clock expiry.
+///
+/// Long-running per-item work (a Newton iteration, a transient step) polls
+/// [`expired`](Deadline::expired) at its inner-loop boundaries and bails
+/// out cleanly when the token has expired or been cancelled — the
+/// *soft-deadline* mechanism that keeps one pathological item from
+/// stalling a whole campaign chunk. The token is a cheap `Arc` handle:
+/// clone it into workers freely, cancel it from anywhere.
+///
+/// Expiry is checked lazily against [`Instant::now`]; nothing is spawned
+/// and nothing fires asynchronously, so a deadline only takes effect at
+/// the polling points the computation itself provides (hence *soft*).
+///
+/// # Examples
+///
+/// ```
+/// use clocksense_exec::Deadline;
+/// use std::time::Duration;
+///
+/// let d = Deadline::after(Duration::from_secs(3600));
+/// assert!(!d.expired());
+/// d.cancel();
+/// assert!(d.expired());
+///
+/// let already = Deadline::after(Duration::ZERO);
+/// assert!(already.expired());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Deadline {
+    inner: Arc<DeadlineInner>,
+}
+
+#[derive(Debug)]
+struct DeadlineInner {
+    expires_at: Option<Instant>,
+    cancelled: AtomicBool,
+}
+
+impl Deadline {
+    /// A deadline that expires `budget` from now (or is already expired
+    /// for a zero budget).
+    pub fn after(budget: Duration) -> Deadline {
+        Deadline {
+            inner: Arc::new(DeadlineInner {
+                expires_at: Some(Instant::now() + budget),
+                cancelled: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// A deadline with no wall-clock expiry: it only trips when
+    /// [`cancel`](Deadline::cancel) is called on any clone.
+    pub fn manual() -> Deadline {
+        Deadline {
+            inner: Arc::new(DeadlineInner {
+                expires_at: None,
+                cancelled: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Trips the token immediately; every clone observes it.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once the token has been cancelled or its wall-clock budget
+    /// has run out. Cheap enough to poll from inner loops: one relaxed
+    /// atomic load plus (for timed deadlines) one monotonic clock read.
+    pub fn expired(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Relaxed)
+            || self.inner.expires_at.is_some_and(|t| Instant::now() >= t)
+    }
+}
+
+/// Two handles are equal iff they are clones of one token. This is what
+/// lets option structs carrying a `Deadline` stay `PartialEq` without
+/// pretending two independent tokens with the same budget are the same
+/// deadline.
+impl PartialEq for Deadline {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
 
 /// A worker item panicked; its slot carries this record instead of a value.
 ///
@@ -247,6 +334,29 @@ mod tests {
         assert_eq!(ex.workers_for(3), 3);
         assert_eq!(ex.workers_for(100), 8);
         assert_eq!(ex.workers_for(1), 1);
+    }
+
+    #[test]
+    fn deadline_cancel_reaches_every_clone() {
+        let d = Deadline::manual();
+        let clone = d.clone();
+        assert!(!clone.expired());
+        d.cancel();
+        assert!(clone.expired());
+    }
+
+    #[test]
+    fn deadline_zero_budget_is_expired_and_long_budget_is_not() {
+        assert!(Deadline::after(std::time::Duration::ZERO).expired());
+        assert!(!Deadline::after(std::time::Duration::from_secs(3600)).expired());
+    }
+
+    #[test]
+    fn deadline_equality_is_identity() {
+        let a = Deadline::manual();
+        let b = Deadline::manual();
+        assert_eq!(a, a.clone());
+        assert_ne!(a, b);
     }
 
     #[test]

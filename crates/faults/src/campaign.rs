@@ -2,11 +2,12 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::time::Duration;
 
 use clocksense_core::{ClockPair, SensingCircuit};
-use clocksense_exec::Executor;
+use clocksense_exec::{Deadline, Executor};
 use clocksense_netlist::SourceWave;
-use clocksense_spice::SimOptions;
+use clocksense_spice::{IntegrationMethod, SimOptions, SpiceError};
 
 use crate::detect::{logic_detected, static_flip, DetectionCriteria, DetectionOutcome};
 use crate::error::FaultError;
@@ -37,6 +38,18 @@ pub struct CampaignConfig {
     pub skew_check: Option<f64>,
     /// Number of worker threads (`0` = one per available core).
     pub threads: usize,
+    /// Per-fault soft deadline: each item's simulations run under a fresh
+    /// [`Deadline`] with this budget, so one pathological fault cannot
+    /// stall the campaign. Expiry classifies the fault
+    /// [`Inconclusive`](DetectionOutcome::Inconclusive) with a
+    /// [`FailureKind::Deadline`] record (and a retry, when enabled).
+    /// `None` (the default) lets every item run to completion.
+    pub item_deadline: Option<Duration>,
+    /// Re-queue faults whose evaluation failed (simulator error, panic,
+    /// deadline) once with relaxed options — more Newton iterations, a
+    /// finer base step, backward-Euler integration — before they are
+    /// quarantined. Defaults to `true`.
+    pub retry: bool,
 }
 
 impl CampaignConfig {
@@ -76,7 +89,30 @@ impl CampaignConfig {
             iddq_patterns: vec![(0.0, 0.0), (vdd, vdd)],
             skew_check: Some(0.6e-9),
             threads: 0,
+            item_deadline: None,
+            retry: true,
         }
+    }
+
+    /// The relaxed options of the retry pass: four times the Newton
+    /// budget, a four-times-finer base step, and L-stable backward-Euler
+    /// integration — the settings that rescue most marginal circuits at
+    /// the cost of simulation time the first pass would not spend.
+    fn relaxed_sim(&self) -> SimOptions {
+        SimOptions {
+            max_newton_iters: self.sim.max_newton_iters.saturating_mul(4),
+            tstep: (self.sim.tstep / 4.0).max(self.sim.tstep_min),
+            method: IntegrationMethod::BackwardEuler,
+            ..self.sim.clone()
+        }
+    }
+
+    /// One item's options: the given base with a fresh deadline token
+    /// attached, so each fault's budget starts when its evaluation does.
+    fn item_sim(&self, base: &SimOptions) -> SimOptions {
+        let mut opts = base.clone();
+        opts.deadline = self.item_deadline.map(Deadline::after);
+        opts
     }
 
     /// Transient stop time: two full clock cycles.
@@ -87,6 +123,57 @@ impl CampaignConfig {
     /// Start of the logic-detection scan: the second cycle.
     fn scan_from(&self) -> f64 {
         self.clocks.delay + self.clocks.period
+    }
+}
+
+/// Why a fault's evaluation produced no verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The evaluation panicked; the panic was contained by the executor.
+    Panic,
+    /// The simulator exhausted its convergence ladder.
+    NonConvergence,
+    /// The per-item soft deadline ([`CampaignConfig::item_deadline`])
+    /// expired.
+    Deadline,
+    /// Any other simulator or setup failure.
+    Other,
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FailureKind::Panic => "panic",
+            FailureKind::NonConvergence => "non-convergence",
+            FailureKind::Deadline => "deadline",
+            FailureKind::Other => "other",
+        })
+    }
+}
+
+/// Structured reason attached to an
+/// [`Inconclusive`](DetectionOutcome::Inconclusive) record: what failed
+/// and the full failure text — the panic message, or the simulator
+/// error's display (which for non-convergence carries the rescue
+/// diagnostics: worst node, final Newton delta, gmin level, stages tried).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureInfo {
+    /// Failure category, for report grouping.
+    pub kind: FailureKind,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl FailureInfo {
+    fn from_spice(err: &SpiceError) -> FailureInfo {
+        FailureInfo {
+            kind: match err {
+                SpiceError::NonConvergence { .. } => FailureKind::NonConvergence,
+                SpiceError::DeadlineExceeded { .. } => FailureKind::Deadline,
+                _ => FailureKind::Other,
+            },
+            detail: err.to_string(),
+        }
     }
 }
 
@@ -106,6 +193,20 @@ pub struct FaultRecord {
     /// produces an error indication), `Some(false)` if skews remain
     /// detectable despite the fault.
     pub masks_skew: Option<bool>,
+    /// Set exactly when the outcome is
+    /// [`Inconclusive`](DetectionOutcome::Inconclusive): what stopped the
+    /// evaluation from reaching a verdict.
+    pub failure: Option<FailureInfo>,
+    /// Whether the relaxed retry pass re-evaluated this fault. A record
+    /// that is still inconclusive with `retried` set is *quarantined*.
+    pub retried: bool,
+}
+
+impl FaultRecord {
+    /// Whether this record survived the retry pass without a verdict.
+    pub fn is_quarantined(&self) -> bool {
+        self.retried && self.outcome == DetectionOutcome::Inconclusive
+    }
 }
 
 /// Result of a campaign: one record per fault plus per-class summaries.
@@ -173,6 +274,13 @@ impl CampaignResult {
             .map(|r| r.fault.id())
             .collect()
     }
+
+    /// Records that stayed inconclusive even after the relaxed retry
+    /// pass — the campaign's quarantine, each carrying its
+    /// [`FailureInfo`].
+    pub fn quarantined(&self) -> impl Iterator<Item = &FaultRecord> {
+        self.records.iter().filter(|r| r.is_quarantined())
+    }
 }
 
 impl fmt::Display for CampaignResult {
@@ -212,6 +320,8 @@ fn static_levels(
     cfg: &CampaignConfig,
     rails: &Rails,
     template: &SimTemplate,
+    opts: &SimOptions,
+    last_failure: &mut Option<FailureInfo>,
 ) -> Result<Vec<Option<(f64, f64)>>, FaultError> {
     let (y1, y2) = sensor.outputs();
     let mut out = Vec::with_capacity(cfg.iddq_patterns.len());
@@ -221,12 +331,13 @@ fn static_levels(
             Some(f) => inject(&bench, f, rails)?,
             None => bench,
         };
-        out.push(
-            template
-                .dc_operating_point(&bench)
-                .ok()
-                .map(|op| (op.voltage(y1), op.voltage(y2))),
-        );
+        out.push(match template.dc_operating_point_opts(&bench, opts) {
+            Ok(op) => Some((op.voltage(y1), op.voltage(y2))),
+            Err(e) => {
+                *last_failure = Some(FailureInfo::from_spice(&e));
+                None
+            }
+        });
     }
     Ok(out)
 }
@@ -238,6 +349,7 @@ fn evaluate_fault(
     rails: &Rails,
     template: &SimTemplate,
     fault_free_static: &[Option<(f64, f64)>],
+    opts: &SimOptions,
 ) -> Result<FaultRecord, FaultError> {
     let v_th = sensor.technology().logic_threshold();
     let criteria = DetectionCriteria {
@@ -249,7 +361,16 @@ fn evaluate_fault(
     // Static DC comparison against the fault-free levels — the paper's
     // criterion for stuck-on faults, and a common-mode complement to the
     // divergence scan for the other classes.
-    let faulted_static = static_levels(sensor, Some(fault), cfg, rails, template)?;
+    let mut last_failure: Option<FailureInfo> = None;
+    let faulted_static = static_levels(
+        sensor,
+        Some(fault),
+        cfg,
+        rails,
+        template,
+        opts,
+        &mut last_failure,
+    )?;
     let mut flip = false;
     let mut compared = false;
     for (ff, f) in fault_free_static.iter().zip(&faulted_static) {
@@ -268,7 +389,7 @@ fn evaluate_fault(
     {
         let bench = sensor.testbench(&cfg.clocks)?;
         let faulted = inject(&bench, fault, rails)?;
-        match template.transient(&faulted, cfg.stop_time()) {
+        match template.transient_opts(&faulted, cfg.stop_time(), opts) {
             Ok(result) => {
                 divergent = logic_detected(
                     &result.waveform(y1),
@@ -277,7 +398,10 @@ fn evaluate_fault(
                     cfg.scan_from(),
                 );
             }
-            Err(_) => transient_failed = true,
+            Err(e) => {
+                transient_failed = true;
+                last_failure = Some(FailureInfo::from_spice(&e));
+            }
         }
     }
     let logic = divergent || flip;
@@ -290,12 +414,15 @@ fn evaluate_fault(
             let static_bench =
                 sensor.testbench_with_waves(SourceWave::Dc(v1), SourceWave::Dc(v2))?;
             let faulted_static = inject(&static_bench, fault, rails)?;
-            if let Ok(current) = template.iddq(&faulted_static, SensingCircuit::SUPPLY) {
-                let current = current.abs();
-                max_iddq = Some(max_iddq.map_or(current, |m: f64| m.max(current)));
-                if current > criteria.iddq_threshold {
-                    iddq_hit = true;
+            match template.iddq_opts(&faulted_static, SensingCircuit::SUPPLY, opts) {
+                Ok(current) => {
+                    let current = current.abs();
+                    max_iddq = Some(max_iddq.map_or(current, |m: f64| m.max(current)));
+                    if current > criteria.iddq_threshold {
+                        iddq_hit = true;
+                    }
                 }
+                Err(e) => last_failure = Some(FailureInfo::from_spice(&e)),
             }
         }
     }
@@ -323,7 +450,8 @@ fn evaluate_fault(
                 let skewed = cfg.clocks.with_skew(signed);
                 let skewed_bench = sensor.testbench(&skewed)?;
                 let faulted_skewed = inject(&skewed_bench, fault, rails)?;
-                if let Ok(result) = template.transient(&faulted_skewed, cfg.stop_time()) {
+                if let Ok(result) = template.transient_opts(&faulted_skewed, cfg.stop_time(), opts)
+                {
                     checked = true;
                     let detected = logic_detected(
                         &result.waveform(y1),
@@ -342,11 +470,25 @@ fn evaluate_fault(
         }
     }
 
+    // A failure reason travels on the record exactly when the campaign
+    // could not classify the fault; an inconclusive verdict without a
+    // captured simulator error means the static comparison had no basis.
+    let failure = if outcome == DetectionOutcome::Inconclusive {
+        Some(last_failure.unwrap_or(FailureInfo {
+            kind: FailureKind::Other,
+            detail: "no comparable static operating points".into(),
+        }))
+    } else {
+        None
+    };
+
     Ok(FaultRecord {
         fault: fault.clone(),
         outcome,
         iddq: max_iddq,
         masks_skew,
+        failure,
+        retried: false,
     })
 }
 
@@ -380,10 +522,60 @@ pub fn run_campaign(
     // every fault variant that preserves the bench's stamp topology
     // reuses the symbolic structure analysed for the first one.
     let template = SimTemplate::new(cfg.sim.clone());
-    let fault_free_static = static_levels(sensor, None, cfg, &rails, &template)?;
-    let records = campaign_records(faults, cfg.threads, |f| {
-        evaluate_fault(sensor, f, cfg, &rails, &template, &fault_free_static)
+    // A failing fault-free pattern is not an error by itself (the
+    // comparison just loses that pattern), so the reason is dropped here.
+    let mut _baseline_failure = None;
+    let fault_free_static = static_levels(
+        sensor,
+        None,
+        cfg,
+        &rails,
+        &template,
+        &cfg.sim,
+        &mut _baseline_failure,
+    )?;
+    let mut records = campaign_records(faults, cfg.threads, |f| {
+        let opts = cfg.item_sim(&cfg.sim);
+        evaluate_fault(sensor, f, cfg, &rails, &template, &fault_free_static, &opts)
     })?;
+
+    // Retry pass: re-queue every fault whose evaluation failed, once,
+    // with relaxed options. Survivors are quarantined (`retried` stays
+    // set, the outcome stays inconclusive, the failure reason is the
+    // retry's). The `campaign.*` counters are touched only when a retry
+    // actually happens, so clean-run telemetry snapshots are unchanged.
+    let retry_idx: Vec<usize> = records
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.outcome == DetectionOutcome::Inconclusive && r.failure.is_some())
+        .map(|(i, _)| i)
+        .collect();
+    if cfg.retry && !retry_idx.is_empty() {
+        let campaign_tele = clocksense_telemetry::global().scope("campaign");
+        campaign_tele
+            .counter("retry_scheduled")
+            .add(retry_idx.len() as u64);
+        let relaxed = cfg.relaxed_sim();
+        let retry_faults: Vec<Fault> = retry_idx.iter().map(|&i| faults[i].clone()).collect();
+        let retry_records = campaign_records(&retry_faults, cfg.threads, |f| {
+            let opts = cfg.item_sim(&relaxed);
+            evaluate_fault(sensor, f, cfg, &rails, &template, &fault_free_static, &opts)
+        })?;
+        let mut recovered = 0u64;
+        let mut quarantined = 0u64;
+        for (&i, mut record) in retry_idx.iter().zip(retry_records) {
+            record.retried = true;
+            if record.outcome != DetectionOutcome::Inconclusive {
+                recovered += 1;
+            } else {
+                quarantined += 1;
+            }
+            records[i] = record;
+        }
+        campaign_tele.counter("retry_recovered").add(recovered);
+        campaign_tele.counter("quarantined").add(quarantined);
+    }
+
     let tele = clocksense_telemetry::global().scope("faults");
     let (cache_hits, cache_misses) = template.cache_stats();
     tele.counter("template_cache_hits").add(cache_hits);
@@ -422,11 +614,16 @@ fn campaign_records(
     for (fault, outcome) in faults.iter().zip(outcomes) {
         match outcome {
             Ok(record) => records.push(record?),
-            Err(_panic) => records.push(FaultRecord {
+            Err(panic) => records.push(FaultRecord {
                 fault: fault.clone(),
                 outcome: DetectionOutcome::Inconclusive,
                 iddq: None,
                 masks_skew: None,
+                failure: Some(FailureInfo {
+                    kind: FailureKind::Panic,
+                    detail: panic.message,
+                }),
+                retried: false,
             }),
         }
     }
@@ -563,6 +760,8 @@ mod tests {
                 outcome: DetectionOutcome::DetectedLogic,
                 iddq: None,
                 masks_skew: None,
+                failure: None,
+                retried: false,
             })
         })
         .unwrap();
@@ -571,6 +770,15 @@ mod tests {
         assert_eq!(records[1].outcome, DetectionOutcome::Inconclusive);
         assert_eq!(records[1].fault, faults[1]);
         assert_eq!(records[2].outcome, DetectionOutcome::DetectedLogic);
+        // The panic payload must be preserved on the record, so reports
+        // can distinguish a panic from a simulator failure.
+        let failure = records[1].failure.as_ref().unwrap();
+        assert_eq!(failure.kind, FailureKind::Panic);
+        assert!(
+            failure.detail.contains("injected evaluator panic"),
+            "{}",
+            failure.detail
+        );
     }
 
     #[test]
@@ -594,6 +802,8 @@ mod tests {
                 outcome: DetectionOutcome::DetectedLogic,
                 iddq: None,
                 masks_skew: None,
+                failure: None,
+                retried: false,
             }),
         })
         .unwrap_err();

@@ -37,7 +37,9 @@ mod template;
 mod transient;
 mod universe;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignResult, FaultRecord};
+pub use campaign::{
+    run_campaign, CampaignConfig, CampaignResult, FailureInfo, FailureKind, FaultRecord,
+};
 pub use detect::{complementary_window, DetectionCriteria, DetectionOutcome};
 pub use error::FaultError;
 pub use inject::{inject, Rails};

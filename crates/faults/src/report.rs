@@ -73,13 +73,39 @@ pub fn markdown_report(result: &CampaignResult, title: &str) -> String {
             },
         );
     }
+    let quarantined: Vec<_> = result.quarantined().collect();
+    if !quarantined.is_empty() {
+        let _ = writeln!(out, "\n## Quarantine\n");
+        let _ = writeln!(
+            out,
+            "Faults that stayed inconclusive even after the relaxed retry \
+             pass, with the reason of the final attempt:\n"
+        );
+        let _ = writeln!(out, "| fault | failure | detail |");
+        let _ = writeln!(out, "|---|---|---|");
+        for r in &quarantined {
+            let f = r.failure.as_ref();
+            let _ = writeln!(
+                out,
+                "| `{}` | {} | {} |",
+                r.fault.id(),
+                f.map(|f| f.kind.to_string()).unwrap_or_else(|| "-".into()),
+                f.map(|f| f.detail.replace('|', "\\|"))
+                    .unwrap_or_else(|| "-".into()),
+            );
+        }
+    }
     out
 }
 
 /// Renders a campaign result as CSV: one row per fault with the columns
-/// `fault,class,outcome,iddq,masks_skew`.
+/// `fault,class,outcome,iddq,masks_skew,retried,failure_kind,failure_detail`.
+///
+/// The failure detail is double-quoted (with `"` doubled) since simulator
+/// error messages contain commas.
 pub fn csv_report(result: &CampaignResult) -> String {
-    let mut out = String::from("fault,class,outcome,iddq,masks_skew\n");
+    let mut out =
+        String::from("fault,class,outcome,iddq,masks_skew,retried,failure_kind,failure_detail\n");
     for r in result.records() {
         let outcome = match r.outcome {
             DetectionOutcome::DetectedLogic => "detected_logic",
@@ -89,12 +115,21 @@ pub fn csv_report(result: &CampaignResult) -> String {
         };
         let _ = writeln!(
             out,
-            "{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{}",
             r.fault.id(),
             r.fault.class(),
             outcome,
             r.iddq.map(|i| format!("{i:e}")).unwrap_or_default(),
             r.masks_skew.map(|m| m.to_string()).unwrap_or_default(),
+            r.retried,
+            r.failure
+                .as_ref()
+                .map(|f| f.kind.to_string())
+                .unwrap_or_default(),
+            r.failure
+                .as_ref()
+                .map(|f| format!("\"{}\"", f.detail.replace('"', "\"\"")))
+                .unwrap_or_default(),
         );
     }
     out
@@ -143,9 +178,13 @@ mod tests {
         let csv = csv_report(&small_result());
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 3);
-        assert_eq!(lines[0], "fault,class,outcome,iddq,masks_skew");
+        assert_eq!(
+            lines[0],
+            "fault,class,outcome,iddq,masks_skew,retried,failure_kind,failure_detail"
+        );
         assert!(lines[1].starts_with("sa0(y1),stuck-at,detected_logic"));
         assert!(lines[2].contains("undetected"));
-        assert!(lines[2].ends_with("true"));
+        // masks_skew=true, retried=false, no failure columns.
+        assert!(lines[2].ends_with(",true,false,,"));
     }
 }

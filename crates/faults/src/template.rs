@@ -72,9 +72,26 @@ impl SimTemplate {
     ///
     /// Same as [`clocksense_spice::transient`].
     pub fn transient(&self, circuit: &Circuit, t_stop: f64) -> Result<TranResult, SpiceError> {
-        match self.opts.solver {
-            SolverKind::Dense => transient(circuit, t_stop, &self.opts),
-            SolverKind::Sparse => transient_cached(circuit, t_stop, &self.opts, &self.cache),
+        self.transient_opts(circuit, t_stop, &self.opts)
+    }
+
+    /// [`transient`](SimTemplate::transient) with caller-supplied options
+    /// — the campaign's per-item entry: each item carries its own
+    /// [`SimOptions`] (a fresh deadline token, or the relaxed retry
+    /// settings) while still sharing this template's symbolic cache.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`clocksense_spice::transient`].
+    pub fn transient_opts(
+        &self,
+        circuit: &Circuit,
+        t_stop: f64,
+        opts: &SimOptions,
+    ) -> Result<TranResult, SpiceError> {
+        match opts.solver {
+            SolverKind::Dense => transient(circuit, t_stop, opts),
+            SolverKind::Sparse => transient_cached(circuit, t_stop, opts, &self.cache),
         }
     }
 
@@ -85,9 +102,24 @@ impl SimTemplate {
     ///
     /// Same as [`clocksense_spice::dc_operating_point`].
     pub fn dc_operating_point(&self, circuit: &Circuit) -> Result<DcSolution, SpiceError> {
-        match self.opts.solver {
-            SolverKind::Dense => dc_operating_point(circuit, &self.opts),
-            SolverKind::Sparse => dc_operating_point_cached(circuit, &self.opts, &self.cache),
+        self.dc_operating_point_opts(circuit, &self.opts)
+    }
+
+    /// [`dc_operating_point`](SimTemplate::dc_operating_point) with
+    /// caller-supplied options; see
+    /// [`transient_opts`](SimTemplate::transient_opts).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`clocksense_spice::dc_operating_point`].
+    pub fn dc_operating_point_opts(
+        &self,
+        circuit: &Circuit,
+        opts: &SimOptions,
+    ) -> Result<DcSolution, SpiceError> {
+        match opts.solver {
+            SolverKind::Dense => dc_operating_point(circuit, opts),
+            SolverKind::Sparse => dc_operating_point_cached(circuit, opts, &self.cache),
         }
     }
 
@@ -98,9 +130,24 @@ impl SimTemplate {
     ///
     /// Same as [`clocksense_spice::iddq`].
     pub fn iddq(&self, circuit: &Circuit, supply: &str) -> Result<f64, SpiceError> {
-        match self.opts.solver {
-            SolverKind::Dense => iddq(circuit, supply, &self.opts),
-            SolverKind::Sparse => iddq_cached(circuit, supply, &self.opts, &self.cache),
+        self.iddq_opts(circuit, supply, &self.opts)
+    }
+
+    /// [`iddq`](SimTemplate::iddq) with caller-supplied options; see
+    /// [`transient_opts`](SimTemplate::transient_opts).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`clocksense_spice::iddq`].
+    pub fn iddq_opts(
+        &self,
+        circuit: &Circuit,
+        supply: &str,
+        opts: &SimOptions,
+    ) -> Result<f64, SpiceError> {
+        match opts.solver {
+            SolverKind::Dense => iddq(circuit, supply, opts),
+            SolverKind::Sparse => iddq_cached(circuit, supply, opts, &self.cache),
         }
     }
 

@@ -76,20 +76,38 @@ fn solve_with_continuation(
         return Ok(ws.x);
     }
     // 2. gmin stepping: start heavily damped, relax towards the target.
+    // A failing rung no longer abandons the ladder outright: geometric
+    // bisection between the last converged rung and the failing one
+    // halves the continuation distance and retries, so one too-greedy
+    // 10x relaxation cannot sink an otherwise healthy continuation. The
+    // budget and the ratio floor bound the work on hopeless circuits.
+    const BISECT_BUDGET: u32 = 8;
     let tm = crate::metrics::metrics();
     let mut x = flat.clone();
     let mut gmin = 1e-2;
+    let mut last_good: Option<f64> = None;
+    let mut bisect_budget = BISECT_BUDGET;
     let mut ok = true;
     while gmin > opts.gmin {
         tm.gmin_steps.incr();
         match sys.newton_solve_ws(t, &x, opts, gmin, 1.0, |_, _, _| {}, &mut ws) {
-            Ok(_) => x.copy_from_slice(&ws.x),
-            Err(_) => {
-                ok = false;
-                break;
+            Ok(_) => {
+                x.copy_from_slice(&ws.x);
+                last_good = Some(gmin);
+                gmin /= 10.0;
             }
+            Err(_) => match last_good {
+                Some(good) if bisect_budget > 0 && good / gmin > 1.05 => {
+                    bisect_budget -= 1;
+                    crate::metrics::rescue_metrics().dc_gmin_bisections.incr();
+                    gmin = (good * gmin).sqrt();
+                }
+                _ => {
+                    ok = false;
+                    break;
+                }
+            },
         }
-        gmin /= 10.0;
     }
     if ok
         && sys
@@ -104,7 +122,12 @@ fn solve_with_continuation(
         tm.source_steps.incr();
         let scale = step as f64 / 20.0;
         sys.newton_solve_ws(t, &x, opts, opts.gmin, scale, |_, _, _| {}, &mut ws)
-            .map_err(|_| SpiceError::NonConvergence { time: t })?;
+            .map_err(|e| match e {
+                // Keep the Newton diagnostics of the failing ramp point;
+                // normalise everything else to the documented error.
+                SpiceError::NonConvergence { .. } | SpiceError::DeadlineExceeded { .. } => e,
+                _ => SpiceError::non_convergence(t),
+            })?;
         x.copy_from_slice(&ws.x);
     }
     Ok(x)

@@ -179,6 +179,13 @@ pub(crate) struct NewtonWorkspace {
     pub x: Vec<f64>,
     pub x_new: Vec<f64>,
     pub lu: LuScratch,
+    /// Worst per-unknown update magnitude of each iteration of the most
+    /// recent solve — the raw material of [`SimDiagnostics`]
+    /// (`crate::SimDiagnostics`). Cleared per solve, capacity bounded by
+    /// `max_newton_iters`, so the hot path allocates only once.
+    pub delta_history: Vec<f64>,
+    /// Row of the largest update in the most recent iteration.
+    pub worst_row: Option<usize>,
 }
 
 impl NewtonWorkspace {
@@ -221,6 +228,8 @@ impl NewtonWorkspace {
             x: vec![0.0; dim],
             x_new: Vec::with_capacity(dim),
             lu: LuScratch::new(),
+            delta_history: Vec::new(),
+            worst_row: None,
         }
     }
 }
@@ -650,8 +659,19 @@ impl MnaSystem {
         let dim = self.dim;
         ws.x.clear();
         ws.x.extend_from_slice(x_init);
+        ws.delta_history.clear();
+        ws.worst_row = None;
         let mut iters: u64 = 0;
         for _ in 0..opts.max_newton_iters {
+            // Cooperative soft deadline: one relaxed load (plus a clock
+            // read for timed tokens) per iteration, each of which costs a
+            // full matrix factorisation — negligible overhead, bounded
+            // reaction latency.
+            if let Some(deadline) = &opts.deadline {
+                if deadline.expired() {
+                    return (iters, Err(SpiceError::DeadlineExceeded { time: t }));
+                }
+            }
             ws.m.clear();
             ws.rhs.fill(0.0);
             self.stamp_static(&ws.plan, &mut ws.m, &mut ws.rhs, t, source_scale);
@@ -666,6 +686,8 @@ impl MnaSystem {
                 return (iters, Err(e));
             }
             let mut converged = true;
+            let mut worst_delta = 0.0f64;
+            let mut worst_row = 0usize;
             for r in 0..dim {
                 let delta = ws.x_new[r] - ws.x[r];
                 let tol = if r < self.n_v {
@@ -676,6 +698,10 @@ impl MnaSystem {
                 if delta.abs() > tol {
                     converged = false;
                 }
+                if delta.abs() > worst_delta {
+                    worst_delta = delta.abs();
+                    worst_row = r;
+                }
                 // Damp node-voltage updates to tame the quadratic model.
                 let clamped = if r < self.n_v {
                     delta.clamp(-opts.newton_damping, opts.newton_damping)
@@ -684,11 +710,44 @@ impl MnaSystem {
                 };
                 ws.x[r] += clamped;
             }
+            ws.delta_history.push(worst_delta);
+            ws.worst_row = Some(worst_row);
             if converged {
                 return (iters, Ok(()));
             }
         }
-        (iters, Err(SpiceError::NonConvergence { time: t }))
+        let diagnostics = Box::new(crate::error::SimDiagnostics {
+            worst_node: ws.worst_row.map(|r| self.unknown_name(r)),
+            delta_history: ws.delta_history.clone(),
+            final_delta: ws.delta_history.last().copied().unwrap_or(0.0),
+            gmin_reached: gmin,
+            stages_tried: Vec::new(),
+        });
+        (
+            iters,
+            Err(SpiceError::NonConvergence {
+                time: t,
+                diagnostics: Some(diagnostics),
+            }),
+        )
+    }
+
+    /// Human name of unknown `row`: the node's name for a voltage row,
+    /// the source's name for a branch-current row.
+    pub(crate) fn unknown_name(&self, row: usize) -> String {
+        if row < self.n_v {
+            // Row r is node index r + 1 (ground is not an unknown).
+            self.node_names
+                .get(row + 1)
+                .cloned()
+                .unwrap_or_else(|| format!("node#{}", row + 1))
+        } else {
+            let b = row - self.n_v;
+            self.vsources
+                .get(b)
+                .map(|v| format!("i({})", v.name))
+                .unwrap_or_else(|| format!("branch#{b}"))
+        }
     }
 }
 

@@ -1,9 +1,90 @@
-//! Error type for the simulator.
+//! Error type for the simulator, plus the failure diagnostics attached
+//! to non-convergence so a failed simulation is actionable instead of
+//! opaque.
 
 use std::error::Error;
 use std::fmt;
 
 use clocksense_netlist::NetlistError;
+
+/// One rung of the transient rescue ladder (see the module docs of
+/// `tran` and DESIGN.md §3.4). Recorded in [`SimDiagnostics`] so a
+/// failure report states exactly how far the engine escalated before
+/// giving up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RescueStage {
+    /// Bounded step halving down to `tstep_min`.
+    StepHalving,
+    /// A local gmin ramp at the failing timepoint.
+    GminRamp,
+    /// Trapezoidal → backward-Euler downgrade for the rest of the step.
+    BackwardEulerDowngrade,
+}
+
+impl fmt::Display for RescueStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RescueStage::StepHalving => f.write_str("step-halving"),
+            RescueStage::GminRamp => f.write_str("gmin-ramp"),
+            RescueStage::BackwardEulerDowngrade => f.write_str("be-downgrade"),
+        }
+    }
+}
+
+/// Diagnostics payload of a [`SpiceError::NonConvergence`]: what the last
+/// Newton attempt looked like and which rescue stages were exhausted.
+///
+/// A campaign simulating hundreds of faulted variants cannot afford
+/// opaque failures — "did not converge" tells nobody whether the faulted
+/// node is genuinely unsolvable, the iteration limit is too small, or one
+/// node is oscillating between two operating points. The payload names
+/// the worst-moving unknown and carries the per-iteration worst update
+/// magnitude, so those cases are distinguishable from the report alone.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SimDiagnostics {
+    /// Name of the unknown with the largest final Newton update: a node
+    /// name, or a voltage-source name for a branch-current unknown.
+    /// `None` when the failure did not come from a Newton iteration
+    /// (e.g. a singular matrix surfaced first).
+    pub worst_node: Option<String>,
+    /// Worst per-unknown update magnitude of each iteration of the last
+    /// Newton attempt, in iteration order. A flat tail means a node is
+    /// stuck oscillating; a decaying tail means the iteration limit was
+    /// simply too small.
+    pub delta_history: Vec<f64>,
+    /// The final entry of `delta_history` (0.0 when empty): how far from
+    /// convergence the last attempt ended.
+    pub final_delta: f64,
+    /// The smallest gmin level at which a rescue solve still converged,
+    /// or the target gmin when no gmin ramp ran. Tells whether a
+    /// near-singular point exists "just above" the requested gmin.
+    pub gmin_reached: f64,
+    /// Rescue-ladder stages tried before giving up, in order.
+    pub stages_tried: Vec<RescueStage>,
+}
+
+impl SimDiagnostics {
+    /// One-line human summary, used by the `Display` of
+    /// [`SpiceError::NonConvergence`] and campaign quarantine reports.
+    pub fn summary(&self) -> String {
+        let node = self.worst_node.as_deref().unwrap_or("?");
+        let stages = if self.stages_tried.is_empty() {
+            "none".to_string()
+        } else {
+            self.stages_tried
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join("+")
+        };
+        format!(
+            "worst {node} delta {:.3e} after {} iters, gmin reached {:.1e}, rescue {stages}",
+            self.final_delta,
+            self.delta_history.len(),
+            self.gmin_reached,
+        )
+    }
+}
 
 /// Errors produced by DC and transient analyses.
 #[derive(Debug, Clone, PartialEq)]
@@ -15,6 +96,19 @@ pub enum SpiceError {
     NonConvergence {
         /// Simulation time at which convergence failed (`0.0` for DC).
         time: f64,
+        /// Diagnostics of the failing attempt, when a Newton iteration
+        /// (rather than e.g. assembly) produced the failure. Boxed so the
+        /// common `Ok` path never pays for the payload's size.
+        diagnostics: Option<Box<SimDiagnostics>>,
+    },
+    /// The cooperative deadline in [`SimOptions::deadline`] expired or
+    /// was cancelled mid-analysis.
+    ///
+    /// [`SimOptions::deadline`]: crate::SimOptions::deadline
+    DeadlineExceeded {
+        /// Simulation time reached when the deadline tripped (`0.0` for
+        /// DC).
+        time: f64,
     },
     /// The circuit failed structural validation.
     Netlist(NetlistError),
@@ -24,12 +118,43 @@ pub enum SpiceError {
     InvalidOption(String),
 }
 
+impl SpiceError {
+    /// A [`NonConvergence`](SpiceError::NonConvergence) without
+    /// diagnostics — for layers (assembly, continuation wrappers) that
+    /// have no Newton attempt to describe.
+    pub fn non_convergence(time: f64) -> SpiceError {
+        SpiceError::NonConvergence {
+            time,
+            diagnostics: None,
+        }
+    }
+
+    /// The diagnostics payload, when this is a
+    /// [`NonConvergence`](SpiceError::NonConvergence) carrying one.
+    pub fn diagnostics(&self) -> Option<&SimDiagnostics> {
+        match self {
+            SpiceError::NonConvergence {
+                diagnostics: Some(d),
+                ..
+            } => Some(d),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for SpiceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SpiceError::SingularMatrix => write!(f, "singular mna matrix"),
-            SpiceError::NonConvergence { time } => {
-                write!(f, "newton iteration failed to converge at t = {time:.4e} s")
+            SpiceError::NonConvergence { time, diagnostics } => {
+                write!(f, "newton iteration failed to converge at t = {time:.4e} s")?;
+                if let Some(d) = diagnostics {
+                    write!(f, " ({})", d.summary())?;
+                }
+                Ok(())
+            }
+            SpiceError::DeadlineExceeded { time } => {
+                write!(f, "simulation deadline exceeded at t = {time:.4e} s")
             }
             SpiceError::Netlist(e) => write!(f, "netlist error: {e}"),
             SpiceError::UnknownProbe(name) => write!(f, "unknown probe {name:?}"),
@@ -68,5 +193,33 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SpiceError>();
+    }
+
+    #[test]
+    fn non_convergence_display_includes_diagnostics() {
+        let bare = SpiceError::non_convergence(1e-9);
+        assert!(bare.to_string().contains("1.0000e-9"));
+        assert!(bare.diagnostics().is_none());
+
+        let rich = SpiceError::NonConvergence {
+            time: 1e-9,
+            diagnostics: Some(Box::new(SimDiagnostics {
+                worst_node: Some("out".into()),
+                delta_history: vec![3.0, 2.5, 2.5],
+                final_delta: 2.5,
+                gmin_reached: 1e-6,
+                stages_tried: vec![RescueStage::StepHalving, RescueStage::GminRamp],
+            })),
+        };
+        let text = rich.to_string();
+        assert!(text.contains("worst out"), "{text}");
+        assert!(text.contains("step-halving+gmin-ramp"), "{text}");
+        assert_eq!(rich.diagnostics().unwrap().delta_history.len(), 3);
+    }
+
+    #[test]
+    fn deadline_exceeded_displays_time() {
+        let e = SpiceError::DeadlineExceeded { time: 2e-9 };
+        assert!(e.to_string().contains("deadline"));
     }
 }

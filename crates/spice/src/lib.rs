@@ -47,10 +47,11 @@ mod options;
 mod sparse;
 mod tran;
 
+pub use clocksense_exec::Deadline;
 pub use dc::{
     dc_operating_point, dc_operating_point_cached, dc_sweep, iddq, iddq_cached, DcSolution,
 };
-pub use error::SpiceError;
+pub use error::{RescueStage, SimDiagnostics, SpiceError};
 pub use matrix::{DenseMatrix, LuScratch};
 pub use mos_eval::{channel_current, MosOperatingPoint, MosRegion};
 pub use options::{IntegrationMethod, SimOptions, SolverKind, TimestepControl};

@@ -80,8 +80,54 @@ pub(crate) struct TranMetrics {
     pub predictor_newton_iters_saved: Counter,
 }
 
+/// Counters of the convergence rescue ladder and the cooperative
+/// deadline, recorded under the `rescue.` scope.
+///
+/// Like [`TranMetrics`], the block is created lazily on the first rescue
+/// event: a clean run — Newton converging first try everywhere, no
+/// deadline tripping — never materialises any `rescue.*` counter, so the
+/// archived golden telemetry snapshots stay byte-identical with the
+/// ladder enabled. The CI smoke gate relies on exactly this (`
+/// check_report.py --expect-zero-rescue`).
+pub(crate) struct RescueMetrics {
+    /// Local gmin ramps attempted at a failing timepoint.
+    pub gmin_ramps: Counter,
+    /// Individual gmin rungs that converged during rescue ramps.
+    pub gmin_ramp_rungs: Counter,
+    /// Trapezoidal → backward-Euler downgrades attempted.
+    pub be_downgrades: Counter,
+    /// Transient steps saved by any rescue stage (the step ultimately
+    /// converged and the analysis continued).
+    pub steps_rescued: Counter,
+    /// Steps where the full ladder was exhausted and the transient
+    /// failed anyway.
+    pub ladder_failures: Counter,
+    /// Analyses abandoned because [`SimOptions::deadline`]
+    /// (`crate::SimOptions::deadline`) expired.
+    pub deadline_expirations: Counter,
+    /// Finer geometric-bisection rungs inserted into the DC gmin
+    /// continuation after a regular rung failed.
+    pub dc_gmin_bisections: Counter,
+}
+
 static METRICS: OnceLock<SpiceMetrics> = OnceLock::new();
 static TRAN_METRICS: OnceLock<TranMetrics> = OnceLock::new();
+static RESCUE_METRICS: OnceLock<RescueMetrics> = OnceLock::new();
+
+pub(crate) fn rescue_metrics() -> &'static RescueMetrics {
+    RESCUE_METRICS.get_or_init(|| {
+        let scope = clocksense_telemetry::global().scope("rescue");
+        RescueMetrics {
+            gmin_ramps: scope.counter("gmin_ramps"),
+            gmin_ramp_rungs: scope.counter("gmin_ramp_rungs"),
+            be_downgrades: scope.counter("be_downgrades"),
+            steps_rescued: scope.counter("steps_rescued"),
+            ladder_failures: scope.counter("ladder_failures"),
+            deadline_expirations: scope.counter("deadline_expirations"),
+            dc_gmin_bisections: scope.counter("dc_gmin_bisections"),
+        }
+    })
+}
 
 pub(crate) fn tran_metrics() -> &'static TranMetrics {
     TRAN_METRICS.get_or_init(|| {

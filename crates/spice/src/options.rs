@@ -25,6 +25,8 @@
 //! accept/reject statistics (see the `clocksense-telemetry` crate and
 //! the `--report` flag of the experiment binaries).
 
+use clocksense_exec::Deadline;
+
 use crate::error::SpiceError;
 
 /// Time-integration method for the transient analysis.
@@ -236,6 +238,25 @@ pub struct SimOptions {
     /// Largest per-iteration Newton voltage update (V); larger updates are
     /// clamped, which tames the quadratic Level-1 characteristics.
     pub newton_damping: f64,
+    /// Enables the transient convergence **rescue ladder**: when a step
+    /// fails Newton even at `tstep_min`, the engine escalates through a
+    /// local gmin ramp at the failing timepoint and a trapezoidal →
+    /// backward-Euler downgrade before reporting
+    /// [`NonConvergence`](SpiceError::NonConvergence). The ladder is a
+    /// strict no-op whenever plain Newton succeeds — with it enabled
+    /// (the default), healthy circuits produce bit-identical results —
+    /// so the only reason to turn it off is to *measure* what it saves
+    /// (the `campaign_torture` bench does exactly that).
+    pub rescue: bool,
+    /// Cooperative soft deadline: when set, the Newton and transient
+    /// inner loops poll the token and abandon the analysis with
+    /// [`DeadlineExceeded`](SpiceError::DeadlineExceeded) once it
+    /// expires or is cancelled. `None` (the default) never interrupts.
+    ///
+    /// This is the per-item stall guard of batched drivers: a campaign
+    /// hands each fault its own [`Deadline`] so one pathological faulted
+    /// netlist cannot hold a worker hostage.
+    pub deadline: Option<Deadline>,
 }
 
 impl Default for SimOptions {
@@ -252,6 +273,8 @@ impl Default for SimOptions {
             timestep: TimestepControl::default(),
             solver: SolverKind::default(),
             newton_damping: 2.0,
+            rescue: true,
+            deadline: None,
         }
     }
 }
@@ -347,6 +370,18 @@ mod tests {
     #[test]
     fn default_timestep_control_is_fixed() {
         assert_eq!(SimOptions::default().timestep, TimestepControl::Fixed);
+    }
+
+    #[test]
+    fn rescue_defaults_on_and_deadline_defaults_off() {
+        let opts = SimOptions::default();
+        assert!(opts.rescue);
+        assert!(opts.deadline.is_none());
+        let with_deadline = SimOptions {
+            deadline: Some(Deadline::manual()),
+            ..SimOptions::default()
+        };
+        assert!(with_deadline.validate().is_ok());
     }
 
     #[test]

@@ -6,7 +6,7 @@ use clocksense_netlist::{Circuit, NodeId};
 use clocksense_wave::Waveform;
 
 use crate::engine::{MnaSystem, NewtonWorkspace};
-use crate::error::SpiceError;
+use crate::error::{RescueStage, SpiceError};
 use crate::options::{IntegrationMethod, SimOptions, TimestepControl};
 use crate::sparse::SymbolicCache;
 
@@ -106,10 +106,12 @@ impl TranWorkspace {
 
     /// One integration attempt over `[t_next - h, t_next]`, with `x` as
     /// the Newton starting point (the last accepted solution, or a
-    /// predictor extrapolation). On success the solution is left in
-    /// `self.newton.x` and the updated capacitor states in
-    /// `self.new_states`; the caller swaps them in on accept. Returns the
-    /// Newton iteration count of the solve.
+    /// predictor extrapolation) and `gmin` as the channel/diagonal
+    /// conductance of this solve (the target `opts.gmin` everywhere
+    /// except on the rungs of a rescue gmin ramp). On success the
+    /// solution is left in `self.newton.x` and the updated capacitor
+    /// states in `self.new_states`; the caller swaps them in on accept.
+    /// Returns the Newton iteration count of the solve.
     #[allow(clippy::too_many_arguments)]
     fn try_step(
         &mut self,
@@ -119,6 +121,7 @@ impl TranWorkspace {
         t_next: f64,
         h: f64,
         backward_euler: bool,
+        gmin: f64,
         opts: &SimOptions,
     ) -> Result<u64, SpiceError> {
         // Companion model per capacitor: i = geq * u - ieq.
@@ -139,7 +142,7 @@ impl TranWorkspace {
             t_next,
             x,
             opts,
-            opts.gmin,
+            gmin,
             1.0,
             |m, rhs, plan| {
                 for (slots, &(geq, ieq)) in plan.caps.iter().zip(companions) {
@@ -168,6 +171,154 @@ impl TranWorkspace {
     }
 }
 
+/// What the rescue ladder made of a timepoint the halving loop gave up on.
+enum RescueOutcome {
+    /// Some stage converged at the target `opts.gmin`: the solution is in
+    /// `ws.newton.x` / `ws.new_states`, ready for the usual accept swap.
+    /// `used_be` reports whether the accepted solve integrated with
+    /// backward Euler (the caller then keeps BE for the rest of the
+    /// window — mixing methods mid-window would corrupt the trapezoidal
+    /// state history).
+    Rescued { used_be: bool },
+    /// Every stage failed; the error carries enriched diagnostics.
+    Failed(SpiceError),
+}
+
+/// The convergence rescue ladder, tried only after bounded step halving
+/// has exhausted (`h` is already the smallest step the caller may take):
+///
+/// 1. a **local gmin ramp** at the failing timepoint — re-solve at a
+///    heavily padded diagonal (1e-3 S) and walk it geometrically back
+///    down to `opts.gmin`, warm-starting every rung from the previous
+///    rung's solution;
+/// 2. a **trapezoidal → backward-Euler downgrade** for this step (L-stable,
+///    no oscillatory companion terms), first plain, then combined with
+///    the gmin ramp.
+///
+/// Rescue solves also run with a 4x-lifted Newton iteration cap: step
+/// halving has already exhausted, so this path is cold and can afford
+/// the iterations a budget-starved hot loop cannot — the same `itl`
+/// relaxation production simulators apply to their recovery passes.
+///
+/// Only a solve at the target `opts.gmin` is ever accepted, so a rescued
+/// point satisfies exactly the same system as an ordinary one — the
+/// ladder changes which starting points Newton gets (and how long it may
+/// walk), never the answer. Callers must not invoke this on a clean
+/// path: every entry records `rescue.*` telemetry.
+#[allow(clippy::too_many_arguments)]
+fn rescue_step(
+    sys: &MnaSystem,
+    ws: &mut TranWorkspace,
+    x: &[f64],
+    states: &[CapState],
+    t_next: f64,
+    h: f64,
+    already_be: bool,
+    opts: &SimOptions,
+    base_err: SpiceError,
+) -> RescueOutcome {
+    let rm = crate::metrics::rescue_metrics();
+    let mut stages = vec![RescueStage::StepHalving];
+    let mut gmin_reached = f64::NAN;
+    let mut last_err = base_err;
+
+    // Cold path: the clone buys every rescue solve the lifted budget.
+    let lifted = SimOptions {
+        max_newton_iters: opts.max_newton_iters.saturating_mul(4),
+        ..opts.clone()
+    };
+    let opts = &lifted;
+
+    // Attempts in ladder order: a gmin ramp with the current integration
+    // method, then (for trapezoidal runs) a plain backward-Euler retry
+    // and a backward-Euler gmin ramp. `(stage, use_be, with_ramp)`.
+    let mut attempts = vec![(RescueStage::GminRamp, already_be, true)];
+    if !already_be {
+        attempts.push((RescueStage::BackwardEulerDowngrade, true, false));
+        attempts.push((RescueStage::BackwardEulerDowngrade, true, true));
+    }
+
+    for (stage, be, with_ramp) in attempts {
+        if !stages.contains(&stage) {
+            stages.push(stage);
+        }
+        let result = if with_ramp {
+            rm.gmin_ramps.incr();
+            gmin_ramp(sys, ws, x, states, t_next, h, be, opts, &mut gmin_reached)
+        } else {
+            rm.be_downgrades.incr();
+            ws.try_step(sys, x, states, t_next, h, be, opts.gmin, opts)
+                .map(|_| ())
+        };
+        match result {
+            Ok(()) => {
+                rm.steps_rescued.incr();
+                return RescueOutcome::Rescued { used_be: be };
+            }
+            Err(e @ SpiceError::NonConvergence { .. }) => last_err = e,
+            // Anything else (deadline, singular matrix) aborts the ladder.
+            Err(e) => return RescueOutcome::Failed(e),
+        }
+    }
+
+    rm.ladder_failures.incr();
+    // Enrich whichever diagnostics the final attempt produced with the
+    // full ladder trace.
+    if let SpiceError::NonConvergence {
+        diagnostics: Some(d),
+        ..
+    } = &mut last_err
+    {
+        d.stages_tried = stages;
+        if gmin_reached.is_finite() {
+            d.gmin_reached = gmin_reached;
+        }
+    }
+    RescueOutcome::Failed(last_err)
+}
+
+/// One gmin-ramp pass: solve at `GMIN_START`, then at geometrically
+/// decreasing gmin down to `opts.gmin`, each rung warm-started from the
+/// previous rung's solution. Succeeds only if the final, target-gmin rung
+/// converges (its solution is then in `ws.newton`); any rung failure
+/// fails the pass.
+#[allow(clippy::too_many_arguments)]
+fn gmin_ramp(
+    sys: &MnaSystem,
+    ws: &mut TranWorkspace,
+    x: &[f64],
+    states: &[CapState],
+    t_next: f64,
+    h: f64,
+    be: bool,
+    opts: &SimOptions,
+    gmin_reached: &mut f64,
+) -> Result<(), SpiceError> {
+    const GMIN_START: f64 = 1e-3;
+    let rm = crate::metrics::rescue_metrics();
+    let mut rungs: Vec<f64> = Vec::new();
+    let mut g = GMIN_START;
+    while g > opts.gmin * 10.0 {
+        rungs.push(g);
+        g /= 10.0;
+    }
+    rungs.push(opts.gmin);
+
+    // Cold path: one warm-start buffer allocation per ramp is fine.
+    let mut x_start: Vec<f64> = x.to_vec();
+    for (i, &rung) in rungs.iter().enumerate() {
+        ws.try_step(sys, &x_start, states, t_next, h, be, rung, opts)?;
+        rm.gmin_ramp_rungs.incr();
+        if rung < *gmin_reached || gmin_reached.is_nan() {
+            *gmin_reached = rung;
+        }
+        if i + 1 < rungs.len() {
+            x_start.copy_from_slice(&ws.newton.x);
+        }
+    }
+    Ok(())
+}
+
 /// Runs a transient analysis of `circuit` from `t = 0` to `t_stop`.
 ///
 /// The initial condition is the DC operating point with sources at their
@@ -189,8 +340,13 @@ impl TranWorkspace {
 /// # Errors
 ///
 /// Propagates [`SpiceError::Netlist`] / [`SpiceError::SingularMatrix`] from
-/// system assembly and returns [`SpiceError::NonConvergence`] if a step
-/// cannot be completed even at the minimum step size.
+/// system assembly and returns [`SpiceError::NonConvergence`] — carrying
+/// [`SimDiagnostics`](crate::SimDiagnostics) — if a step cannot be
+/// completed even at the minimum step size and (unless
+/// [`SimOptions::rescue`] is disabled) after the convergence rescue
+/// ladder has been climbed. Returns [`SpiceError::DeadlineExceeded`] as
+/// soon as the token in [`SimOptions::deadline`] expires or is
+/// cancelled.
 ///
 /// # Examples
 ///
@@ -355,6 +511,12 @@ fn march_fixed(
     let tm = crate::metrics::metrics();
 
     while t < t_stop - opts.tstep_min {
+        if let Some(deadline) = &opts.deadline {
+            if deadline.expired() {
+                crate::metrics::rescue_metrics().deadline_expirations.incr();
+                return Err(SpiceError::DeadlineExceeded { time: t });
+            }
+        }
         let mut t_next = t + opts.tstep;
         let mut hit_breakpoint = false;
         if let Some(&bp) = bp_iter.peek() {
@@ -369,14 +531,18 @@ fn march_fixed(
             t_next = t_stop;
         }
 
-        // Take the step, halving on non-convergence.
+        // Take the step, halving on non-convergence. Once a rescue had to
+        // fall back to backward Euler, the rest of this window keeps BE:
+        // the trapezoidal state history is no longer trustworthy past a
+        // point that needed L-stable damping to converge at all.
+        let mut window_be = false;
         let mut sub_t = t;
         let mut remaining = t_next - t;
         while remaining > 0.5 * opts.tstep_min {
             let mut h = remaining;
             loop {
-                let be = force_be || opts.method == IntegrationMethod::BackwardEuler;
-                match ws.try_step(sys, &x, &states, sub_t + h, h, be, opts) {
+                let be = force_be || window_be || opts.method == IntegrationMethod::BackwardEuler;
+                match ws.try_step(sys, &x, &states, sub_t + h, h, be, opts.gmin, opts) {
                     Ok(_) => {
                         sub_t += h;
                         std::mem::swap(&mut x, &mut ws.newton.x);
@@ -402,6 +568,23 @@ fn march_fixed(
                         tm.slivers_accepted.incr();
                         sub_t = t_next;
                         break;
+                    }
+                    Err(e @ SpiceError::NonConvergence { .. }) if opts.rescue => {
+                        // Halving is exhausted and the window is not a
+                        // sliver: climb the rescue ladder at this point.
+                        match rescue_step(sys, ws, &x, &states, sub_t + h, h, be, opts, e) {
+                            RescueOutcome::Rescued { used_be } => {
+                                sub_t += h;
+                                std::mem::swap(&mut x, &mut ws.newton.x);
+                                std::mem::swap(&mut states, &mut ws.new_states);
+                                samples.accept(sys, sub_t, &x);
+                                force_be = false;
+                                window_be |= used_be;
+                                tm.steps_accepted.incr();
+                                break;
+                            }
+                            RescueOutcome::Failed(err) => return Err(err),
+                        }
                     }
                     Err(e) => return Err(e),
                 }
@@ -568,6 +751,12 @@ fn march_adaptive(
     let tmt = crate::metrics::tran_metrics();
 
     while t < t_stop - opts.tstep_min {
+        if let Some(deadline) = &opts.deadline {
+            if deadline.expired() {
+                crate::metrics::rescue_metrics().deadline_expirations.incr();
+                return Err(SpiceError::DeadlineExceeded { time: t });
+            }
+        }
         let mut t_next = t + h.clamp(opts.tstep_min, tstep_max);
         let mut hit_breakpoint = false;
         if let Some(&bp) = bp_iter.peek() {
@@ -590,7 +779,7 @@ fn march_adaptive(
         let predicted = !force_be && hist.predict_into(t_next, &mut x_pred);
         let x_start: &[f64] = if predicted { &x_pred } else { &x };
 
-        match ws.try_step(sys, x_start, &states, t_next, h_eff, be, opts) {
+        match ws.try_step(sys, x_start, &states, t_next, h_eff, be, opts.gmin, opts) {
             Ok(iters) => {
                 // LTE accept/reject and next-step sizing. The error of
                 // this step scales as h² (BE) or h³ (trap), so the
@@ -653,9 +842,17 @@ fn march_adaptive(
                 tmt.steps_rejected.incr();
                 h = h_eff / 2.0;
             }
-            Err(SpiceError::NonConvergence { .. }) if t_next - t <= 2.0 * opts.tstep_min => {
-                // Sub-tstep_min sliver that cannot converge: treat the
+            Err(SpiceError::NonConvergence { .. })
+                if bp_iter.peek().copied().unwrap_or(t_stop).min(t_stop) - t
+                    <= 2.0 * opts.tstep_min =>
+            {
+                // Sub-tstep_min sliver against the next hard boundary (a
+                // breakpoint or t_stop) that cannot converge: treat the
                 // target as reached, exactly as the fixed marcher does.
+                // The guard must measure to the *boundary*, not to the
+                // attempted step end — `t_next - t` is just the exhausted
+                // step size, which is always sliver-sized by the time
+                // halving gives up, and would swallow every failure.
                 tm.slivers_accepted.incr();
                 t = t_next;
                 if hit_breakpoint {
@@ -664,6 +861,33 @@ fn march_adaptive(
                     force_be = true;
                     hist.restart();
                     h = opts.tstep.min(tstep_max);
+                }
+            }
+            Err(e @ SpiceError::NonConvergence { .. }) if opts.rescue => {
+                // Shrinking is exhausted and the window is not a sliver:
+                // climb the rescue ladder at this point. A rescued point
+                // is accepted without the LTE test — the alternative is
+                // failing the analysis — and treated as a discontinuity:
+                // history restarts, pacing resets, and the next step is
+                // damped with backward Euler.
+                match rescue_step(sys, ws, x_start, &states, t_next, h_eff, be, opts, e) {
+                    RescueOutcome::Rescued { .. } => {
+                        t = t_next;
+                        std::mem::swap(&mut x, &mut ws.newton.x);
+                        std::mem::swap(&mut states, &mut ws.new_states);
+                        samples.accept(sys, t, &x);
+                        hist.push(t, &x);
+                        hist.restart();
+                        tm.steps_accepted.incr();
+                        tmt.steps_accepted.incr();
+                        force_be = true;
+                        h = opts.tstep.min(tstep_max);
+                        if hit_breakpoint {
+                            bp_iter.next();
+                            tm.breakpoints_hit.incr();
+                        }
+                    }
+                    RescueOutcome::Failed(err) => return Err(err),
                 }
             }
             Err(e) => return Err(e),

@@ -244,7 +244,7 @@ fn non_convergence_is_reported_not_hung() {
     let result = transient(&ckt, 1e-9, &opts);
     match result {
         Ok(res) => assert!(res.times().len() > 2),
-        Err(SpiceError::NonConvergence { time }) => assert!(time > 0.0),
+        Err(SpiceError::NonConvergence { time, .. }) => assert!(time > 0.0),
         Err(other) => panic!("unexpected error {other:?}"),
     }
 }

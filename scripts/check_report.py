@@ -15,7 +15,14 @@ emit a well-formed report, whatever its numbers are. Checks:
   * optionally (--tran-adaptive) the adaptive-timestep scope is coherent:
     all six tran.* counters present, at least one step accepted, and the
     rejected/accepted ratio below a sanity bound (a controller rejecting
-    more steps than it accepts is thrashing, not adapting).
+    more steps than it accepts is thrashing, not adapting);
+  * optionally (--rescue) the retry/quarantine accounting is coherent:
+    the campaign.retry_* counters are present, the quarantine never
+    exceeds the scheduled retries, and every scheduled retry is either
+    recovered or quarantined;
+  * optionally (--expect-zero-rescue) the run was clean: no rescue.* or
+    campaign.* retry counter recorded a nonzero value (both scopes
+    materialise lazily, so a clean run normally has none at all).
 
 Exits 0 on success, 1 with a message naming the first violation.
 """
@@ -63,6 +70,16 @@ def main() -> None:
         "--tran-adaptive",
         action="store_true",
         help="require a coherent adaptive-timestep (tran.*) counter scope",
+    )
+    parser.add_argument(
+        "--rescue",
+        action="store_true",
+        help="require coherent campaign retry/quarantine accounting",
+    )
+    parser.add_argument(
+        "--expect-zero-rescue",
+        action="store_true",
+        help="fail if any rescue.* or campaign.* retry counter is nonzero",
     )
     args = parser.parse_args()
 
@@ -132,6 +149,37 @@ def main() -> None:
                 f"tran.steps_rejected ({rejected}) exceeds twice "
                 f"tran.steps_accepted ({accepted}): controller is thrashing"
             )
+
+    if args.rescue:
+        counters = report["counters"]
+        for name in (
+            "campaign.retry_scheduled",
+            "campaign.retry_recovered",
+            "campaign.quarantined",
+        ):
+            if name not in counters:
+                fail(f"rescue-gate counter {name!r} missing")
+        scheduled = counters["campaign.retry_scheduled"]
+        recovered = counters["campaign.retry_recovered"]
+        quarantined = counters["campaign.quarantined"]
+        if quarantined > scheduled:
+            fail(
+                f"campaign.quarantined ({quarantined}) exceeds "
+                f"campaign.retry_scheduled ({scheduled})"
+            )
+        if recovered + quarantined != scheduled:
+            fail(
+                f"retry accounting leaks: recovered ({recovered}) + "
+                f"quarantined ({quarantined}) != scheduled ({scheduled})"
+            )
+
+    if args.expect_zero_rescue:
+        for name, value in report["counters"].items():
+            if (name.startswith("rescue.") or name.startswith("campaign.")) and value != 0:
+                fail(
+                    f"clean run recorded {name} = {value}: the rescue/retry "
+                    "machinery must stay idle on healthy circuits"
+                )
 
     print(
         f"check_report: OK: {args.report} "
