@@ -1,0 +1,215 @@
+//! Batched-variant kernel scaling and verdict-agreement run.
+//!
+//! Two experiments back the batched Newton kernel's claims:
+//!
+//! 1. **Throughput** — K value-variants of two clock nets (each variant
+//!    retunes a couple of device values, the shape of a fault or
+//!    perturbation campaign item) are simulated once through the PR-3
+//!    cached scalar path and once through the batched kernel at
+//!    K ∈ {4, 8, 16}. The batch packs all variants onto one symbolic
+//!    structure, stamps the shared baseline once per step and reuses
+//!    each variant's LU factors across the fixed-step grid. On the
+//!    H-tree that caching is bounded (a tree factors with no fill-in,
+//!    so one factorisation costs about one substitution — expect ~2x);
+//!    on the clock *mesh* the grid coupling makes factorisation the
+//!    dominant per-step cost and the speedup must reach 4x by K = 8
+//!    (asserted outside fast mode). Waveforms are cross-checked against
+//!    the scalar runs to 1e-9.
+//!
+//! 2. **Verdict agreement** — the full sensor fault universe is
+//!    classified by two campaigns, scalar and batched, and every
+//!    per-fault verdict (outcome and skew masking) must agree. The
+//!    tallies land in the `batch_scaling.verdicts_total` /
+//!    `batch_scaling.verdict_mismatches` counters that the CI gate
+//!    checks.
+//!
+//! `--report <path>` archives the numbers; see `results/README.md` for
+//! the machine caveats of the committed run.
+
+use std::time::Instant;
+
+use clocksense_bench::{
+    clock_mesh_netlist, fast_mode, htree_netlist, print_header, scaled, threads_arg, Table,
+};
+use clocksense_core::{ClockPair, SensorBuilder, Technology};
+use clocksense_faults::{run_campaign, sensor_fault_universe, CampaignConfig};
+use clocksense_netlist::{Circuit, Device};
+use clocksense_spice::{transient_batch, transient_cached, SimOptions, SolverKind, SymbolicCache};
+
+/// A value variant of a clock net: the driver resistance and the last
+/// load capacitor are retuned per variant — the couple-of-devices
+/// footprint a campaign item actually has.
+fn value_variant(base: &Circuit, k: usize) -> Circuit {
+    let mut ckt = base.clone();
+    let f = 1.0 + 0.03 * (k + 1) as f64;
+    let rdrv = ckt.find_device("rdrv").expect("driver exists");
+    if let Device::Resistor(r) = &mut ckt.device_mut(rdrv).expect("live id").device {
+        r.ohms *= f;
+    }
+    let mut leaf_cap = None;
+    for (id, entry) in ckt.devices() {
+        if matches!(entry.device, Device::Capacitor(_)) {
+            leaf_cap = Some(id);
+        }
+    }
+    let leaf_cap = leaf_cap.expect("net has capacitors");
+    if let Device::Capacitor(c) = &mut ckt.device_mut(leaf_cap).expect("live id").device {
+        c.farads *= f;
+    }
+    ckt
+}
+
+fn main() {
+    let report = clocksense_bench::RunReport::from_env("batch_scaling");
+    let tele = clocksense_telemetry::global().scope("batch_scaling");
+    let t_stop = 1e-9;
+    let opts = SimOptions {
+        solver: SolverKind::Sparse,
+        tstep: 2e-12,
+        ..SimOptions::default()
+    };
+
+    let n_tree = scaled(255, 63);
+    let mesh_side = scaled(16, 8);
+    let (tree, tree_leaf) = htree_netlist(n_tree);
+    let (mesh, mesh_corner) = clock_mesh_netlist(mesh_side);
+    tele.counter("htree_nodes").add(n_tree as u64);
+    tele.counter("mesh_nodes")
+        .add((mesh_side * mesh_side) as u64);
+    let workloads = [
+        // The tree bounds the win (no LU fill — see the module doc); the
+        // mesh is the fill-heavy regime the 4x floor is enforced on.
+        ("htree", &tree, tree_leaf, false),
+        ("mesh", &mesh, mesh_corner, true),
+    ];
+
+    print_header(&format!(
+        "Batched vs cached-scalar wall clock ({n_tree}-node H-tree, {mesh_side}x{mesh_side} mesh, value variants)"
+    ));
+    let mut table = Table::new(&[
+        "workload",
+        "K",
+        "scalar [ms]",
+        "batched [ms]",
+        "speedup",
+        "max |dv|",
+    ]);
+    let reps = scaled(3, 1);
+    let mut floor_violation = None;
+    for (name, base, probe, enforce_floor) in workloads {
+        for width in [4usize, 8, 16] {
+            let variants: Vec<Circuit> = (0..width).map(|k| value_variant(base, k)).collect();
+
+            // Alternate the two paths and keep each one's best repetition,
+            // so a frequency or scheduling hiccup in one rep cannot
+            // masquerade as an algorithmic difference.
+            let mut scalar_ms = f64::INFINITY;
+            let mut batch_ms = f64::INFINITY;
+            let mut scalar = Vec::new();
+            let mut batched = Vec::new();
+            for _ in 0..reps {
+                let scalar_cache = SymbolicCache::new();
+                let start = Instant::now();
+                scalar = variants
+                    .iter()
+                    .map(|ckt| {
+                        transient_cached(ckt, t_stop, &opts, &scalar_cache).expect("scalar run")
+                    })
+                    .collect();
+                scalar_ms = scalar_ms.min(start.elapsed().as_secs_f64() * 1e3);
+
+                let batch_opts = SimOptions {
+                    batch: width,
+                    ..opts.clone()
+                };
+                let batch_cache = SymbolicCache::new();
+                let start = Instant::now();
+                batched = transient_batch(&variants, t_stop, &batch_opts, &batch_cache);
+                batch_ms = batch_ms.min(start.elapsed().as_secs_f64() * 1e3);
+            }
+
+            let mut max_dv = 0.0f64;
+            for (s, b) in scalar.iter().zip(&batched) {
+                let b = b.as_ref().expect("batched run");
+                max_dv = max_dv.max(s.waveform(probe).max_abs_difference(&b.waveform(probe)));
+            }
+            assert!(
+                max_dv < 1e-9,
+                "batched deviates from scalar by {max_dv} on {name} at K={width}"
+            );
+
+            let speedup = scalar_ms / batch_ms;
+            tele.counter(&format!("speedup_milli_{name}_k{width}"))
+                .add((speedup * 1e3) as u64);
+            table.row(&[
+                name.to_string(),
+                format!("{width}"),
+                format!("{scalar_ms:.1}"),
+                format!("{batch_ms:.1}"),
+                format!("{speedup:.2}x"),
+                format!("{max_dv:.1e}"),
+            ]);
+            // Fast-mode nets are too small for the factor-reuse advantage
+            // to dominate the fixed costs, so the floor is only enforced
+            // on the full workload.
+            if !fast_mode() && enforce_floor && width >= 8 && speedup < 4.0 {
+                floor_violation.get_or_insert(format!(
+                    "batched kernel must be >= 4x on {name} at K={width}, got {speedup:.2}x"
+                ));
+            }
+        }
+    }
+    println!("{}", table.render());
+    if let Some(msg) = floor_violation {
+        panic!("{msg}");
+    }
+
+    print_header("Verdict agreement on the sensor fault universe");
+    let tech = Technology::cmos12();
+    let sensor = SensorBuilder::new(tech)
+        .load_capacitance(160e-15)
+        .build()
+        .expect("valid sensor");
+    let mut faults = sensor_fault_universe(&sensor, 100.0);
+    if fast_mode() {
+        faults.truncate(12);
+    }
+    let scalar_cfg = CampaignConfig {
+        threads: threads_arg(),
+        sim: SimOptions {
+            solver: SolverKind::Sparse,
+            tstep: 2e-12,
+            ..SimOptions::default()
+        },
+        ..CampaignConfig::new(ClockPair::single_shot(tech.vdd, 0.2e-9))
+    };
+    let batched_cfg = CampaignConfig {
+        sim: SimOptions {
+            batch: 8,
+            ..scalar_cfg.sim.clone()
+        },
+        ..scalar_cfg.clone()
+    };
+    let scalar_result = run_campaign(&sensor, &faults, &scalar_cfg).expect("scalar campaign");
+    let batched_result = run_campaign(&sensor, &faults, &batched_cfg).expect("batched campaign");
+    let mut mismatches = 0u64;
+    for (s, b) in scalar_result.records().iter().zip(batched_result.records()) {
+        if s.outcome != b.outcome || s.masks_skew != b.masks_skew {
+            println!(
+                "MISMATCH {}: scalar {:?}/{:?} vs batched {:?}/{:?}",
+                s.fault, s.outcome, s.masks_skew, b.outcome, b.masks_skew
+            );
+            mismatches += 1;
+        }
+    }
+    tele.counter("verdicts_total").add(faults.len() as u64);
+    tele.counter("verdict_mismatches").add(mismatches);
+    println!(
+        "{} faults classified, {} verdict mismatches",
+        faults.len(),
+        mismatches
+    );
+    assert_eq!(mismatches, 0, "batched and scalar campaigns must agree");
+
+    report.finish();
+}

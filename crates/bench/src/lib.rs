@@ -12,6 +12,7 @@
 //! | `tab1_probabilities` | Tab. 1 — p_loose / p_false per load |
 //! | `sec3_testability` | Section 3 — fault coverage per class |
 //! | `campaign_scaling` | campaign wall clock vs `--threads` worker count |
+//! | `batch_scaling` | batched-variant kernel speedup vs the cached scalar path, plus batched/scalar verdict agreement |
 //! | `fig6_clock_distribution` | Fig. 6 — sensors monitoring an H-tree |
 //! | `ablation_threshold` | sensitivity vs V_th and device sizing |
 //! | `ablation_keepers` | effect of the full-swing keepers |
@@ -185,6 +186,55 @@ pub fn htree_netlist(n_nodes: usize) -> (Circuit, NodeId) {
             .expect("node cap");
     }
     (ckt, nodes[n_nodes - 1])
+}
+
+/// Builds an `m` × `m` RC clock mesh: a resistive grid with a capacitor
+/// per node, pulsed through a driver resistor at one corner. Returns the
+/// circuit and the far-corner node.
+///
+/// The complement of [`htree_netlist`] for solver benchmarks: a tree
+/// factors with essentially no fill-in (one LU factorisation costs about
+/// one substitution), while the mesh's grid coupling makes the
+/// factorisation the dominant per-step cost — the regime where the
+/// batched kernel's factor caching pays.
+pub fn clock_mesh_netlist(m: usize) -> (Circuit, NodeId) {
+    let mut ckt = Circuit::new();
+    let src = ckt.node("src");
+    ckt.add_vsource(
+        "vclk",
+        src,
+        GROUND,
+        SourceWave::Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: 10e-12,
+            rise: 50e-12,
+            fall: 50e-12,
+            width: 400e-12,
+            period: f64::INFINITY,
+        },
+    )
+    .expect("source");
+    let nodes: Vec<Vec<NodeId>> = (0..m)
+        .map(|r| (0..m).map(|c| ckt.node(&format!("g{r}_{c}"))).collect())
+        .collect();
+    ckt.add_resistor("rdrv", src, nodes[0][0], 25.0)
+        .expect("driver");
+    for r in 0..m {
+        for c in 0..m {
+            if c + 1 < m {
+                ckt.add_resistor(&format!("rh{r}_{c}"), nodes[r][c], nodes[r][c + 1], 2.0)
+                    .expect("horizontal segment");
+            }
+            if r + 1 < m {
+                ckt.add_resistor(&format!("rv{r}_{c}"), nodes[r][c], nodes[r + 1][c], 2.0)
+                    .expect("vertical segment");
+            }
+            ckt.add_capacitor(&format!("c{r}_{c}"), nodes[r][c], GROUND, 10e-15)
+                .expect("node cap");
+        }
+    }
+    (ckt, nodes[m - 1][m - 1])
 }
 
 /// Picks `full` or `fast` depending on [`fast_mode`].

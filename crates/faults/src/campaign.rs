@@ -7,7 +7,7 @@ use std::time::Duration;
 use clocksense_core::{ClockPair, SensingCircuit};
 use clocksense_exec::{Deadline, Executor};
 use clocksense_netlist::SourceWave;
-use clocksense_spice::{IntegrationMethod, SimOptions, SpiceError};
+use clocksense_spice::{IntegrationMethod, SimOptions, SolverKind, SpiceError, TranResult};
 
 use crate::detect::{logic_detected, static_flip, DetectionCriteria, DetectionOutcome};
 use crate::error::FaultError;
@@ -342,6 +342,7 @@ fn static_levels(
     Ok(out)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn evaluate_fault(
     sensor: &SensingCircuit,
     fault: &Fault,
@@ -350,6 +351,7 @@ fn evaluate_fault(
     template: &SimTemplate,
     fault_free_static: &[Option<(f64, f64)>],
     opts: &SimOptions,
+    pre_tran: Option<&Result<TranResult, SpiceError>>,
 ) -> Result<FaultRecord, FaultError> {
     let v_th = sensor.technology().logic_threshold();
     let criteria = DetectionCriteria {
@@ -383,13 +385,24 @@ fn evaluate_fault(
     }
 
     // Transient divergence under fault-free clocks, scanned over the
-    // second cycle.
+    // second cycle. With a batched campaign this result was already
+    // computed by the pre-pass; each variant's own success or failure
+    // travels in its slot, so a batch-mate that dropped out never
+    // contaminates this fault's verdict.
     let mut transient_failed = false;
     let mut divergent = false;
     {
-        let bench = sensor.testbench(&cfg.clocks)?;
-        let faulted = inject(&bench, fault, rails)?;
-        match template.transient_opts(&faulted, cfg.stop_time(), opts) {
+        let scalar_tran;
+        let tran = match pre_tran {
+            Some(res) => res,
+            None => {
+                let bench = sensor.testbench(&cfg.clocks)?;
+                let faulted = inject(&bench, fault, rails)?;
+                scalar_tran = template.transient_opts(&faulted, cfg.stop_time(), opts);
+                &scalar_tran
+            }
+        };
+        match tran {
             Ok(result) => {
                 divergent = logic_detected(
                     &result.waveform(y1),
@@ -400,7 +413,7 @@ fn evaluate_fault(
             }
             Err(e) => {
                 transient_failed = true;
-                last_failure = Some(FailureInfo::from_spice(&e));
+                last_failure = Some(FailureInfo::from_spice(e));
             }
         }
     }
@@ -534,9 +547,38 @@ pub fn run_campaign(
         &cfg.sim,
         &mut _baseline_failure,
     )?;
-    let mut records = campaign_records(faults, cfg.threads, |f| {
+    // Batched detection pre-pass: with the sparse backend and a batch
+    // width configured, the per-fault detection transients (the dominant
+    // cost of a campaign item) run through the spice batch kernel before
+    // the per-item pass fans out. Each variant's result — success or
+    // structured failure — lands in its own slot: a variant that fails
+    // mid-batch drops out to the kernel's scalar rescue path, so a
+    // quarantine-bound fault cannot poison its batch-mates. The pre-pass
+    // deliberately runs without the per-item deadline (one shared token
+    // would charge the whole pass's wall clock to every item); deadline
+    // enforcement still applies to everything the per-item pass runs.
+    let pre_tran = if cfg.sim.batch >= 2 && cfg.sim.solver == SolverKind::Sparse {
+        let bench = sensor.testbench(&cfg.clocks)?;
+        let benches = faults
+            .iter()
+            .map(|f| inject(&bench, f, &rails))
+            .collect::<Result<Vec<_>, FaultError>>()?;
+        Some(template.transient_batch_opts(&benches, cfg.stop_time(), &cfg.sim))
+    } else {
+        None
+    };
+    let mut records = campaign_records(faults, cfg.threads, |i, f| {
         let opts = cfg.item_sim(&cfg.sim);
-        evaluate_fault(sensor, f, cfg, &rails, &template, &fault_free_static, &opts)
+        evaluate_fault(
+            sensor,
+            f,
+            cfg,
+            &rails,
+            &template,
+            &fault_free_static,
+            &opts,
+            pre_tran.as_ref().map(|v| &v[i]),
+        )
     })?;
 
     // Retry pass: re-queue every fault whose evaluation failed, once,
@@ -557,9 +599,21 @@ pub fn run_campaign(
             .add(retry_idx.len() as u64);
         let relaxed = cfg.relaxed_sim();
         let retry_faults: Vec<Fault> = retry_idx.iter().map(|&i| faults[i].clone()).collect();
-        let retry_records = campaign_records(&retry_faults, cfg.threads, |f| {
+        // Retries always take the scalar path: the relaxed options exist
+        // to rescue exactly the circuits the shared batch grid is wrong
+        // for, and each retry wants its own halving/rescue ladder.
+        let retry_records = campaign_records(&retry_faults, cfg.threads, |_, f| {
             let opts = cfg.item_sim(&relaxed);
-            evaluate_fault(sensor, f, cfg, &rails, &template, &fault_free_static, &opts)
+            evaluate_fault(
+                sensor,
+                f,
+                cfg,
+                &rails,
+                &template,
+                &fault_free_static,
+                &opts,
+                None,
+            )
         })?;
         let mut recovered = 0u64;
         let mut quarantined = 0u64;
@@ -602,13 +656,13 @@ pub fn run_campaign(
 fn campaign_records(
     faults: &[Fault],
     threads: usize,
-    eval: impl Fn(&Fault) -> Result<FaultRecord, FaultError> + Sync,
+    eval: impl Fn(usize, &Fault) -> Result<FaultRecord, FaultError> + Sync,
 ) -> Result<Vec<FaultRecord>, FaultError> {
     let tele = clocksense_telemetry::global().scope("faults");
     let faults_evaluated = tele.counter("faults_evaluated");
     let outcomes = Executor::new(threads)
         .with_telemetry(tele)
-        .run(faults.len(), |i| eval(&faults[i]));
+        .run(faults.len(), |i| eval(i, &faults[i]));
     faults_evaluated.add(faults.len() as u64);
     let mut records = Vec::with_capacity(faults.len());
     for (fault, outcome) in faults.iter().zip(outcomes) {
@@ -743,6 +797,50 @@ mod tests {
     }
 
     #[test]
+    fn batched_campaign_matches_scalar_verdicts() {
+        let s = sensor();
+        // Three bridges on one pair are value-only variants of a single
+        // structure — exactly what the batch kernel packs together — plus
+        // one stuck-at whose different topology exercises the
+        // singleton-group scalar fallback within the same pre-pass.
+        let faults = vec![
+            Fault::Bridge {
+                a: "y1".into(),
+                b: "y2".into(),
+                ohms: 100.0,
+            },
+            Fault::Bridge {
+                a: "y1".into(),
+                b: "y2".into(),
+                ohms: 1_000.0,
+            },
+            Fault::Bridge {
+                a: "y1".into(),
+                b: "y2".into(),
+                ohms: 10_000.0,
+            },
+            Fault::NodeStuckAt {
+                node: "y1".into(),
+                level: StuckLevel::Zero,
+            },
+        ];
+        let mut scalar_cfg = config();
+        scalar_cfg.sim.solver = clocksense_spice::SolverKind::Sparse;
+        let mut batched_cfg = scalar_cfg.clone();
+        batched_cfg.sim.batch = 4;
+        let scalar = run_campaign(&s, &faults, &scalar_cfg).unwrap();
+        let batched = run_campaign(&s, &faults, &batched_cfg).unwrap();
+        for (a, b) in scalar.records().iter().zip(batched.records()) {
+            assert_eq!(a.outcome, b.outcome, "verdict diverged for {}", a.fault);
+            assert_eq!(
+                a.masks_skew, b.masks_skew,
+                "masking diverged for {}",
+                a.fault
+            );
+        }
+    }
+
+    #[test]
     fn a_panicking_evaluation_degrades_to_inconclusive() {
         let faults: Vec<Fault> = ["y1", "y2", "n1"]
             .iter()
@@ -751,7 +849,7 @@ mod tests {
                 level: StuckLevel::Zero,
             })
             .collect();
-        let records = campaign_records(&faults, 2, |f| {
+        let records = campaign_records(&faults, 2, |_, f| {
             if matches!(f, Fault::NodeStuckAt { node, .. } if node == "y2") {
                 panic!("injected evaluator panic");
             }
@@ -793,7 +891,7 @@ mod tests {
                 level: StuckLevel::One,
             },
         ];
-        let err = campaign_records(&faults, 1, |f| match f {
+        let err = campaign_records(&faults, 1, |_, f| match f {
             Fault::NodeStuckAt { node, .. } if node == "no_such_node" => {
                 Err(FaultError::UnknownNode(node.clone()))
             }

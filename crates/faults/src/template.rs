@@ -1,4 +1,4 @@
-//! Shared simulation template for batched fault-variant runs.
+//! Shared simulation template for fault-variant campaigns.
 //!
 //! A fault campaign simulates hundreds of circuit variants that are
 //! mostly *the same topology*: every static-pattern DC solve of one
@@ -6,23 +6,41 @@
 //! the structure the detection transient already analysed, and faults
 //! that only change device values (bridges of different resistance on
 //! the same pair, stuck levels on the same node) collapse onto one
-//! structure too. [`SimTemplate`] exploits that: it owns a
-//! [`SymbolicCache`] and routes every simulation through the
-//! structure-cached entry points of `clocksense-spice`, so the sparse
-//! backend performs its fill-reducing symbolic analysis once per
-//! *distinct* topology and every later variant clones only numeric
-//! state. Faults that do change the topology (an extra bridge resistor,
-//! a removed transistor) simply miss the cache and get a fresh analysis
-//! — correctness never depends on the cache's hit rate.
+//! structure too. [`SimTemplate`] exploits that at two levels:
+//!
+//! * **Structure sharing** — the template owns a [`SymbolicCache`] and
+//!   routes every simulation through the structure-cached entry points
+//!   of `clocksense-spice`, so the sparse backend performs its
+//!   fill-reducing symbolic analysis once per *distinct* topology and
+//!   every later variant clones only numeric state. Faults that do
+//!   change the topology (an extra bridge resistor, a removed
+//!   transistor) simply miss the cache and get a fresh analysis —
+//!   correctness never depends on the cache's hit rate.
+//! * **Batched solving** — [`transient_batch`](SimTemplate::transient_batch)
+//!   hands a whole slice of value-variant circuits to the spice crate's
+//!   [`BatchSim`](clocksense_spice::BatchSim) kernel, which packs
+//!   structurally aligned variants into one structure-of-arrays Newton
+//!   solve: one shared baseline stamp per timestep, per-variant delta
+//!   stamps for only the devices a fault touches, and per-variant
+//!   convergence masks so a variant that fails drops out to the scalar
+//!   path without poisoning its batch-mates.
+//!
+//! The campaign drives both through *per-item* options: since the
+//! retry/quarantine pass landed, every item carries its own
+//! [`SimOptions`] — a fresh per-item deadline token on the first pass,
+//! and relaxed settings (more Newton iterations, a finer step, backward
+//! Euler) on the retry pass — while all passes share this template's
+//! symbolic cache. The `_opts` methods are that entry point; the
+//! plain methods use the template's baseline options.
 //!
 //! With the default [`Dense`](SolverKind::Dense) backend the template is
-//! a plain pass-through to the uncached entry points; there is no
-//! symbolic structure to share.
+//! a plain pass-through to the uncached scalar entry points; there is no
+//! symbolic structure to share and no batching.
 
 use clocksense_netlist::Circuit;
 use clocksense_spice::{
-    dc_operating_point, dc_operating_point_cached, iddq, iddq_cached, transient, transient_cached,
-    DcSolution, SimOptions, SolverKind, SpiceError, SymbolicCache, TranResult,
+    dc_operating_point, dc_operating_point_cached, iddq, iddq_cached, transient, transient_batch,
+    transient_cached, DcSolution, SimOptions, SolverKind, SpiceError, SymbolicCache, TranResult,
 };
 
 /// Builds the simulation engine's per-topology structure once and shares
@@ -92,6 +110,82 @@ impl SimTemplate {
         match opts.solver {
             SolverKind::Dense => transient(circuit, t_stop, opts),
             SolverKind::Sparse => transient_cached(circuit, t_stop, opts, &self.cache),
+        }
+    }
+
+    /// Batched transient analysis of several value-variant circuits at
+    /// once, sharing this template's symbolic cache. See
+    /// [`clocksense_spice::transient_batch`].
+    ///
+    /// With the [`Sparse`](SolverKind::Sparse) backend and
+    /// `opts.batch >= 2`, structurally aligned circuits are packed into
+    /// the structure-of-arrays batch kernel; anything the kernel cannot
+    /// batch (misaligned structures, singleton groups, a variant that
+    /// fails mid-batch) falls back to the scalar cached path per
+    /// variant. With the dense backend every circuit runs scalar.
+    ///
+    /// Each slot of the returned `Vec` holds that circuit's own result
+    /// or its own structured error — one variant failing never poisons
+    /// the others.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use clocksense_faults::SimTemplate;
+    /// use clocksense_netlist::{Circuit, SourceWave, GROUND};
+    /// use clocksense_spice::{SimOptions, SolverKind};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let opts = SimOptions {
+    ///     solver: SolverKind::Sparse,
+    ///     batch: 4,
+    ///     ..SimOptions::default()
+    /// };
+    /// let tpl = SimTemplate::new(opts);
+    /// let variants: Vec<Circuit> = [1e3, 2e3, 5e3]
+    ///     .iter()
+    ///     .map(|&r| {
+    ///         let mut ckt = Circuit::new();
+    ///         let inp = ckt.node("in");
+    ///         let out = ckt.node("out");
+    ///         ckt.add_vsource("vin", inp, GROUND, SourceWave::Dc(1.0))?;
+    ///         ckt.add_resistor("r", inp, out, r)?;
+    ///         ckt.add_capacitor("c", out, GROUND, 1e-12)?;
+    ///         Ok(ckt)
+    ///     })
+    ///     .collect::<Result<_, Box<dyn std::error::Error>>>()?;
+    /// let results = tpl.transient_batch(&variants, 1e-9);
+    /// assert_eq!(results.len(), 3);
+    /// for r in &results {
+    ///     assert!(r.is_ok());
+    /// }
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn transient_batch(
+        &self,
+        circuits: &[Circuit],
+        t_stop: f64,
+    ) -> Vec<Result<TranResult, SpiceError>> {
+        self.transient_batch_opts(circuits, t_stop, &self.opts)
+    }
+
+    /// [`transient_batch`](SimTemplate::transient_batch) with
+    /// caller-supplied options; see
+    /// [`transient_opts`](SimTemplate::transient_opts) for why campaign
+    /// items carry their own options.
+    pub fn transient_batch_opts(
+        &self,
+        circuits: &[Circuit],
+        t_stop: f64,
+        opts: &SimOptions,
+    ) -> Vec<Result<TranResult, SpiceError>> {
+        match opts.solver {
+            SolverKind::Dense => circuits
+                .iter()
+                .map(|ckt| transient(ckt, t_stop, opts))
+                .collect(),
+            SolverKind::Sparse => transient_batch(circuits, t_stop, opts, &self.cache),
         }
     }
 
@@ -226,6 +320,38 @@ mod tests {
         extended.add_capacitor("c2", mid, GROUND, 1e-13).unwrap();
         tpl.transient(&extended, 1e-10).unwrap();
         assert_eq!(tpl.topologies(), 2);
+    }
+
+    #[test]
+    fn batched_template_matches_scalar_and_dense_falls_back() {
+        let scalar = SimTemplate::new(SimOptions {
+            solver: SolverKind::Sparse,
+            ..SimOptions::default()
+        });
+        let batched = SimTemplate::new(SimOptions {
+            solver: SolverKind::Sparse,
+            batch: 4,
+            ..SimOptions::default()
+        });
+        let variants: Vec<Circuit> = [1e3, 2e3, 5e3].iter().map(|&r| rc_bench(r)).collect();
+        let batch_results = batched.transient_batch(&variants, 1e-9);
+        for (ckt, br) in variants.iter().zip(&batch_results) {
+            let b = br.as_ref().unwrap();
+            let s = scalar.transient(ckt, 1e-9).unwrap();
+            let diff = b
+                .waveform_named("out")
+                .unwrap()
+                .max_abs_difference(&s.waveform_named("out").unwrap());
+            assert!(diff < 1e-9, "batched vs scalar diverged: {diff}");
+        }
+        // Dense routes every circuit through the scalar dense engine.
+        let dense = SimTemplate::new(SimOptions {
+            batch: 4,
+            ..SimOptions::default()
+        });
+        let dense_results = dense.transient_batch(&variants, 1e-9);
+        assert!(dense_results.iter().all(Result::is_ok));
+        assert_eq!(dense.cache_stats(), (0, 0));
     }
 
     #[test]

@@ -1,0 +1,1053 @@
+//! The batched many-variant transient kernel: K structurally-aligned
+//! circuit variants marched in lockstep over **one** symbolic structure.
+//!
+//! Fault value-variants and Monte-Carlo samples differ from each other in
+//! device *values* and source *waveforms*, almost never in topology. The
+//! scalar path already shares the symbolic analysis across such variants
+//! through a [`SymbolicCache`]; this module goes further and shares the
+//! whole numeric march:
+//!
+//! * **SoA packing** — one CSR pattern ([`Symbolic`]), one compiled stamp
+//!   plan, and K value planes (one [`SparseMatrix`] of numeric state per
+//!   variant over the shared `Arc<Symbolic>`).
+//! * **Delta stamping** — devices whose value is identical across the
+//!   batch are stamped once into a *baseline plane*; each variant plane
+//!   starts as a memcpy of the baseline and only the differing devices
+//!   (the fault/perturbation deltas) are stamped on top.
+//! * **Convergence-mask dropout** — Newton runs across the batch with a
+//!   per-variant mask: converged variants stop iterating, failed variants
+//!   drop out of the batch entirely and re-run on the scalar path (full
+//!   step-halving and rescue ladder), so one pathological variant never
+//!   poisons its batchmates.
+//! * **Multi-RHS linear fast path** — batches without MOSFETs have
+//!   state-independent matrices, so each variant factors once per
+//!   `(h, method)` and every subsequent Newton iteration and time step is
+//!   a forward/back substitution over contiguous slot arrays.
+//!
+//! The entry point is [`transient_batch`]; [`BatchSim`] packs one aligned
+//! group explicitly. `SimOptions::batch == 0` (the default) keeps every
+//! caller on the scalar path, bit-identical to [`transient_cached`].
+
+use std::sync::Arc;
+
+use clocksense_netlist::Circuit;
+
+use crate::engine::{MnaSystem, StampPlan};
+use crate::error::SpiceError;
+use crate::matrix::LuScratch;
+use crate::mos_eval::channel_current;
+use crate::options::{IntegrationMethod, SimOptions, SolverKind, TimestepControl};
+use crate::sparse::{SparseMatrix, SymbolicCache};
+use crate::tran::{transient_cached, TranResult};
+
+/// Capacitor integration state of one variant (branch voltage and current
+/// at the last accepted point) — the batch keeps one list per variant.
+#[derive(Debug, Clone, Copy)]
+struct CapState {
+    u: f64,
+    i: f64,
+}
+
+/// One variant being marched inside a batch.
+#[derive(Debug)]
+struct Variant {
+    sys: MnaSystem,
+    /// Last accepted solution.
+    x: Vec<f64>,
+    /// Newton candidate buffer.
+    x_new: Vec<f64>,
+    rhs: Vec<f64>,
+    states: Vec<CapState>,
+    /// `(geq, ieq)` companions of the current step attempt.
+    companions: Vec<(f64, f64)>,
+    /// This variant's value plane over the shared symbolic structure.
+    plane: SparseMatrix,
+    /// Linear fast path: the factored plane and the `(h, be)` it was
+    /// factored for. Invalidated whenever the step size or method flips.
+    factored: Option<SparseMatrix>,
+    factored_key: (u64, bool),
+    scratch: LuScratch,
+    /// Sampled series, lockstep with the batch time axis.
+    node_values: Vec<Vec<f64>>,
+    branch_values: Vec<Vec<f64>>,
+    /// `Some(err)` once the variant has dropped out of the batch.
+    failed: Option<SpiceError>,
+}
+
+/// Which devices differ across the batch (delta-stamped per variant) and
+/// which are identical (stamped once into the baseline plane).
+#[derive(Debug, Default)]
+struct DeltaSets {
+    varying_res: Vec<usize>,
+    varying_caps: Vec<usize>,
+    /// True per capacitor index when its farads differ across the batch.
+    cap_varies: Vec<bool>,
+}
+
+/// A packed batch: K structurally-aligned circuit variants sharing one
+/// symbolic structure, one stamp plan and one baseline stamp, marched in
+/// lockstep by [`BatchSim::run`].
+///
+/// Packing fails (with [`SpiceError::InvalidOption`]) unless every
+/// circuit has the same stamp topology — same node/branch layout and the
+/// same matrix positions — with only device values and source waveforms
+/// free to differ. [`transient_batch`] performs this grouping
+/// automatically and falls back to the scalar path for whatever does not
+/// align; reach for `BatchSim` directly when the caller already knows its
+/// variants align (a value-fault campaign, a Monte-Carlo scatter).
+///
+/// # Examples
+///
+/// Two RC variants (different resistance, same topology) batched against
+/// the scalar reference:
+///
+/// ```
+/// use clocksense_netlist::{Circuit, SourceWave, GROUND};
+/// use clocksense_spice::{
+///     transient_cached, BatchSim, SimOptions, SolverKind, SymbolicCache,
+/// };
+///
+/// fn rc(ohms: f64) -> Circuit {
+///     let mut ckt = Circuit::new();
+///     let inp = ckt.node("in");
+///     let out = ckt.node("out");
+///     ckt.add_vsource("vin", inp, GROUND, SourceWave::step(0.0, 1.0, 0.0, 1e-12))
+///         .unwrap();
+///     ckt.add_resistor("r", inp, out, ohms).unwrap();
+///     ckt.add_capacitor("c", out, GROUND, 1e-13).unwrap();
+///     ckt
+/// }
+///
+/// let opts = SimOptions {
+///     solver: SolverKind::Sparse,
+///     batch: 2,
+///     ..SimOptions::default()
+/// };
+/// let cache = SymbolicCache::new();
+/// let variants = [rc(1_000.0), rc(2_000.0)];
+/// let sim = BatchSim::pack(&variants, &opts, &cache).unwrap();
+/// assert_eq!(sim.width(), 2);
+/// let batched = sim.run(1e-9);
+/// for (ckt, result) in variants.iter().zip(&batched) {
+///     let scalar = transient_cached(ckt, 1e-9, &opts, &cache).unwrap();
+///     let got = result.as_ref().unwrap().waveform_named("out").unwrap();
+///     let want = scalar.waveform_named("out").unwrap();
+///     assert!(got.max_abs_difference(&want) < 1e-9);
+/// }
+/// ```
+#[derive(Debug)]
+pub struct BatchSim {
+    variants: Vec<Variant>,
+    plan: Arc<StampPlan>,
+    /// Scratch plane the shared baseline stamp is built in.
+    baseline: SparseMatrix,
+    deltas: DeltaSets,
+    opts: SimOptions,
+    linear: bool,
+}
+
+/// Structural alignment check: two systems may share a batch when their
+/// matrix layout and every device's node rows coincide — values, waves
+/// and MOSFET parameters are free to differ.
+fn aligned(a: &MnaSystem, b: &MnaSystem) -> bool {
+    a.dim == b.dim
+        && a.n_v == b.n_v
+        && a.n_nodes == b.n_nodes
+        && a.resistors.len() == b.resistors.len()
+        && a.capacitors.len() == b.capacitors.len()
+        && a.vsources.len() == b.vsources.len()
+        && a.isources.len() == b.isources.len()
+        && a.mosfets.len() == b.mosfets.len()
+        && a.resistors
+            .iter()
+            .zip(&b.resistors)
+            .all(|(x, y)| x.a == y.a && x.b == y.b)
+        && a.capacitors
+            .iter()
+            .zip(&b.capacitors)
+            .all(|(x, y)| x.a == y.a && x.b == y.b)
+        && a.vsources
+            .iter()
+            .zip(&b.vsources)
+            .all(|(x, y)| x.plus == y.plus && x.minus == y.minus)
+        && a.isources
+            .iter()
+            .zip(&b.isources)
+            .all(|(x, y)| x.from == y.from && x.to == y.to)
+        && a.mosfets
+            .iter()
+            .zip(&b.mosfets)
+            .all(|(x, y)| x.d == y.d && x.g == y.g && x.s == y.s && x.polarity == y.polarity)
+}
+
+impl BatchSim {
+    /// Packs `circuits` into one batch over a shared symbolic structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::InvalidOption`] when the options are out of
+    /// domain, the batch is empty, batching is disabled or unsupported
+    /// for these options (`batch < 2`, dense solver, adaptive timestep),
+    /// or the circuits are not structurally aligned; propagates netlist
+    /// validation errors from system assembly.
+    pub fn pack(
+        circuits: &[Circuit],
+        opts: &SimOptions,
+        cache: &SymbolicCache,
+    ) -> Result<BatchSim, SpiceError> {
+        opts.validate()?;
+        if circuits.is_empty() {
+            return Err(SpiceError::InvalidOption(
+                "batch must contain at least one circuit".to_string(),
+            ));
+        }
+        if opts.batch < 2 || opts.solver != SolverKind::Sparse {
+            return Err(SpiceError::InvalidOption(
+                "batching requires SimOptions { batch >= 2, solver: Sparse, .. }".to_string(),
+            ));
+        }
+        if !matches!(opts.timestep, TimestepControl::Fixed) {
+            return Err(SpiceError::InvalidOption(
+                "batching requires the fixed-grid timestep control".to_string(),
+            ));
+        }
+        if circuits.len() > opts.batch {
+            return Err(SpiceError::InvalidOption(format!(
+                "{} circuits exceed the batch width {}",
+                circuits.len(),
+                opts.batch
+            )));
+        }
+        let systems = circuits
+            .iter()
+            .map(MnaSystem::build)
+            .collect::<Result<Vec<_>, _>>()?;
+        if !systems.iter().all(|s| aligned(&systems[0], s)) {
+            return Err(SpiceError::InvalidOption(
+                "circuits are not structurally aligned for batching".to_string(),
+            ));
+        }
+        Ok(Self::from_systems(systems, opts, cache))
+    }
+
+    /// Packs already-built, already-aligned systems (the internal path of
+    /// [`transient_batch`], which grouped and alignment-checked them).
+    fn from_systems(systems: Vec<MnaSystem>, opts: &SimOptions, cache: &SymbolicCache) -> BatchSim {
+        let sys0 = &systems[0];
+        let pattern = sys0.stamp_pattern();
+        let (sym, hit) = cache.get_or_analyze(sys0.dim, &pattern, sys0.vsources.len());
+        let plan =
+            Arc::new(sys0.build_plan(&mut |r, c| {
+                sym.slot(r, c).expect("stamped position is in the pattern")
+            }));
+        let baseline = if hit {
+            SparseMatrix::new_cached(Arc::clone(&sym))
+        } else {
+            SparseMatrix::new(Arc::clone(&sym))
+        };
+
+        // Delta sets: a device is "varying" when any variant disagrees
+        // with variant 0 about its value.
+        let mut deltas = DeltaSets {
+            cap_varies: vec![false; sys0.capacitors.len()],
+            ..DeltaSets::default()
+        };
+        for j in 0..sys0.resistors.len() {
+            if systems
+                .iter()
+                .any(|s| s.resistors[j].conductance != sys0.resistors[j].conductance)
+            {
+                deltas.varying_res.push(j);
+            }
+        }
+        for j in 0..sys0.capacitors.len() {
+            if systems
+                .iter()
+                .any(|s| s.capacitors[j].farads != sys0.capacitors[j].farads)
+            {
+                deltas.varying_caps.push(j);
+                deltas.cap_varies[j] = true;
+            }
+        }
+
+        let linear = sys0.mosfets.is_empty();
+        let variants = systems
+            .into_iter()
+            .map(|sys| {
+                let dim = sys.dim;
+                let n_caps = sys.capacitors.len();
+                let n_nodes = sys.n_nodes;
+                let n_src = sys.vsources.len();
+                Variant {
+                    sys,
+                    x: vec![0.0; dim],
+                    x_new: Vec::with_capacity(dim),
+                    rhs: vec![0.0; dim],
+                    states: Vec::with_capacity(n_caps),
+                    companions: Vec::with_capacity(n_caps),
+                    plane: SparseMatrix::new_cached(Arc::clone(&sym)),
+                    factored: None,
+                    factored_key: (0, false),
+                    scratch: LuScratch::new(),
+                    node_values: vec![Vec::new(); n_nodes],
+                    branch_values: vec![Vec::new(); n_src],
+                    failed: None,
+                }
+            })
+            .collect();
+
+        BatchSim {
+            variants,
+            plan,
+            baseline,
+            deltas,
+            opts: opts.clone(),
+            linear,
+        }
+    }
+
+    /// Number of variants packed into this batch.
+    pub fn width(&self) -> usize {
+        self.variants.len()
+    }
+
+    /// Marches the whole batch in lockstep from `t = 0` to `t_stop` and
+    /// returns one result per variant, in packing order.
+    ///
+    /// A variant whose Newton solve fails at the lockstep step — or whose
+    /// DC initial condition cannot be found — **drops out** with its
+    /// structured error; its batchmates are unaffected. Callers wanting
+    /// the scalar path's step-halving and rescue ladder for dropouts
+    /// re-run them via [`transient_cached`] (exactly what
+    /// [`transient_batch`] does).
+    ///
+    /// # Errors
+    ///
+    /// Per-variant: [`SpiceError::NonConvergence`] /
+    /// [`SpiceError::SingularMatrix`] on a dropped-out variant,
+    /// [`SpiceError::DeadlineExceeded`] once
+    /// [`SimOptions::deadline`](crate::SimOptions::deadline) expires, and
+    /// [`SpiceError::InvalidOption`] for a bad `t_stop`.
+    pub fn run(mut self, t_stop: f64) -> Vec<Result<TranResult, SpiceError>> {
+        if !(t_stop.is_finite() && t_stop > 0.0) {
+            let err = || {
+                Err(SpiceError::InvalidOption(format!(
+                    "t_stop must be finite and positive, got {t_stop}"
+                )))
+            };
+            return self.variants.iter().map(|_| err()).collect();
+        }
+        let bm = crate::metrics::batch_metrics();
+        bm.batches_run.incr();
+
+        let opts = self.opts.clone();
+        let width = self.variants.len();
+
+        // DC initial conditions, per variant (the same continuation path
+        // the scalar transient takes). A DC failure is an immediate
+        // dropout.
+        let local_cache = SymbolicCache::new();
+        for v in &mut self.variants {
+            match crate::dc::solve_with_continuation_pub(&v.sys, 0.0, &opts, Some(&local_cache)) {
+                Ok(x0) => {
+                    v.states.clear();
+                    v.states.extend(v.sys.capacitors.iter().map(|c| CapState {
+                        u: MnaSystem::voltage(&x0, c.a) - MnaSystem::voltage(&x0, c.b),
+                        i: 0.0,
+                    }));
+                    v.x = x0;
+                    v.record_sample();
+                }
+                Err(e) => v.failed = Some(e),
+            }
+        }
+
+        // Lockstep time grid: the union of every variant's source
+        // breakpoints. Identical waves across the batch (value-variant
+        // campaigns) make this grid — and therefore every sample — land
+        // on exactly the scalar grid.
+        let mut breakpoints: Vec<f64> = Vec::new();
+        for v in &self.variants {
+            for src in &v.sys.vsources {
+                breakpoints.extend(src.wave.breakpoints(t_stop));
+            }
+            for src in &v.sys.isources {
+                breakpoints.extend(src.wave.breakpoints(t_stop));
+            }
+        }
+        breakpoints.retain(|&t| t > 0.0 && t <= t_stop);
+        breakpoints.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
+        breakpoints.dedup_by(|a, b| (*a - *b).abs() < opts.tstep_min);
+
+        let mut times: Vec<f64> = vec![0.0];
+        let mut bp_iter = breakpoints.into_iter().peekable();
+        let mut t = 0.0;
+        let mut force_be = true;
+
+        while t < t_stop - opts.tstep_min {
+            if self.variants.iter().all(|v| v.failed.is_some()) {
+                break;
+            }
+            if let Some(deadline) = &opts.deadline {
+                if deadline.expired() {
+                    for v in &mut self.variants {
+                        if v.failed.is_none() {
+                            v.failed = Some(SpiceError::DeadlineExceeded { time: t });
+                        }
+                    }
+                    break;
+                }
+            }
+            // Exactly the scalar marcher's grid arithmetic.
+            let mut t_next = t + opts.tstep;
+            let mut hit_breakpoint = false;
+            if let Some(&bp) = bp_iter.peek() {
+                if bp <= t_next + opts.tstep_min {
+                    t_next = bp;
+                    bp_iter.next();
+                    hit_breakpoint = true;
+                }
+            }
+            if t_next > t_stop {
+                t_next = t_stop;
+            }
+            let h = t_next - t;
+            let be = force_be || opts.method == IntegrationMethod::BackwardEuler;
+
+            self.stamp_baseline(h, be);
+            let active = self.variants.iter().filter(|v| v.failed.is_none()).count();
+            bm.steps_scheduled.add(width as u64);
+            bm.occupancy_active.add(active as u64);
+
+            let (plan, deltas, baseline, linear) =
+                (&self.plan, &self.deltas, &self.baseline, self.linear);
+            let mut accepted = 0u64;
+            for v in &mut self.variants {
+                if v.failed.is_some() {
+                    continue;
+                }
+                let stepped = if linear {
+                    v.step_linear(plan, deltas, baseline, t_next, h, be, &opts)
+                } else {
+                    v.step_newton(plan, deltas, baseline, t_next, h, be, &opts)
+                };
+                match stepped {
+                    Ok(()) => {
+                        v.record_sample();
+                        accepted += 1;
+                    }
+                    Err(e) => v.failed = Some(e),
+                }
+            }
+            bm.steps_accepted.add(accepted);
+
+            times.push(t_next);
+            t = t_next;
+            force_be = hit_breakpoint;
+        }
+
+        let times: Arc<[f64]> = times.into();
+        self.variants
+            .into_iter()
+            .map(|v| match v.failed {
+                Some(e) => Err(e),
+                None => {
+                    bm.variants_batched.incr();
+                    Ok(TranResult::from_parts(
+                        Arc::clone(&times),
+                        v.node_values,
+                        v.branch_values,
+                        v.sys.node_names.clone(),
+                        v.sys.vsources.iter().map(|s| s.name.clone()).collect(),
+                    ))
+                }
+            })
+            .collect()
+    }
+
+    /// Builds the shared baseline plane for a step of size `h` with the
+    /// given method: batch-invariant resistors, the voltage sources' ±1
+    /// constraint stamps, batch-invariant capacitor conductances and the
+    /// diagonal gmin. Everything here is identical for every variant, so
+    /// it is stamped once and memcpy'd K times per Newton iteration.
+    fn stamp_baseline(&mut self, h: f64, be: bool) {
+        let sys = &self.variants[0].sys;
+        let plan = &self.plan;
+        self.baseline.clear();
+        let vals = self.baseline.values_mut();
+        for (j, (r, slots)) in sys.resistors.iter().zip(&plan.res).enumerate() {
+            if !self.deltas.varying_res.contains(&j) {
+                slots.stamp_vals(vals, r.conductance);
+            }
+        }
+        for slots in &plan.vsrc {
+            if let Some(s) = slots.p_b {
+                vals[s] += 1.0;
+            }
+            if let Some(s) = slots.b_p {
+                vals[s] += 1.0;
+            }
+            if let Some(s) = slots.n_b {
+                vals[s] -= 1.0;
+            }
+            if let Some(s) = slots.b_n {
+                vals[s] -= 1.0;
+            }
+        }
+        for (j, (c, slots)) in sys.capacitors.iter().zip(&plan.caps).enumerate() {
+            if !self.deltas.cap_varies[j] {
+                let geq = if be { c.farads / h } else { 2.0 * c.farads / h };
+                slots.stamp_pair_vals(vals, geq);
+            }
+        }
+        for &slot in &plan.node_diag {
+            vals[slot] += self.opts.gmin;
+        }
+    }
+}
+
+impl Variant {
+    /// Appends the current solution to the sampled series (row 0 is
+    /// ground and stays all-zero), mirroring the scalar `Samples`.
+    fn record_sample(&mut self) {
+        self.node_values[0].push(0.0);
+        for node in 1..self.sys.n_nodes {
+            self.node_values[node].push(self.x[node - 1]);
+        }
+        for (b, series) in self.branch_values.iter_mut().enumerate() {
+            series.push(self.x[self.sys.n_v + b]);
+        }
+    }
+
+    /// Computes this variant's capacitor companions for a step of size
+    /// `h` ending at the attempt's target time.
+    fn companions(&mut self, h: f64, be: bool) {
+        self.companions.clear();
+        self.companions
+            .extend(self.sys.capacitors.iter().zip(&self.states).map(|(c, st)| {
+                if be {
+                    let geq = c.farads / h;
+                    (geq, geq * st.u)
+                } else {
+                    let geq = 2.0 * c.farads / h;
+                    (geq, geq * st.u + st.i)
+                }
+            }));
+    }
+
+    /// Per-variant RHS of one Newton iteration: source waves, current
+    /// sources and every capacitor's `ieq`.
+    fn build_rhs(&mut self, plan: &StampPlan, t_next: f64) {
+        self.rhs.fill(0.0);
+        for (v, slots) in self.sys.vsources.iter().zip(&plan.vsrc) {
+            self.rhs[slots.rhs_row] += v.wave.value_at(t_next);
+        }
+        for i in &self.sys.isources {
+            let value = i.wave.value_at(t_next);
+            if let Some(f) = i.from {
+                self.rhs[f] -= value;
+            }
+            if let Some(to) = i.to {
+                self.rhs[to] += value;
+            }
+        }
+        for (&(_, ieq), slots) in self.companions.iter().zip(&plan.caps) {
+            slots.stamp_rhs(&mut self.rhs, ieq);
+        }
+    }
+
+    /// Delta-stamps this variant's matrix on top of a baseline copy:
+    /// varying resistors and varying capacitor conductances.
+    fn stamp_deltas(&mut self, plan: &StampPlan, deltas: &DeltaSets, baseline: &SparseMatrix) {
+        self.plane.copy_values_from(baseline);
+        let vals = self.plane.values_mut();
+        for &j in &deltas.varying_res {
+            plan.res[j].stamp_vals(vals, self.sys.resistors[j].conductance);
+        }
+        for &j in &deltas.varying_caps {
+            let (geq, _) = self.companions[j];
+            plan.caps[j].stamp_pair_vals(vals, geq);
+        }
+    }
+
+    /// Updates the capacitor states from the converged solution.
+    fn accept_states(&mut self) {
+        for (j, (cap, &(geq, ieq))) in self.sys.capacitors.iter().zip(&self.companions).enumerate()
+        {
+            let u = MnaSystem::voltage(&self.x, cap.a) - MnaSystem::voltage(&self.x, cap.b);
+            self.states[j] = CapState {
+                u,
+                i: geq * u - ieq,
+            };
+        }
+    }
+
+    /// The scalar Newton convergence test and damped update, applied to
+    /// the candidate `x_new` in place over `x`. Returns whether every
+    /// unknown was already inside tolerance *before* the update — the
+    /// same accept semantics as the scalar loop.
+    fn converge_update(&mut self, opts: &SimOptions) -> bool {
+        let n_v = self.sys.n_v;
+        let mut converged = true;
+        for r in 0..self.sys.dim {
+            let delta = self.x_new[r] - self.x[r];
+            let tol = if r < n_v {
+                opts.vntol + opts.reltol * self.x[r].abs().max(self.x_new[r].abs())
+            } else {
+                opts.abstol + opts.reltol * self.x[r].abs().max(self.x_new[r].abs())
+            };
+            if delta.abs() > tol {
+                converged = false;
+            }
+            let clamped = if r < n_v {
+                delta.clamp(-opts.newton_damping, opts.newton_damping)
+            } else {
+                delta
+            };
+            self.x[r] += clamped;
+        }
+        converged
+    }
+
+    /// Full Newton step for a batch with MOSFETs: every iteration
+    /// memcpys the baseline, delta-stamps, stamps the per-variant
+    /// linearised MOSFET companions, then factors and substitutes.
+    #[allow(clippy::too_many_arguments)]
+    fn step_newton(
+        &mut self,
+        plan: &StampPlan,
+        deltas: &DeltaSets,
+        baseline: &SparseMatrix,
+        t_next: f64,
+        h: f64,
+        be: bool,
+        opts: &SimOptions,
+    ) -> Result<(), SpiceError> {
+        self.companions(h, be);
+        for _ in 0..opts.max_newton_iters {
+            if let Some(deadline) = &opts.deadline {
+                if deadline.expired() {
+                    return Err(SpiceError::DeadlineExceeded { time: t_next });
+                }
+            }
+            self.stamp_deltas(plan, deltas, baseline);
+            self.build_rhs(plan, t_next);
+            // MOSFET linearisation around the current iterate.
+            let vals = self.plane.values_mut();
+            for (mos, slots) in self.sys.mosfets.iter().zip(&plan.mos) {
+                let vd = MnaSystem::voltage(&self.x, mos.d);
+                let vg = MnaSystem::voltage(&self.x, mos.g);
+                let vs = MnaSystem::voltage(&self.x, mos.s);
+                let op = channel_current(mos.polarity, &mos.params, vd, vg, vs);
+                let i_eq = op.id - op.g_d * vd - op.g_g * vg - op.g_s * vs;
+                for (slot, g) in [
+                    (slots.dd, op.g_d),
+                    (slots.dg, op.g_g),
+                    (slots.ds, op.g_s),
+                    (slots.sd, -op.g_d),
+                    (slots.sg, -op.g_g),
+                    (slots.ss, -op.g_s),
+                ] {
+                    if let Some(s) = slot {
+                        vals[s] += g;
+                    }
+                }
+                if let Some(d) = slots.d {
+                    self.rhs[d] -= i_eq;
+                }
+                if let Some(s) = slots.s {
+                    self.rhs[s] += i_eq;
+                }
+                slots.gmin.stamp_vals(vals, opts.gmin);
+            }
+            self.plane.factor()?;
+            self.plane
+                .substitute(&self.rhs, &mut self.scratch, &mut self.x_new)?;
+            if self.converge_update(opts) {
+                self.accept_states();
+                return Ok(());
+            }
+        }
+        Err(SpiceError::NonConvergence {
+            time: t_next,
+            diagnostics: None,
+        })
+    }
+
+    /// Linear fast path (no MOSFETs): the matrix is independent of the
+    /// iterate, so the variant factors once per `(h, method)` and every
+    /// Newton iteration of every step at that size is a substitution.
+    /// The damped-update walk still runs exactly as in the scalar loop —
+    /// repeated solves of an unchanged linear system yield an unchanged
+    /// candidate, so re-solving is skipped, not re-ordered.
+    #[allow(clippy::too_many_arguments)]
+    fn step_linear(
+        &mut self,
+        plan: &StampPlan,
+        deltas: &DeltaSets,
+        baseline: &SparseMatrix,
+        t_next: f64,
+        h: f64,
+        be: bool,
+        opts: &SimOptions,
+    ) -> Result<(), SpiceError> {
+        let bm = crate::metrics::batch_metrics();
+        self.companions(h, be);
+        let key = (h.to_bits(), be);
+        let mut factored_now = 0u64;
+        if self.factored.as_ref().is_none() || self.factored_key != key {
+            self.stamp_deltas(plan, deltas, baseline);
+            self.plane.factor()?;
+            self.factored = Some(self.plane.clone());
+            self.factored_key = key;
+            factored_now = 1;
+        }
+        self.build_rhs(plan, t_next);
+        let factored = self.factored.as_ref().expect("factored plane present");
+        factored.substitute(&self.rhs, &mut self.scratch, &mut self.x_new)?;
+
+        // Each walk iteration below corresponds to one scalar Newton
+        // iteration, each of which would have restamped and refactored;
+        // the cached factored plane amortises to zero factorisations.
+        let mut iters = 0u64;
+        for _ in 0..opts.max_newton_iters {
+            if let Some(deadline) = &opts.deadline {
+                if deadline.expired() {
+                    return Err(SpiceError::DeadlineExceeded { time: t_next });
+                }
+            }
+            iters += 1;
+            if self.converge_update(opts) {
+                bm.refactors_saved.add(iters - factored_now);
+                self.accept_states();
+                return Ok(());
+            }
+        }
+        bm.refactors_saved.add(iters - factored_now);
+        Err(SpiceError::NonConvergence {
+            time: t_next,
+            diagnostics: None,
+        })
+    }
+}
+
+/// Runs a transient analysis of every circuit in `circuits`, batching
+/// structurally-aligned variants into [`BatchSim`] lockstep groups of up
+/// to [`SimOptions::batch`] and falling back to the scalar
+/// [`transient_cached`] path wherever batching does not apply.
+///
+/// The scalar fallback (per variant) triggers when:
+///
+/// * `opts.batch < 2`, the solver is [`Dense`](SolverKind::Dense), or the
+///   timestep control is adaptive — batching is then disabled wholesale;
+/// * a circuit aligns with no other circuit in the slice (singleton
+///   group);
+/// * a variant **drops out** of its batch: its DC solve or a lockstep
+///   Newton step failed. The variant re-runs scalar from `t = 0` with
+///   step halving and the full rescue ladder available, so a variant that
+///   is merely *hard* still completes, and one that truly fails reports
+///   the scalar path's structured error — batchmates never see any of it.
+///
+/// Results are returned in input order. With identical source waveforms
+/// across a batch the lockstep grid is exactly the scalar grid; variants
+/// whose waves differ (Monte-Carlo slews) march the union of their
+/// breakpoints and agree with the scalar path at sample level rather
+/// than bit level (see `DESIGN.md` §3.5).
+///
+/// # Examples
+///
+/// ```
+/// use clocksense_netlist::{Circuit, SourceWave, GROUND};
+/// use clocksense_spice::{transient_batch, SimOptions, SolverKind, SymbolicCache};
+///
+/// fn divider(ohms: f64) -> Circuit {
+///     let mut ckt = Circuit::new();
+///     let a = ckt.node("a");
+///     let b = ckt.node("b");
+///     ckt.add_vsource("v", a, GROUND, SourceWave::Dc(1.0)).unwrap();
+///     ckt.add_resistor("r1", a, b, ohms).unwrap();
+///     ckt.add_resistor("r2", b, GROUND, 1_000.0).unwrap();
+///     ckt.add_capacitor("c", b, GROUND, 1e-13).unwrap();
+///     ckt
+/// }
+///
+/// let opts = SimOptions {
+///     solver: SolverKind::Sparse,
+///     batch: 4,
+///     ..SimOptions::default()
+/// };
+/// let cache = SymbolicCache::new();
+/// let circuits: Vec<Circuit> = (0..4).map(|i| divider(500.0 + 250.0 * i as f64)).collect();
+/// let results = transient_batch(&circuits, 1e-10, &opts, &cache);
+/// assert_eq!(results.len(), 4);
+/// assert!(results.iter().all(|r| r.is_ok()));
+/// ```
+pub fn transient_batch(
+    circuits: &[Circuit],
+    t_stop: f64,
+    opts: &SimOptions,
+    cache: &SymbolicCache,
+) -> Vec<Result<TranResult, SpiceError>> {
+    let scalar = |ckt: &Circuit| transient_cached(ckt, t_stop, opts, cache);
+    if opts.batch < 2
+        || opts.solver != SolverKind::Sparse
+        || !matches!(opts.timestep, TimestepControl::Fixed)
+    {
+        return circuits.iter().map(scalar).collect();
+    }
+
+    // Group by structural alignment (linear scan over open groups: fault
+    // universes interleave topology classes, so grouping must not be
+    // order-sensitive), then chunk each group to the batch width.
+    let mut results: Vec<Option<Result<TranResult, SpiceError>>> =
+        (0..circuits.len()).map(|_| None).collect();
+    let mut groups: Vec<Vec<(usize, MnaSystem)>> = Vec::new();
+    let bm = crate::metrics::batch_metrics();
+    for (idx, ckt) in circuits.iter().enumerate() {
+        match MnaSystem::build(ckt) {
+            Ok(sys) => {
+                if let Some(group) = groups.iter_mut().find(|g| aligned(&g[0].1, &sys)) {
+                    group.push((idx, sys));
+                } else {
+                    groups.push(vec![(idx, sys)]);
+                }
+            }
+            // Scalar reproduces the structural error with full context.
+            Err(_) => results[idx] = Some(scalar(ckt)),
+        }
+    }
+
+    for group in groups {
+        for chunk in group.chunks(opts.batch.max(1)) {
+            if chunk.len() < 2 {
+                for (idx, _) in chunk {
+                    bm.variants_scalar_fallback.incr();
+                    results[*idx] = Some(scalar(&circuits[*idx]));
+                }
+                continue;
+            }
+            let systems: Vec<MnaSystem> = chunk.iter().map(|(_, s)| s.clone()).collect();
+            let sim = BatchSim::from_systems(systems, opts, cache);
+            for ((idx, _), outcome) in chunk.iter().zip(sim.run(t_stop)) {
+                results[*idx] = Some(match outcome {
+                    Ok(r) => Ok(r),
+                    Err(e) => {
+                        // Dropout: re-run scalar with halving + rescue so
+                        // a hard variant still completes, and a failing
+                        // one reports the scalar path's structured error.
+                        if matches!(e, SpiceError::NonConvergence { .. }) {
+                            bm.dropouts_nonconvergence.incr();
+                        }
+                        bm.variants_scalar_fallback.incr();
+                        scalar(&circuits[*idx])
+                    }
+                });
+            }
+        }
+    }
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every circuit received a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clocksense_netlist::{MosParams, MosPolarity, SourceWave, GROUND};
+
+    fn batch_opts(k: usize) -> SimOptions {
+        SimOptions {
+            solver: SolverKind::Sparse,
+            batch: k,
+            ..SimOptions::default()
+        }
+    }
+
+    fn rc_chain(r1: f64, r2: f64, c1: f64, c2: f64) -> Circuit {
+        let mut ckt = Circuit::new();
+        let inp = ckt.node("in");
+        let mid = ckt.node("mid");
+        let out = ckt.node("out");
+        ckt.add_vsource(
+            "vin",
+            inp,
+            GROUND,
+            SourceWave::step(0.0, 1.0, 10e-12, 20e-12),
+        )
+        .unwrap();
+        ckt.add_resistor("r1", inp, mid, r1).unwrap();
+        ckt.add_resistor("r2", mid, out, r2).unwrap();
+        ckt.add_capacitor("c1", mid, GROUND, c1).unwrap();
+        ckt.add_capacitor("c2", out, GROUND, c2).unwrap();
+        ckt
+    }
+
+    fn inverter(w_n: f64) -> Circuit {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add_vsource("vdd", vdd, GROUND, SourceWave::Dc(5.0))
+            .unwrap();
+        ckt.add_vsource(
+            "vin",
+            inp,
+            GROUND,
+            SourceWave::Pulse {
+                v1: 0.0,
+                v2: 5.0,
+                delay: 0.2e-9,
+                rise: 0.1e-9,
+                fall: 0.1e-9,
+                width: 0.5e-9,
+                period: f64::INFINITY,
+            },
+        )
+        .unwrap();
+        let nmos = MosParams {
+            vth0: 0.7,
+            kp: 60e-6,
+            lambda: 0.02,
+            w: w_n,
+            l: 1.2e-6,
+            cgs: 3e-15,
+            cgd: 3e-15,
+            cdb: 4e-15,
+        };
+        let pmos = MosParams {
+            vth0: -0.9,
+            kp: 20e-6,
+            lambda: 0.02,
+            w: 10e-6,
+            l: 1.2e-6,
+            cgs: 7e-15,
+            cgd: 7e-15,
+            cdb: 9e-15,
+        };
+        ckt.add_mosfet("mp", MosPolarity::Pmos, out, inp, vdd, pmos)
+            .unwrap();
+        ckt.add_mosfet("mn", MosPolarity::Nmos, out, inp, GROUND, nmos)
+            .unwrap();
+        ckt.add_capacitor("cl", out, GROUND, 20e-15).unwrap();
+        ckt
+    }
+
+    fn assert_matches_scalar(circuits: &[Circuit], t_stop: f64, opts: &SimOptions, tol: f64) {
+        let cache = SymbolicCache::new();
+        let batched = transient_batch(circuits, t_stop, opts, &cache);
+        for (ckt, got) in circuits.iter().zip(&batched) {
+            let got = got.as_ref().expect("batched variant converged");
+            let want = transient_cached(ckt, t_stop, opts, &cache).unwrap();
+            assert_eq!(got.times(), want.times(), "lockstep grid == scalar grid");
+            for name in want.node_names() {
+                let a = got.waveform_named(name).unwrap();
+                let b = want.waveform_named(name).unwrap();
+                let diff = a.max_abs_difference(&b);
+                assert!(diff <= tol, "node {name} deviates by {diff}");
+            }
+        }
+    }
+
+    #[test]
+    fn linear_batch_matches_scalar() {
+        let circuits: Vec<Circuit> = (0..4)
+            .map(|i| {
+                let f = 1.0 + 0.2 * i as f64;
+                rc_chain(1e3 * f, 2e3, 50e-15 / f, 20e-15)
+            })
+            .collect();
+        assert_matches_scalar(&circuits, 0.5e-9, &batch_opts(4), 1e-9);
+    }
+
+    #[test]
+    fn nonlinear_batch_matches_scalar() {
+        let circuits: Vec<Circuit> = (0..3)
+            .map(|i| inverter(4e-6 * (1.0 + 0.3 * i as f64)))
+            .collect();
+        assert_matches_scalar(&circuits, 1e-9, &batch_opts(3), 1e-6);
+    }
+
+    #[test]
+    fn unaligned_circuits_fall_back_to_scalar() {
+        let mut other = Circuit::new();
+        let a = other.node("a");
+        other
+            .add_vsource("v", a, GROUND, SourceWave::Dc(1.0))
+            .unwrap();
+        other.add_resistor("r", a, GROUND, 1e3).unwrap();
+        let circuits = vec![rc_chain(1e3, 2e3, 50e-15, 20e-15), other];
+        let cache = SymbolicCache::new();
+        let results = transient_batch(&circuits, 0.2e-9, &batch_opts(8), &cache);
+        assert!(results.iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn batch_disabled_routes_everything_scalar() {
+        let circuits = vec![rc_chain(1e3, 2e3, 50e-15, 20e-15); 2];
+        let cache = SymbolicCache::new();
+        let opts = SimOptions {
+            solver: SolverKind::Sparse,
+            ..SimOptions::default()
+        };
+        let results = transient_batch(&circuits, 0.2e-9, &opts, &cache);
+        assert!(results.iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn pack_rejects_misaligned_and_dense() {
+        let cache = SymbolicCache::new();
+        let mut other = Circuit::new();
+        let a = other.node("a");
+        other
+            .add_vsource("v", a, GROUND, SourceWave::Dc(1.0))
+            .unwrap();
+        other.add_resistor("r", a, GROUND, 1e3).unwrap();
+        let misaligned = [rc_chain(1e3, 2e3, 50e-15, 20e-15), other];
+        assert!(BatchSim::pack(&misaligned, &batch_opts(2), &cache).is_err());
+
+        let aligned = [
+            rc_chain(1e3, 2e3, 50e-15, 20e-15),
+            rc_chain(2e3, 2e3, 40e-15, 20e-15),
+        ];
+        let dense = SimOptions {
+            batch: 2,
+            ..SimOptions::default()
+        };
+        assert!(BatchSim::pack(&aligned, &dense, &cache).is_err());
+        assert!(BatchSim::pack(&aligned, &batch_opts(2), &cache).is_ok());
+    }
+
+    #[test]
+    fn dropout_preserves_batchmates_and_reports_structured_failure() {
+        // Variant 1 is pathological: a sub-attosecond pulse the fixed
+        // grid cannot resolve with the lockstep step, driving Newton hard
+        // enough to fail at the batch's step size; the scalar fallback
+        // (halving + rescue) must still complete it — and variant 0 must
+        // march through untouched.
+        let good = rc_chain(1e3, 2e3, 50e-15, 20e-15);
+        let cache = SymbolicCache::new();
+        let opts = SimOptions {
+            max_newton_iters: 2,
+            newton_damping: 1e-3,
+            ..batch_opts(2)
+        };
+        let hard = rc_chain(1e3, 2e3, 50e-15, 20e-15);
+        let results = transient_batch(&[good.clone(), hard], 0.2e-9, &opts, &cache);
+        // Whatever the hard variant's fate, the good one's result must
+        // equal its own scalar run under identical options.
+        let want = transient_cached(&good, 0.2e-9, &opts, &cache);
+        match (&results[0], &want) {
+            (Ok(a), Ok(b)) => {
+                let d = a
+                    .waveform_named("out")
+                    .unwrap()
+                    .max_abs_difference(&b.waveform_named("out").unwrap());
+                assert!(d <= 1e-9, "batchmate perturbed by {d}");
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => panic!("batch and scalar disagree on the clean variant: {a:?} vs {b:?}"),
+        }
+    }
+}

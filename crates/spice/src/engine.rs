@@ -101,6 +101,25 @@ impl PairSlots {
             m.add_slot(s, -g);
         }
     }
+
+    /// [`stamp`](PairSlots::stamp) straight into a sparse value plane —
+    /// the batched kernel writes through precomputed CSR slots without an
+    /// `MnaMatrix` wrapper per variant.
+    #[inline]
+    pub fn stamp_vals(&self, vals: &mut [f64], g: f64) {
+        if let Some(s) = self.aa {
+            vals[s] += g;
+        }
+        if let Some(s) = self.ab {
+            vals[s] -= g;
+        }
+        if let Some(s) = self.bb {
+            vals[s] += g;
+        }
+        if let Some(s) = self.ba {
+            vals[s] -= g;
+        }
+    }
 }
 
 /// Resolved slots of one capacitor's companion-model stamp.
@@ -123,32 +142,52 @@ impl CapSlots {
             rhs[b] -= ieq;
         }
     }
+
+    /// Only the conductance half of the companion, into a raw value plane
+    /// — used when building the matrix side of a batched variant whose
+    /// `ieq` lands on a per-variant RHS later.
+    #[inline]
+    pub fn stamp_pair_vals(&self, vals: &mut [f64], geq: f64) {
+        self.pair.stamp_vals(vals, geq);
+    }
+
+    /// Only the RHS half of the companion (`ieq`) — for capacitors whose
+    /// conductance half already sits in a shared baseline plane.
+    #[inline]
+    pub fn stamp_rhs(&self, rhs: &mut [f64], ieq: f64) {
+        if let Some(a) = self.a {
+            rhs[a] += ieq;
+        }
+        if let Some(b) = self.b {
+            rhs[b] -= ieq;
+        }
+    }
 }
 
 /// Resolved slots of one voltage source's constraint rows.
 #[derive(Debug, Clone, Copy)]
-struct VsrcSlots {
-    p_b: Option<usize>,
-    b_p: Option<usize>,
-    n_b: Option<usize>,
-    b_n: Option<usize>,
-    rhs_row: usize,
+pub(crate) struct VsrcSlots {
+    pub(crate) p_b: Option<usize>,
+    pub(crate) b_p: Option<usize>,
+    pub(crate) n_b: Option<usize>,
+    pub(crate) b_n: Option<usize>,
+    pub(crate) rhs_row: usize,
 }
 
 /// Resolved slots of one MOSFET's linearised companion stamp: the six
 /// Jacobian partials that touch non-ground rows, the two RHS rows, and
 /// the channel `gmin` conductance.
 #[derive(Debug, Clone, Copy)]
-struct MosSlots {
-    dd: Option<usize>,
-    dg: Option<usize>,
-    ds: Option<usize>,
-    sd: Option<usize>,
-    sg: Option<usize>,
-    ss: Option<usize>,
-    d: Option<usize>,
-    s: Option<usize>,
-    gmin: PairSlots,
+pub(crate) struct MosSlots {
+    pub(crate) dd: Option<usize>,
+    pub(crate) dg: Option<usize>,
+    pub(crate) ds: Option<usize>,
+    pub(crate) sd: Option<usize>,
+    pub(crate) sg: Option<usize>,
+    pub(crate) ss: Option<usize>,
+    pub(crate) d: Option<usize>,
+    pub(crate) s: Option<usize>,
+    pub(crate) gmin: PairSlots,
 }
 
 /// A compiled stamp program for one circuit topology on one matrix
@@ -157,11 +196,11 @@ struct MosSlots {
 /// Newton iteration, timestep and (via workspace cloning) variant.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct StampPlan {
-    res: Vec<PairSlots>,
-    vsrc: Vec<VsrcSlots>,
+    pub(crate) res: Vec<PairSlots>,
+    pub(crate) vsrc: Vec<VsrcSlots>,
     pub caps: Vec<CapSlots>,
-    mos: Vec<MosSlots>,
-    node_diag: Vec<usize>,
+    pub(crate) mos: Vec<MosSlots>,
+    pub(crate) node_diag: Vec<usize>,
 }
 
 /// Reusable buffers for the Newton loop: the MNA matrix (dense or

@@ -37,6 +37,7 @@
 //! # }
 //! ```
 
+mod batch;
 mod dc;
 mod engine;
 mod error;
@@ -47,6 +48,7 @@ mod options;
 mod sparse;
 mod tran;
 
+pub use batch::{transient_batch, BatchSim};
 pub use clocksense_exec::Deadline;
 pub use dc::{
     dc_operating_point, dc_operating_point_cached, dc_sweep, iddq, iddq_cached, DcSolution,

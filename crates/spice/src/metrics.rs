@@ -110,9 +110,59 @@ pub(crate) struct RescueMetrics {
     pub dc_gmin_bisections: Counter,
 }
 
+/// Counters of the batched many-variant kernel, recorded under the
+/// `batch.` scope.
+///
+/// Like [`TranMetrics`] and [`RescueMetrics`], the block materialises
+/// lazily on the first batched solve: the default scalar path
+/// (`SimOptions::batch == 0`) never creates any `batch.*` counter, so
+/// archived golden telemetry reports stay byte-identical. The CI
+/// clean-golden gate relies on this (`check_report.py
+/// --expect-zero-batch`).
+pub(crate) struct BatchMetrics {
+    /// Batches the kernel marched (each packs 2..=K variants).
+    pub batches_run: Counter,
+    /// Variants that ran inside a batch to completion.
+    pub variants_batched: Counter,
+    /// Variants handed to the scalar path instead: unbatchable topology,
+    /// singleton group, or an in-batch dropout re-run.
+    pub variants_scalar_fallback: Counter,
+    /// Dropouts caused by an in-batch Newton failure (the variant re-ran
+    /// scalar from `t = 0` with the full rescue ladder available).
+    pub dropouts_nonconvergence: Counter,
+    /// Lockstep time steps the kernel accepted, summed over variants.
+    pub steps_accepted: Counter,
+    /// Occupancy numerator: active (not dropped-out) variant-steps. Read
+    /// together with `steps_scheduled` this yields the mean fraction of a
+    /// batch still marching in lockstep.
+    pub occupancy_active: Counter,
+    /// Occupancy denominator: variant-steps a full batch would have run.
+    pub steps_scheduled: Counter,
+    /// Numeric factorisations the linear fast path skipped by reusing a
+    /// factored plane across iterations and steps.
+    pub refactors_saved: Counter,
+}
+
 static METRICS: OnceLock<SpiceMetrics> = OnceLock::new();
 static TRAN_METRICS: OnceLock<TranMetrics> = OnceLock::new();
 static RESCUE_METRICS: OnceLock<RescueMetrics> = OnceLock::new();
+static BATCH_METRICS: OnceLock<BatchMetrics> = OnceLock::new();
+
+pub(crate) fn batch_metrics() -> &'static BatchMetrics {
+    BATCH_METRICS.get_or_init(|| {
+        let scope = clocksense_telemetry::global().scope("batch");
+        BatchMetrics {
+            batches_run: scope.counter("batches_run"),
+            variants_batched: scope.counter("variants_batched"),
+            variants_scalar_fallback: scope.counter("variants_scalar_fallback"),
+            dropouts_nonconvergence: scope.counter("dropouts_nonconvergence"),
+            steps_accepted: scope.counter("steps_accepted"),
+            occupancy_active: scope.counter("occupancy_active"),
+            steps_scheduled: scope.counter("steps_scheduled"),
+            refactors_saved: scope.counter("refactors_saved"),
+        }
+    })
+}
 
 pub(crate) fn rescue_metrics() -> &'static RescueMetrics {
     RESCUE_METRICS.get_or_init(|| {

@@ -257,6 +257,33 @@ pub struct SimOptions {
     /// hands each fault its own [`Deadline`] so one pathological faulted
     /// netlist cannot hold a worker hostage.
     pub deadline: Option<Deadline>,
+    /// Batch width of the many-variant kernel
+    /// ([`transient_batch`](crate::transient_batch)): up to this many
+    /// same-topology circuit variants are packed into one [`BatchSim`]
+    /// (`crate::BatchSim`) sharing a single symbolic structure and
+    /// baseline stamp. `0` or `1` (the default is `0`) disables batching
+    /// entirely — every analysis, including those routed through
+    /// `transient_batch`, runs the existing scalar cached path, so all
+    /// archived golden results stand unchanged.
+    ///
+    /// Batching requires the [`Sparse`](SolverKind::Sparse) solver and
+    /// the [`Fixed`](TimestepControl::Fixed) timestep control; other
+    /// combinations validate fine but fall back to the scalar path
+    /// variant by variant (see `DESIGN.md` §3.5 for the exact fallback
+    /// conditions).
+    ///
+    /// ```
+    /// use clocksense_spice::{SimOptions, SolverKind};
+    ///
+    /// assert_eq!(SimOptions::default().batch, 0); // scalar by default
+    /// let opts = SimOptions {
+    ///     solver: SolverKind::Sparse,
+    ///     batch: 8,
+    ///     ..SimOptions::default()
+    /// };
+    /// assert!(opts.validate().is_ok());
+    /// ```
+    pub batch: usize,
 }
 
 impl Default for SimOptions {
@@ -275,6 +302,7 @@ impl Default for SimOptions {
             newton_damping: 2.0,
             rescue: true,
             deadline: None,
+            batch: 0,
         }
     }
 }
@@ -370,6 +398,16 @@ mod tests {
     #[test]
     fn default_timestep_control_is_fixed() {
         assert_eq!(SimOptions::default().timestep, TimestepControl::Fixed);
+    }
+
+    #[test]
+    fn batch_defaults_off_and_any_width_validates() {
+        assert_eq!(SimOptions::default().batch, 0);
+        let wide = SimOptions {
+            batch: 64,
+            ..SimOptions::default()
+        };
+        assert!(wide.validate().is_ok());
     }
 
     #[test]

@@ -361,6 +361,130 @@ impl SparseMatrix {
         self.vals[slot] += value;
     }
 
+    /// Mutable view of the value plane — the batched kernel's delta-stamp
+    /// target.
+    pub(crate) fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.vals
+    }
+
+    /// Overwrites this plane with `src`'s values (both must share the
+    /// same symbolic structure) — the per-variant "memcpy the baseline"
+    /// step of the batched kernel.
+    pub(crate) fn copy_values_from(&mut self, src: &SparseMatrix) {
+        debug_assert!(Arc::ptr_eq(&self.sym, &src.sym), "mismatched structures");
+        self.vals.copy_from_slice(&src.vals);
+    }
+
+    /// Numeric LU factorisation over the fixed pattern, **without** a
+    /// right-hand side: afterwards the value plane holds the L and U
+    /// factors and any number of RHS vectors can be solved through
+    /// [`substitute`](SparseMatrix::substitute). Splitting the fold apart
+    /// performs exactly the same floating-point operations in the same
+    /// order as [`solve_into`](SparseMatrix::solve_into) (the per-column
+    /// `y` updates commute out of the elimination loop untouched), so a
+    /// factor-then-substitute solve is bit-identical to the fused one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::SingularMatrix`] on a sub-threshold pivot.
+    pub(crate) fn factor(&mut self) -> Result<(), SpiceError> {
+        let sym = &*self.sym;
+        let n = sym.n;
+        let tm = crate::metrics::metrics();
+        tm.numeric_refactors.incr();
+        if self.reused {
+            tm.symbolic_reuse_hits.incr();
+        }
+        self.reused = true;
+
+        let norm = (0..n)
+            .map(|k| {
+                self.vals[sym.row_start[k]..sym.row_start[k + 1]]
+                    .iter()
+                    .map(|v| v.abs())
+                    .sum::<f64>()
+            })
+            .fold(0.0f64, f64::max);
+        let threshold = (f64::EPSILON * norm * (n as f64).sqrt()).max(f64::MIN_POSITIVE);
+
+        let vals = &mut self.vals;
+        for k in 0..n {
+            let pivot = vals[sym.diag[k]];
+            if pivot.abs() < threshold {
+                return Err(SpiceError::SingularMatrix);
+            }
+            for idx in sym.col_start[k]..sym.col_start[k + 1] {
+                let s_ik = sym.col_slots[idx];
+                let factor = vals[s_ik] / pivot;
+                vals[s_ik] = factor;
+                if factor != 0.0 {
+                    let mut t = s_ik + 1;
+                    for a in sym.diag[k] + 1..sym.row_start[k + 1] {
+                        let c = sym.cols[a];
+                        while sym.cols[t] < c {
+                            t += 1;
+                        }
+                        debug_assert_eq!(sym.cols[t], c, "fill slot predicted by symbolic");
+                        vals[t] -= factor * vals[a];
+                        t += 1;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Forward + back substitution with the factors left by
+    /// [`factor`](SparseMatrix::factor), writing the solution into `out`.
+    /// May be called repeatedly — the multi-RHS pass of the batched
+    /// kernel: one factorisation, K substitutions over contiguous slot
+    /// arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::SingularMatrix`] when the solution is
+    /// non-finite.
+    pub(crate) fn substitute(
+        &self,
+        b: &[f64],
+        scratch: &mut LuScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), SpiceError> {
+        let sym = &*self.sym;
+        let n = sym.n;
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        scratch.rhs.clear();
+        scratch.rhs.extend(sym.perm.iter().map(|&orig| b[orig]));
+        let y = &mut scratch.rhs;
+        let vals = &self.vals;
+        // Forward substitution in the same column-major order the fused
+        // solve folds into its elimination loop.
+        for k in 0..n {
+            let yk = y[k];
+            if yk != 0.0 {
+                for idx in sym.col_start[k]..sym.col_start[k + 1] {
+                    y[sym.col_rows[idx]] -= vals[sym.col_slots[idx]] * yk;
+                }
+            }
+        }
+        for k in (0..n).rev() {
+            let mut sum = y[k];
+            for slot in sym.diag[k] + 1..sym.row_start[k + 1] {
+                sum -= vals[slot] * y[sym.cols[slot]];
+            }
+            y[k] = sum / vals[sym.diag[k]];
+        }
+        out.clear();
+        out.resize(n, 0.0);
+        for (k, &orig) in sym.perm.iter().enumerate() {
+            out[orig] = y[k];
+        }
+        if out.iter().any(|v| !v.is_finite()) {
+            return Err(SpiceError::SingularMatrix);
+        }
+        Ok(())
+    }
+
     /// Solves `A x = b`, allocating the scratch and output buffers.
     ///
     /// # Errors
@@ -681,6 +805,66 @@ mod tests {
         for (k, (a, bb)) in xs.iter().zip(&xd).enumerate() {
             assert!((a - bb).abs() < 1e-10, "x[{k}]: {a} vs {bb}");
         }
+    }
+
+    #[test]
+    fn factor_then_substitute_is_bit_identical_to_fused_solve() {
+        // The batched kernel's multi-RHS split must not perturb a single
+        // bit relative to solve_into — same elimination order, same
+        // pivot threshold, only the y updates hoisted out.
+        let n = 16;
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut rnd = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed as f64 / u64::MAX as f64) - 0.5
+        };
+        let mut pattern: Vec<(usize, usize)> = (0..n).map(|i| (i, i)).collect();
+        let mut entries = Vec::new();
+        for i in 0..n {
+            for _ in 0..4 {
+                let j = ((rnd() + 0.5) * n as f64) as usize % n;
+                if i != j {
+                    pattern.push((i, j));
+                    entries.push((i, j, rnd()));
+                }
+            }
+        }
+        let sym = Arc::new(Symbolic::analyze(n, &pattern, 0));
+        let mut fused = SparseMatrix::new(Arc::clone(&sym));
+        let mut split = SparseMatrix::new(Arc::clone(&sym));
+        for i in 0..n {
+            fused.add(i, i, 5.0);
+            split.add(i, i, 5.0);
+        }
+        for &(i, j, v) in &entries {
+            fused.add(i, j, v);
+            split.add(i, j, v);
+        }
+        let b1: Vec<f64> = (0..n).map(|_| rnd()).collect();
+        let b2: Vec<f64> = (0..n).map(|_| rnd()).collect();
+
+        let x1_fused = fused.solve(&b1).unwrap();
+        split.factor().unwrap();
+        let mut scratch = LuScratch::new();
+        let mut x1_split = Vec::new();
+        split.substitute(&b1, &mut scratch, &mut x1_split).unwrap();
+        assert_eq!(x1_fused, x1_split, "factor+substitute != fused solve");
+
+        // The factors survive for further right-hand sides; re-stamping
+        // the fused matrix is required because solve_into consumed it.
+        let mut fused2 = SparseMatrix::new(Arc::clone(&sym));
+        for i in 0..n {
+            fused2.add(i, i, 5.0);
+        }
+        for &(i, j, v) in &entries {
+            fused2.add(i, j, v);
+        }
+        let x2_fused = fused2.solve(&b2).unwrap();
+        let mut x2_split = Vec::new();
+        split.substitute(&b2, &mut scratch, &mut x2_split).unwrap();
+        assert_eq!(x2_fused, x2_split, "second RHS diverged");
     }
 
     #[test]

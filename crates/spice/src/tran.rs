@@ -72,6 +72,25 @@ impl TranResult {
     pub fn node_names(&self) -> &[String] {
         &self.node_names
     }
+
+    /// Assembles a result from raw sampled series — the construction path
+    /// of the batched kernel (`crate::batch`), which accumulates its own
+    /// lockstep samples and shares one time axis across the whole batch.
+    pub(crate) fn from_parts(
+        times: Arc<[f64]>,
+        node_values: Vec<Vec<f64>>,
+        branch_values: Vec<Vec<f64>>,
+        node_names: Vec<String>,
+        source_names: Vec<String>,
+    ) -> TranResult {
+        TranResult {
+            times,
+            node_values,
+            branch_values,
+            node_names,
+            source_names,
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]

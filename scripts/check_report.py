@@ -22,7 +22,15 @@ emit a well-formed report, whatever its numbers are. Checks:
     recovered or quarantined;
   * optionally (--expect-zero-rescue) the run was clean: no rescue.* or
     campaign.* retry counter recorded a nonzero value (both scopes
-    materialise lazily, so a clean run normally has none at all).
+    materialise lazily, so a clean run normally has none at all);
+  * optionally (--batch) the batched-kernel accounting is coherent: the
+    kernel actually ran (batch.batches_run >= 1), it kept variants
+    active (batch.occupancy_active >= 1), and the batched/scalar
+    campaign comparison covered at least one fault with zero verdict
+    mismatches;
+  * optionally (--expect-zero-batch) the run never touched the batched
+    kernel: no batch.* counter recorded a nonzero value (the scope
+    materialises lazily, so a scalar run normally has none at all).
 
 Exits 0 on success, 1 with a message naming the first violation.
 """
@@ -80,6 +88,16 @@ def main() -> None:
         "--expect-zero-rescue",
         action="store_true",
         help="fail if any rescue.* or campaign.* retry counter is nonzero",
+    )
+    parser.add_argument(
+        "--batch",
+        action="store_true",
+        help="require coherent batched-kernel occupancy and verdict agreement",
+    )
+    parser.add_argument(
+        "--expect-zero-batch",
+        action="store_true",
+        help="fail if any batch.* counter is nonzero",
     )
     args = parser.parse_args()
 
@@ -173,12 +191,46 @@ def main() -> None:
                 f"quarantined ({quarantined}) != scheduled ({scheduled})"
             )
 
+    if args.batch:
+        counters = report["counters"]
+        for name in (
+            "batch.batches_run",
+            "batch.occupancy_active",
+            "batch_scaling.verdicts_total",
+            "batch_scaling.verdict_mismatches",
+        ):
+            if name not in counters:
+                fail(f"batch-gate counter {name!r} missing")
+        if counters["batch.batches_run"] < 1:
+            fail("batch.batches_run must be >= 1: the batched kernel never ran")
+        if counters["batch.occupancy_active"] < 1:
+            fail(
+                "batch.occupancy_active must be >= 1: every variant fell "
+                "out of every batch"
+            )
+        if counters["batch_scaling.verdicts_total"] < 1:
+            fail("batch_scaling.verdicts_total must be >= 1: no faults compared")
+        mismatches = counters["batch_scaling.verdict_mismatches"]
+        if mismatches != 0:
+            fail(
+                f"batch_scaling.verdict_mismatches = {mismatches}: batched "
+                "and scalar campaigns disagree"
+            )
+
     if args.expect_zero_rescue:
         for name, value in report["counters"].items():
             if (name.startswith("rescue.") or name.startswith("campaign.")) and value != 0:
                 fail(
                     f"clean run recorded {name} = {value}: the rescue/retry "
                     "machinery must stay idle on healthy circuits"
+                )
+
+    if args.expect_zero_batch:
+        for name, value in report["counters"].items():
+            if name.startswith("batch.") and value != 0:
+                fail(
+                    f"scalar run recorded {name} = {value}: the batched "
+                    "kernel must stay idle when SimOptions::batch is 0"
                 )
 
     print(

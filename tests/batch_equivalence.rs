@@ -1,0 +1,204 @@
+//! Property tests pinning the batched many-variant kernel to the cached
+//! scalar path it accelerates: K structurally aligned value variants
+//! solved by one `transient_batch` call must reproduce K independent
+//! `transient_cached` runs — same lockstep time grid, waveforms within
+//! 1e-9 — on random RC trees, on the paper's nonlinear sensing circuit,
+//! and in mixed-convergence batches where some variants drop out to the
+//! scalar rescue ladder while their batch-mates march on.
+
+use clocksense::core::{ClockPair, SensorBuilder, Technology};
+use clocksense::netlist::{Circuit, SourceWave, GROUND};
+use clocksense::spice::{transient_batch, transient_cached, SimOptions, SolverKind, SymbolicCache};
+use proptest::prelude::*;
+
+/// A randomly shaped RC tree plus per-variant value scales. Every
+/// variant shares the topology (so the batch packs them onto one
+/// symbolic structure) and retunes every device value by its scale.
+#[derive(Debug, Clone)]
+struct BatchSpec {
+    /// `(parent, ohms, farads)` — parent indexes already-created nodes.
+    nodes: Vec<(usize, f64, f64)>,
+    driver_r: f64,
+    /// One multiplicative value scale per batch variant.
+    scales: Vec<f64>,
+}
+
+fn batch_spec() -> impl Strategy<Value = BatchSpec> {
+    let node = (0usize..8, 50.0f64..5_000.0, 5e-15f64..200e-15);
+    (
+        prop::collection::vec(node, 1..8),
+        50.0f64..500.0,
+        prop::collection::vec(0.5f64..2.0, 2..6),
+    )
+        .prop_map(|(raw, driver_r, scales)| {
+            let nodes = raw
+                .into_iter()
+                .enumerate()
+                .map(|(i, (p, r, c))| (p % (i + 1), r, c))
+                .collect();
+            BatchSpec {
+                nodes,
+                driver_r,
+                scales,
+            }
+        })
+}
+
+fn build_variant(spec: &BatchSpec, scale: f64) -> Circuit {
+    let mut ckt = Circuit::new();
+    let src = ckt.node("src");
+    let root = ckt.node("n0");
+    ckt.add_vsource(
+        "vin",
+        src,
+        GROUND,
+        SourceWave::step(0.0, 1.0, 0.1e-9, 1e-12),
+    )
+    .expect("valid source");
+    ckt.add_resistor("rdrv", src, root, spec.driver_r * scale)
+        .expect("valid r");
+    ckt.add_capacitor("c0", root, GROUND, 20e-15 * scale)
+        .expect("valid c");
+    for (k, &(parent, r, c)) in spec.nodes.iter().enumerate() {
+        let a = ckt.node(&format!("n{parent}"));
+        let b = ckt.node(&format!("n{}", k + 1));
+        ckt.add_resistor(&format!("r{}", k + 1), a, b, r * scale)
+            .expect("valid r");
+        ckt.add_capacitor(&format!("c{}", k + 1), b, GROUND, c * scale)
+            .expect("valid c");
+    }
+    ckt
+}
+
+fn batch_opts(width: usize) -> SimOptions {
+    SimOptions {
+        solver: SolverKind::Sparse,
+        tstep: 2e-12,
+        batch: width,
+        ..SimOptions::default()
+    }
+}
+
+/// Per-variant parity: the batched slot must agree with the variant's
+/// own scalar run — bitwise time grid and waveforms within `tol` — or
+/// both must fail.
+fn assert_slot_parity(
+    circuits: &[Circuit],
+    t_stop: f64,
+    opts: &SimOptions,
+    tol: f64,
+) -> Result<(), TestCaseError> {
+    let batched = transient_batch(circuits, t_stop, opts, &SymbolicCache::new());
+    let cache = SymbolicCache::new();
+    for (k, (ckt, got)) in circuits.iter().zip(&batched).enumerate() {
+        let want = transient_cached(ckt, t_stop, opts, &cache);
+        match (got, &want) {
+            (Ok(got), Ok(want)) => {
+                prop_assert_eq!(
+                    got.times(),
+                    want.times(),
+                    "variant {}: lockstep grid must equal the scalar grid",
+                    k
+                );
+                for node in ckt.nodes() {
+                    let d = got.waveform(node).max_abs_difference(&want.waveform(node));
+                    prop_assert!(
+                        d <= tol,
+                        "variant {}, node {}: batched deviates by {}",
+                        k,
+                        ckt.node_name(node),
+                        d
+                    );
+                }
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => {
+                return Err(TestCaseError::fail(format!(
+                    "variant {k}: batched {a:?} vs scalar {b:?}"
+                )))
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn batched_matches_cached_scalar_on_random_rc_trees(spec in batch_spec()) {
+        let circuits: Vec<Circuit> = spec
+            .scales
+            .iter()
+            .map(|&s| build_variant(&spec, s))
+            .collect();
+        assert_slot_parity(&circuits, 1e-9, &batch_opts(spec.scales.len()), 1e-9)?;
+    }
+
+    #[test]
+    fn mixed_convergence_batches_do_not_poison_batchmates(spec in batch_spec()) {
+        // Starve Newton so the lockstep step fails for some variants:
+        // each dropout must be rescued through its own scalar ladder
+        // (step halving and all) while the surviving mates' waveforms
+        // stay pinned to their scalar runs.
+        let opts = SimOptions {
+            max_newton_iters: 2,
+            newton_damping: 1e-3,
+            ..batch_opts(spec.scales.len())
+        };
+        let circuits: Vec<Circuit> = spec
+            .scales
+            .iter()
+            .map(|&s| build_variant(&spec, s))
+            .collect();
+        assert_slot_parity(&circuits, 0.5e-9, &opts, 1e-9)?;
+    }
+}
+
+/// The paper's sensing circuit — nonlinear MOSFET dynamics, keepers,
+/// parasitics — batched as four load-capacitance variants over a full
+/// clock cycle. Same stamps, same Newton tolerance, same lockstep grid,
+/// so the batched Newton path must track each scalar run to
+/// linear-solve roundoff.
+#[test]
+fn sensor_variant_batch_matches_cached_scalar() {
+    let tech = Technology::cmos12();
+    let clocks = ClockPair::single_shot(tech.vdd, 0.2e-9);
+    let t_stop = clocks.sim_stop_time();
+    let sensors: Vec<_> = (0..4)
+        .map(|k| {
+            SensorBuilder::new(tech)
+                .load_capacitance(120e-15 + 20e-15 * k as f64)
+                .build()
+                .expect("valid sensor")
+        })
+        .collect();
+    let variants: Vec<Circuit> = sensors
+        .iter()
+        .map(|s| s.testbench(&clocks).expect("testbench"))
+        .collect();
+    let opts = batch_opts(variants.len());
+    let batched = transient_batch(&variants, t_stop, &opts, &SymbolicCache::new());
+    let cache = SymbolicCache::new();
+    for (k, (ckt, got)) in variants.iter().zip(&batched).enumerate() {
+        let got = got.as_ref().expect("batched sensor transient");
+        let want = transient_cached(ckt, t_stop, &opts, &cache).expect("scalar sensor transient");
+        assert_eq!(
+            got.times(),
+            want.times(),
+            "variant {k}: lockstep grid must equal the scalar grid"
+        );
+        let (y1, y2) = sensors[k].outputs();
+        for node in [y1, y2] {
+            let d = got.waveform(node).max_abs_difference(&want.waveform(node));
+            assert!(
+                d <= 1e-9,
+                "variant {k}, output {}: deviates by {d}",
+                ckt.node_name(node)
+            );
+        }
+    }
+}
