@@ -17,6 +17,8 @@ pub enum CoreError {
     InvalidParameter(String),
     /// A parallel worker item panicked; the payload message is preserved.
     WorkerPanic(String),
+    /// Reading or writing a checkpoint journal failed.
+    Checkpoint(String),
 }
 
 impl fmt::Display for CoreError {
@@ -28,6 +30,7 @@ impl fmt::Display for CoreError {
                 write!(f, "invalid parameter: {detail}")
             }
             CoreError::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
+            CoreError::Checkpoint(detail) => write!(f, "checkpoint journal error: {detail}"),
         }
     }
 }
@@ -38,6 +41,7 @@ impl Error for CoreError {
             CoreError::Netlist(e) => Some(e),
             CoreError::Spice(e) => Some(e),
             CoreError::InvalidParameter(_) | CoreError::WorkerPanic(_) => None,
+            CoreError::Checkpoint(_) => None,
         }
     }
 }

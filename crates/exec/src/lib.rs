@@ -255,6 +255,41 @@ impl Executor {
             .collect()
     }
 
+    /// Run `job` for every index in `indices`, in parallel, returning the
+    /// results in `indices` order.
+    ///
+    /// This is the work-list form of [`run`](Executor::run) used by the
+    /// checkpoint/resume layer: after a journal replay filters out the
+    /// already-verdicted items, only the surviving original indices are
+    /// handed to the workers. Slot `k` of the returned `Vec` corresponds
+    /// to `indices[k]`, and a panicking call reports the *original* index
+    /// in its [`JobPanic`], so callers can merge results back into a full
+    /// work list without extra bookkeeping.
+    ///
+    /// ```
+    /// use clocksense_exec::Executor;
+    ///
+    /// let out = Executor::new(2).run_indexed(&[4, 1, 7], |i| i * 10);
+    /// let values: Vec<usize> = out.into_iter().map(Result::unwrap).collect();
+    /// assert_eq!(values, vec![40, 10, 70]);
+    /// ```
+    pub fn run_indexed<T, F>(&self, indices: &[usize], job: F) -> Vec<Result<T, JobPanic>>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.run(indices.len(), |k| job(indices[k]))
+            .into_iter()
+            .enumerate()
+            .map(|(k, outcome)| {
+                outcome.map_err(|panic| JobPanic {
+                    index: indices[k],
+                    message: panic.message,
+                })
+            })
+            .collect()
+    }
+
     /// Run `job` over `0..items` in contiguous chunks of at most
     /// `chunk` items, returning per-item results in item order.
     ///
@@ -328,6 +363,23 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn run_indexed_reports_original_indices() {
+        let out = Executor::new(3).run_indexed(&[9, 2, 5, 11], |i| {
+            if i == 5 {
+                panic!("boom at {i}");
+            }
+            i + 100
+        });
+        assert_eq!(out[0], Ok(109));
+        assert_eq!(out[1], Ok(102));
+        let panic = out[2].as_ref().unwrap_err();
+        assert_eq!(panic.index, 5);
+        assert!(panic.message.contains("boom at 5"));
+        assert_eq!(out[3], Ok(111));
+        assert!(Executor::new(2).run_indexed(&[], |i: usize| i).is_empty());
+    }
 
     #[test]
     fn results_are_in_item_order() {

@@ -2,13 +2,18 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::path::PathBuf;
+use std::sync::Mutex;
 use std::time::Duration;
 
 use clocksense_core::{ClockPair, SensingCircuit};
 use clocksense_exec::{Deadline, Executor};
-use clocksense_netlist::SourceWave;
+use clocksense_netlist::{canonical_form, fnv1a, SourceWave, FNV_OFFSET};
 use clocksense_spice::{IntegrationMethod, SimOptions, SolverKind, SpiceError, TranResult};
 
+use crate::checkpoint::{
+    campaign_fingerprint, decode_fault_record, encode_fault_record, Journal, TAG_FAULT,
+};
 use crate::detect::{logic_detected, static_flip, DetectionCriteria, DetectionOutcome};
 use crate::error::FaultError;
 use crate::inject::{inject, Rails};
@@ -50,6 +55,13 @@ pub struct CampaignConfig {
     /// finer base step, backward-Euler integration — before they are
     /// quarantined. Defaults to `true`.
     pub retry: bool,
+    /// Path of the checkpoint journal (see
+    /// [`checkpoint`](crate::checkpoint)). When set, finished fault items
+    /// are journalled as the campaign runs and already-journalled items
+    /// are replayed instead of re-simulated, keyed by the canonical
+    /// content hash of the injected netlist plus the campaign
+    /// fingerprint. `None` (the default) runs without any journal I/O.
+    pub checkpoint: Option<PathBuf>,
 }
 
 impl CampaignConfig {
@@ -91,7 +103,18 @@ impl CampaignConfig {
             threads: 0,
             item_deadline: None,
             retry: true,
+            checkpoint: None,
         }
+    }
+
+    /// Journals finished items to `path` and replays whatever that
+    /// journal already holds on the next run, so a killed campaign
+    /// resumes where it died and an unchanged re-run is pure memo hits.
+    /// The final report is byte-identical to an uninterrupted run (for
+    /// batched campaigns see the re-packing caveat in `DESIGN.md` §3.6).
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint = Some(path.into());
+        self
     }
 
     /// The relaxed options of the retry pass: four times the Newton
@@ -547,6 +570,67 @@ pub fn run_campaign(
         &cfg.sim,
         &mut _baseline_failure,
     )?;
+    // Checkpoint replay: hash every item up front (injected netlist +
+    // campaign fingerprint), replay journalled verdicts as memo hits,
+    // and hand only the remainder to the executor. The `checkpoint.*`
+    // counters materialise only on this path, so runs without a journal
+    // keep their telemetry snapshots byte-identical.
+    let mut replayed: Vec<Option<FaultRecord>> = vec![None; faults.len()];
+    let mut hashes: Vec<u64> = Vec::new();
+    let journal: Option<Mutex<Journal>> = match &cfg.checkpoint {
+        Some(path) => {
+            let bench = sensor.testbench(&cfg.clocks)?;
+            let fingerprint = campaign_fingerprint(cfg, sensor.technology().logic_threshold());
+            hashes = faults
+                .iter()
+                .map(|f| {
+                    let injected = inject(&bench, f, &rails)?;
+                    let h = fnv1a(FNV_OFFSET, canonical_form(&injected).as_bytes());
+                    Ok(fnv1a(h, fingerprint.as_bytes()))
+                })
+                .collect::<Result<Vec<u64>, FaultError>>()?;
+            let journal = Journal::open(path)
+                .map_err(|e| FaultError::Checkpoint(format!("{}: {e}", path.display())))?;
+            for (i, fault) in faults.iter().enumerate() {
+                replayed[i] = journal
+                    .lookup(hashes[i], TAG_FAULT)
+                    .and_then(|fields| decode_fault_record(fields, fault));
+            }
+            let hits = replayed.iter().filter(|r| r.is_some()).count() as u64;
+            let scope = clocksense_telemetry::global().scope("checkpoint");
+            scope.counter("items_total").add(faults.len() as u64);
+            scope.counter("memo_hits").add(hits);
+            scope.counter("memo_misses").add(faults.len() as u64 - hits);
+            scope.counter("records_replayed").add(hits);
+            Some(Mutex::new(journal))
+        }
+        None => None,
+    };
+    let fresh: Vec<usize> = replayed
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.is_none())
+        .map(|(i, _)| i)
+        .collect();
+    let mut fresh_pos = vec![usize::MAX; faults.len()];
+    for (k, &i) in fresh.iter().enumerate() {
+        fresh_pos[i] = k;
+    }
+    // Journals one finished record under its item hash; a no-op without
+    // a checkpoint. Only *final* records may be written (see the module
+    // doc of [`checkpoint`](crate::checkpoint)); the callers below
+    // enforce that.
+    let append_record = |record: &FaultRecord, i: usize| -> Result<(), FaultError> {
+        if let Some(journal) = &journal {
+            let mut journal = journal
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            journal
+                .append(hashes[i], TAG_FAULT, &encode_fault_record(record))
+                .map_err(|e| FaultError::Checkpoint(e.to_string()))?;
+        }
+        Ok(())
+    };
     // Batched detection pre-pass: with the sparse backend and a batch
     // width configured, the per-fault detection transients (the dominant
     // cost of a campaign item) run through the spice batch kernel before
@@ -557,19 +641,23 @@ pub fn run_campaign(
     // deliberately runs without the per-item deadline (one shared token
     // would charge the whole pass's wall clock to every item); deadline
     // enforcement still applies to everything the per-item pass runs.
-    let pre_tran = if cfg.sim.batch >= 2 && cfg.sim.solver == SolverKind::Sparse {
-        let bench = sensor.testbench(&cfg.clocks)?;
-        let benches = faults
-            .iter()
-            .map(|f| inject(&bench, f, &rails))
-            .collect::<Result<Vec<_>, FaultError>>()?;
-        Some(template.transient_batch_opts(&benches, cfg.stop_time(), &cfg.sim))
-    } else {
-        None
-    };
-    let mut records = campaign_records(faults, cfg.threads, |i, f| {
+    // Only the fresh remainder is packed, so a resumed batched campaign
+    // marches a different union breakpoint grid than the uninterrupted
+    // run did — see DESIGN.md §3.6 for the byte-identity caveat.
+    let pre_tran =
+        if cfg.sim.batch >= 2 && cfg.sim.solver == SolverKind::Sparse && !fresh.is_empty() {
+            let bench = sensor.testbench(&cfg.clocks)?;
+            let benches = fresh
+                .iter()
+                .map(|&i| inject(&bench, &faults[i], &rails))
+                .collect::<Result<Vec<_>, FaultError>>()?;
+            Some(template.transient_batch_opts(&benches, cfg.stop_time(), &cfg.sim))
+        } else {
+            None
+        };
+    let fresh_records = campaign_records_at(faults, &fresh, cfg.threads, |i, f| {
         let opts = cfg.item_sim(&cfg.sim);
-        evaluate_fault(
+        let record = evaluate_fault(
             sensor,
             f,
             cfg,
@@ -577,19 +665,57 @@ pub fn run_campaign(
             &template,
             &fault_free_static,
             &opts,
-            pre_tran.as_ref().map(|v| &v[i]),
-        )
+            pre_tran.as_ref().map(|v| &v[fresh_pos[i]]),
+        )?;
+        // First-pass records are final unless the retry pass will
+        // replace them.
+        let provisional = cfg.retry
+            && record.outcome == DetectionOutcome::Inconclusive
+            && record.failure.is_some();
+        if !provisional {
+            append_record(&record, i)?;
+        }
+        Ok(record)
     })?;
+    let mut records: Vec<FaultRecord> = Vec::with_capacity(faults.len());
+    {
+        let mut fresh_records = fresh_records.into_iter();
+        for slot in replayed {
+            records.push(match slot {
+                Some(record) => record,
+                None => fresh_records.next().expect("one record per fresh item"),
+            });
+        }
+    }
+    // Panic-degraded records are built by the executor wrapper, not the
+    // evaluator closure above, so when no retry pass will finalise them
+    // they are journalled here.
+    if journal.is_some() && !cfg.retry {
+        for &i in &fresh {
+            let panicked = records[i]
+                .failure
+                .as_ref()
+                .is_some_and(|f| f.kind == FailureKind::Panic);
+            if panicked {
+                append_record(&records[i], i)?;
+            }
+        }
+    }
 
     // Retry pass: re-queue every fault whose evaluation failed, once,
     // with relaxed options. Survivors are quarantined (`retried` stays
     // set, the outcome stays inconclusive, the failure reason is the
     // retry's). The `campaign.*` counters are touched only when a retry
     // actually happens, so clean-run telemetry snapshots are unchanged.
+    // Replayed records are final by construction (quarantined ones carry
+    // `retried`), so the `!r.retried` guard keeps a resume from retrying
+    // them a second time.
     let retry_idx: Vec<usize> = records
         .iter()
         .enumerate()
-        .filter(|(_, r)| r.outcome == DetectionOutcome::Inconclusive && r.failure.is_some())
+        .filter(|(_, r)| {
+            r.outcome == DetectionOutcome::Inconclusive && r.failure.is_some() && !r.retried
+        })
         .map(|(i, _)| i)
         .collect();
     if cfg.retry && !retry_idx.is_empty() {
@@ -624,6 +750,8 @@ pub fn run_campaign(
             } else {
                 quarantined += 1;
             }
+            // Retry records are always final: recovered or quarantined.
+            append_record(&record, i)?;
             records[i] = record;
         }
         campaign_tele.counter("retry_recovered").add(recovered);
@@ -658,18 +786,31 @@ fn campaign_records(
     threads: usize,
     eval: impl Fn(usize, &Fault) -> Result<FaultRecord, FaultError> + Sync,
 ) -> Result<Vec<FaultRecord>, FaultError> {
+    let all: Vec<usize> = (0..faults.len()).collect();
+    campaign_records_at(faults, &all, threads, eval)
+}
+
+/// Work-list form of [`campaign_records`]: evaluates only the faults at
+/// `indices` (original indices, e.g. after a checkpoint replay filtered
+/// the universe), returning one record per index in `indices` order.
+fn campaign_records_at(
+    faults: &[Fault],
+    indices: &[usize],
+    threads: usize,
+    eval: impl Fn(usize, &Fault) -> Result<FaultRecord, FaultError> + Sync,
+) -> Result<Vec<FaultRecord>, FaultError> {
     let tele = clocksense_telemetry::global().scope("faults");
     let faults_evaluated = tele.counter("faults_evaluated");
     let outcomes = Executor::new(threads)
         .with_telemetry(tele)
-        .run(faults.len(), |i| eval(i, &faults[i]));
-    faults_evaluated.add(faults.len() as u64);
-    let mut records = Vec::with_capacity(faults.len());
-    for (fault, outcome) in faults.iter().zip(outcomes) {
+        .run_indexed(indices, |i| eval(i, &faults[i]));
+    faults_evaluated.add(indices.len() as u64);
+    let mut records = Vec::with_capacity(indices.len());
+    for (&i, outcome) in indices.iter().zip(outcomes) {
         match outcome {
             Ok(record) => records.push(record?),
             Err(panic) => records.push(FaultRecord {
-                fault: fault.clone(),
+                fault: faults[i].clone(),
                 outcome: DetectionOutcome::Inconclusive,
                 iddq: None,
                 masks_skew: None,
@@ -838,6 +979,76 @@ mod tests {
                 a.fault
             );
         }
+    }
+
+    #[test]
+    fn checkpointed_campaign_resumes_byte_identical() {
+        let s = sensor();
+        let faults = vec![
+            Fault::NodeStuckAt {
+                node: "y1".into(),
+                level: StuckLevel::Zero,
+            },
+            Fault::StuckOn {
+                device: "m_b".into(),
+            },
+            Fault::Bridge {
+                a: "y1".into(),
+                b: "y2".into(),
+                ohms: 100.0,
+            },
+            Fault::Bridge {
+                a: "vdd".into(),
+                b: "0".into(),
+                ohms: 100.0,
+            },
+        ];
+        let cfg = config();
+        let golden = run_campaign(&s, &faults, &cfg).unwrap();
+
+        let path = std::env::temp_dir().join(format!(
+            "clocksense_campaign_ckpt_{}.journal",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let ck_cfg = cfg.clone().checkpoint(&path);
+
+        // A full checkpointed run matches the plain one and journals
+        // every item.
+        let full = run_campaign(&s, &faults, &ck_cfg).unwrap();
+        assert_eq!(full.records(), golden.records());
+        assert_eq!(crate::checkpoint::Journal::open(&path).unwrap().len(), 4);
+
+        // Emulate a SIGKILL at ~50%: keep the header and half the
+        // record lines.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.split('\n').collect();
+        let records_in_file = lines.len() - 2; // minus header and trailing ""
+        let mut torn = lines[..1 + records_in_file / 2].join("\n");
+        torn.push('\n');
+        std::fs::write(&path, &torn).unwrap();
+
+        // The resumed run replays the survivors, re-simulates the rest,
+        // and produces records byte-identical to the uninterrupted run.
+        let resumed = run_campaign(&s, &faults, &ck_cfg).unwrap();
+        assert_eq!(resumed.records(), golden.records());
+        assert_eq!(resumed.to_string(), golden.to_string());
+        assert_eq!(crate::checkpoint::Journal::open(&path).unwrap().len(), 4);
+
+        // An unchanged re-run is pure memo hits: nothing new is written.
+        let again = run_campaign(&s, &faults, &ck_cfg).unwrap();
+        assert_eq!(again.records(), golden.records());
+        assert_eq!(crate::checkpoint::Journal::open(&path).unwrap().len(), 4);
+
+        // Moving one device value re-simulates only that variant.
+        let mut moved = faults.clone();
+        if let Fault::Bridge { ohms, .. } = &mut moved[2] {
+            *ohms = 250.0;
+        }
+        run_campaign(&s, &moved, &ck_cfg).unwrap();
+        assert_eq!(crate::checkpoint::Journal::open(&path).unwrap().len(), 5);
+
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

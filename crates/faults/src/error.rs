@@ -25,6 +25,8 @@ pub enum FaultError {
     Core(CoreError),
     /// Electrical simulation failed.
     Spice(SpiceError),
+    /// Reading or writing the campaign checkpoint journal failed.
+    Checkpoint(String),
 }
 
 impl fmt::Display for FaultError {
@@ -39,6 +41,7 @@ impl fmt::Display for FaultError {
             FaultError::Netlist(e) => write!(f, "netlist error: {e}"),
             FaultError::Core(e) => write!(f, "sensor error: {e}"),
             FaultError::Spice(e) => write!(f, "simulation error: {e}"),
+            FaultError::Checkpoint(detail) => write!(f, "checkpoint journal error: {detail}"),
         }
     }
 }

@@ -28,6 +28,7 @@
 //! ```
 
 mod campaign;
+pub mod checkpoint;
 mod detect;
 mod error;
 mod inject;
@@ -40,6 +41,7 @@ mod universe;
 pub use campaign::{
     run_campaign, CampaignConfig, CampaignResult, FailureInfo, FailureKind, FaultRecord,
 };
+pub use checkpoint::Journal;
 pub use detect::{complementary_window, DetectionCriteria, DetectionOutcome};
 pub use error::FaultError;
 pub use inject::{inject, Rails};

@@ -1,8 +1,12 @@
 //! The Monte-Carlo scatter experiment (paper Fig. 5).
 
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
 use clocksense_core::{ClockPair, CoreError, SensingCircuit, SensorBuilder};
 use clocksense_exec::Executor;
-use clocksense_netlist::Circuit;
+use clocksense_faults::checkpoint::{parse_f64_bits, sim_options_fingerprint, Journal, TAG_MC};
+use clocksense_netlist::{canonical_form, f64_bits, fnv1a, Circuit, FNV_OFFSET};
 use clocksense_spice::{
     transient_batch, transient_cached, SimOptions, SolverKind, SymbolicCache, TranResult,
 };
@@ -28,6 +32,13 @@ pub struct McConfig {
     pub sim: SimOptions,
     /// Worker threads (`0` = one per core).
     pub threads: usize,
+    /// Path of the checkpoint journal, shared with the fault-campaign
+    /// format ([`clocksense_faults::checkpoint`]). When set, finished
+    /// samples are journalled under a canonical content hash (perturbed
+    /// bench + options + drawn parameters) and replayed on the next run
+    /// instead of re-simulated. `None` (the default) runs without any
+    /// journal I/O.
+    pub checkpoint: Option<PathBuf>,
 }
 
 impl Default for McConfig {
@@ -42,6 +53,7 @@ impl Default for McConfig {
                 ..SimOptions::default()
             },
             threads: 0,
+            checkpoint: None,
         }
     }
 }
@@ -220,7 +232,9 @@ pub fn run_scatter(
     // each chunk through the spice crate's batched variant kernel — one
     // baseline stamp and one factorisation pattern per step serve the
     // entire chunk. Scalar per-sample scheduling otherwise.
-    let samples = if cfg.sim.batch >= 2 && cfg.sim.solver == SolverKind::Sparse {
+    let samples = if let Some(path) = &cfg.checkpoint {
+        scatter_checkpointed(builder, clocks, taus, cfg, path, &cache)
+    } else if cfg.sim.batch >= 2 && cfg.sim.solver == SolverKind::Sparse {
         scatter_records_chunked(cfg.samples, cfg.sim.batch, cfg.threads, |range| {
             chunk_of_samples(builder, clocks, taus, cfg, range, &cache)
         })
@@ -238,6 +252,196 @@ pub fn run_scatter(
             .add(detected as u64);
     }
     samples
+}
+
+/// Serialises one finished [`McSample`] into journal fields:
+/// `[tau, vmin, detected, slew1, slew2]`, floats as exact bit patterns.
+fn encode_mc_sample(s: &McSample) -> Vec<String> {
+    vec![
+        f64_bits(s.tau),
+        f64_bits(s.vmin),
+        if s.detected { "1" } else { "0" }.to_string(),
+        f64_bits(s.slew1),
+        f64_bits(s.slew2),
+    ]
+}
+
+/// Reconstructs an [`McSample`] from journal fields, cross-checking the
+/// stored drawn parameters against what this run drew for the slot — a
+/// hash collision or aliased entry decodes to `None` and becomes a memo
+/// miss, never a wrong observation.
+fn decode_mc_sample(fields: &[String], p: &PreparedSample) -> Option<McSample> {
+    if fields.len() != 5 {
+        return None;
+    }
+    let tau = parse_f64_bits(&fields[0])?;
+    let vmin = parse_f64_bits(&fields[1])?;
+    let detected = match fields[2].as_str() {
+        "0" => false,
+        "1" => true,
+        _ => return None,
+    };
+    let slew1 = parse_f64_bits(&fields[3])?;
+    let slew2 = parse_f64_bits(&fields[4])?;
+    let same = tau.to_bits() == p.tau.to_bits()
+        && slew1.to_bits() == p.slew1.to_bits()
+        && slew2.to_bits() == p.slew2.to_bits();
+    same.then_some(McSample {
+        tau,
+        vmin,
+        detected,
+        slew1,
+        slew2,
+    })
+}
+
+/// Canonical content hash of one scatter sample: the perturbed test
+/// bench's canonical form chained with everything else that decides the
+/// observation — solver options, the master seed and spread (the drawn
+/// parameters' provenance), the drawn skew/slews, the stop time and the
+/// detection threshold. Thread count and scheduling are excluded;
+/// results are thread-count invariant by design.
+fn sample_hash(bench: &Circuit, p: &PreparedSample, cfg: &McConfig) -> u64 {
+    let h = fnv1a(FNV_OFFSET, canonical_form(bench).as_bytes());
+    let extra = format!(
+        "{}|mc;seed={};spread={};tau={};slew1={};slew2={};t_stop={};v_th={}",
+        sim_options_fingerprint(&cfg.sim),
+        cfg.seed,
+        f64_bits(cfg.spread),
+        f64_bits(p.tau),
+        f64_bits(p.slew1),
+        f64_bits(p.slew2),
+        f64_bits(p.clocks.sim_stop_time()),
+        f64_bits(p.sensor.technology().logic_threshold()),
+    );
+    fnv1a(h, extra.as_bytes())
+}
+
+/// [`run_scatter`] with a checkpoint journal: replays journalled samples
+/// as memo hits and simulates only the remainder, journalling each fresh
+/// observation as it completes so an interrupted scatter resumes where
+/// it died.
+///
+/// On the batched path replay is chunk-granular at the *original* chunk
+/// boundaries: the batch kernel simulates each chunk on the union grid
+/// of its members, so a partially-journalled chunk re-runs whole (its
+/// journalled members demote to misses) — re-packing survivors into new
+/// chunks would change the shared grid and move every member's `vmin`.
+fn scatter_checkpointed(
+    builder: &SensorBuilder,
+    clocks: &ClockPair,
+    taus: &[f64],
+    cfg: &McConfig,
+    path: &Path,
+    cache: &SymbolicCache,
+) -> Result<Vec<McSample>, CoreError> {
+    let n = cfg.samples;
+    let checkpoint_err =
+        |e: std::io::Error| CoreError::Checkpoint(format!("{}: {e}", path.display()));
+    let journal = Journal::open(path).map_err(checkpoint_err)?;
+    // Replay pass: hash every slot (preparing a bench is cheap next to a
+    // transient solve) and pull finished observations from the journal.
+    let mut hashes = Vec::with_capacity(n);
+    let mut replayed: Vec<Option<McSample>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let tau = taus[i % taus.len()];
+        let (bench, p) = prepare_sample(builder, clocks, tau, cfg, i as u64)?;
+        let hash = sample_hash(&bench, &p, cfg);
+        let hit = journal
+            .lookup(hash, TAG_MC)
+            .and_then(|fields| decode_mc_sample(fields, &p));
+        hashes.push(hash);
+        replayed.push(hit);
+    }
+    let chunked = cfg.sim.batch >= 2 && cfg.sim.solver == SolverKind::Sparse;
+    let chunk = cfg.sim.batch;
+    if chunked {
+        for c in 0..n.div_ceil(chunk) {
+            let range = c * chunk..((c + 1) * chunk).min(n);
+            if replayed[range.clone()].iter().any(Option::is_none) {
+                for slot in &mut replayed[range] {
+                    *slot = None;
+                }
+            }
+        }
+    }
+    let fresh: Vec<usize> = (0..n).filter(|&i| replayed[i].is_none()).collect();
+    let hits = n - fresh.len();
+    let ckpt = clocksense_telemetry::global().scope("checkpoint");
+    ckpt.counter("items_total").add(n as u64);
+    ckpt.counter("memo_hits").add(hits as u64);
+    ckpt.counter("memo_misses").add(fresh.len() as u64);
+    ckpt.counter("records_replayed").add(hits as u64);
+
+    let journal = Mutex::new(journal);
+    let append = |i: usize, s: &McSample| -> Result<(), CoreError> {
+        journal
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .append(hashes[i], TAG_MC, &encode_mc_sample(s))
+            .map_err(checkpoint_err)
+    };
+    let tele = clocksense_telemetry::global().scope("montecarlo");
+    let samples_run = tele.counter("samples");
+    let fresh_results: Vec<Result<McSample, CoreError>> = if chunked {
+        // Whole chunks were demoted above, so the work list is exactly
+        // the chunks containing any miss, each re-run in full.
+        let work: Vec<usize> = (0..n.div_ceil(chunk))
+            .filter(|&c| {
+                let range = c * chunk..((c + 1) * chunk).min(n);
+                replayed[range].iter().any(Option::is_none)
+            })
+            .collect();
+        let outcomes = Executor::new(cfg.threads)
+            .with_telemetry(tele)
+            .run_indexed(&work, |c| {
+                let range = c * chunk..((c + 1) * chunk).min(n);
+                let base = range.start;
+                chunk_of_samples(builder, clocks, taus, cfg, range, cache)
+                    .into_iter()
+                    .enumerate()
+                    .map(|(k, res)| {
+                        let sample = res?;
+                        append(base + k, &sample)?;
+                        Ok(sample)
+                    })
+                    .collect::<Vec<Result<McSample, CoreError>>>()
+            });
+        let mut flat = Vec::with_capacity(fresh.len());
+        for (&c, outcome) in work.iter().zip(outcomes) {
+            let range = c * chunk..((c + 1) * chunk).min(n);
+            match outcome {
+                Ok(results) => flat.extend(results),
+                Err(panic) => {
+                    flat.extend(range.map(|_| Err(CoreError::WorkerPanic(panic.message.clone()))))
+                }
+            }
+        }
+        flat
+    } else {
+        Executor::new(cfg.threads)
+            .with_telemetry(tele)
+            .run_indexed(&fresh, |i| {
+                let tau = taus[i % taus.len()];
+                let sample = one_sample(builder, clocks, tau, cfg, i as u64, cache)?;
+                append(i, &sample)?;
+                Ok(sample)
+            })
+            .into_iter()
+            .map(|outcome| match outcome {
+                Ok(result) => result,
+                Err(panic) => Err(CoreError::WorkerPanic(panic.message)),
+            })
+            .collect()
+    };
+    samples_run.add(fresh.len() as u64);
+    let mut fresh_iter = fresh_results.into_iter();
+    (0..n)
+        .map(|i| match replayed[i].take() {
+            Some(sample) => Ok(sample),
+            None => fresh_iter.next().expect("one fresh result per miss"),
+        })
+        .collect()
 }
 
 /// Runs `sample` for every index through the shared executor and applies
@@ -384,6 +588,76 @@ mod tests {
         let builder = SensorBuilder::new(tech);
         let clocks = ClockPair::single_shot(tech.vdd, 0.2e-9);
         assert!(run_scatter(&builder, &clocks, &[], &quick_cfg(1)).is_err());
+    }
+
+    #[test]
+    fn checkpointed_scatter_resumes_and_memoizes() {
+        let tech = Technology::cmos12();
+        let builder = SensorBuilder::new(tech).load_capacitance(160e-15);
+        let clocks = ClockPair::single_shot(tech.vdd, 0.2e-9);
+        let taus = [0.0, 0.3e-9];
+        let path =
+            std::env::temp_dir().join(format!("clocksense_mc_ckpt_{}.journal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let cfg = quick_cfg(4);
+        let golden = run_scatter(&builder, &clocks, &taus, &cfg).unwrap();
+        let ckpt_cfg = McConfig {
+            checkpoint: Some(path.clone()),
+            threads: 1,
+            ..cfg
+        };
+        let full = run_scatter(&builder, &clocks, &taus, &ckpt_cfg).unwrap();
+        assert_eq!(full, golden, "checkpointing must not change observations");
+        assert_eq!(Journal::open(&path).unwrap().len(), 4);
+        // Kill at 50%: keep the header and the first two records.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let keep: Vec<&str> = text.lines().take(3).collect();
+        std::fs::write(&path, format!("{}\n", keep.join("\n"))).unwrap();
+        let resumed = run_scatter(&builder, &clocks, &taus, &ckpt_cfg).unwrap();
+        assert_eq!(resumed, golden, "resume must be byte-identical");
+        assert_eq!(Journal::open(&path).unwrap().len(), 4);
+        // Unchanged re-run: pure memo hits, no journal growth.
+        let rerun = run_scatter(&builder, &clocks, &taus, &ckpt_cfg).unwrap();
+        assert_eq!(rerun, golden);
+        assert_eq!(Journal::open(&path).unwrap().len(), 4);
+        // A different seed moves every sample's hash: full re-simulation.
+        let moved = McConfig {
+            seed: ckpt_cfg.seed ^ 1,
+            ..ckpt_cfg
+        };
+        run_scatter(&builder, &clocks, &taus, &moved).unwrap();
+        assert_eq!(Journal::open(&path).unwrap().len(), 8);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn batched_checkpoint_replays_whole_chunks_only() {
+        let tech = Technology::cmos12();
+        let builder = SensorBuilder::new(tech).load_capacitance(160e-15);
+        let clocks = ClockPair::single_shot(tech.vdd, 0.2e-9);
+        let taus = [0.3e-9];
+        let path = std::env::temp_dir().join(format!(
+            "clocksense_mc_ckpt_batched_{}.journal",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let mut cfg = quick_cfg(6);
+        cfg.sim.solver = SolverKind::Sparse;
+        cfg.sim.batch = 3;
+        cfg.threads = 1;
+        cfg.checkpoint = Some(path.clone());
+        let golden = run_scatter(&builder, &clocks, &taus, &cfg).unwrap();
+        assert_eq!(Journal::open(&path).unwrap().len(), 6);
+        // Tear mid-second-chunk: chunk 0 complete, chunk 1 partial. The
+        // partial chunk must re-run whole on its original grid — its one
+        // journalled member demotes to a miss and is re-appended.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let keep: Vec<&str> = text.lines().take(5).collect();
+        std::fs::write(&path, format!("{}\n", keep.join("\n"))).unwrap();
+        let resumed = run_scatter(&builder, &clocks, &taus, &cfg).unwrap();
+        assert_eq!(resumed, golden, "chunked resume must be byte-identical");
+        assert_eq!(Journal::open(&path).unwrap().len(), 4 + 3);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -1,0 +1,330 @@
+//! Canonical serialization and content hashing of circuits.
+//!
+//! The checkpoint/memo layer (`clocksense-faults`) keys whole-result
+//! records by a content hash of "what would be simulated": netlist +
+//! fault + solver options. This module provides the netlist half — a
+//! canonical, value-exact text form of a [`Circuit`] and an FNV-1a hash
+//! over it.
+//!
+//! Canonical means:
+//!
+//! * devices are listed in byte-wise name order, so insertion order,
+//!   removals and internal tombstones do not change the form;
+//! * nodes are identified by *name*, so internal [`NodeId`] numbering —
+//!   which changes across a `to_spice`/`from_spice` round-trip — does
+//!   not matter (nodes no device references do not contribute);
+//! * every `f64` is rendered as its exact IEEE-754 bit pattern, so two
+//!   circuits hash equal iff their values are bit-identical — the same
+//!   identity the SPICE exporter preserves now that `eng()` emits
+//!   exactly round-trippable numbers.
+//!
+//! [`NodeId`]: crate::NodeId
+
+use std::fmt::Write as _;
+
+use crate::circuit::Circuit;
+use crate::device::Device;
+use crate::mos::MosPolarity;
+use crate::waveform::SourceWave;
+
+/// Version tag leading every canonical form. Bump it whenever the layout
+/// below changes so stale journal entries miss instead of aliasing.
+pub const CANON_VERSION: &str = "clocksense-canon/v1";
+
+/// FNV-1a 64-bit offset basis — the `state` to start [`fnv1a`] from.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into an FNV-1a 64-bit hash state.
+///
+/// Start from [`FNV_OFFSET`] and chain calls to hash several fields into
+/// one digest; [`canonical_hash`] is `fnv1a(FNV_OFFSET, form.as_bytes())`.
+pub fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
+    let mut h = state;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Renders an `f64` as its exact bit pattern (16 lowercase hex digits).
+pub fn f64_bits(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn wave_fields(out: &mut String, wave: &SourceWave) {
+    match wave {
+        SourceWave::Dc(v) => {
+            let _ = write!(out, "dc\t{}", f64_bits(*v));
+        }
+        SourceWave::Pulse {
+            v1,
+            v2,
+            delay,
+            rise,
+            fall,
+            width,
+            period,
+        } => {
+            let _ = write!(
+                out,
+                "pulse\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                f64_bits(*v1),
+                f64_bits(*v2),
+                f64_bits(*delay),
+                f64_bits(*rise),
+                f64_bits(*fall),
+                f64_bits(*width),
+                f64_bits(*period)
+            );
+        }
+        SourceWave::Pwl(points) => {
+            let _ = write!(out, "pwl\t{}", points.len());
+            for (t, v) in points {
+                let _ = write!(out, "\t{}\t{}", f64_bits(*t), f64_bits(*v));
+            }
+        }
+    }
+}
+
+/// Serialises a circuit into its canonical text form.
+///
+/// One line per live device, sorted by device name, tab-separated, with
+/// node names instead of ids and every value as its exact bit pattern.
+/// Two circuits produce the same form iff they describe the same devices
+/// over the same node names with bit-identical values.
+pub fn canonical_form(circuit: &Circuit) -> String {
+    let mut lines: Vec<String> = Vec::new();
+    for (_, entry) in circuit.devices() {
+        let mut line = String::new();
+        let node = |n| circuit.node_name(n);
+        match &entry.device {
+            Device::Resistor(r) => {
+                let _ = write!(
+                    line,
+                    "r\t{}\t{}\t{}\t{}",
+                    entry.name,
+                    node(r.a),
+                    node(r.b),
+                    f64_bits(r.ohms)
+                );
+            }
+            Device::Capacitor(c) => {
+                let _ = write!(
+                    line,
+                    "c\t{}\t{}\t{}\t{}",
+                    entry.name,
+                    node(c.a),
+                    node(c.b),
+                    f64_bits(c.farads)
+                );
+            }
+            Device::VoltageSource(v) => {
+                let _ = write!(
+                    line,
+                    "v\t{}\t{}\t{}\t",
+                    entry.name,
+                    node(v.plus),
+                    node(v.minus)
+                );
+                wave_fields(&mut line, &v.wave);
+            }
+            Device::CurrentSource(i) => {
+                let _ = write!(
+                    line,
+                    "i\t{}\t{}\t{}\t",
+                    entry.name,
+                    node(i.from),
+                    node(i.to)
+                );
+                wave_fields(&mut line, &i.wave);
+            }
+            Device::Mosfet(m) => {
+                let pol = match m.polarity {
+                    MosPolarity::Nmos => "n",
+                    MosPolarity::Pmos => "p",
+                };
+                let p = &m.params;
+                let _ = write!(
+                    line,
+                    "m\t{}\t{pol}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                    entry.name,
+                    node(m.drain),
+                    node(m.gate),
+                    node(m.source),
+                    f64_bits(p.vth0),
+                    f64_bits(p.kp),
+                    f64_bits(p.lambda),
+                    f64_bits(p.w),
+                    f64_bits(p.l),
+                    f64_bits(p.cgs),
+                    f64_bits(p.cgd),
+                    f64_bits(p.cdb)
+                );
+            }
+        }
+        lines.push(line);
+    }
+    // Device names are unique within a circuit, so this order is total.
+    lines.sort_unstable();
+    let mut out = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum::<usize>() + 32);
+    out.push_str(CANON_VERSION);
+    out.push('\n');
+    for line in lines {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Content hash of a circuit: FNV-1a 64 over [`canonical_form`].
+///
+/// Stable across device insertion order, node-id renumbering and a
+/// `to_spice`/`from_spice` round-trip; sensitive to a single-ulp change
+/// in any device value.
+///
+/// # Examples
+///
+/// ```
+/// use clocksense_netlist::{canonical_hash, Circuit, GROUND};
+///
+/// # fn main() -> Result<(), clocksense_netlist::NetlistError> {
+/// let mut a = Circuit::new();
+/// let n = a.node("out");
+/// a.add_resistor("r1", n, GROUND, 1e3)?;
+/// a.add_capacitor("c1", n, GROUND, 1e-12)?;
+///
+/// // Same devices added in the opposite order hash identically.
+/// let mut b = Circuit::new();
+/// let n = b.node("out");
+/// b.add_capacitor("c1", n, GROUND, 1e-12)?;
+/// b.add_resistor("r1", n, GROUND, 1e3)?;
+/// assert_eq!(canonical_hash(&a), canonical_hash(&b));
+/// # Ok(())
+/// # }
+/// ```
+pub fn canonical_hash(circuit: &Circuit) -> u64 {
+    fnv1a(FNV_OFFSET, canonical_form(circuit).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mos::{MosParams, MosPolarity};
+    use crate::node::GROUND;
+    use crate::spice_io::{from_spice, to_spice};
+
+    fn sample_circuit() -> Circuit {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("in");
+        let b = ckt.node("out");
+        ckt.add_vsource(
+            "vin",
+            a,
+            GROUND,
+            SourceWave::Pulse {
+                v1: 0.0,
+                v2: 5.0,
+                delay: 1e-9,
+                rise: 0.2e-9,
+                fall: 0.2e-9,
+                width: 2e-9,
+                period: f64::INFINITY,
+            },
+        )
+        .unwrap();
+        ckt.add_resistor("r1", a, b, 1.2345678e3).unwrap();
+        ckt.add_capacitor("c1", b, GROUND, 160e-15).unwrap();
+        ckt.add_isource(
+            "iload",
+            b,
+            GROUND,
+            SourceWave::Pwl(vec![(0.0, 0.0), (1e-9, 1e-6)]),
+        )
+        .unwrap();
+        ckt.add_mosfet(
+            "m1",
+            MosPolarity::Pmos,
+            b,
+            a,
+            GROUND,
+            MosParams {
+                vth0: -0.9,
+                kp: 20e-6,
+                lambda: 0.02,
+                w: 12e-6,
+                l: 1.2e-6,
+                cgs: 5e-15,
+                cgd: 6e-15,
+                cdb: 7e-15,
+            },
+        )
+        .unwrap();
+        ckt
+    }
+
+    #[test]
+    fn insertion_order_does_not_matter() {
+        let mut a = Circuit::new();
+        let n1 = a.node("x");
+        let n2 = a.node("y");
+        a.add_resistor("ra", n1, n2, 10.0).unwrap();
+        a.add_capacitor("cb", n2, GROUND, 1e-12).unwrap();
+
+        // Different node creation order and device order.
+        let mut b = Circuit::new();
+        let n2 = b.node("y");
+        b.add_capacitor("cb", n2, GROUND, 1e-12).unwrap();
+        let n1 = b.node("x");
+        b.add_resistor("ra", n1, n2, 10.0).unwrap();
+
+        assert_eq!(canonical_form(&a), canonical_form(&b));
+        assert_eq!(canonical_hash(&a), canonical_hash(&b));
+    }
+
+    #[test]
+    fn single_ulp_change_moves_the_hash() {
+        let mut a = Circuit::new();
+        let n = a.node("x");
+        a.add_resistor("r", n, GROUND, 1e3).unwrap();
+        let mut b = Circuit::new();
+        let n = b.node("x");
+        b.add_resistor("r", n, GROUND, f64::from_bits(1e3_f64.to_bits() + 1))
+            .unwrap();
+        assert_ne!(canonical_hash(&a), canonical_hash(&b));
+    }
+
+    #[test]
+    fn node_name_not_id_identity() {
+        // "gnd" aliases node 0, so spelling ground differently is still
+        // the same circuit.
+        let mut a = Circuit::new();
+        let n = a.node("x");
+        let g = a.node("gnd");
+        a.add_resistor("r", n, g, 1e3).unwrap();
+        let mut b = Circuit::new();
+        let n = b.node("x");
+        b.add_resistor("r", n, GROUND, 1e3).unwrap();
+        assert_eq!(canonical_hash(&a), canonical_hash(&b));
+    }
+
+    #[test]
+    fn spice_round_trip_preserves_the_hash() {
+        let ckt = sample_circuit();
+        let back = from_spice(&to_spice(&ckt, "canon round trip")).unwrap();
+        assert_eq!(canonical_form(&ckt), canonical_form(&back));
+        assert_eq!(canonical_hash(&ckt), canonical_hash(&back));
+    }
+
+    #[test]
+    fn fnv1a_chains() {
+        let whole = fnv1a(FNV_OFFSET, b"ab");
+        let chained = fnv1a(fnv1a(FNV_OFFSET, b"a"), b"b");
+        assert_eq!(whole, chained);
+        // Known FNV-1a test vector.
+        assert_eq!(fnv1a(FNV_OFFSET, b""), FNV_OFFSET);
+        assert_eq!(fnv1a(FNV_OFFSET, b"a"), 0xaf63dc4c8601ec8c);
+    }
+}

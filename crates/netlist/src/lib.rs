@@ -31,6 +31,7 @@
 //! # }
 //! ```
 
+mod canon;
 mod circuit;
 mod device;
 mod error;
@@ -40,6 +41,7 @@ mod spice_io;
 mod subckt;
 mod waveform;
 
+pub use canon::{canonical_form, canonical_hash, f64_bits, fnv1a, CANON_VERSION, FNV_OFFSET};
 pub use circuit::{Circuit, CircuitStats, DeviceEntry, DeviceId};
 pub use device::{Capacitor, CurrentSource, Device, Resistor, VoltageSource};
 pub use error::NetlistError;

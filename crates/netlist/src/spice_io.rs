@@ -17,7 +17,15 @@ use crate::error::NetlistError;
 use crate::mos::{MosParams, MosPolarity};
 use crate::waveform::SourceWave;
 
-/// Formats a value with an engineering suffix.
+/// Formats a value with an engineering suffix, choosing the shortest form
+/// that [`parse_value`] reads back to the *exact* same `f64`.
+///
+/// The pretty short forms (`1k`, `160f`, `2.5meg`) are kept whenever they
+/// survive the round-trip bit-for-bit; a value that no suffixed decimal of
+/// up to 17 significant digits represents exactly falls back to Rust's
+/// `{:e}` scientific form, which is shortest-exact by construction. The
+/// checkpoint layer hashes circuits by their exact bit patterns, so the
+/// exporter is not allowed to lose even the last bit of a value.
 fn eng(value: f64) -> String {
     let a = value.abs();
     let (scale, suffix) = if a == 0.0 {
@@ -41,12 +49,23 @@ fn eng(value: f64) -> String {
     } else {
         (1e-9, "g")
     };
+    let exact = |cand: &str| {
+        parse_value(cand)
+            .map(|p| p.to_bits() == value.to_bits())
+            .unwrap_or(false)
+    };
     let v = value * scale;
-    if (v - v.round()).abs() < 1e-9 * v.abs().max(1.0) {
-        format!("{}{suffix}", v.round())
-    } else {
-        format!("{v:.6}{suffix}")
+    let integral = format!("{}{suffix}", v.round());
+    if exact(&integral) {
+        return integral;
     }
+    for prec in 1..=17 {
+        let cand = format!("{v:.prec$}{suffix}");
+        if exact(&cand) {
+            return cand;
+        }
+    }
+    format!("{value:e}")
 }
 
 fn wave_card(wave: &SourceWave) -> String {
@@ -61,22 +80,26 @@ fn wave_card(wave: &SourceWave) -> String {
             width,
             period,
         } => {
-            let per = if period.is_finite() {
-                eng(*period)
-            } else {
-                // A period longer than any practical run models one-shot.
-                eng(1.0)
-            };
-            format!(
-                "PULSE({} {} {} {} {} {} {})",
+            let mut s = format!(
+                "PULSE({} {} {} {} {} {}",
                 eng(*v1),
                 eng(*v2),
                 eng(*delay),
                 eng(*rise),
                 eng(*fall),
-                eng(*width),
-                per
-            )
+                eng(*width)
+            );
+            // SPICE convention: a PULSE card without a period parameter
+            // never repeats. Exporting any finite stand-in here would
+            // silently turn a one-shot source into a periodic one, so
+            // the period is omitted exactly when it is non-finite and
+            // the importer restores `f64::INFINITY` for 6-parameter
+            // cards.
+            if period.is_finite() {
+                let _ = write!(s, " {}", eng(*period));
+            }
+            s.push(')');
+            s
         }
         SourceWave::Pwl(points) => {
             let mut s = String::from("PWL(");
@@ -206,34 +229,47 @@ pub fn to_spice(circuit: &Circuit, title: &str) -> String {
 }
 
 /// Parses an engineering-suffixed SPICE number.
+///
+/// Suffixes are case-insensitive per SPICE convention: `m`/`M` is always
+/// *milli* and mega must be spelled out (`meg`/`MEG`/`Meg`), so `2M` is
+/// 2e-3, not 2e6. The suffix is folded into the decimal exponent *before*
+/// the single string-to-float conversion: `160f` parses to exactly the
+/// same `f64` as the literal `160e-15`, whereas multiplying after parsing
+/// would round twice and can lose the last bit.
 fn parse_value(token: &str) -> Result<f64, NetlistError> {
     let t = token.trim().to_ascii_lowercase();
-    let (scale, digits) = if let Some(d) = t.strip_suffix("meg") {
-        (1e6, d)
+    let (exp, scale, digits) = if let Some(d) = t.strip_suffix("meg") {
+        (6, 1e6, d)
     } else if let Some(d) = t.strip_suffix('f') {
-        (1e-15, d)
+        (-15, 1e-15, d)
     } else if let Some(d) = t.strip_suffix('p') {
-        (1e-12, d)
+        (-12, 1e-12, d)
     } else if let Some(d) = t.strip_suffix('n') {
-        (1e-9, d)
+        (-9, 1e-9, d)
     } else if let Some(d) = t.strip_suffix('u') {
-        (1e-6, d)
+        (-6, 1e-6, d)
     } else if let Some(d) = t.strip_suffix('m') {
-        (1e-3, d)
+        (-3, 1e-3, d)
     } else if let Some(d) = t.strip_suffix('k') {
-        (1e3, d)
+        (3, 1e3, d)
     } else if let Some(d) = t.strip_suffix('g') {
-        (1e9, d)
+        (9, 1e9, d)
     } else {
-        (1.0, t.as_str())
+        (0, 1.0, t.as_str())
     };
-    digits
-        .parse::<f64>()
-        .map(|v| v * scale)
-        .map_err(|_| NetlistError::InvalidValue {
-            device: String::new(),
-            detail: format!("cannot parse number {token:?}"),
-        })
+    let err = || NetlistError::InvalidValue {
+        device: String::new(),
+        detail: format!("cannot parse number {token:?}"),
+    };
+    if exp == 0 {
+        return digits.parse::<f64>().map_err(|_| err());
+    }
+    if digits.is_empty() || digits.contains('e') {
+        // A mantissa that carries its own exponent (`1.5e-3k`) cannot
+        // absorb the suffix textually; accept the extra rounding.
+        return digits.parse::<f64>().map(|v| v * scale).map_err(|_| err());
+    }
+    format!("{digits}e{exp}").parse::<f64>().map_err(|_| err())
 }
 
 /// Splits `PULSE(a b ...)` / `PWL(...)` argument lists.
@@ -259,10 +295,10 @@ fn parse_wave(rest: &str) -> Result<SourceWave, NetlistError> {
     }
     if upper.starts_with("PULSE") {
         let a = source_args(rest)?;
-        if a.len() != 7 {
+        if a.len() != 6 && a.len() != 7 {
             return Err(NetlistError::InvalidValue {
                 device: String::new(),
-                detail: format!("pulse needs 7 parameters, got {}", a.len()),
+                detail: format!("pulse needs 6 or 7 parameters, got {}", a.len()),
             });
         }
         return Ok(SourceWave::Pulse {
@@ -272,7 +308,9 @@ fn parse_wave(rest: &str) -> Result<SourceWave, NetlistError> {
             rise: a[3],
             fall: a[4],
             width: a[5],
-            period: a[6],
+            // A 6-parameter PULSE has no period: it fires once and never
+            // repeats, which this crate models as an infinite period.
+            period: if a.len() == 7 { a[6] } else { f64::INFINITY },
         });
     }
     if upper.starts_with("PWL") {
@@ -494,16 +532,70 @@ mod tests {
         assert_eq!(eng(1e-12), "1p");
         assert_eq!(eng(160e-15), "160f");
         assert_eq!(eng(0.0), "0");
-        assert_eq!(eng(2.5e6), "2.500000meg");
+        assert_eq!(eng(2.5e6), "2.5meg");
+    }
+
+    #[test]
+    fn eng_round_trips_exactly() {
+        // The exporter must agree with the canonical hash on value
+        // identity, so every emitted number parses back bit-for-bit —
+        // including values whose engineering form needs many digits or
+        // no suffixed decimal at all.
+        let values = [
+            1.2345678e-9,
+            0.2e-9,
+            160e-15,
+            2.5e6,
+            1e3,
+            -0.9,
+            1.0 / 3.0,
+            f64::from_bits(0x3ff0_0000_0000_0001),
+            7.543e-21,
+            6.02e23,
+            -4.8e-9,
+        ];
+        for v in values {
+            let s = eng(v);
+            let back = parse_value(&s).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v:?} -> {s:?} -> {back:?}");
+        }
     }
 
     #[test]
     fn value_parsing() {
         assert_eq!(parse_value("1k").unwrap(), 1000.0);
-        assert!((parse_value("160f").unwrap() - 160e-15).abs() < 1e-24);
+        assert_eq!(parse_value("160f").unwrap(), 160e-15);
         assert_eq!(parse_value("2meg").unwrap(), 2e6);
         assert_eq!(parse_value("-0.9").unwrap(), -0.9);
         assert!(parse_value("abc").is_err());
+        assert!(parse_value("k").is_err());
+        assert!(parse_value("").is_err());
+    }
+
+    #[test]
+    fn suffixes_are_case_insensitive_and_m_is_milli() {
+        // SPICE convention: `m` in any case is milli; mega needs `meg`.
+        assert_eq!(parse_value("2M").unwrap(), 2e-3);
+        assert_eq!(parse_value("2m").unwrap(), 2e-3);
+        assert_eq!(parse_value("2MEG").unwrap(), 2e6);
+        assert_eq!(parse_value("2Meg").unwrap(), 2e6);
+        assert_eq!(parse_value("2meg").unwrap(), 2e6);
+        assert_eq!(parse_value("160F").unwrap(), 160e-15);
+        assert_eq!(parse_value("3P").unwrap(), 3e-12);
+        assert_eq!(parse_value("4N").unwrap(), 4e-9);
+        assert_eq!(parse_value("5U").unwrap(), 5e-6);
+        assert_eq!(parse_value("6K").unwrap(), 6e3);
+        assert_eq!(parse_value("7G").unwrap(), 7e9);
+    }
+
+    #[test]
+    fn bare_exponents_parse() {
+        assert_eq!(parse_value("1e3").unwrap(), 1000.0);
+        assert_eq!(parse_value("1E3").unwrap(), 1000.0);
+        assert_eq!(parse_value("2.5E-3").unwrap(), 2.5e-3);
+        assert_eq!(parse_value("-1.5e-9").unwrap(), -1.5e-9);
+        // A mantissa with its own exponent still accepts a suffix.
+        assert!((parse_value("1.5e-3k").unwrap() - 1.5).abs() < 1e-12);
     }
 
     fn rc_circuit() -> Circuit {
@@ -615,6 +707,44 @@ mod tests {
                     assert_eq!(points.len(), 3);
                     assert!((points[1].0 - 1e-9).abs() < 1e-18);
                     assert_eq!(points[1].1, 5.0);
+                }
+                other => panic!("wrong wave {other:?}"),
+            },
+            other => panic!("wrong device {other:?}"),
+        }
+    }
+
+    #[test]
+    fn one_shot_pulse_round_trips_without_period() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_vsource(
+            "v1",
+            a,
+            GROUND,
+            SourceWave::Pulse {
+                v1: 0.0,
+                v2: 5.0,
+                delay: 1e-9,
+                rise: 0.2e-9,
+                fall: 0.2e-9,
+                width: 2e-9,
+                period: f64::INFINITY,
+            },
+        )
+        .unwrap();
+        ckt.add_resistor("r1", a, GROUND, 1e3).unwrap();
+        let deck = to_spice(&ckt, "one shot");
+        // The period parameter is omitted per SPICE convention; the old
+        // exporter wrote a literal `1` here, turning the one-shot into a
+        // 1 Hz repeating source.
+        assert!(deck.contains("PULSE(0 5 1n 200p 200p 2n)"), "{deck}");
+        let back = from_spice(&deck).unwrap();
+        let id = back.find_device("v1").unwrap();
+        match &back.device(id).unwrap().device {
+            Device::VoltageSource(v) => match &v.wave {
+                SourceWave::Pulse { period, .. } => {
+                    assert!(period.is_infinite() && *period > 0.0);
                 }
                 other => panic!("wrong wave {other:?}"),
             },

@@ -30,7 +30,17 @@ emit a well-formed report, whatever its numbers are. Checks:
     mismatches;
   * optionally (--expect-zero-batch) the run never touched the batched
     kernel: no batch.* counter recorded a nonzero value (the scope
-    materialises lazily, so a scalar run normally has none at all).
+    materialises lazily, so a scalar run normally has none at all);
+  * optionally (--checkpoint) the checkpoint journal accounting is
+    coherent: all five checkpoint.* counters are present, every item is
+    either a memo hit or a miss (hits + misses == items_total), every
+    hit came from a replayed journal record (records_replayed == hits),
+    every miss wrote exactly one final record (records_written ==
+    misses), and the run actually exercised the memo cache (hits >= 1);
+  * optionally (--expect-zero-checkpoint) the run never touched a
+    checkpoint journal: no checkpoint.* counter recorded a nonzero
+    value (the scope materialises lazily, so a journal-free run
+    normally has none at all).
 
 Exits 0 on success, 1 with a message naming the first violation.
 """
@@ -98,6 +108,16 @@ def main() -> None:
         "--expect-zero-batch",
         action="store_true",
         help="fail if any batch.* counter is nonzero",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        action="store_true",
+        help="require coherent checkpoint journal/memo-cache accounting",
+    )
+    parser.add_argument(
+        "--expect-zero-checkpoint",
+        action="store_true",
+        help="fail if any checkpoint.* counter is nonzero",
     )
     args = parser.parse_args()
 
@@ -217,6 +237,42 @@ def main() -> None:
                 "and scalar campaigns disagree"
             )
 
+    if args.checkpoint:
+        counters = report["counters"]
+        for name in (
+            "checkpoint.items_total",
+            "checkpoint.memo_hits",
+            "checkpoint.memo_misses",
+            "checkpoint.records_replayed",
+            "checkpoint.records_written",
+        ):
+            if name not in counters:
+                fail(f"checkpoint-gate counter {name!r} missing")
+        total = counters["checkpoint.items_total"]
+        hits = counters["checkpoint.memo_hits"]
+        misses = counters["checkpoint.memo_misses"]
+        replayed = counters["checkpoint.records_replayed"]
+        written = counters["checkpoint.records_written"]
+        if hits + misses != total:
+            fail(
+                f"checkpoint accounting leaks: memo_hits ({hits}) + "
+                f"memo_misses ({misses}) != items_total ({total})"
+            )
+        if replayed != hits:
+            fail(
+                f"checkpoint.records_replayed ({replayed}) != "
+                f"checkpoint.memo_hits ({hits}): a hit that replayed "
+                "nothing, or a replay that hit nothing"
+            )
+        if written != misses:
+            fail(
+                f"checkpoint.records_written ({written}) != "
+                f"checkpoint.memo_misses ({misses}): every miss must "
+                "journal exactly one final record"
+            )
+        if hits < 1:
+            fail("checkpoint.memo_hits must be >= 1: the memo cache never hit")
+
     if args.expect_zero_rescue:
         for name, value in report["counters"].items():
             if (name.startswith("rescue.") or name.startswith("campaign.")) and value != 0:
@@ -231,6 +287,14 @@ def main() -> None:
                 fail(
                     f"scalar run recorded {name} = {value}: the batched "
                     "kernel must stay idle when SimOptions::batch is 0"
+                )
+
+    if args.expect_zero_checkpoint:
+        for name, value in report["counters"].items():
+            if name.startswith("checkpoint.") and value != 0:
+                fail(
+                    f"journal-free run recorded {name} = {value}: the "
+                    "checkpoint layer must stay idle without a journal path"
                 )
 
     print(

@@ -1,9 +1,15 @@
 //! SPICE deck round-trip: exporting a circuit and re-importing it must
-//! preserve its electrical behaviour, not just its structure.
+//! preserve its electrical behaviour, not just its structure — and, for
+//! the checkpoint memo cache, its exact device values and canonical
+//! content hash.
 
 use clocksense::core::{ClockPair, SensorBuilder, Technology};
-use clocksense::netlist::{from_spice, to_spice};
+use clocksense::netlist::{
+    canonical_form, canonical_hash, from_spice, to_spice, Circuit, Device, MosParams, MosPolarity,
+    NodeId, SourceWave, GROUND,
+};
 use clocksense::spice::{transient, SimOptions};
+use proptest::prelude::*;
 
 #[test]
 fn sensor_testbench_survives_the_deck() {
@@ -36,6 +42,294 @@ fn sensor_testbench_survives_the_deck() {
             diff < 2e-3,
             "node {node} diverges by {diff} V after the round trip"
         );
+    }
+}
+
+/// One randomly drawn device, with terminals as indices into a small
+/// node pool (index 0 is ground).
+#[derive(Debug, Clone)]
+enum DeviceSpec {
+    R(usize, usize, f64),
+    C(usize, usize, f64),
+    V(usize, usize, SourceWave),
+    I(usize, usize, SourceWave),
+    M(bool, usize, usize, usize, MosParams),
+}
+
+const NODE_POOL: usize = 5;
+
+/// `mantissa * 10^exp` over the given decimal-exponent span: arbitrary
+/// doubles (no round decimals), so the deck's `eng()` formatting has to
+/// round-trip genuinely awkward values.
+fn value(lo_exp: i32, hi_exp: i32) -> impl Strategy<Value = f64> {
+    (1.0f64..10.0, lo_exp..=hi_exp).prop_map(|(m, e)| m * 10f64.powi(e))
+}
+
+/// All wave kinds behind one strategy: a discriminant selects among
+/// DC, pulse (one-shot or periodic) and PWL built from the same drawn
+/// fields (the vendored proptest has no `prop_oneof!`).
+fn wave_strategy() -> impl Strategy<Value = SourceWave> {
+    (
+        0..3usize,
+        (-10.0f64..10.0, -5.0f64..5.0, 0.0f64..1e-9),
+        (value(-12, -10), value(-12, -10), 0.0f64..2e-9),
+        // Periodic flag + slack: a finite period must clear
+        // rise + width + fall; flag 0 is the one-shot wave.
+        (0..2usize, value(-10, -9)),
+        (
+            0.0f64..1e-9,
+            prop::collection::vec((value(-12, -10), -5.0f64..5.0), 1..6),
+        ),
+    )
+        .prop_map(
+            |(kind, (v1, v2, delay), (rise, fall, width), (periodic, slack), (t0, steps))| {
+                match kind {
+                    0 => SourceWave::Dc(v1),
+                    1 => SourceWave::Pulse {
+                        v1,
+                        v2,
+                        delay,
+                        rise,
+                        fall,
+                        width,
+                        period: if periodic == 1 {
+                            rise + width + fall + slack
+                        } else {
+                            f64::INFINITY
+                        },
+                    },
+                    _ => {
+                        let mut t = t0;
+                        SourceWave::Pwl(
+                            steps
+                                .into_iter()
+                                .map(|(dt, v)| {
+                                    let point = (t, v);
+                                    t += dt;
+                                    point
+                                })
+                                .collect(),
+                        )
+                    }
+                }
+            },
+        )
+}
+
+fn mos_params_strategy() -> impl Strategy<Value = MosParams> {
+    (
+        (-2.0f64..2.0, value(-6, -4), 0.0f64..0.1, value(-6, -5)),
+        (
+            value(-7, -6),
+            value(-16, -14),
+            value(-16, -14),
+            value(-16, -14),
+        ),
+    )
+        .prop_map(|((vth0, kp, lambda, w), (l, cgs, cgd, cdb))| MosParams {
+            vth0,
+            kp,
+            lambda,
+            w,
+            l,
+            cgs,
+            cgd,
+            cdb,
+        })
+}
+
+fn device_strategy() -> impl Strategy<Value = DeviceSpec> {
+    // Terminals are (node, nonzero offset) so no device shorts a node
+    // to itself; a discriminant selects the device kind.
+    (
+        0..5usize,
+        (0..NODE_POOL, 1..NODE_POOL, 0..NODE_POOL),
+        (value(-3, 6), value(-15, -9)),
+        wave_strategy(),
+        (any::<bool>(), mos_params_strategy()),
+    )
+        .prop_map(
+            |(kind, (a, off, g), (ohms, farads), wave, (pmos, params))| {
+                let b = (a + off) % NODE_POOL;
+                match kind {
+                    0 => DeviceSpec::R(a, b, ohms),
+                    1 => DeviceSpec::C(a, b, farads),
+                    2 => DeviceSpec::V(a, b, wave),
+                    3 => DeviceSpec::I(a, b, wave),
+                    _ => DeviceSpec::M(pmos, a, g, b, params),
+                }
+            },
+        )
+}
+
+fn build_circuit(specs: &[DeviceSpec]) -> Circuit {
+    let mut ckt = Circuit::new();
+    let nodes: Vec<NodeId> = (0..NODE_POOL)
+        .map(|i| {
+            if i == 0 {
+                GROUND
+            } else {
+                ckt.node(&format!("n{i}"))
+            }
+        })
+        .collect();
+    for (i, spec) in specs.iter().enumerate() {
+        match spec {
+            DeviceSpec::R(a, b, v) => ckt.add_resistor(&format!("r{i}"), nodes[*a], nodes[*b], *v),
+            DeviceSpec::C(a, b, v) => ckt.add_capacitor(&format!("c{i}"), nodes[*a], nodes[*b], *v),
+            DeviceSpec::V(a, b, w) => {
+                ckt.add_vsource(&format!("v{i}"), nodes[*a], nodes[*b], w.clone())
+            }
+            DeviceSpec::I(a, b, w) => {
+                ckt.add_isource(&format!("i{i}"), nodes[*a], nodes[*b], w.clone())
+            }
+            DeviceSpec::M(pmos, d, g, s, params) => {
+                let polarity = if *pmos {
+                    MosPolarity::Pmos
+                } else {
+                    MosPolarity::Nmos
+                };
+                ckt.add_mosfet(
+                    &format!("m{i}"),
+                    polarity,
+                    nodes[*d],
+                    nodes[*g],
+                    nodes[*s],
+                    *params,
+                )
+            }
+        }
+        .expect("generated device is well-formed");
+    }
+    ckt
+}
+
+fn assert_rel_eq(a: f64, b: f64, what: &str) -> Result<(), TestCaseError> {
+    prop_assert!(
+        (a - b).abs() <= 1e-12 * a.abs().max(b.abs()),
+        "{what}: {a} vs {b} beyond 1e-12 relative"
+    );
+    Ok(())
+}
+
+fn assert_waves_close(a: &SourceWave, b: &SourceWave, name: &str) -> Result<(), TestCaseError> {
+    match (a, b) {
+        (SourceWave::Dc(x), SourceWave::Dc(y)) => assert_rel_eq(*x, *y, name)?,
+        (
+            SourceWave::Pulse {
+                v1,
+                v2,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            },
+            SourceWave::Pulse {
+                v1: w1,
+                v2: w2,
+                delay: wd,
+                rise: wr,
+                fall: wf,
+                width: ww,
+                period: wp,
+            },
+        ) => {
+            for (x, y) in [
+                (v1, w1),
+                (v2, w2),
+                (delay, wd),
+                (rise, wr),
+                (fall, wf),
+                (width, ww),
+            ] {
+                assert_rel_eq(*x, *y, name)?;
+            }
+            prop_assert_eq!(
+                period.is_finite(),
+                wp.is_finite(),
+                "{} lost its one-shot/periodic nature",
+                name
+            );
+            if period.is_finite() {
+                assert_rel_eq(*period, *wp, name)?;
+            }
+        }
+        (SourceWave::Pwl(xs), SourceWave::Pwl(ys)) => {
+            prop_assert_eq!(xs.len(), ys.len(), "{} changed point count", name);
+            for ((tx, vx), (ty, vy)) in xs.iter().zip(ys) {
+                assert_rel_eq(*tx, *ty, name)?;
+                assert_rel_eq(*vx, *vy, name)?;
+            }
+        }
+        _ => prop_assert!(false, "{name} changed wave kind across the round trip"),
+    }
+    Ok(())
+}
+
+/// Every device in `a` must exist in `b` with values equal to within
+/// 1e-12 relative (the canonical-form assertions tighten this to
+/// bit-exact; this check localises a failure to a device and field).
+fn assert_devices_close(a: &Circuit, b: &Circuit) -> Result<(), TestCaseError> {
+    for (_, entry) in a.devices() {
+        let id = b.find_device(&entry.name);
+        prop_assert!(id.is_some(), "device {} lost in the round trip", entry.name);
+        let back = &b.device(id.unwrap()).unwrap().device;
+        match (&entry.device, back) {
+            (Device::Resistor(x), Device::Resistor(y)) => {
+                assert_rel_eq(x.ohms, y.ohms, &entry.name)?;
+            }
+            (Device::Capacitor(x), Device::Capacitor(y)) => {
+                assert_rel_eq(x.farads, y.farads, &entry.name)?;
+            }
+            (Device::VoltageSource(x), Device::VoltageSource(y)) => {
+                assert_waves_close(&x.wave, &y.wave, &entry.name)?;
+            }
+            (Device::CurrentSource(x), Device::CurrentSource(y)) => {
+                assert_waves_close(&x.wave, &y.wave, &entry.name)?;
+            }
+            (Device::Mosfet(x), Device::Mosfet(y)) => {
+                prop_assert_eq!(x.polarity, y.polarity, "{} flipped polarity", &entry.name);
+                for (px, py) in [
+                    (x.params.vth0, y.params.vth0),
+                    (x.params.kp, y.params.kp),
+                    (x.params.lambda, y.params.lambda),
+                    (x.params.w, y.params.w),
+                    (x.params.l, y.params.l),
+                    (x.params.cgs, y.params.cgs),
+                    (x.params.cgd, y.params.cgd),
+                    (x.params.cdb, y.params.cdb),
+                ] {
+                    assert_rel_eq(px, py, &entry.name)?;
+                }
+            }
+            _ => prop_assert!(false, "{} changed device kind", &entry.name),
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        ..ProptestConfig::default()
+    })]
+
+    /// `to_spice` → `from_spice` preserves every device value to within
+    /// 1e-12 relative *and* the canonical content hash exactly, for
+    /// arbitrary circuits over all device and wave kinds. The hash
+    /// equality is what makes the checkpoint memo cache sound: a
+    /// journal written against the original circuit replays against the
+    /// re-imported one.
+    #[test]
+    fn random_circuits_round_trip_exactly(specs in prop::collection::vec(device_strategy(), 1..10)) {
+        let ckt = build_circuit(&specs);
+        let deck = to_spice(&ckt, "proptest round trip");
+        let back = from_spice(&deck).expect("exported deck parses");
+        prop_assert_eq!(ckt.device_count(), back.device_count());
+        assert_devices_close(&ckt, &back)?;
+        prop_assert_eq!(canonical_form(&ckt), canonical_form(&back));
+        prop_assert_eq!(canonical_hash(&ckt), canonical_hash(&back));
     }
 }
 
