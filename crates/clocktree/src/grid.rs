@@ -1,0 +1,312 @@
+//! Topology planning for non-tree clock distribution: rectangular
+//! clock meshes and TRIX-style layered pulse-propagation grids.
+//!
+//! Trees (DME, H-trees) deliver the clock through a single path per
+//! sink; meshes and TRIX grids deliberately add redundant paths so
+//! local faults are averaged out instead of skewing one subtree. This
+//! module plans the *topology only* — which nodes exist, which links
+//! connect them, and which node pairs are nominally skew-free and
+//! therefore worth monitoring with a sensing circuit. Turning a plan
+//! into an electrical netlist (resistive links, node capacitances,
+//! drivers, grafted sensors) is the `clocksense-scenarios` crate's job.
+
+use crate::error::ClockTreeError;
+
+/// A rectangular `rows` × `cols` clock mesh driven from corner `(0, 0)`.
+///
+/// Links run between horizontal and vertical grid neighbours. With
+/// uniform link resistance and node capacitance the mesh is symmetric
+/// under transposition about the driven corner, so `(r, c)` and
+/// `(c, r)` see identical delay — those are the monitor pairs.
+///
+/// # Examples
+///
+/// ```
+/// use clocksense_clocktree::GridPlan;
+///
+/// let plan = GridPlan::new(4, 4).unwrap();
+/// assert_eq!(plan.node_count(), 16);
+/// assert_eq!(plan.links().len(), 2 * 4 * 3);
+/// // Every planned pair is transpose-symmetric: equal nominal delay.
+/// for ((r1, c1), (r2, c2)) in plan.monitor_pairs(8) {
+///     assert_eq!((r1, c1), (c2, r2));
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridPlan {
+    rows: usize,
+    cols: usize,
+}
+
+impl GridPlan {
+    /// Plans a `rows` × `cols` mesh.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClockTreeError::InvalidParameter`] unless both
+    /// dimensions are at least 2 (a 1-wide "mesh" is a plain line and
+    /// has no redundant paths to study).
+    pub fn new(rows: usize, cols: usize) -> Result<GridPlan, ClockTreeError> {
+        if rows < 2 || cols < 2 {
+            return Err(ClockTreeError::InvalidParameter(format!(
+                "mesh needs at least 2x2 nodes, got {rows}x{cols}"
+            )));
+        }
+        Ok(GridPlan { rows, cols })
+    }
+
+    /// Grid rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Grid columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of grid nodes.
+    pub fn node_count(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// The canonical node name for grid position `(r, c)`.
+    pub fn node_name(&self, r: usize, c: usize) -> String {
+        format!("g{r}_{c}")
+    }
+
+    /// Every nearest-neighbour link as `((r, c), (r, c))` pairs,
+    /// horizontal sweeps first, then vertical.
+    pub fn links(&self) -> Vec<((usize, usize), (usize, usize))> {
+        let mut links = Vec::new();
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if c + 1 < self.cols {
+                    links.push(((r, c), (r, c + 1)));
+                }
+                if r + 1 < self.rows {
+                    links.push(((r, c), (r + 1, c)));
+                }
+            }
+        }
+        links
+    }
+
+    /// Up to `max_pairs` transpose-symmetric node pairs `(r, c)` /
+    /// `(c, r)` with `r < c`, farthest from the driven corner first —
+    /// the deep mesh interior is where fault-induced asymmetry
+    /// accumulates the most delay difference.
+    ///
+    /// Only positions with `r < min(rows, cols)` and
+    /// `c < min(rows, cols)` mirror onto valid grid nodes, so
+    /// rectangular meshes plan pairs inside their leading square.
+    pub fn monitor_pairs(&self, max_pairs: usize) -> Vec<((usize, usize), (usize, usize))> {
+        let side = self.rows.min(self.cols);
+        let mut pairs = Vec::new();
+        for r in 0..side {
+            for c in (r + 1)..side {
+                pairs.push(((r, c), (c, r)));
+            }
+        }
+        // Farthest (largest r + c) first; ties broken towards the
+        // off-diagonal for spatial spread.
+        pairs.sort_by_key(|&((r, c), _)| (std::cmp::Reverse(r + c), std::cmp::Reverse(c - r)));
+        pairs.truncate(max_pairs);
+        pairs
+    }
+}
+
+/// A TRIX-style layered pulse-propagation grid: `layers` ranks of
+/// `width` nodes, every node of rank `l + 1` fed by up to three
+/// neighbours of rank `l` (straight plus both diagonals, wrapping at
+/// the edges when `wrap` is set).
+///
+/// The redundancy is the point: each node gets its pulse through three
+/// paths, so one slow or broken link shifts its arrival only slightly
+/// — the regime the sensor's τ_min has to resolve. Nodes of the same
+/// rank are nominally simultaneous; mirror pairs of the last rank are
+/// the natural monitor points.
+///
+/// # Examples
+///
+/// ```
+/// use clocksense_clocktree::TrixPlan;
+///
+/// let plan = TrixPlan::new(4, 6, true).unwrap();
+/// assert_eq!(plan.node_count(), 24);
+/// // Wrapped: every interior node has exactly 3 incoming links.
+/// assert_eq!(plan.links().len(), 3 * 6 * 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrixPlan {
+    layers: usize,
+    width: usize,
+    wrap: bool,
+}
+
+impl TrixPlan {
+    /// Plans a grid of `layers` ranks, `width` nodes each. `wrap`
+    /// closes the diagonals into a cylinder (the TRIX paper's layout);
+    /// without it the edge nodes lose their out-of-range diagonals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClockTreeError::InvalidParameter`] unless there are at
+    /// least 2 layers and 3 nodes per layer (fewer leaves no distinct
+    /// triple of predecessors to merge).
+    pub fn new(layers: usize, width: usize, wrap: bool) -> Result<TrixPlan, ClockTreeError> {
+        if layers < 2 || width < 3 {
+            return Err(ClockTreeError::InvalidParameter(format!(
+                "TRIX grid needs >= 2 layers of >= 3 nodes, got {layers}x{width}"
+            )));
+        }
+        Ok(TrixPlan {
+            layers,
+            width,
+            wrap,
+        })
+    }
+
+    /// Number of ranks.
+    pub fn layers(&self) -> usize {
+        self.layers
+    }
+
+    /// Nodes per rank.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// `true` when the diagonals wrap around the rank edges.
+    pub fn wrap(&self) -> bool {
+        self.wrap
+    }
+
+    /// Total number of grid nodes.
+    pub fn node_count(&self) -> usize {
+        self.layers * self.width
+    }
+
+    /// The canonical node name for rank `l`, position `p`.
+    pub fn node_name(&self, l: usize, p: usize) -> String {
+        format!("t{l}_{p}")
+    }
+
+    /// Every propagation link as `((layer, pos), (layer, pos))` pairs
+    /// from rank `l` to rank `l + 1`.
+    pub fn links(&self) -> Vec<((usize, usize), (usize, usize))> {
+        let mut links = Vec::new();
+        for l in 0..self.layers - 1 {
+            for p in 0..self.width {
+                for off in [-1i64, 0, 1] {
+                    let q = p as i64 + off;
+                    let q = if self.wrap {
+                        q.rem_euclid(self.width as i64) as usize
+                    } else if (0..self.width as i64).contains(&q) {
+                        q as usize
+                    } else {
+                        continue;
+                    };
+                    links.push(((l, p), (l + 1, q)));
+                }
+            }
+        }
+        links
+    }
+
+    /// Up to `max_pairs` mirror-symmetric monitor pairs `(p, width-1-p)`
+    /// on the last rank. With a uniform drive of rank 0 the grid is
+    /// mirror-symmetric, so both taps of every pair are nominally
+    /// simultaneous.
+    pub fn monitor_pairs(&self, max_pairs: usize) -> Vec<((usize, usize), (usize, usize))> {
+        let last = self.layers - 1;
+        let mut pairs = Vec::new();
+        for p in 0..self.width / 2 {
+            let q = self.width - 1 - p;
+            if p != q {
+                pairs.push(((last, p), (last, q)));
+            }
+        }
+        pairs.truncate(max_pairs);
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_rejects_degenerate_dimensions() {
+        assert!(GridPlan::new(1, 8).is_err());
+        assert!(GridPlan::new(8, 0).is_err());
+        assert!(GridPlan::new(2, 2).is_ok());
+    }
+
+    #[test]
+    fn mesh_link_count_matches_formula() {
+        let plan = GridPlan::new(5, 7).unwrap();
+        // rows*(cols-1) horizontal + (rows-1)*cols vertical.
+        assert_eq!(plan.links().len(), 5 * 6 + 4 * 7);
+        assert_eq!(plan.node_count(), 35);
+    }
+
+    #[test]
+    fn mesh_pairs_are_transpose_symmetric_and_ordered_deep_first() {
+        let plan = GridPlan::new(6, 6).unwrap();
+        let pairs = plan.monitor_pairs(100);
+        for &((r1, c1), (r2, c2)) in &pairs {
+            assert_eq!((r1, c1), (c2, r2));
+            assert!(r1 < c1);
+        }
+        // Deepest pair first.
+        let ((r, c), _) = pairs[0];
+        assert_eq!(r + c, 4 + 5);
+        // Truncation respected.
+        assert_eq!(plan.monitor_pairs(3).len(), 3);
+    }
+
+    #[test]
+    fn rectangular_mesh_pairs_stay_on_grid() {
+        let plan = GridPlan::new(3, 9).unwrap();
+        for ((r1, c1), (r2, c2)) in plan.monitor_pairs(100) {
+            for (r, c) in [(r1, c1), (r2, c2)] {
+                assert!(r < 3 && c < 9, "({r},{c}) off the 3x9 grid");
+            }
+        }
+    }
+
+    #[test]
+    fn trix_wrap_gives_three_predecessors_everywhere() {
+        let plan = TrixPlan::new(5, 4, true).unwrap();
+        let links = plan.links();
+        assert_eq!(links.len(), 3 * 4 * 4);
+        // Count incoming links of every rank >= 1 node.
+        for l in 1..5 {
+            for p in 0..4 {
+                let n = links.iter().filter(|&&(_, to)| to == (l, p)).count();
+                assert_eq!(n, 3, "node ({l},{p}) has {n} inputs");
+            }
+        }
+    }
+
+    #[test]
+    fn trix_unwrapped_edges_lose_diagonals() {
+        let plan = TrixPlan::new(2, 4, false).unwrap();
+        let links = plan.links();
+        // Edge nodes feed 2 successors, interior 3: 2+3+3+2 = 10.
+        assert_eq!(links.len(), 10);
+    }
+
+    #[test]
+    fn trix_pairs_mirror_on_last_layer() {
+        let plan = TrixPlan::new(3, 7, true).unwrap();
+        let pairs = plan.monitor_pairs(10);
+        assert_eq!(pairs.len(), 3); // (0,6) (1,5) (2,4); centre 3 unpaired
+        for ((l1, p), (l2, q)) in pairs {
+            assert_eq!(l1, 2);
+            assert_eq!(l2, 2);
+            assert_eq!(p + q, 6);
+        }
+    }
+}

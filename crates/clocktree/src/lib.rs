@@ -40,6 +40,7 @@ mod buffer;
 mod dme;
 mod error;
 mod geometry;
+mod grid;
 mod htree;
 mod rctree;
 mod skew;
@@ -49,6 +50,7 @@ pub use buffer::{insert_buffers, BufferModel, BufferedTree, StageId};
 pub use dme::{zero_skew_tree, Sink, ZstResult};
 pub use error::ClockTreeError;
 pub use geometry::Point;
+pub use grid::{GridPlan, TrixPlan};
 pub use htree::{HTree, WireParasitics};
 pub use rctree::{RcNodeId, RcTree, TreeTransient};
 pub use skew::{plan_sensor_pairs, transient_arrivals, PairPlan, SensorPairCriteria, SkewAnalysis};

@@ -1,0 +1,179 @@
+//! Grafting sensing circuits into a host deck — the sensor-array layer.
+//!
+//! The paper's scheme attaches one sensing circuit per monitored couple
+//! of clock wires. The earlier experiments simulated each sensor in its
+//! own test bench against waveforms extracted from a tree solve; an
+//! array deck instead grafts every sensor *into the distribution
+//! netlist itself*, so the whole arrangement — grid, drivers and N
+//! sensors — is one circuit through one (batched) transient. MOSFET
+//! gates draw no DC current in the Level-1 model and present only their
+//! fixed gate capacitances, so a grafted sensor loads its taps like the
+//! small routing stub it physically is.
+
+use clocksense_core::SensingCircuit;
+use clocksense_netlist::{Circuit, Device, NodeId, GROUND};
+
+use crate::error::ScenarioError;
+
+/// Where one grafted sensor ended up inside the host deck.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SensorTap {
+    /// The name prefix of every node and device of this instance.
+    pub prefix: String,
+    /// Host-deck node name of the sensor's `y1` output.
+    pub y1: String,
+    /// Host-deck node name of the sensor's `y2` output.
+    pub y2: String,
+    /// Host-deck node name monitored as `φ1`.
+    pub phi1: String,
+    /// Host-deck node name monitored as `φ2`.
+    pub phi2: String,
+}
+
+/// Copies every device of `sensor` into `deck` under `prefix`, wiring
+/// its clock ports to `phi1_tap`/`phi2_tap` and its supply to `vdd`.
+///
+/// Internal nodes and device names are prefixed (`"{prefix}_y1"`,
+/// `"{prefix}_m_a"`, …); ground stays ground. Sensors built with
+/// [`line_resistance`](clocksense_core::SensorBuilder::line_resistance)
+/// keep their balanced lines: the *external* ports (`phi1_in`/`phi2_in`)
+/// are wired to the taps and the lines become part of the instance.
+///
+/// # Errors
+///
+/// Returns [`ScenarioError::Netlist`] if a prefixed name collides with
+/// an existing deck device (graft each prefix once).
+pub fn attach_sensor(
+    deck: &mut Circuit,
+    sensor: &SensingCircuit,
+    prefix: &str,
+    phi1_tap: NodeId,
+    phi2_tap: NodeId,
+    vdd: NodeId,
+) -> Result<SensorTap, ScenarioError> {
+    let src = sensor.circuit();
+    let has_lines = src.find_node("phi1_in").is_some();
+    let (p1_port, p2_port) = if has_lines {
+        ("phi1_in", "phi2_in")
+    } else {
+        ("phi1", "phi2")
+    };
+
+    let map = |deck: &mut Circuit, id: NodeId| -> NodeId {
+        if id == GROUND {
+            return GROUND;
+        }
+        let name = src.node_name(id);
+        if name == p1_port {
+            phi1_tap
+        } else if name == p2_port {
+            phi2_tap
+        } else if name == "vdd" {
+            vdd
+        } else {
+            deck.node(&format!("{prefix}_{name}"))
+        }
+    };
+
+    for (_, entry) in src.devices() {
+        let name = format!("{prefix}_{}", entry.name);
+        match &entry.device {
+            Device::Resistor(r) => {
+                let (a, b) = (map(deck, r.a), map(deck, r.b));
+                deck.add_resistor(&name, a, b, r.ohms)?;
+            }
+            Device::Capacitor(c) => {
+                let (a, b) = (map(deck, c.a), map(deck, c.b));
+                deck.add_capacitor(&name, a, b, c.farads)?;
+            }
+            Device::VoltageSource(v) => {
+                let (plus, minus) = (map(deck, v.plus), map(deck, v.minus));
+                deck.add_vsource(&name, plus, minus, v.wave.clone())?;
+            }
+            Device::CurrentSource(i) => {
+                let (from, to) = (map(deck, i.from), map(deck, i.to));
+                deck.add_isource(&name, from, to, i.wave.clone())?;
+            }
+            Device::Mosfet(m) => {
+                let (d, g, s) = (map(deck, m.drain), map(deck, m.gate), map(deck, m.source));
+                deck.add_mosfet(&name, m.polarity, d, g, s, m.params)?;
+            }
+        }
+    }
+
+    Ok(SensorTap {
+        prefix: prefix.to_string(),
+        y1: format!("{prefix}_y1"),
+        y2: format!("{prefix}_y2"),
+        phi1: deck.node_name(phi1_tap).to_string(),
+        phi2: deck.node_name(phi2_tap).to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clocksense_core::{SensorBuilder, Technology};
+    use clocksense_netlist::SourceWave;
+
+    fn host() -> (Circuit, NodeId, NodeId, NodeId) {
+        let mut deck = Circuit::new();
+        let a = deck.node("wire_a");
+        let b = deck.node("wire_b");
+        let vdd = deck.node("vdd");
+        deck.add_vsource("vdd_supply", vdd, GROUND, SourceWave::Dc(5.0))
+            .unwrap();
+        // Resistive returns so the taps have a DC path (validate()
+        // rejects capacitor-only nodes as floating).
+        deck.add_resistor("ra", a, GROUND, 1e3).unwrap();
+        deck.add_resistor("rb", b, GROUND, 1e3).unwrap();
+        (deck, a, b, vdd)
+    }
+
+    #[test]
+    fn graft_prefixes_devices_and_reuses_taps() {
+        let sensor = SensorBuilder::new(Technology::cmos12())
+            .load_capacitance(80e-15)
+            .build()
+            .unwrap();
+        let (mut deck, a, b, vdd) = host();
+        let before = deck.device_count();
+        let tap = attach_sensor(&mut deck, &sensor, "s0", a, b, vdd).unwrap();
+        assert_eq!(
+            deck.device_count(),
+            before + sensor.circuit().device_count()
+        );
+        assert!(deck.find_device("s0_m_a").is_some());
+        assert!(deck.find_node("s0_y1").is_some());
+        assert_eq!(tap.y1, "s0_y1");
+        assert_eq!(tap.phi1, "wire_a");
+        // The clock ports did not become new nodes.
+        assert!(deck.find_node("s0_phi1").is_none());
+        deck.validate().unwrap();
+        assert!(crate::connected_to_ground(&deck));
+    }
+
+    #[test]
+    fn two_grafts_coexist_one_duplicate_fails() {
+        let sensor = SensorBuilder::new(Technology::cmos12()).build().unwrap();
+        let (mut deck, a, b, vdd) = host();
+        attach_sensor(&mut deck, &sensor, "s0", a, b, vdd).unwrap();
+        attach_sensor(&mut deck, &sensor, "s1", b, a, vdd).unwrap();
+        assert!(attach_sensor(&mut deck, &sensor, "s0", a, b, vdd).is_err());
+    }
+
+    #[test]
+    fn line_resistance_ports_route_through_the_lines() {
+        let sensor = SensorBuilder::new(Technology::cmos12())
+            .line_resistance(120.0)
+            .build()
+            .unwrap();
+        let (mut deck, a, b, vdd) = host();
+        attach_sensor(&mut deck, &sensor, "s0", a, b, vdd).unwrap();
+        // The balanced line resistors came along, and the internal
+        // phi1 node (behind the line) is a fresh prefixed node.
+        assert!(deck.find_device("s0_rline1").is_some());
+        assert!(deck.find_node("s0_phi1").is_some());
+        deck.validate().unwrap();
+    }
+}

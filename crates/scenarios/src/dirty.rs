@@ -1,0 +1,399 @@
+//! Dirty-stimulus decorators: jitter, duty distortion, supply droop.
+//!
+//! A [`PulseSpec`] describes a *nominal* periodic clock train; a
+//! [`DirtyClock`] wraps it with composable impairments — per-cycle
+//! timing jitter, duty-cycle distortion and an exponential supply
+//! droop on the high level — and renders the result as an explicit
+//! [`SourceWave::Pwl`] corner list.
+//!
+//! # Why render to PWL instead of modulating a PULSE
+//!
+//! The transient marchers (fixed, adaptive and the lockstep batch
+//! kernel) build their breakpoint grid from
+//! [`SourceWave::breakpoints`]. A `Pulse` reports the corners of a
+//! *perfectly periodic* train; if a source instead perturbed its
+//! `value_at` per cycle while keeping the `Pulse` breakpoint list, the
+//! jittered edges would fall *between* breakpoints and the adaptive
+//! marcher would silently smear them — it only clamps steps onto
+//! declared breakpoints. A PWL's breakpoints are exactly its corner
+//! times, so rendering every perturbed cycle into explicit corners
+//! makes each dirty edge a hard simulator breakpoint by construction.
+//! The `breakpoint_grid` regression tests pin this: every value of
+//! [`DirtyClock::edge_times`] must appear *exactly* (bitwise, modulo
+//! the `tstep_min` dedup) in the transient's time vector on the fixed,
+//! adaptive and batched paths.
+
+use clocksense_netlist::SourceWave;
+
+use crate::error::ScenarioError;
+
+/// A nominal periodic pulse train (finite period, unlike the
+/// single-shot `ClockPair` stimuli).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PulseSpec {
+    /// Low level (V).
+    pub v1: f64,
+    /// High level (V).
+    pub v2: f64,
+    /// Time of the first rising corner (s).
+    pub delay: f64,
+    /// Rise time (s), > 0.
+    pub rise: f64,
+    /// Fall time (s), > 0.
+    pub fall: f64,
+    /// High width (s), > 0.
+    pub width: f64,
+    /// Cycle period (s), finite.
+    pub period: f64,
+}
+
+impl PulseSpec {
+    /// A 5 V CMOS-ish train: 0→5 V, 1 ns period, 100 ps edges, 300 ps
+    /// high, first edge at 200 ps.
+    pub fn default_clock() -> PulseSpec {
+        PulseSpec {
+            v1: 0.0,
+            v2: 5.0,
+            delay: 0.2e-9,
+            rise: 0.1e-9,
+            fall: 0.1e-9,
+            width: 0.3e-9,
+            period: 1.0e-9,
+        }
+    }
+}
+
+/// SplitMix64 finalizer — a tiny, deterministic per-cycle hash so the
+/// jitter sequence is reproducible from `(seed, cycle)` alone, with no
+/// RNG state threaded through rendering.
+fn hash64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform value in [-1, 1] for cycle `k` under `seed`.
+fn unit_jitter(seed: u64, k: u64) -> f64 {
+    let h = hash64(seed ^ k.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    // 53 mantissa bits → uniform in [0, 1), then map to [-1, 1].
+    let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+    2.0 * u - 1.0
+}
+
+/// A pulse train with composable impairments, rendered to explicit PWL
+/// corners so every perturbed edge is a simulator breakpoint.
+///
+/// # Examples
+///
+/// ```
+/// use clocksense_scenarios::{DirtyClock, PulseSpec};
+///
+/// let clk = DirtyClock::clean(PulseSpec::default_clock(), 8)
+///     .with_jitter(20e-12, 42)
+///     .with_duty_error(0.05)
+///     .with_droop(0.08, 4.0);
+/// let wave = clk.render().unwrap();
+/// assert!(wave.is_well_formed());
+/// assert_eq!(clk.edge_times().unwrap().len(), 8 * 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DirtyClock {
+    /// The nominal train being decorated.
+    pub base: PulseSpec,
+    /// Number of cycles to render (>= 1).
+    pub cycles: usize,
+    /// Cycle-to-cycle timing jitter amplitude (s): each cycle's start
+    /// shifts by a uniform draw in `[-amp, +amp]`.
+    pub jitter_amp: f64,
+    /// Seed of the deterministic jitter sequence.
+    pub jitter_seed: u64,
+    /// Duty-cycle distortion: the high width is scaled by
+    /// `1 + duty_error` (signed).
+    pub duty_error: f64,
+    /// Supply-droop depth as a fraction of the swing: cycle `k`'s high
+    /// level is `v2 - (v2 - v1) * droop_frac * (1 - exp(-k / tau))`.
+    pub droop_frac: f64,
+    /// Droop time constant in cycles.
+    pub droop_tau: f64,
+}
+
+impl DirtyClock {
+    /// An unimpaired `cycles`-long render of `base`.
+    pub fn clean(base: PulseSpec, cycles: usize) -> DirtyClock {
+        DirtyClock {
+            base,
+            cycles,
+            jitter_amp: 0.0,
+            jitter_seed: 0,
+            duty_error: 0.0,
+            droop_frac: 0.0,
+            droop_tau: 1.0,
+        }
+    }
+
+    /// Adds uniform cycle-to-cycle jitter of amplitude `amp` seconds.
+    pub fn with_jitter(self, amp: f64, seed: u64) -> DirtyClock {
+        DirtyClock {
+            jitter_amp: amp,
+            jitter_seed: seed,
+            ..self
+        }
+    }
+
+    /// Scales the high width by `1 + frac` (signed distortion).
+    pub fn with_duty_error(self, frac: f64) -> DirtyClock {
+        DirtyClock {
+            duty_error: frac,
+            ..self
+        }
+    }
+
+    /// Droops the high level by up to `frac` of the swing with time
+    /// constant `tau_cycles`.
+    pub fn with_droop(self, frac: f64, tau_cycles: f64) -> DirtyClock {
+        DirtyClock {
+            droop_frac: frac,
+            droop_tau: tau_cycles,
+            ..self
+        }
+    }
+
+    /// The same train delayed by `dt` — the second phase of a skewed
+    /// pair, or a victim copy for sensor sweeps.
+    pub fn shifted(self, dt: f64) -> DirtyClock {
+        DirtyClock {
+            base: PulseSpec {
+                delay: self.base.delay + dt,
+                ..self.base
+            },
+            ..self
+        }
+    }
+
+    /// Last rendered corner plus one edge of settling room.
+    pub fn t_stop(&self) -> f64 {
+        self.base.delay + self.cycles as f64 * self.base.period
+    }
+
+    fn check(&self) -> Result<(), ScenarioError> {
+        let b = &self.base;
+        for (name, v) in [
+            ("rise", b.rise),
+            ("fall", b.fall),
+            ("width", b.width),
+            ("period", b.period),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(ScenarioError::InvalidParameter(format!(
+                    "pulse {name} must be positive and finite, got {v}"
+                )));
+            }
+        }
+        if self.cycles == 0 {
+            return Err(ScenarioError::InvalidParameter(
+                "dirty clock needs at least one cycle".into(),
+            ));
+        }
+        if !(self.jitter_amp >= 0.0 && self.jitter_amp.is_finite()) {
+            return Err(ScenarioError::InvalidParameter(format!(
+                "jitter_amp must be non-negative, got {}",
+                self.jitter_amp
+            )));
+        }
+        if b.delay - self.jitter_amp < 0.0 {
+            return Err(ScenarioError::InvalidParameter(format!(
+                "delay {} cannot absorb jitter amplitude {}",
+                b.delay, self.jitter_amp
+            )));
+        }
+        if !self.duty_error.is_finite() || self.duty_error <= -1.0 {
+            return Err(ScenarioError::InvalidParameter(format!(
+                "duty_error must be > -1, got {}",
+                self.duty_error
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.droop_frac) {
+            return Err(ScenarioError::InvalidParameter(format!(
+                "droop_frac must be in [0, 1], got {}",
+                self.droop_frac
+            )));
+        }
+        if !(self.droop_tau.is_finite() && self.droop_tau > 0.0) {
+            return Err(ScenarioError::InvalidParameter(format!(
+                "droop_tau must be positive, got {}",
+                self.droop_tau
+            )));
+        }
+        // Worst case the train must stay monotone: the widest cycle
+        // plus both jitter excursions has to fit inside one period.
+        let w_max = b.width * (1.0 + self.duty_error.abs());
+        let slack = b.period - b.rise - w_max - b.fall - 2.0 * self.jitter_amp;
+        if slack <= 0.0 {
+            return Err(ScenarioError::InvalidParameter(format!(
+                "cycle does not fit its period: rise {} + width {} + fall {} \
+                 + 2*jitter {} vs period {}",
+                b.rise, w_max, b.fall, self.jitter_amp, b.period
+            )));
+        }
+        Ok(())
+    }
+
+    /// Per-cycle start-of-rise jitter offset (deterministic in
+    /// `(jitter_seed, k)`).
+    fn jitter_at(&self, k: usize) -> f64 {
+        if self.jitter_amp == 0.0 {
+            0.0
+        } else {
+            self.jitter_amp * unit_jitter(self.jitter_seed, k as u64)
+        }
+    }
+
+    /// Cycle `k`'s drooped high level.
+    fn high_at(&self, k: usize) -> f64 {
+        let b = &self.base;
+        b.v2 - (b.v2 - b.v1) * self.droop_frac * (1.0 - (-(k as f64) / self.droop_tau).exp())
+    }
+
+    /// The four corner times of every rendered cycle, in order. These
+    /// are the times that must all be transient breakpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::InvalidParameter`] if the impairments
+    /// don't fit the period (see [`DirtyClock::render`]).
+    pub fn edge_times(&self) -> Result<Vec<f64>, ScenarioError> {
+        self.check()?;
+        let b = &self.base;
+        let w = b.width * (1.0 + self.duty_error);
+        let mut times = Vec::with_capacity(4 * self.cycles);
+        for k in 0..self.cycles {
+            let s = b.delay + k as f64 * b.period + self.jitter_at(k);
+            times.push(s);
+            times.push(s + b.rise);
+            times.push(s + b.rise + w);
+            times.push(s + b.rise + w + b.fall);
+        }
+        Ok(times)
+    }
+
+    /// Renders the impaired train as an explicit PWL corner list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::InvalidParameter`] when a parameter is
+    /// out of domain or the impaired cycle no longer fits its period
+    /// (edges would cross and the PWL would lose monotonicity).
+    pub fn render(&self) -> Result<SourceWave, ScenarioError> {
+        let times = self.edge_times()?;
+        let b = &self.base;
+        let mut points = Vec::with_capacity(2 + times.len());
+        if times[0] > 0.0 {
+            points.push((0.0, b.v1));
+        }
+        for (k, corner) in times.chunks_exact(4).enumerate() {
+            let high = self.high_at(k);
+            points.push((corner[0], b.v1));
+            points.push((corner[1], high));
+            points.push((corner[2], high));
+            points.push((corner[3], b.v1));
+        }
+        for pair in points.windows(2) {
+            if pair[1].0 <= pair[0].0 {
+                return Err(ScenarioError::InvalidParameter(format!(
+                    "rendered corners not strictly increasing: {} then {}",
+                    pair[0].0, pair[1].0
+                )));
+            }
+        }
+        Ok(SourceWave::Pwl(points))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_render_matches_nominal_pulse_corners() {
+        let spec = PulseSpec::default_clock();
+        let clk = DirtyClock::clean(spec, 3);
+        let times = clk.edge_times().unwrap();
+        assert_eq!(times.len(), 12);
+        assert_eq!(times[0], spec.delay);
+        assert_eq!(times[4], spec.delay + spec.period);
+        let wave = clk.render().unwrap();
+        assert!(wave.is_well_formed());
+        match wave {
+            SourceWave::Pwl(points) => assert_eq!(points.len(), 13),
+            other => panic!("expected Pwl, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_bounded_and_nonzero() {
+        let clk = DirtyClock::clean(PulseSpec::default_clock(), 64).with_jitter(30e-12, 7);
+        let a = clk.edge_times().unwrap();
+        let b = clk.edge_times().unwrap();
+        assert_eq!(a, b);
+        let nominal = DirtyClock::clean(clk.base, 64).edge_times().unwrap();
+        let mut moved = 0;
+        for (t, t0) in a.iter().zip(&nominal) {
+            let dt = t - t0;
+            assert!(dt.abs() <= 30e-12 + 1e-21, "jitter out of bounds: {dt}");
+            if dt != 0.0 {
+                moved += 1;
+            }
+        }
+        assert!(moved > a.len() / 2, "jitter barely moved any edges");
+        // A different seed gives a different sequence.
+        let other = clk.with_jitter(30e-12, 8).edge_times().unwrap();
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn droop_decays_the_high_level_monotonically() {
+        let clk = DirtyClock::clean(PulseSpec::default_clock(), 10).with_droop(0.1, 3.0);
+        let highs: Vec<f64> = (0..10).map(|k| clk.high_at(k)).collect();
+        assert_eq!(highs[0], 5.0);
+        for pair in highs.windows(2) {
+            assert!(pair[1] < pair[0]);
+        }
+        assert!(highs[9] > 5.0 * (1.0 - 0.1));
+    }
+
+    #[test]
+    fn duty_error_widens_and_narrows() {
+        let wide = DirtyClock::clean(PulseSpec::default_clock(), 1).with_duty_error(0.2);
+        let narrow = wide.with_duty_error(-0.2);
+        let tw = wide.edge_times().unwrap();
+        let tn = narrow.edge_times().unwrap();
+        assert!((tw[2] - tw[1]) > (tn[2] - tn[1]));
+    }
+
+    #[test]
+    fn impossible_impairments_are_rejected() {
+        let spec = PulseSpec::default_clock();
+        // Jitter larger than the delay would put an edge before t=0.
+        assert!(DirtyClock::clean(spec, 2)
+            .with_jitter(0.3e-9, 1)
+            .render()
+            .is_err());
+        // Duty error that overflows the period.
+        assert!(DirtyClock::clean(spec, 2)
+            .with_duty_error(2.0)
+            .render()
+            .is_err());
+        assert!(DirtyClock::clean(spec, 0).render().is_err());
+    }
+
+    #[test]
+    fn shifted_train_moves_every_corner() {
+        let clk = DirtyClock::clean(PulseSpec::default_clock(), 4).with_jitter(10e-12, 3);
+        let base = clk.edge_times().unwrap();
+        let late = clk.shifted(50e-12).edge_times().unwrap();
+        for (t, t0) in late.iter().zip(&base) {
+            assert!((t - t0 - 50e-12).abs() < 1e-21);
+        }
+    }
+}

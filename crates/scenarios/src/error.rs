@@ -1,0 +1,62 @@
+//! Error type of the scenario generators.
+
+use std::fmt;
+
+use clocksense_clocktree::ClockTreeError;
+use clocksense_core::CoreError;
+use clocksense_netlist::NetlistError;
+
+/// Errors raised while generating or validating a scenario workload.
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// A generator parameter is outside its valid domain.
+    InvalidParameter(String),
+    /// Building the netlist failed.
+    Netlist(NetlistError),
+    /// Building the sensing circuit failed.
+    Core(CoreError),
+    /// Planning the grid topology failed.
+    ClockTree(ClockTreeError),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::InvalidParameter(detail) => {
+                write!(f, "invalid scenario parameter: {detail}")
+            }
+            ScenarioError::Netlist(e) => write!(f, "scenario netlist error: {e}"),
+            ScenarioError::Core(e) => write!(f, "scenario sensor error: {e}"),
+            ScenarioError::ClockTree(e) => write!(f, "scenario topology error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::InvalidParameter(_) => None,
+            ScenarioError::Netlist(e) => Some(e),
+            ScenarioError::Core(e) => Some(e),
+            ScenarioError::ClockTree(e) => Some(e),
+        }
+    }
+}
+
+impl From<NetlistError> for ScenarioError {
+    fn from(e: NetlistError) -> Self {
+        ScenarioError::Netlist(e)
+    }
+}
+
+impl From<CoreError> for ScenarioError {
+    fn from(e: CoreError) -> Self {
+        ScenarioError::Core(e)
+    }
+}
+
+impl From<ClockTreeError> for ScenarioError {
+    fn from(e: ClockTreeError) -> Self {
+        ScenarioError::ClockTree(e)
+    }
+}

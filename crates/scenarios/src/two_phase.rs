@@ -1,0 +1,300 @@
+//! Generated two-phase non-overlapping clocks.
+//!
+//! The sensing circuit was characterized against *ideal* φ1/φ2 pulses
+//! placed by hand. A real two-phase system derives both phases from one
+//! master clock through a non-overlap generator, and the guaranteed gap
+//! between φ1 falling and φ2 rising (and vice versa) is a design
+//! parameter. [`TwoPhaseSpec`] models that generator's output directly:
+//! two complementary-phase pulse trains with a programmable non-overlap
+//! margin and independent rise/fall times, plus the analytic gap the
+//! parameters imply — so sweeps can ask "at what injected skew does the
+//! sensor flip, as a function of the generator's own margin?".
+
+use clocksense_core::ClockPair;
+use clocksense_netlist::SourceWave;
+
+use crate::error::ScenarioError;
+
+/// A programmable two-phase non-overlap clock generator.
+///
+/// Phase 1 rises at `delay`; phase 2 is the same shape offset by half a
+/// period, where the period is `2 * (rise + width + fall + non_overlap)`
+/// — so consecutive active intervals of opposite phases are separated
+/// by exactly `non_overlap` seconds of full-swing gap (corner to
+/// corner; the *threshold-crossing* gap is larger by a slice of the
+/// edges, see [`analytic_gap`](TwoPhaseSpec::analytic_gap)).
+///
+/// # Examples
+///
+/// ```
+/// use clocksense_scenarios::TwoPhaseSpec;
+///
+/// let spec = TwoPhaseSpec::new(5.0, 0.15e-9);
+/// let (phi1, phi2) = spec.waveforms().unwrap();
+/// assert!(phi1.is_well_formed() && phi2.is_well_formed());
+/// let gap = spec.analytic_gap(0.5);
+/// assert!((gap - spec.non_overlap - 0.5 * (spec.rise + spec.fall)).abs() < 1e-21);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoPhaseSpec {
+    /// Swing of both phases (V).
+    pub vdd: f64,
+    /// First rising corner of φ1 (s).
+    pub delay: f64,
+    /// Rise time of both phases (s).
+    pub rise: f64,
+    /// Fall time of both phases (s).
+    pub fall: f64,
+    /// High width of both phases (s).
+    pub width: f64,
+    /// Corner-to-corner gap between opposite-phase active intervals
+    /// (s). May be negative to model an *overlapping* (broken)
+    /// generator, down to `-(rise + width + fall) / 2`.
+    pub non_overlap: f64,
+}
+
+impl TwoPhaseSpec {
+    /// A generator with 100 ps edges, 1.2 ns high phases, first edge at
+    /// 200 ps and the given swing and margin.
+    pub fn new(vdd: f64, non_overlap: f64) -> TwoPhaseSpec {
+        TwoPhaseSpec {
+            vdd,
+            delay: 0.2e-9,
+            rise: 0.1e-9,
+            fall: 0.1e-9,
+            width: 1.2e-9,
+            non_overlap,
+        }
+    }
+
+    /// φ2's offset from φ1: half the period.
+    pub fn phase_offset(&self) -> f64 {
+        self.rise + self.width + self.fall + self.non_overlap
+    }
+
+    /// The full cycle period implied by the parameters.
+    pub fn period(&self) -> f64 {
+        2.0 * self.phase_offset()
+    }
+
+    /// Validates the parameter domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::InvalidParameter`] unless `vdd`, `rise`,
+    /// `fall` and `width` are positive, `delay` is non-negative, and
+    /// the (possibly negative) margin still leaves a positive period
+    /// slack — i.e. `period > rise + width + fall`.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        for (name, v) in [
+            ("vdd", self.vdd),
+            ("rise", self.rise),
+            ("fall", self.fall),
+            ("width", self.width),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(ScenarioError::InvalidParameter(format!(
+                    "two-phase {name} must be positive, got {v}"
+                )));
+            }
+        }
+        if !(self.delay.is_finite() && self.delay >= 0.0) {
+            return Err(ScenarioError::InvalidParameter(format!(
+                "two-phase delay must be non-negative, got {}",
+                self.delay
+            )));
+        }
+        if !self.non_overlap.is_finite() {
+            return Err(ScenarioError::InvalidParameter(
+                "two-phase non_overlap must be finite".into(),
+            ));
+        }
+        let active = self.rise + self.width + self.fall;
+        if self.period() <= active {
+            return Err(ScenarioError::InvalidParameter(format!(
+                "non_overlap {} makes the period ({}) shorter than one \
+                 active interval ({})",
+                self.non_overlap,
+                self.period(),
+                active
+            )));
+        }
+        Ok(())
+    }
+
+    /// The generator's two output trains as periodic pulse waves.
+    ///
+    /// # Errors
+    ///
+    /// See [`TwoPhaseSpec::validate`].
+    pub fn waveforms(&self) -> Result<(SourceWave, SourceWave), ScenarioError> {
+        self.validate()?;
+        let mk = |delay: f64| SourceWave::Pulse {
+            v1: 0.0,
+            v2: self.vdd,
+            delay,
+            rise: self.rise,
+            fall: self.fall,
+            width: self.width,
+            period: self.period(),
+        };
+        Ok((mk(self.delay), mk(self.delay + self.phase_offset())))
+    }
+
+    /// The gap between φ1 crossing `frac * vdd` on its falling edge and
+    /// φ2 crossing the same level on its next rising edge, from the
+    /// corner geometry: φ1 falls through the level `fall * (1 - frac)`
+    /// after its fall corner starts, φ2 rises through it `rise * frac`
+    /// after its rise corner starts, and the two corners are
+    /// `fall + non_overlap` apart — which collapses to
+    /// `non_overlap + frac * (rise + fall)`. Negative when the phases
+    /// overlap at that threshold.
+    pub fn analytic_gap(&self, frac: f64) -> f64 {
+        self.non_overlap + frac * (self.rise + self.fall)
+    }
+
+    /// Measures the φ1-fall → φ2-rise gap at level `frac * vdd` by
+    /// densely sampling the rendered waveforms over one period — the
+    /// slow, independent cross-check the property tests compare against
+    /// [`TwoPhaseSpec::analytic_gap`].
+    ///
+    /// # Errors
+    ///
+    /// See [`TwoPhaseSpec::validate`].
+    pub fn measured_gap(&self, frac: f64) -> Result<f64, ScenarioError> {
+        let (phi1, phi2) = self.waveforms()?;
+        let level = frac * self.vdd;
+        // φ1's first falling corner; φ2's following rising corner.
+        let fall_start = self.delay + self.rise + self.width;
+        let rise_start = self.delay + self.phase_offset();
+        let cross = |wave: &SourceWave, from: f64, to: f64, rising: bool| -> Option<f64> {
+            const STEPS: usize = 20_000;
+            let dt = (to - from) / STEPS as f64;
+            let mut prev = wave.value_at(from);
+            for i in 1..=STEPS {
+                let t = from + i as f64 * dt;
+                let v = wave.value_at(t);
+                let hit = if rising {
+                    prev < level && v >= level
+                } else {
+                    prev > level && v <= level
+                };
+                if hit {
+                    // Linear interpolation inside the sample step.
+                    let f = (level - prev) / (v - prev);
+                    return Some(t - dt + f * dt);
+                }
+                prev = v;
+            }
+            None
+        };
+        let span = self.rise + self.fall + self.width;
+        let t_fall = cross(&phi1, fall_start - span, fall_start + span, false)
+            .ok_or_else(|| ScenarioError::InvalidParameter("no φ1 falling crossing".into()))?;
+        let t_rise = cross(&phi2, rise_start - span, rise_start + span, true)
+            .ok_or_else(|| ScenarioError::InvalidParameter("no φ2 rising crossing".into()))?;
+        Ok(t_rise - t_fall)
+    }
+
+    /// A skewed sensing pair derived from phase 1: the sensor's two
+    /// inputs are copies of φ1 with `skew` injected between them
+    /// (positive skew delays the second copy). This is the stimulus for
+    /// "sweep injected skew against a *generated* clock" experiments.
+    ///
+    /// # Errors
+    ///
+    /// See [`TwoPhaseSpec::validate`].
+    pub fn sensor_pair(&self, skew: f64) -> Result<(SourceWave, SourceWave), ScenarioError> {
+        self.validate()?;
+        if !skew.is_finite() || skew.abs() >= self.width {
+            return Err(ScenarioError::InvalidParameter(format!(
+                "sensor skew {} must be smaller than the width {}",
+                skew, self.width
+            )));
+        }
+        let d1 = self.delay + (-skew).max(0.0);
+        let d2 = self.delay + skew.max(0.0);
+        let mk = |delay: f64| SourceWave::Pulse {
+            v1: 0.0,
+            v2: self.vdd,
+            delay,
+            rise: self.rise,
+            fall: self.fall,
+            width: self.width,
+            period: self.period(),
+        };
+        Ok((mk(d1), mk(d2)))
+    }
+
+    /// The [`ClockPair`] describing [`sensor_pair`](Self::sensor_pair)'s
+    /// timing, so [`interpret`](clocksense_core::interpret) strobes the
+    /// right windows. The pair's `slew` is the rise time (the active
+    /// edge of a rising-edge strobe).
+    pub fn clock_pair(&self, skew: f64) -> ClockPair {
+        ClockPair {
+            vdd: self.vdd,
+            delay: self.delay,
+            slew: self.rise,
+            width: self.width,
+            period: self.period(),
+            skew,
+        }
+    }
+
+    /// A stop time covering the first full cycle of both phases.
+    pub fn sim_stop_time(&self) -> f64 {
+        self.delay + self.period() + self.rise
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_gap_matches_analytic_across_margins() {
+        for non_overlap in [0.05e-9, 0.15e-9, 0.4e-9] {
+            let spec = TwoPhaseSpec::new(5.0, non_overlap);
+            for frac in [0.3, 0.5, 0.7] {
+                let analytic = spec.analytic_gap(frac);
+                let measured = spec.measured_gap(frac).unwrap();
+                assert!(
+                    (measured - analytic).abs() < 2e-13,
+                    "margin {non_overlap}, frac {frac}: measured {measured} vs {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn negative_margin_overlaps_at_threshold() {
+        let spec = TwoPhaseSpec::new(5.0, -0.12e-9);
+        spec.validate().unwrap();
+        let gap = spec.measured_gap(0.5).unwrap();
+        assert!(gap < 0.0, "expected overlap, got gap {gap}");
+        assert!((gap - spec.analytic_gap(0.5)).abs() < 2e-13);
+    }
+
+    #[test]
+    fn period_floor_is_enforced() {
+        // non_overlap <= -(rise+width+fall)/2 collapses the period.
+        let spec = TwoPhaseSpec::new(5.0, -0.75e-9);
+        assert!(spec.validate().is_err());
+        assert!(TwoPhaseSpec::new(-5.0, 0.1e-9).validate().is_err());
+    }
+
+    #[test]
+    fn sensor_pair_injects_the_requested_skew() {
+        let spec = TwoPhaseSpec::new(5.0, 0.1e-9);
+        let (a, b) = spec.sensor_pair(40e-12).unwrap();
+        match (a, b) {
+            (SourceWave::Pulse { delay: d1, .. }, SourceWave::Pulse { delay: d2, .. }) => {
+                assert!((d2 - d1 - 40e-12).abs() < 1e-21)
+            }
+            other => panic!("expected pulses, got {other:?}"),
+        }
+        assert!(spec.sensor_pair(2e-9).is_err());
+        let pair = spec.clock_pair(40e-12);
+        pair.validate().unwrap();
+    }
+}

@@ -40,7 +40,26 @@ emit a well-formed report, whatever its numbers are. Checks:
   * optionally (--expect-zero-checkpoint) the run never touched a
     checkpoint journal: no checkpoint.* counter recorded a nonzero
     value (the scope materialises lazily, so a journal-free run
-    normally has none at all).
+    normally has none at all);
+  * optionally (--scenarios) the scenario-workload accounting of the
+    generated-deck benches is coherent, dispatched on meta.bench:
+    mesh_array must have built decks, attached sensors, classified
+    verdicts through the batched kernel and read zero errors on the
+    healthy variants; two_phase_gen must have located flip points with
+    zero generator-margin violations; dirty_stimulus must have landed
+    every rendered dirty edge on the transient grid
+    (edges_on_grid == edges_total) and detected at least one cycle;
+  * optionally (--min-counter NAME:VALUE, repeatable) a named counter
+    is present and at least VALUE — e.g. the archived mesh_array run
+    must keep mesh_array.grid_nodes_total >= 1000;
+  * optionally (--perf-baseline FILE) a perf-regression comparison
+    against an archived baseline report of the same bench and mode:
+    every counter recorded >= 10 in both runs must agree within
+    --perf-tolerance (default 3x, both directions — step counts are
+    near-deterministic, so a blowup either way means the algorithm
+    changed), and every timer's total within --perf-timer-tolerance
+    (default 10x, one-sided — wall clock varies across machines, the
+    gate only catches order-of-magnitude regressions).
 
 Exits 0 on success, 1 with a message naming the first violation.
 """
@@ -118,6 +137,38 @@ def main() -> None:
         "--expect-zero-checkpoint",
         action="store_true",
         help="fail if any checkpoint.* counter is nonzero",
+    )
+    parser.add_argument(
+        "--scenarios",
+        action="store_true",
+        help="require coherent scenario-workload accounting (dispatched "
+        "on meta.bench: mesh_array, two_phase_gen or dirty_stimulus)",
+    )
+    parser.add_argument(
+        "--min-counter",
+        action="append",
+        default=[],
+        metavar="NAME:VALUE",
+        help="counter that must be present and >= VALUE (repeatable)",
+    )
+    parser.add_argument(
+        "--perf-baseline",
+        metavar="FILE",
+        help="archived report of the same bench/mode to compare against",
+    )
+    parser.add_argument(
+        "--perf-tolerance",
+        type=float,
+        default=3.0,
+        help="allowed counter ratio vs the baseline (default 3.0, "
+        "checked both directions)",
+    )
+    parser.add_argument(
+        "--perf-timer-tolerance",
+        type=float,
+        default=10.0,
+        help="allowed timer total ratio vs the baseline (default 10.0, "
+        "slowdowns only)",
     )
     args = parser.parse_args()
 
@@ -272,6 +323,117 @@ def main() -> None:
             )
         if hits < 1:
             fail("checkpoint.memo_hits must be >= 1: the memo cache never hit")
+
+    if args.scenarios:
+        counters = report["counters"]
+        bench = report["meta"].get("bench")
+
+        def need(name: str, minimum: int = 1) -> int:
+            if name not in counters:
+                fail(f"scenario counter {name!r} missing")
+            if counters[name] < minimum:
+                fail(f"{name} = {counters[name]}, expected >= {minimum}")
+            return counters[name]
+
+        if bench == "mesh_array":
+            need("mesh_array.decks_built")
+            need("mesh_array.grid_nodes_total")
+            need("mesh_array.sensors_attached")
+            need("mesh_array.verdicts_total")
+            # The decks must have gone through the batched kernel, not
+            # the scalar fallback.
+            need("batch.batches_run")
+            need("batch.variants_batched", 2)
+            errors = need("mesh_array.healthy_errors", 0)
+            if errors != 0:
+                fail(
+                    f"mesh_array.healthy_errors = {errors}: a symmetric "
+                    "deck flagged skew on a healthy variant"
+                )
+        elif bench == "two_phase_gen":
+            need("two_phase_gen.margin_checks")
+            need("two_phase_gen.sims_total")
+            need("two_phase_gen.flip_points_located", 2)
+            violations = need("two_phase_gen.margin_violations", 0)
+            if violations != 0:
+                fail(
+                    f"two_phase_gen.margin_violations = {violations}: "
+                    "the generator's measured gap left its closed form"
+                )
+        elif bench == "dirty_stimulus":
+            edges = need("dirty_stimulus.edges_total")
+            on_grid = need("dirty_stimulus.edges_on_grid", 0)
+            if on_grid != edges:
+                fail(
+                    f"dirty_stimulus.edges_on_grid ({on_grid}) != "
+                    f"edges_total ({edges}): a rendered edge missed the "
+                    "transient breakpoint grid"
+                )
+            need("dirty_stimulus.sims_total")
+            need("dirty_stimulus.cycles_total")
+            need("dirty_stimulus.cycles_detected")
+        else:
+            fail(f"--scenarios: unknown scenario bench {bench!r}")
+
+    for spec in args.min_counter:
+        name, sep, minimum = spec.rpartition(":")
+        if not sep or not minimum.lstrip("-").isdigit():
+            fail(f"--min-counter {spec!r}: expected NAME:VALUE")
+        if name not in report["counters"]:
+            fail(f"expected counter {name!r} missing")
+        if report["counters"][name] < int(minimum):
+            fail(
+                f"{name} = {report['counters'][name]}, expected >= {minimum}"
+            )
+
+    if args.perf_baseline is not None:
+        try:
+            with open(args.perf_baseline, encoding="utf-8") as f:
+                baseline = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            fail(f"cannot read baseline {args.perf_baseline}: {e}")
+        for key in ("meta", "counters", "timers"):
+            if key not in baseline:
+                fail(f"baseline missing top-level key {key!r}")
+        for key in ("bench", "fast_mode"):
+            ours, theirs = report["meta"].get(key), baseline["meta"].get(key)
+            if ours != theirs:
+                fail(
+                    f"baseline meta.{key} {theirs!r} != report's {ours!r}: "
+                    "perf comparison needs the same bench and mode"
+                )
+        # Counters are near-deterministic work metrics (steps, solves,
+        # refactorisations): a big move in either direction means the
+        # algorithm changed, not the machine. Tiny counts are noise.
+        floor = 10
+        for name, base_value in sorted(baseline["counters"].items()):
+            current = report["counters"].get(name)
+            if current is None or base_value < floor or current < floor:
+                continue
+            ratio = current / base_value
+            if ratio > args.perf_tolerance or ratio < 1.0 / args.perf_tolerance:
+                fail(
+                    f"perf regression on counter {name!r}: {current} vs "
+                    f"baseline {base_value} (ratio {ratio:.2f}, tolerance "
+                    f"{args.perf_tolerance:g}x)"
+                )
+        # Timers do vary across machines; only order-of-magnitude
+        # slowdowns fail.
+        for name, base_timer in sorted(baseline["timers"].items()):
+            current = report["timers"].get(name)
+            if not isinstance(base_timer, dict) or not isinstance(current, dict):
+                continue
+            base_nanos = base_timer.get("total_nanos", 0)
+            cur_nanos = current.get("total_nanos", 0)
+            if base_nanos <= 0 or cur_nanos <= 0:
+                continue
+            ratio = cur_nanos / base_nanos
+            if ratio > args.perf_timer_tolerance:
+                fail(
+                    f"perf regression on timer {name!r}: {cur_nanos} ns vs "
+                    f"baseline {base_nanos} ns (ratio {ratio:.2f}, tolerance "
+                    f"{args.perf_timer_tolerance:g}x)"
+                )
 
     if args.expect_zero_rescue:
         for name, value in report["counters"].items():

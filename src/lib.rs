@@ -13,6 +13,8 @@
 //! * [`checker`] — error indicators, two-rail checkers, scan paths
 //! * [`montecarlo`] — parameter variation and statistics
 //! * [`telemetry`] — runtime counters, timers and JSON run reports
+//! * [`scenarios`] — workload generators: mesh/TRIX sensor-array decks,
+//!   two-phase clock generation, dirty-stimulus pulse trains
 
 pub use clocksense_checker as checker;
 pub use clocksense_clocktree as clocktree;
@@ -21,6 +23,7 @@ pub use clocksense_digital as digital;
 pub use clocksense_faults as faults;
 pub use clocksense_montecarlo as montecarlo;
 pub use clocksense_netlist as netlist;
+pub use clocksense_scenarios as scenarios;
 pub use clocksense_spice as spice;
 pub use clocksense_telemetry as telemetry;
 pub use clocksense_wave as wave;

@@ -1,0 +1,306 @@
+//! Property tests on the scenario workload generators, plus the
+//! breakpoint-grid regression suite for dirty pulse trains.
+//!
+//! The generator properties pin the structural contract: every random
+//! mesh/TRIX netlist is electrically valid, one connected component
+//! with a DC path to ground, and survives a `to_spice` → `from_spice`
+//! round trip with its canonical content hash intact (so campaign
+//! checkpoints journalled against a generated deck replay against its
+//! re-imported copy). The two-phase generator's rendered waveforms must
+//! honour the programmed non-overlap margin for arbitrary parameters.
+//!
+//! The regression tests at the bottom pin the invariant that makes
+//! dirty stimulus safe to simulate: every rendered corner of a
+//! jittered/distorted train is present in the transient time vector —
+//! on the fixed, adaptive *and* batched marching paths. If a stimulus
+//! ever modulated edges without declaring breakpoints, the adaptive
+//! marcher would silently smear them; these tests are the tripwire.
+
+use clocksense::netlist::{
+    canonical_form, canonical_hash, from_spice, to_spice, Circuit, SourceWave, GROUND,
+};
+use clocksense::scenarios::{
+    connected_to_ground, DirtyClock, MeshSpec, PulseSpec, TrixSpec, TwoPhaseSpec,
+};
+use clocksense::spice::{
+    transient, transient_batch, SimOptions, SolverKind, SymbolicCache, TimestepControl,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 32,
+        ..ProptestConfig::default()
+    })]
+
+    /// Every generated mesh netlist is well-formed: validates, has a DC
+    /// path from every node to ground, carries exactly the planned
+    /// device population, and round-trips through the SPICE deck format
+    /// with canonical-hash equality.
+    #[test]
+    fn mesh_netlists_are_well_formed(rows in 2usize..10, cols in 2usize..10) {
+        let spec = MeshSpec::new(rows, cols);
+        let (ckt, _plan) = spec.netlist().expect("netlist builds");
+        ckt.validate().expect("generated mesh validates");
+        prop_assert!(connected_to_ground(&ckt));
+        // src + grid + ground.
+        prop_assert_eq!(ckt.node_count(), rows * cols + 2);
+        let links = rows * (cols - 1) + cols * (rows - 1);
+        // vclk + rdrv + links + one cap per grid node.
+        prop_assert_eq!(ckt.device_count(), 2 + links + rows * cols);
+
+        let back = from_spice(&to_spice(&ckt, "mesh proptest")).expect("deck parses");
+        prop_assert_eq!(canonical_form(&ckt), canonical_form(&back));
+        prop_assert_eq!(canonical_hash(&ckt), canonical_hash(&back));
+    }
+
+    /// Full mesh decks (supply + grafted sensor array) stay valid and
+    /// ground-connected for any sensor count, including zero.
+    #[test]
+    fn mesh_decks_with_sensors_stay_valid(
+        rows in 2usize..8,
+        cols in 2usize..8,
+        sensors in 0usize..5,
+    ) {
+        let spec = MeshSpec { sensors, ..MeshSpec::new(rows, cols) };
+        let deck = spec.build().expect("deck builds");
+        deck.circuit.validate().expect("deck validates");
+        prop_assert!(connected_to_ground(&deck.circuit));
+        prop_assert!(deck.taps.len() <= sensors);
+        if sensors > 0 {
+            prop_assert!(!deck.taps.is_empty());
+        }
+    }
+
+    /// Every generated TRIX netlist — wrapped or open — is well-formed
+    /// and round-trips with canonical-hash equality.
+    #[test]
+    fn trix_netlists_are_well_formed(
+        layers in 2usize..8,
+        width in 3usize..10,
+        wrap in any::<bool>(),
+    ) {
+        let spec = TrixSpec { wrap, ..TrixSpec::new(layers, width) };
+        let (ckt, _plan) = spec.netlist().expect("netlist builds");
+        ckt.validate().expect("generated trix validates");
+        prop_assert!(connected_to_ground(&ckt));
+        // src + drv + grid + ground.
+        prop_assert_eq!(ckt.node_count(), layers * width + 3);
+
+        let back = from_spice(&to_spice(&ckt, "trix proptest")).expect("deck parses");
+        prop_assert_eq!(canonical_form(&ckt), canonical_form(&back));
+        prop_assert_eq!(canonical_hash(&ckt), canonical_hash(&back));
+
+        let deck = spec.build().expect("deck builds");
+        deck.circuit.validate().expect("deck validates");
+        prop_assert!(connected_to_ground(&deck.circuit));
+    }
+
+    /// The two-phase generator's rendered waveforms honour the
+    /// programmed margin for arbitrary edge/width/margin parameters:
+    /// the sampled threshold-crossing gap equals the closed form.
+    #[test]
+    fn two_phase_margin_is_respected(
+        rise in 20e-12f64..200e-12,
+        fall in 20e-12f64..200e-12,
+        width in 0.4e-9f64..2.0e-9,
+        non_overlap in -50e-12f64..400e-12,
+        frac in 0.25f64..0.75,
+    ) {
+        let spec = TwoPhaseSpec {
+            rise,
+            fall,
+            width,
+            non_overlap,
+            ..TwoPhaseSpec::new(5.0, non_overlap)
+        };
+        spec.validate().expect("margin leaves a positive period");
+        let (phi1, phi2) = spec.waveforms().expect("waves render");
+        prop_assert!(phi1.is_well_formed() && phi2.is_well_formed());
+        let measured = spec.measured_gap(frac).expect("gap measurable");
+        let analytic = spec.analytic_gap(frac);
+        prop_assert!(
+            (measured - analytic).abs() < 5e-13,
+            "measured {measured} vs analytic {analytic}"
+        );
+        // A non-negative programmed margin really keeps the phases
+        // apart at every sampled threshold.
+        if non_overlap >= 0.0 {
+            prop_assert!(measured > 0.0);
+        }
+    }
+
+    /// Dirty trains render to well-formed PWL waves with one corner
+    /// quadruple per cycle, deterministically in the seed, for any
+    /// impairment combination that fits its period.
+    #[test]
+    fn dirty_trains_render_well_formed(
+        cycles in 1usize..16,
+        jitter_frac in 0.0f64..0.9,
+        duty_error in -0.25f64..0.25,
+        droop in 0.0f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let base = PulseSpec {
+            v1: 0.0,
+            v2: 5.0,
+            delay: 0.3e-9,
+            rise: 0.1e-9,
+            fall: 0.1e-9,
+            width: 0.5e-9,
+            period: 2.0e-9,
+        };
+        // Largest jitter the period slack and the delay can absorb.
+        let slack = base.period - base.rise - base.fall - base.width * 1.25;
+        let amp = jitter_frac * 0.5 * slack.min(2.0 * base.delay) * 0.99;
+        let clk = DirtyClock::clean(base, cycles)
+            .with_jitter(amp, seed)
+            .with_duty_error(duty_error)
+            .with_droop(droop, 3.0);
+        let wave = clk.render().expect("impairments fit the period");
+        prop_assert!(wave.is_well_formed());
+        let times = clk.edge_times().expect("valid train");
+        prop_assert_eq!(times.len(), 4 * cycles);
+        for pair in times.windows(2) {
+            prop_assert!(pair[1] > pair[0], "corners out of order");
+        }
+        prop_assert_eq!(times, clk.edge_times().expect("deterministic"));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Breakpoint-grid regression: every dirty edge is a transient timepoint.
+// ---------------------------------------------------------------------
+
+/// True when every value of `times` appears in the sorted `grid` to
+/// within `tol` (the marcher's breakpoint dedup width).
+fn all_on_grid(times: &[f64], grid: &[f64], tol: f64) -> bool {
+    times.iter().all(|&t| {
+        let idx = grid.partition_point(|&g| g < t - tol);
+        grid.get(idx).is_some_and(|&g| (g - t).abs() <= tol)
+    })
+}
+
+/// An RC low-pass driven by the rendered dirty train — small enough
+/// that all three marching paths run in milliseconds.
+fn rc_bench(wave: SourceWave, ohms: f64) -> Circuit {
+    let mut ckt = Circuit::new();
+    let inp = ckt.node("inp");
+    let out = ckt.node("out");
+    ckt.add_vsource("vin", inp, GROUND, wave).expect("vsource");
+    ckt.add_resistor("r1", inp, out, ohms).expect("resistor");
+    ckt.add_capacitor("c1", out, GROUND, 100e-15).expect("cap");
+    ckt
+}
+
+/// A jittered, duty-distorted, drooping train whose corners share no
+/// alignment with the coarse test grids below.
+fn dirty_train(seed: u64) -> DirtyClock {
+    let base = PulseSpec {
+        v1: 0.0,
+        v2: 5.0,
+        delay: 0.35e-9,
+        rise: 0.08e-9,
+        fall: 0.11e-9,
+        width: 0.6e-9,
+        period: 2.1e-9,
+    };
+    DirtyClock::clean(base, 6)
+        .with_jitter(40e-12, seed)
+        .with_duty_error(0.07)
+        .with_droop(0.1, 4.0)
+}
+
+#[test]
+fn dirty_edges_land_on_the_fixed_grid() {
+    let clk = dirty_train(5);
+    let edges = clk.edge_times().expect("valid train");
+    // Deliberately coarse base step: none of the perturbed corners are
+    // multiples of it, so only breakpoint handling can place them.
+    let opts = SimOptions {
+        tstep: 10e-12,
+        ..SimOptions::default()
+    };
+    let result = transient(
+        &rc_bench(clk.render().expect("renders"), 200.0),
+        clk.t_stop(),
+        &opts,
+    )
+    .expect("fixed transient");
+    assert!(
+        all_on_grid(&edges, result.times(), 2.0 * opts.tstep_min),
+        "fixed marcher missed a dirty edge"
+    );
+}
+
+#[test]
+fn dirty_edges_land_on_the_adaptive_grid() {
+    let clk = dirty_train(6);
+    let edges = clk.edge_times().expect("valid train");
+    let opts = SimOptions {
+        tstep: 10e-12,
+        timestep: TimestepControl::Adaptive {
+            tstep_max: 80e-12,
+            lte_tol: 1.0,
+        },
+        ..SimOptions::default()
+    };
+    let result = transient(
+        &rc_bench(clk.render().expect("renders"), 200.0),
+        clk.t_stop(),
+        &opts,
+    )
+    .expect("adaptive transient");
+    assert!(
+        all_on_grid(&edges, result.times(), 2.0 * opts.tstep_min),
+        "adaptive marcher smeared a dirty edge"
+    );
+}
+
+#[test]
+fn dirty_edges_land_on_the_batched_lockstep_grid() {
+    // Three value-variants of the same topology, each driven by a
+    // *differently seeded* train: the lockstep grid is the union of all
+    // variants' breakpoints, and every variant's own corners must still
+    // be present in the shared time vector.
+    let clks: Vec<DirtyClock> = (0..3).map(|k| dirty_train(100 + k)).collect();
+    let variants: Vec<Circuit> = clks
+        .iter()
+        .enumerate()
+        .map(|(k, clk)| rc_bench(clk.render().expect("renders"), 150.0 + 50.0 * k as f64))
+        .collect();
+    let t_stop = clks.iter().map(|c| c.t_stop()).fold(0.0, f64::max);
+    let opts = SimOptions {
+        tstep: 10e-12,
+        solver: SolverKind::Sparse,
+        batch: variants.len(),
+        ..SimOptions::default()
+    };
+    let cache = SymbolicCache::new();
+    let results = transient_batch(&variants, t_stop, &opts, &cache);
+    for (clk, result) in clks.iter().zip(&results) {
+        let result = result.as_ref().expect("batched transient");
+        let edges = clk.edge_times().expect("valid train");
+        assert!(
+            all_on_grid(&edges, result.times(), 2.0 * opts.tstep_min),
+            "batched lockstep grid missed a dirty edge"
+        );
+    }
+}
+
+#[test]
+fn clean_pulse_breakpoints_survive_the_dirty_render() {
+    // A clean render must present exactly the corners the nominal
+    // PULSE description would, cycle for cycle — the dirty layer may
+    // only move edges it was asked to move.
+    let base = PulseSpec::default_clock();
+    let clean = DirtyClock::clean(base, 4);
+    let times = clean.edge_times().expect("valid train");
+    for (k, corner) in times.chunks_exact(4).enumerate() {
+        let start = base.delay + k as f64 * base.period;
+        assert_eq!(corner[0], start);
+        assert_eq!(corner[1], start + base.rise);
+        assert_eq!(corner[2], start + base.rise + base.width);
+        assert_eq!(corner[3], start + base.rise + base.width + base.fall);
+    }
+}
