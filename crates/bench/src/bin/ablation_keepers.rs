@@ -11,7 +11,7 @@ use clocksense_faults::{run_campaign, sensor_fault_universe, CampaignConfig, Fau
 use clocksense_spice::SimOptions;
 
 fn main() {
-    let _report = clocksense_bench::RunReport::from_env("ablation_keepers");
+    let _bench = clocksense_bench::report::start("ablation_keepers");
     let tech = Technology::cmos12();
     let clocks = ClockPair::single_shot(tech.vdd, 0.2e-9);
     let opts = SimOptions {

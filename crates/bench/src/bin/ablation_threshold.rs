@@ -9,7 +9,7 @@ use clocksense_core::{sweep_vmin, ClockPair, SensorBuilder, Technology};
 use clocksense_spice::SimOptions;
 
 fn main() {
-    let _report = clocksense_bench::RunReport::from_env("ablation_threshold");
+    let _bench = clocksense_bench::report::start("ablation_threshold");
     let tech = Technology::cmos12();
     let clocks = ClockPair::single_shot(tech.vdd, 0.2e-9);
     let opts = SimOptions {

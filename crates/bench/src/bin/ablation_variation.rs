@@ -12,7 +12,7 @@ use clocksense_core::{ClockPair, SensorBuilder, Technology};
 use clocksense_montecarlo::{tau_min_samples, Histogram, McConfig, TauMinDistribution};
 
 fn main() {
-    let _report = clocksense_bench::RunReport::from_env("ablation_variation");
+    let _bench = clocksense_bench::report::start("ablation_variation");
     let tech = Technology::cmos12();
     let clocks = ClockPair::single_shot(tech.vdd, 0.2e-9);
     let threads = clocksense_bench::threads_arg();

@@ -60,8 +60,8 @@ fn value_variant(base: &Circuit, k: usize) -> Circuit {
 }
 
 fn main() {
-    let report = clocksense_bench::RunReport::from_env("batch_scaling");
-    let tele = clocksense_telemetry::global().scope("batch_scaling");
+    let bench = clocksense_bench::report::start("batch_scaling");
+    let tele = &bench.tele;
     let t_stop = 1e-9;
     let opts = SimOptions {
         solver: SolverKind::Sparse,
@@ -211,5 +211,5 @@ fn main() {
     );
     assert_eq!(mismatches, 0, "batched and scalar campaigns must agree");
 
-    report.finish();
+    bench.finish();
 }

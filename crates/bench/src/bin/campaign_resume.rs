@@ -28,7 +28,7 @@ fn ckpt_counters() -> (u64, u64, u64) {
 }
 
 fn main() {
-    let report = clocksense_bench::RunReport::from_env("campaign_resume");
+    let bench = clocksense_bench::report::start_scoped("campaign_resume", "resume_bench");
     // The pass/fail criteria below read the `checkpoint.*` counters, so
     // this bench records telemetry even without `--report`.
     clocksense_telemetry::global().enable();
@@ -66,7 +66,7 @@ fn main() {
         "Checkpointed campaign: {} faults, kill at 50 %, resume, re-run",
         faults.len()
     ));
-    let resume_scope = clocksense_telemetry::global().scope("resume_bench");
+    let resume_scope = &bench.tele;
     resume_scope.counter("faults").add(faults.len() as u64);
 
     let mut table = Table::new(&["phase", "memo hits", "misses", "written", "report"]);
@@ -177,5 +177,5 @@ fn main() {
         100.0 * rerun_hits as f64 / faults.len() as f64,
     );
     let _ = fs::remove_file(&journal);
-    report.finish();
+    bench.finish();
 }

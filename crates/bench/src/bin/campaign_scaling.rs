@@ -18,7 +18,7 @@ use clocksense_core::{ClockPair, SensorBuilder, Technology};
 use clocksense_faults::{run_campaign, sensor_fault_universe, CampaignConfig};
 
 fn main() {
-    let report = clocksense_bench::RunReport::from_env("campaign_scaling");
+    let bench = clocksense_bench::report::start_scoped("campaign_scaling", "scaling");
     let tech = Technology::cmos12();
     let sensor = SensorBuilder::new(tech)
         .load_capacitance(160e-15)
@@ -29,7 +29,7 @@ fn main() {
         faults.truncate(12);
     }
     let cfg = CampaignConfig::new(ClockPair::single_shot(tech.vdd, 0.2e-9));
-    let scaling = clocksense_telemetry::global().scope("scaling");
+    let scaling = &bench.tele;
     scaling.counter("faults").add(faults.len() as u64);
     scaling
         .counter("cores_available")
@@ -77,5 +77,5 @@ fn main() {
         "speedup saturates at the machine's core count; on a single-core host\n\
          all rows measure the same serial work plus executor overhead"
     );
-    report.finish();
+    bench.finish();
 }

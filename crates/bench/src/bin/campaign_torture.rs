@@ -18,7 +18,7 @@ use clocksense_faults::{run_campaign, sensor_fault_universe, CampaignConfig, Det
 use clocksense_spice::SimOptions;
 
 fn main() {
-    let report = clocksense_bench::RunReport::from_env("campaign_torture");
+    let bench = clocksense_bench::report::start_scoped("campaign_torture", "torture");
     let tech = Technology::cmos12();
     let sensor = SensorBuilder::new(tech)
         .load_capacitance(160e-15)
@@ -43,7 +43,7 @@ fn main() {
         "Torture campaign: {} faults at a 3-iteration Newton budget, rescue off vs on",
         faults.len()
     ));
-    let torture = clocksense_telemetry::global().scope("torture");
+    let torture = &bench.tele;
     torture.counter("faults").add(faults.len() as u64);
 
     let mut table = Table::new(&[
@@ -112,5 +112,5 @@ fn main() {
         100.0 * off,
         100.0 * on,
     );
-    report.finish();
+    bench.finish();
 }

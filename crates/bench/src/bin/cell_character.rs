@@ -9,7 +9,7 @@ use clocksense_core::{characterize, ClockPair, SensorBuilder, Technology};
 use clocksense_spice::SimOptions;
 
 fn main() {
-    let _report = clocksense_bench::RunReport::from_env("cell_character");
+    let _bench = clocksense_bench::report::start("cell_character");
     let tech = Technology::cmos12();
     let clocks = ClockPair::single_shot(tech.vdd, 0.2e-9);
     let opts = SimOptions {

@@ -117,8 +117,8 @@ fn run_pair(
 }
 
 fn main() {
-    let report = clocksense_bench::RunReport::from_env("dirty_stimulus");
-    let tele = clocksense_telemetry::global().scope("dirty_stimulus");
+    let bench = clocksense_bench::report::start("dirty_stimulus");
+    let tele = &bench.tele;
     let tech = Technology::cmos12();
     let sensor = SensorBuilder::new(tech)
         .load_capacitance(80e-15)
@@ -231,5 +231,5 @@ fn main() {
         println!("detection held across the whole droop sweep");
     }
 
-    report.finish();
+    bench.finish();
 }

@@ -11,7 +11,7 @@ use clocksense_core::{ClockPair, SensorBuilder, Technology};
 use clocksense_spice::SimOptions;
 
 fn main() {
-    let _report = clocksense_bench::RunReport::from_env("fig2_no_skew");
+    let _bench = clocksense_bench::report::start("fig2_no_skew");
     let tech = Technology::cmos12();
     let sensor = SensorBuilder::new(tech)
         .load_capacitance(160e-15)

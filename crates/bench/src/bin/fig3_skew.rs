@@ -11,7 +11,7 @@ use clocksense_spice::SimOptions;
 use clocksense_wave::Waveform;
 
 fn main() {
-    let _report = clocksense_bench::RunReport::from_env("fig3_skew");
+    let _bench = clocksense_bench::report::start("fig3_skew");
     let tech = Technology::cmos12();
     let sensor = SensorBuilder::new(tech)
         .load_capacitance(160e-15)

@@ -12,7 +12,7 @@ use clocksense_core::{find_tau_min, sweep_vmin, ClockPair, SensorBuilder, Techno
 use clocksense_spice::SimOptions;
 
 fn main() {
-    let _report = clocksense_bench::RunReport::from_env("fig4_vmin_vs_skew");
+    let _bench = clocksense_bench::report::start("fig4_vmin_vs_skew");
     let tech = Technology::cmos12();
     let opts = SimOptions {
         tstep: 2e-12,

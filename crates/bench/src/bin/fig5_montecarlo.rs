@@ -11,7 +11,7 @@ use clocksense_core::{ClockPair, SensorBuilder, Technology};
 use clocksense_montecarlo::{run_scatter, McConfig};
 
 fn main() {
-    let _report = clocksense_bench::RunReport::from_env("fig5_montecarlo");
+    let _bench = clocksense_bench::report::start("fig5_montecarlo");
     let tech = Technology::cmos12();
     let taus: Vec<f64> = (0..=8).map(|i| i as f64 * 0.03e-9).collect();
     let samples = scaled(432, 72);

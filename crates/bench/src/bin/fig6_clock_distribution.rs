@@ -33,7 +33,7 @@ fn to_pwl(w: &Waveform, points: usize) -> SourceWave {
 }
 
 fn main() {
-    let _report = clocksense_bench::RunReport::from_env("fig6_clock_distribution");
+    let _bench = clocksense_bench::report::start("fig6_clock_distribution");
     let tech = Technology::cmos12();
     let driver_r = 150.0;
     let sink_cap = 40e-15;

@@ -118,7 +118,7 @@ fn run_deck(
 }
 
 fn main() {
-    let report = clocksense_bench::RunReport::from_env("mesh_array");
+    let bench = clocksense_bench::report::start("mesh_array");
     let width = scaled(5, 3);
     let opts = SimOptions {
         solver: SolverKind::Sparse,
@@ -171,5 +171,5 @@ fn main() {
         );
     }
 
-    report.finish();
+    bench.finish();
 }

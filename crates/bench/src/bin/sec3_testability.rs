@@ -18,7 +18,7 @@ use clocksense_faults::{
 };
 
 fn main() {
-    let _report = clocksense_bench::RunReport::from_env("sec3_testability");
+    let _bench = clocksense_bench::report::start("sec3_testability");
     let tech = Technology::cmos12();
     let sensor = SensorBuilder::new(tech)
         .load_capacitance(160e-15)

@@ -18,7 +18,7 @@ use clocksense_bench::{htree_netlist, print_header, Table};
 use clocksense_spice::{transient, SimOptions, SolverKind};
 
 fn main() {
-    let report = clocksense_bench::RunReport::from_env("solver_scaling");
+    let bench = clocksense_bench::report::start_scoped("solver_scaling", "scaling");
     let mut sizes: Vec<usize> = vec![16, 64, 256, 512];
     let mut t_stop = 1.0e-9;
     if clocksense_bench::fast_mode() {
@@ -29,7 +29,7 @@ fn main() {
         tstep: 20e-12,
         ..SimOptions::default()
     };
-    let scaling = clocksense_telemetry::global().scope("scaling");
+    let scaling = &bench.tele;
 
     print_header("Transient wall clock: dense vs sparse MNA solver on H-tree netlists");
     let mut table = Table::new(&[
@@ -83,5 +83,5 @@ fn main() {
         "dense is O(n^3) per Newton iteration, sparse refactors a fixed\n\
          fill pattern; the crossover sits near the paper's own circuit sizes"
     );
-    report.finish();
+    bench.finish();
 }

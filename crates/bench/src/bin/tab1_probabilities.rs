@@ -15,7 +15,7 @@ use clocksense_montecarlo::{loose_false_probabilities, run_scatter, Estimate, Mc
 use clocksense_spice::SimOptions;
 
 fn main() {
-    let _report = clocksense_bench::RunReport::from_env("tab1_probabilities");
+    let _bench = clocksense_bench::report::start("tab1_probabilities");
     let tech = Technology::cmos12();
     let clocks = ClockPair::single_shot(tech.vdd, 0.2e-9);
     let opts = SimOptions {

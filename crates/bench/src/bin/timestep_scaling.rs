@@ -48,8 +48,8 @@ fn max_dv(a: &clocksense_wave::Waveform, b: &clocksense_wave::Waveform, t_stop: 
 }
 
 fn main() {
-    let report = clocksense_bench::RunReport::from_env("timestep_scaling");
-    let scope = clocksense_telemetry::global().scope("timestep");
+    let bench = clocksense_bench::report::start_scoped("timestep_scaling", "timestep");
+    let scope = &bench.tele;
     print_header("Transient step counts: fixed vs adaptive (LTE-controlled) grid");
     let mut table = Table::new(&[
         "workload",
@@ -173,5 +173,5 @@ fn main() {
          stepped over); the adaptive controller spends its budget there and\n\
          strides across the quiescent stretches the fixed grid oversamples"
     );
-    report.finish();
+    bench.finish();
 }

@@ -11,7 +11,7 @@ use clocksense_core::{
 use clocksense_spice::SimOptions;
 
 fn main() {
-    let _report = clocksense_bench::RunReport::from_env("tolerance_setting");
+    let _bench = clocksense_bench::report::start("tolerance_setting");
     let tech = Technology::cmos12();
     let clocks = ClockPair::single_shot(tech.vdd, 0.2e-9);
     let opts = SimOptions {

@@ -80,8 +80,8 @@ fn flip_threshold(
 }
 
 fn main() {
-    let report = clocksense_bench::RunReport::from_env("two_phase_gen");
-    let tele = clocksense_telemetry::global().scope("two_phase_gen");
+    let bench = clocksense_bench::report::start("two_phase_gen");
+    let tele = &bench.tele;
     let tech = Technology::cmos12();
     let sensor = SensorBuilder::new(tech)
         .load_capacitance(80e-15)
@@ -153,5 +153,5 @@ fn main() {
     tele.counter("threshold_spread_fs")
         .add(((hi - lo) * 1e15) as u64);
 
-    report.finish();
+    bench.finish();
 }

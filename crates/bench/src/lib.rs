@@ -19,95 +19,17 @@
 //!
 //! Set `CLOCKSENSE_FAST=1` to cut sample counts for smoke runs.
 
-use std::path::PathBuf;
-
 use clocksense_netlist::{Circuit, NodeId, SourceWave, GROUND};
 use clocksense_wave::Waveform;
+
+pub mod report;
+
+pub use report::RunReport;
 
 /// `true` when the `CLOCKSENSE_FAST` environment variable requests
 /// reduced sample counts.
 pub fn fast_mode() -> bool {
     std::env::var_os("CLOCKSENSE_FAST").is_some()
-}
-
-/// Telemetry reporting for an experiment binary, driven by the shared
-/// `--report <path>` (or `--report=<path>`) command-line flag.
-///
-/// Create one at the top of `main` with [`RunReport::from_env`]; when
-/// the flag is present this enables the process-wide telemetry registry
-/// so the solver and campaign counters start recording. Call
-/// [`RunReport::finish`] after the experiment to write the JSON run
-/// report next to the text results. Without the flag both calls are
-/// no-ops and the run records nothing.
-#[derive(Debug)]
-pub struct RunReport {
-    path: Option<PathBuf>,
-    bench: String,
-}
-
-impl RunReport {
-    /// Parses `--report` from the process arguments and, if present,
-    /// enables the global telemetry registry.
-    ///
-    /// `bench` names the binary in the report's `meta` block. An
-    /// unrecognised form (`--report` as the last argument, with no
-    /// path) aborts with exit code 2.
-    pub fn from_env(bench: &str) -> RunReport {
-        let mut path = None;
-        let mut args = std::env::args().skip(1);
-        while let Some(arg) = args.next() {
-            if arg == "--report" {
-                match args.next() {
-                    Some(p) => path = Some(PathBuf::from(p)),
-                    None => {
-                        eprintln!("error: --report requires a file path");
-                        std::process::exit(2);
-                    }
-                }
-            } else if let Some(p) = arg.strip_prefix("--report=") {
-                path = Some(PathBuf::from(p));
-            }
-        }
-        if path.is_some() {
-            clocksense_telemetry::global().enable();
-        }
-        RunReport {
-            path,
-            bench: bench.to_string(),
-        }
-    }
-
-    /// Writes the telemetry snapshot as JSON to the `--report` path (a
-    /// no-op when the flag was absent). Dropping the `RunReport` has
-    /// the same effect, so a binary only needs to keep the value alive
-    /// for the duration of `main`.
-    pub fn finish(mut self) {
-        self.write();
-    }
-
-    fn write(&mut self) {
-        let Some(path) = self.path.take() else {
-            return;
-        };
-        let mut report = clocksense_telemetry::global().snapshot();
-        report.set_meta("bench", &self.bench);
-        report.set_meta("invocation", std::env::args().collect::<Vec<_>>().join(" "));
-        if fast_mode() {
-            report.set_meta("fast_mode", "1");
-        }
-        match report.write_json_file(&path) {
-            Ok(()) => println!("telemetry report written to {}", path.display()),
-            Err(e) => {
-                eprintln!("error: cannot write report to {}: {e}", path.display());
-            }
-        }
-    }
-}
-
-impl Drop for RunReport {
-    fn drop(&mut self) {
-        self.write();
-    }
 }
 
 /// Parses the shared `--threads N` (or `--threads=N`) flag from the

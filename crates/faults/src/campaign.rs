@@ -644,14 +644,26 @@ pub fn run_campaign(
     // Only the fresh remainder is packed, so a resumed batched campaign
     // marches a different union breakpoint grid than the uninterrupted
     // run did — see DESIGN.md §3.6 for the byte-identity caveat.
-    let pre_tran =
+    //
+    // The pre-pass is sharded across the campaign's worker pool in
+    // lane-aligned sub-batches (`lane_chunk` rounds the configured batch
+    // width up to whole SIMD lane blocks), so a wide population uses
+    // both the kernel's vector lanes and the machine's cores. A shard
+    // that panics degrades only its own items: they fall back to the
+    // per-item pass below exactly as if no pre-pass result existed.
+    let pre_tran: Option<Vec<Option<Result<TranResult, SpiceError>>>> =
         if cfg.sim.batch >= 2 && cfg.sim.solver == SolverKind::Sparse && !fresh.is_empty() {
             let bench = sensor.testbench(&cfg.clocks)?;
             let benches = fresh
                 .iter()
                 .map(|&i| inject(&bench, &faults[i], &rails))
                 .collect::<Result<Vec<_>, FaultError>>()?;
-            Some(template.transient_batch_opts(&benches, cfg.stop_time(), &cfg.sim))
+            let shards = Executor::new(cfg.threads).run_chunked(
+                benches.len(),
+                cfg.sim.lane_chunk(),
+                |range| template.transient_batch_opts(&benches[range], cfg.stop_time(), &cfg.sim),
+            );
+            Some(shards.into_iter().map(Result::ok).collect())
         } else {
             None
         };
@@ -665,7 +677,7 @@ pub fn run_campaign(
             &template,
             &fault_free_static,
             &opts,
-            pre_tran.as_ref().map(|v| &v[fresh_pos[i]]),
+            pre_tran.as_ref().and_then(|v| v[fresh_pos[i]].as_ref()),
         )?;
         // First-pass records are final unless the retry pass will
         // replace them.

@@ -235,7 +235,10 @@ pub fn run_scatter(
     let samples = if let Some(path) = &cfg.checkpoint {
         scatter_checkpointed(builder, clocks, taus, cfg, path, &cache)
     } else if cfg.sim.batch >= 2 && cfg.sim.solver == SolverKind::Sparse {
-        scatter_records_chunked(cfg.samples, cfg.sim.batch, cfg.threads, |range| {
+        // Chunks are lane-aligned (`lane_chunk` rounds the configured
+        // width up to whole SIMD lane blocks) so only the final chunk
+        // of the scatter can carry padding lanes.
+        scatter_records_chunked(cfg.samples, cfg.sim.lane_chunk(), cfg.threads, |range| {
             chunk_of_samples(builder, clocks, taus, cfg, range, &cache)
         })
     } else {
@@ -354,7 +357,9 @@ fn scatter_checkpointed(
         replayed.push(hit);
     }
     let chunked = cfg.sim.batch >= 2 && cfg.sim.solver == SolverKind::Sparse;
-    let chunk = cfg.sim.batch;
+    // Same lane-aligned width as the live scatter: replay granularity
+    // must match the boundaries the fresh run would use.
+    let chunk = cfg.sim.lane_chunk();
     if chunked {
         for c in 0..n.div_ceil(chunk) {
             let range = c * chunk..((c + 1) * chunk).min(n);
@@ -641,22 +646,25 @@ mod tests {
             std::process::id()
         ));
         let _ = std::fs::remove_file(&path);
-        let mut cfg = quick_cfg(6);
+        // `batch: 3` lane-aligns to chunks of `LANE_WIDTH` (= 8), so ten
+        // samples split into chunks 0..8 and 8..10.
+        let mut cfg = quick_cfg(10);
         cfg.sim.solver = SolverKind::Sparse;
         cfg.sim.batch = 3;
         cfg.threads = 1;
         cfg.checkpoint = Some(path.clone());
+        assert_eq!(cfg.sim.lane_chunk(), 8);
         let golden = run_scatter(&builder, &clocks, &taus, &cfg).unwrap();
-        assert_eq!(Journal::open(&path).unwrap().len(), 6);
+        assert_eq!(Journal::open(&path).unwrap().len(), 10);
         // Tear mid-second-chunk: chunk 0 complete, chunk 1 partial. The
         // partial chunk must re-run whole on its original grid — its one
         // journalled member demotes to a miss and is re-appended.
         let text = std::fs::read_to_string(&path).unwrap();
-        let keep: Vec<&str> = text.lines().take(5).collect();
+        let keep: Vec<&str> = text.lines().take(10).collect();
         std::fs::write(&path, format!("{}\n", keep.join("\n"))).unwrap();
         let resumed = run_scatter(&builder, &clocks, &taus, &cfg).unwrap();
         assert_eq!(resumed, golden, "chunked resume must be byte-identical");
-        assert_eq!(Journal::open(&path).unwrap().len(), 4 + 3);
+        assert_eq!(Journal::open(&path).unwrap().len(), 9 + 2);
         let _ = std::fs::remove_file(&path);
     }
 

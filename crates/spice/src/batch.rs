@@ -1,5 +1,6 @@
 //! The batched many-variant transient kernel: K structurally-aligned
-//! circuit variants marched in lockstep over **one** symbolic structure.
+//! circuit variants marched in lockstep over **one** symbolic structure,
+//! with the numeric state held in SIMD-width *lane blocks*.
 //!
 //! Fault value-variants and Monte-Carlo samples differ from each other in
 //! device *values* and source *waveforms*, almost never in topology. The
@@ -7,22 +8,32 @@
 //! through a [`SymbolicCache`]; this module goes further and shares the
 //! whole numeric march:
 //!
-//! * **SoA packing** — one CSR pattern ([`Symbolic`]), one compiled stamp
-//!   plan, and K value planes (one [`SparseMatrix`] of numeric state per
-//!   variant over the shared `Arc<Symbolic>`).
+//! * **SoA lane packing** — one CSR pattern ([`Symbolic`]), one compiled
+//!   stamp plan, and the variants' numeric planes interleaved into
+//!   [`LANE_WIDTH`]-wide blocks: slot `s` of lane `l` lives at
+//!   `vals[s * LANE_WIDTH + l]`, so every per-slot operation of the LU
+//!   sweep is one contiguous lane-wide loop the compiler autovectorizes.
+//!   Per lane the floating-point sequence is the scalar kernel's, so the
+//!   lanes need no reassociation and agree with the scalar path bit-for-
+//!   bit up to the sign of zeros.
 //! * **Delta stamping** — devices whose value is identical across the
-//!   batch are stamped once into a *baseline plane*; each variant plane
-//!   starts as a memcpy of the baseline and only the differing devices
-//!   (the fault/perturbation deltas) are stamped on top.
-//! * **Convergence-mask dropout** — Newton runs across the batch with a
-//!   per-variant mask: converged variants stop iterating, failed variants
-//!   drop out of the batch entirely and re-run on the scalar path (full
-//!   step-halving and rescue ladder), so one pathological variant never
-//!   poisons its batchmates.
+//!   batch are stamped once into a *baseline plane*; each iteration
+//!   broadcasts the baseline across the lanes and only the differing
+//!   devices (the fault/perturbation deltas) are stamped per lane on top.
+//! * **Masked lane dropout** — Newton runs across the block with a
+//!   per-lane mask: converged lanes stop iterating, failed lanes park in
+//!   place (their values ride along, ignored) instead of forcing a
+//!   repack, so one pathological variant never poisons its batchmates.
+//!   Failed variants re-run on the scalar path with the full rescue
+//!   ladder, exactly as before.
+//! * **Amortised singularity check** — one infinity-norm pass and one
+//!   pivot test per block sweep cover all lanes; a sub-threshold (or
+//!   non-finite) pivot flags only its lane and is overwritten with 1.0
+//!   so the surviving lanes' arithmetic streams on undisturbed.
 //! * **Multi-RHS linear fast path** — batches without MOSFETs have
-//!   state-independent matrices, so each variant factors once per
-//!   `(h, method)` and every subsequent Newton iteration and time step is
-//!   a forward/back substitution over contiguous slot arrays.
+//!   state-independent matrices, so each block factors once per
+//!   `(h, method)` and every subsequent Newton iteration and time step
+//!   is one lane-wide forward/back substitution.
 //!
 //! The entry point is [`transient_batch`]; [`BatchSim`] packs one aligned
 //! group explicitly. `SimOptions::batch == 0` (the default) keeps every
@@ -32,44 +43,34 @@ use std::sync::Arc;
 
 use clocksense_netlist::Circuit;
 
-use crate::engine::{MnaSystem, StampPlan};
+use crate::engine::{MnaSystem, Row, StampPlan};
 use crate::error::SpiceError;
-use crate::matrix::LuScratch;
-use crate::mos_eval::channel_current;
+use crate::mos_eval::channel_current_lanes;
 use crate::options::{IntegrationMethod, SimOptions, SolverKind, TimestepControl};
-use crate::sparse::{SparseMatrix, SymbolicCache};
+use crate::sparse::{LuTally, SparseMatrix, Symbolic, SymbolicCache};
 use crate::tran::{transient_cached, TranResult};
 
-/// Capacitor integration state of one variant (branch voltage and current
-/// at the last accepted point) — the batch keeps one list per variant.
-#[derive(Debug, Clone, Copy)]
-struct CapState {
-    u: f64,
-    i: f64,
-}
+/// Number of variants interleaved into one SoA lane block. Eight `f64`
+/// lanes fill one 64-byte cache line per pattern slot and map 1:1 onto
+/// an AVX-512 vector (two AVX2 vectors), which is what lets the lane
+/// sweeps autovectorize without any per-slot shuffling.
+pub const LANE_WIDTH: usize = 8;
 
-/// One variant being marched inside a batch.
+/// Internal shorthand for [`LANE_WIDTH`].
+const L: usize = LANE_WIDTH;
+
+/// Per-variant bookkeeping that stays *outside* the lane blocks: the
+/// system description, sampled series and failure status. All numeric
+/// solver state — matrix planes, iterates, RHS, capacitor states and
+/// companions — lives interleaved in the variant's [`LaneBlock`].
 #[derive(Debug)]
 struct Variant {
     sys: MnaSystem,
-    /// Last accepted solution.
-    x: Vec<f64>,
-    /// Newton candidate buffer.
-    x_new: Vec<f64>,
-    rhs: Vec<f64>,
-    states: Vec<CapState>,
-    /// `(geq, ieq)` companions of the current step attempt.
-    companions: Vec<(f64, f64)>,
-    /// This variant's value plane over the shared symbolic structure.
-    plane: SparseMatrix,
-    /// Linear fast path: the factored plane and the `(h, be)` it was
-    /// factored for. Invalidated whenever the step size or method flips.
-    factored: Option<SparseMatrix>,
-    factored_key: (u64, bool),
-    scratch: LuScratch,
-    /// Sampled series, lockstep with the batch time axis.
-    node_values: Vec<Vec<f64>>,
-    branch_values: Vec<Vec<f64>>,
+    /// Sampled series, staged step-major (one row of non-ground node
+    /// voltages then branch currents per accepted point) so the hot
+    /// recording path is a single sequential append; transposed into the
+    /// scalar path's node-major layout once, when the batch finishes.
+    staged: Vec<f64>,
     /// `Some(err)` once the variant has dropped out of the batch.
     failed: Option<SpiceError>,
 }
@@ -80,8 +81,100 @@ struct Variant {
 struct DeltaSets {
     varying_res: Vec<usize>,
     varying_caps: Vec<usize>,
+    /// True per resistor index when its conductance differs across the
+    /// batch.
+    res_varies: Vec<bool>,
     /// True per capacitor index when its farads differ across the batch.
     cap_varies: Vec<bool>,
+}
+
+/// One [`LANE_WIDTH`]-wide slice of the batch: up to `L` variants'
+/// numeric state interleaved slot-major, so every solver loop is a walk
+/// over pattern slots with a contiguous lane-wide inner loop.
+///
+/// Lanes `width..L` are padding: they mirror the last real variant's
+/// values (keeping the arithmetic finite) and are never scheduled,
+/// sampled or reported.
+#[derive(Debug)]
+struct LaneBlock {
+    /// Index of this block's first variant in the batch.
+    base: usize,
+    /// Number of real variants in the block (`1..=L`).
+    width: usize,
+    /// Interleaved value planes, `nnz * L`.
+    vals: Vec<f64>,
+    /// Linear fast path: the factored planes and the `(h, be)` they were
+    /// factored for. Invalidated whenever the step size or method flips.
+    factored: Vec<f64>,
+    has_factored: bool,
+    factored_key: (u64, bool),
+    /// Iteration-invariant RHS of the current step (waves, current
+    /// sources, capacitor `ieq`), `dim * L`.
+    rhs_base: Vec<f64>,
+    /// Per-iteration RHS: `rhs_base` plus the MOSFET companions.
+    rhs: Vec<f64>,
+    /// Last accepted / current Newton iterate, `dim * L`.
+    x: Vec<f64>,
+    /// Newton candidate, `dim * L`.
+    x_new: Vec<f64>,
+    /// Permuted scratch of the substitution sweeps, `dim * L`.
+    y: Vec<f64>,
+    /// Row-`k` snapshot buffer of the elimination sweep.
+    row_buf: Vec<f64>,
+    /// Lane-gathered conductances of the varying resistors (one array
+    /// per entry of `DeltaSets::varying_res`).
+    res_g: Vec<[f64; L]>,
+    /// Lane-gathered farads of the varying capacitors (one array per
+    /// entry of `DeltaSets::varying_caps`).
+    cap_f: Vec<[f64; L]>,
+    /// Lane-gathered MOSFET parameters, one array per device.
+    mos_params: Vec<[clocksense_netlist::MosParams; L]>,
+    /// Lane-gathered farads of *every* capacitor, `caps * L` interleaved
+    /// (padding lanes mirror the last real variant).
+    cap_farads: Vec<f64>,
+    /// Capacitor integration state at the last accepted point, `caps * L`
+    /// interleaved: branch voltage `u` and current `i` — the lane SoA
+    /// analogue of the scalar per-variant `CapState` list.
+    st_u: Vec<f64>,
+    st_i: Vec<f64>,
+    /// `(geq, ieq)` capacitor companions of the current step attempt,
+    /// `caps * L` interleaved.
+    comp_geq: Vec<f64>,
+    comp_ieq: Vec<f64>,
+}
+
+/// Locally accumulated per-step telemetry, flushed to the `batch.*` (and,
+/// via [`LuTally`], `spice.*`) atomics in one `add` per counter per
+/// lockstep step — the Newton inner loop touches no shared cache lines.
+/// The flushed totals are identical to per-event `incr`s, so clean-report
+/// snapshots stay byte-identical.
+#[derive(Default)]
+struct StepTally {
+    scheduled: u64,
+    active: u64,
+    accepted: u64,
+    refactors_saved: u64,
+    lane_scheduled: u64,
+    lane_active: u64,
+    lane_parked: u64,
+    lane_padding: u64,
+    lane_factor_sweeps: u64,
+    lu: LuTally,
+}
+
+impl StepTally {
+    fn flush(mut self, bm: &crate::metrics::BatchMetrics) {
+        bm.steps_scheduled.add(self.scheduled);
+        bm.occupancy_active.add(self.active);
+        bm.steps_accepted.add(self.accepted);
+        bm.refactors_saved.add(self.refactors_saved);
+        bm.lane_slots_scheduled.add(self.lane_scheduled);
+        bm.lane_slots_active.add(self.lane_active);
+        bm.lane_slots_parked.add(self.lane_parked);
+        bm.lane_slots_padding.add(self.lane_padding);
+        bm.lane_factor_sweeps.add(self.lane_factor_sweeps);
+        self.lu.flush();
+    }
 }
 
 /// A packed batch: K structurally-aligned circuit variants sharing one
@@ -138,9 +231,13 @@ struct DeltaSets {
 #[derive(Debug)]
 pub struct BatchSim {
     variants: Vec<Variant>,
+    blocks: Vec<LaneBlock>,
     plan: Arc<StampPlan>,
     /// Scratch plane the shared baseline stamp is built in.
     baseline: SparseMatrix,
+    /// The `(h, method)` the baseline plane currently holds; the stamp is
+    /// a pure function of those, so an unchanged key skips the rebuild.
+    baseline_key: Option<(u64, bool)>,
     deltas: DeltaSets,
     opts: SimOptions,
     linear: bool,
@@ -249,6 +346,7 @@ impl BatchSim {
         // Delta sets: a device is "varying" when any variant disagrees
         // with variant 0 about its value.
         let mut deltas = DeltaSets {
+            res_varies: vec![false; sys0.resistors.len()],
             cap_varies: vec![false; sys0.capacitors.len()],
             ..DeltaSets::default()
         };
@@ -258,6 +356,7 @@ impl BatchSim {
                 .any(|s| s.resistors[j].conductance != sys0.resistors[j].conductance)
             {
                 deltas.varying_res.push(j);
+                deltas.res_varies[j] = true;
             }
         }
         for j in 0..sys0.capacitors.len() {
@@ -271,35 +370,35 @@ impl BatchSim {
         }
 
         let linear = sys0.mosfets.is_empty();
-        let variants = systems
+        let nnz = sym.nnz();
+        let dim = sys0.dim;
+        let variants: Vec<Variant> = systems
             .into_iter()
-            .map(|sys| {
-                let dim = sys.dim;
-                let n_caps = sys.capacitors.len();
-                let n_nodes = sys.n_nodes;
-                let n_src = sys.vsources.len();
-                Variant {
-                    sys,
-                    x: vec![0.0; dim],
-                    x_new: Vec::with_capacity(dim),
-                    rhs: vec![0.0; dim],
-                    states: Vec::with_capacity(n_caps),
-                    companions: Vec::with_capacity(n_caps),
-                    plane: SparseMatrix::new_cached(Arc::clone(&sym)),
-                    factored: None,
-                    factored_key: (0, false),
-                    scratch: LuScratch::new(),
-                    node_values: vec![Vec::new(); n_nodes],
-                    branch_values: vec![Vec::new(); n_src],
-                    failed: None,
-                }
+            .map(|sys| Variant {
+                sys,
+                staged: Vec::new(),
+                failed: None,
+            })
+            .collect();
+        let blocks = (0..variants.len().div_ceil(L))
+            .map(|b| {
+                LaneBlock::new(
+                    b * L,
+                    (variants.len() - b * L).min(L),
+                    nnz,
+                    dim,
+                    &variants,
+                    &deltas,
+                )
             })
             .collect();
 
         BatchSim {
             variants,
+            blocks,
             plan,
             baseline,
+            baseline_key: None,
             deltas,
             opts: opts.clone(),
             linear,
@@ -316,10 +415,10 @@ impl BatchSim {
     ///
     /// A variant whose Newton solve fails at the lockstep step — or whose
     /// DC initial condition cannot be found — **drops out** with its
-    /// structured error; its batchmates are unaffected. Callers wanting
-    /// the scalar path's step-halving and rescue ladder for dropouts
-    /// re-run them via [`transient_cached`] (exactly what
-    /// [`transient_batch`] does).
+    /// structured error; its lane parks in place and its batchmates are
+    /// unaffected. Callers wanting the scalar path's step-halving and
+    /// rescue ladder for dropouts re-run them via [`transient_cached`]
+    /// (exactly what [`transient_batch`] does).
     ///
     /// # Errors
     ///
@@ -339,26 +438,29 @@ impl BatchSim {
         }
         let bm = crate::metrics::batch_metrics();
         bm.batches_run.incr();
+        bm.lane_blocks.add(self.blocks.len() as u64);
 
         let opts = self.opts.clone();
         let width = self.variants.len();
+        let sym = Arc::clone(self.baseline.symbolic());
 
         // DC initial conditions, per variant (the same continuation path
         // the scalar transient takes). A DC failure is an immediate
-        // dropout.
+        // dropout; the solution scatters into the variant's lane.
         let local_cache = SymbolicCache::new();
-        for v in &mut self.variants {
-            match crate::dc::solve_with_continuation_pub(&v.sys, 0.0, &opts, Some(&local_cache)) {
-                Ok(x0) => {
-                    v.states.clear();
-                    v.states.extend(v.sys.capacitors.iter().map(|c| CapState {
-                        u: MnaSystem::voltage(&x0, c.a) - MnaSystem::voltage(&x0, c.b),
-                        i: 0.0,
-                    }));
-                    v.x = x0;
-                    v.record_sample();
+        {
+            let blocks = &mut self.blocks;
+            for (i, v) in self.variants.iter_mut().enumerate() {
+                match crate::dc::solve_with_continuation_pub(&v.sys, 0.0, &opts, Some(&local_cache))
+                {
+                    Ok(x0) => {
+                        let block = &mut blocks[i / L];
+                        block.seed_states(i % L, &v.sys, &x0);
+                        block.scatter_x(i % L, &x0);
+                        v.record_sample(&block.x, i % L);
+                    }
+                    Err(e) => v.failed = Some(e),
                 }
-                Err(e) => v.failed = Some(e),
             }
         }
 
@@ -378,6 +480,15 @@ impl BatchSim {
         breakpoints.retain(|&t| t > 0.0 && t <= t_stop);
         breakpoints.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
         breakpoints.dedup_by(|a, b| (*a - *b).abs() < opts.tstep_min);
+
+        // The lockstep grid is deterministic (no halving), so the sample
+        // count is bounded up front; one exact reservation per variant
+        // keeps the hot recording path free of reallocation.
+        let est_samples = (t_stop / opts.tstep).ceil() as usize + breakpoints.len() + 4;
+        for v in &mut self.variants {
+            let row = (v.sys.n_nodes - 1) + v.sys.vsources.len();
+            v.staged.reserve(est_samples * row);
+        }
 
         let mut times: Vec<f64> = vec![0.0];
         let mut bp_iter = breakpoints.into_iter().peekable();
@@ -414,32 +525,41 @@ impl BatchSim {
             let h = t_next - t;
             let be = force_be || opts.method == IntegrationMethod::BackwardEuler;
 
-            self.stamp_baseline(h, be);
+            let baseline_key = (h.to_bits(), be);
+            if self.baseline_key != Some(baseline_key) {
+                self.stamp_baseline(h, be);
+                self.baseline_key = Some(baseline_key);
+            }
             let active = self.variants.iter().filter(|v| v.failed.is_none()).count();
-            bm.steps_scheduled.add(width as u64);
-            bm.occupancy_active.add(active as u64);
+            let mut tally = StepTally {
+                scheduled: width as u64,
+                active: active as u64,
+                ..StepTally::default()
+            };
 
             let (plan, deltas, baseline, linear) =
                 (&self.plan, &self.deltas, &self.baseline, self.linear);
-            let mut accepted = 0u64;
-            for v in &mut self.variants {
-                if v.failed.is_some() {
+            for block in &mut self.blocks {
+                let vars = &mut self.variants[block.base..block.base + block.width];
+                tally.lane_scheduled += L as u64;
+                tally.lane_padding += (L - block.width) as u64;
+                let active_lanes = vars.iter().filter(|v| v.failed.is_none()).count() as u64;
+                tally.lane_active += active_lanes;
+                tally.lane_parked += block.width as u64 - active_lanes;
+                if active_lanes == 0 {
                     continue;
                 }
-                let stepped = if linear {
-                    v.step_linear(plan, deltas, baseline, t_next, h, be, &opts)
+                if linear {
+                    block.step_linear(
+                        vars, &sym, plan, deltas, baseline, t_next, h, be, &opts, &mut tally,
+                    );
                 } else {
-                    v.step_newton(plan, deltas, baseline, t_next, h, be, &opts)
-                };
-                match stepped {
-                    Ok(()) => {
-                        v.record_sample();
-                        accepted += 1;
-                    }
-                    Err(e) => v.failed = Some(e),
+                    block.step_newton(
+                        vars, &sym, plan, deltas, baseline, t_next, h, be, &opts, &mut tally,
+                    );
                 }
             }
-            bm.steps_accepted.add(accepted);
+            tally.flush(bm);
 
             times.push(t_next);
             t = t_next;
@@ -453,10 +573,11 @@ impl BatchSim {
                 Some(e) => Err(e),
                 None => {
                     bm.variants_batched.incr();
+                    let (node_values, branch_values) = v.unstage(times.len());
                     Ok(TranResult::from_parts(
                         Arc::clone(&times),
-                        v.node_values,
-                        v.branch_values,
+                        node_values,
+                        branch_values,
                         v.sys.node_names.clone(),
                         v.sys.vsources.iter().map(|s| s.name.clone()).collect(),
                     ))
@@ -469,14 +590,14 @@ impl BatchSim {
     /// given method: batch-invariant resistors, the voltage sources' ±1
     /// constraint stamps, batch-invariant capacitor conductances and the
     /// diagonal gmin. Everything here is identical for every variant, so
-    /// it is stamped once and memcpy'd K times per Newton iteration.
+    /// it is stamped once and lane-broadcast per Newton iteration.
     fn stamp_baseline(&mut self, h: f64, be: bool) {
         let sys = &self.variants[0].sys;
         let plan = &self.plan;
         self.baseline.clear();
         let vals = self.baseline.values_mut();
         for (j, (r, slots)) in sys.resistors.iter().zip(&plan.res).enumerate() {
-            if !self.deltas.varying_res.contains(&j) {
+            if !self.deltas.res_varies[j] {
                 slots.stamp_vals(vals, r.conductance);
             }
         }
@@ -506,115 +627,766 @@ impl BatchSim {
     }
 }
 
-impl Variant {
-    /// Appends the current solution to the sampled series (row 0 is
-    /// ground and stays all-zero), mirroring the scalar `Samples`.
-    fn record_sample(&mut self) {
-        self.node_values[0].push(0.0);
-        for node in 1..self.sys.n_nodes {
-            self.node_values[node].push(self.x[node - 1]);
-        }
-        for (b, series) in self.branch_values.iter_mut().enumerate() {
-            series.push(self.x[self.sys.n_v + b]);
+/// Reads lane `lane` of unknown row `row` from an interleaved solution
+/// block (`None` is ground, fixed at 0 V) — the lane analogue of
+/// [`MnaSystem::voltage`].
+#[inline(always)]
+fn lane_voltage(x: &[f64], row: Row, lane: usize) -> f64 {
+    match row {
+        Some(r) => x[r * L + lane],
+        None => 0.0,
+    }
+}
+
+/// `vals[slot][lane] += g[lane]` over all lanes, skipping ground slots.
+#[inline(always)]
+fn lane_add(vals: &mut [f64], slot: Option<usize>, g: &[f64; L]) {
+    if let Some(s) = slot {
+        for (v, gl) in vals[s * L..s * L + L].iter_mut().zip(g) {
+            *v += gl;
         }
     }
+}
 
-    /// Computes this variant's capacitor companions for a step of size
-    /// `h` ending at the attempt's target time.
-    fn companions(&mut self, h: f64, be: bool) {
-        self.companions.clear();
-        self.companions
-            .extend(self.sys.capacitors.iter().zip(&self.states).map(|(c, st)| {
-                if be {
-                    let geq = c.farads / h;
-                    (geq, geq * st.u)
-                } else {
-                    let geq = 2.0 * c.farads / h;
-                    (geq, geq * st.u + st.i)
-                }
-            }));
-    }
-
-    /// Per-variant RHS of one Newton iteration: source waves, current
-    /// sources and every capacitor's `ieq`.
-    fn build_rhs(&mut self, plan: &StampPlan, t_next: f64) {
-        self.rhs.fill(0.0);
-        for (v, slots) in self.sys.vsources.iter().zip(&plan.vsrc) {
-            self.rhs[slots.rhs_row] += v.wave.value_at(t_next);
-        }
-        for i in &self.sys.isources {
-            let value = i.wave.value_at(t_next);
-            if let Some(f) = i.from {
-                self.rhs[f] -= value;
-            }
-            if let Some(to) = i.to {
-                self.rhs[to] += value;
-            }
-        }
-        for (&(_, ieq), slots) in self.companions.iter().zip(&plan.caps) {
-            slots.stamp_rhs(&mut self.rhs, ieq);
+/// `vals[slot][lane] -= g[lane]` over all lanes, skipping ground slots.
+#[inline(always)]
+fn lane_sub(vals: &mut [f64], slot: Option<usize>, g: &[f64; L]) {
+    if let Some(s) = slot {
+        for (v, gl) in vals[s * L..s * L + L].iter_mut().zip(g) {
+            *v -= gl;
         }
     }
+}
 
-    /// Delta-stamps this variant's matrix on top of a baseline copy:
-    /// varying resistors and varying capacitor conductances.
-    fn stamp_deltas(&mut self, plan: &StampPlan, deltas: &DeltaSets, baseline: &SparseMatrix) {
-        self.plane.copy_values_from(baseline);
-        let vals = self.plane.values_mut();
-        for &j in &deltas.varying_res {
-            plan.res[j].stamp_vals(vals, self.sys.resistors[j].conductance);
+/// Whether every unknown of lane `lane` in the candidate block is finite
+/// — the lane analogue of the scalar substitute's solution check.
+#[inline(always)]
+fn lane_finite(x_new: &[f64], dim: usize, lane: usize) -> bool {
+    (0..dim).all(|r| x_new[r * L + lane].is_finite())
+}
+
+/// The scalar Newton convergence test and damped update applied to lane
+/// `lane`: candidate `x_new` over iterate `x`, both interleaved. Returns
+/// whether every unknown was already inside tolerance *before* the
+/// update — the same accept semantics, in the same per-row order, as the
+/// scalar loop.
+fn converge_update_lane(
+    x: &mut [f64],
+    x_new: &[f64],
+    lane: usize,
+    n_v: usize,
+    dim: usize,
+    opts: &SimOptions,
+) -> bool {
+    let mut converged = true;
+    for r in 0..dim {
+        let xi = x[r * L + lane];
+        let xn = x_new[r * L + lane];
+        let delta = xn - xi;
+        let tol = if r < n_v {
+            opts.vntol + opts.reltol * xi.abs().max(xn.abs())
+        } else {
+            opts.abstol + opts.reltol * xi.abs().max(xn.abs())
+        };
+        if delta.abs() > tol {
+            converged = false;
         }
-        for &j in &deltas.varying_caps {
-            let (geq, _) = self.companions[j];
-            plan.caps[j].stamp_pair_vals(vals, geq);
+        let clamped = if r < n_v {
+            delta.clamp(-opts.newton_damping, opts.newton_damping)
+        } else {
+            delta
+        };
+        x[r * L + lane] += clamped;
+    }
+    converged
+}
+
+/// Per-lane finiteness of the whole candidate block in one pass: each
+/// interleaved cache line is read once and folds into all `L` flags,
+/// instead of `L` strided per-lane walks.
+#[inline(always)]
+fn lanes_finite_body(x_new: &[f64], dim: usize) -> [bool; L] {
+    let mut ok = [true; L];
+    for line in x_new[..dim * L].chunks_exact(L) {
+        for (o, v) in ok.iter_mut().zip(line) {
+            *o &= v.is_finite();
         }
     }
+    ok
+}
 
-    /// Updates the capacitor states from the converged solution.
-    fn accept_states(&mut self) {
-        for (j, (cap, &(geq, ieq))) in self.sys.capacitors.iter().zip(&self.companions).enumerate()
+/// One lane-wide damped-update walk sweep: the scalar tolerance test and
+/// clamped update of [`converge_update_lane`], applied to every lane of
+/// the block in a single pass over the rows. Returns per-lane "was
+/// converged before the update".
+///
+/// The sweep deliberately runs unmasked: a lane that has already
+/// converged sees `delta == 0` and is a no-op, and a failed lane's
+/// iterate is never read again — so extra sweeps are idempotent per lane
+/// and the inner loop stays branch-free for the autovectorizer. Callers
+/// own the per-lane iteration accounting.
+#[inline(always)]
+fn converge_update_lanes_body(
+    x: &mut [f64],
+    x_new: &[f64],
+    n_v: usize,
+    dim: usize,
+    opts: &SimOptions,
+) -> [bool; L] {
+    // `excess[l]` accumulates `max_r(|delta| - tol)`; a lane converged iff
+    // it stays <= 0, which is sign-exact equivalent to the scalar per-row
+    // `|delta| <= tol` test (IEEE subtraction only rounds to zero when the
+    // operands are equal). Keeping the reduction in f64 instead of a bool
+    // array leaves both row sweeps branch-free for the vectoriser.
+    let mut excess = [f64::NEG_INFINITY; L];
+    converge_rows(
+        &mut x[..n_v * L],
+        &x_new[..n_v * L],
+        opts.vntol,
+        opts.reltol,
+        Some(opts.newton_damping),
+        &mut excess,
+    );
+    converge_rows(
+        &mut x[n_v * L..dim * L],
+        &x_new[n_v * L..dim * L],
+        opts.abstol,
+        opts.reltol,
+        None,
+        &mut excess,
+    );
+    let mut conv = [true; L];
+    for (c, &e) in conv.iter_mut().zip(&excess) {
+        // `!(>)` deliberately maps a NaN excess to "converged", matching
+        // the scalar path's `!(delta > tol)` treatment of NaN deltas.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
         {
-            let u = MnaSystem::voltage(&self.x, cap.a) - MnaSystem::voltage(&self.x, cap.b);
-            self.states[j] = CapState {
-                u,
-                i: geq * u - ieq,
-            };
+            *c = !(e > 0.0);
         }
     }
+    conv
+}
 
-    /// The scalar Newton convergence test and damped update, applied to
-    /// the candidate `x_new` in place over `x`. Returns whether every
-    /// unknown was already inside tolerance *before* the update — the
-    /// same accept semantics as the scalar loop.
-    fn converge_update(&mut self, opts: &SimOptions) -> bool {
-        let n_v = self.sys.n_v;
-        let mut converged = true;
-        for r in 0..self.sys.dim {
-            let delta = self.x_new[r] - self.x[r];
-            let tol = if r < n_v {
-                opts.vntol + opts.reltol * self.x[r].abs().max(self.x_new[r].abs())
-            } else {
-                opts.abstol + opts.reltol * self.x[r].abs().max(self.x_new[r].abs())
+/// One contiguous row range (all voltage rows or all branch rows) of the
+/// walk sweep: same tolerance, same damping policy, no per-row branches.
+#[inline(always)]
+fn converge_rows(
+    x: &mut [f64],
+    x_new: &[f64],
+    atol: f64,
+    reltol: f64,
+    damping: Option<f64>,
+    excess: &mut [f64; L],
+) {
+    for (lines, news) in x.chunks_exact_mut(L).zip(x_new.chunks_exact(L)) {
+        for l in 0..L {
+            let xi = lines[l];
+            let xn = news[l];
+            let delta = xn - xi;
+            let tol = atol + reltol * xi.abs().max(xn.abs());
+            excess[l] = excess[l].max(delta.abs() - tol);
+            let clamped = match damping {
+                Some(d) => delta.clamp(-d, d),
+                None => delta,
             };
-            if delta.abs() > tol {
-                converged = false;
+            lines[l] += clamped;
+        }
+    }
+}
+
+/// Appends every accepting lane's solution column to its variant's
+/// staged series. The unknown order (node voltages then branch currents)
+/// is exactly the staged row layout, so this is a pure 8-lane transpose:
+/// the interleaved source block is L1-resident, each lane gathers it
+/// strided and writes its own tail sequentially, and the up-front
+/// `reserve` in `run` keeps the `extend`s realloc-free.
+fn record_lanes(vars: &mut [Variant], x: &[f64], dim: usize, accept: &[bool; L]) {
+    let x = &x[..dim * L];
+    for (l, v) in vars.iter_mut().enumerate() {
+        if accept[l] {
+            // `l % L` is an identity (callers index lanes) that lets the
+            // compiler drop the per-row bounds check on the gather.
+            let l = l % L;
+            v.staged.extend(x.chunks_exact(L).map(|line| line[l]));
+        }
+    }
+}
+
+/// The masked multi-plane LU elimination sweep: factors all `L`
+/// interleaved planes of one block in place, returning a per-lane
+/// singularity flag.
+///
+/// Per lane this performs exactly the scalar `factor` sweep — same
+/// infinity norm (accumulated in the same row/slot order), same pivot
+/// threshold, same elimination schedule through `upd_targets` — so a
+/// healthy lane's factors are bit-identical to its scalar plane's, up to
+/// the sign of zeros (the scalar `factor != 0` skip is dropped; a lane
+/// that multiplies by an exact zero adds `±0.0`, which changes nothing).
+/// A sub-threshold or non-finite pivot flags its lane and is overwritten
+/// with `1.0`, keeping the remaining lanes' arithmetic finite without
+/// branching in the inner loop.
+#[inline(always)]
+fn lane_factor_body(sym: &Symbolic, vals: &mut [f64], row_buf: &mut Vec<f64>) -> [bool; L] {
+    let n = sym.n;
+
+    // One amortised infinity-norm pass over the whole block, in the
+    // scalar sweep's row/slot order per lane.
+    let mut norm = [0.0f64; L];
+    for k in 0..n {
+        let mut row = [0.0f64; L];
+        for slot in sym.row_start[k]..sym.row_start[k + 1] {
+            for (acc, v) in row.iter_mut().zip(&vals[slot * L..slot * L + L]) {
+                *acc += v.abs();
             }
-            let clamped = if r < n_v {
-                delta.clamp(-opts.newton_damping, opts.newton_damping)
-            } else {
-                delta
-            };
-            self.x[r] += clamped;
         }
-        converged
+        for (nl, rl) in norm.iter_mut().zip(&row) {
+            *nl = nl.max(*rl);
+        }
+    }
+    let scale = (n as f64).sqrt();
+    let mut threshold = [0.0f64; L];
+    for (th, nl) in threshold.iter_mut().zip(&norm) {
+        *th = (f64::EPSILON * nl * scale).max(f64::MIN_POSITIVE);
     }
 
-    /// Full Newton step for a batch with MOSFETs: every iteration
-    /// memcpys the baseline, delta-stamps, stamps the per-variant
-    /// linearised MOSFET companions, then factors and substitutes.
+    let mut singular = [false; L];
+    for k in 0..n {
+        let dk = sym.diag[k] * L;
+        let mut pivots = [0.0f64; L];
+        for l in 0..L {
+            let p = vals[dk + l];
+            // `!(>=)` also catches a NaN pivot riding in a dead lane.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !(p.abs() >= threshold[l]) {
+                singular[l] = true;
+                vals[dk + l] = 1.0;
+                pivots[l] = 1.0;
+            } else {
+                pivots[l] = p;
+            }
+        }
+        // Row k is never modified while column k eliminates, so snapshot
+        // its upper-triangle lanes once: the update loop then reads an
+        // L1-hot local and writes disjoint target rows.
+        let upper = sym.diag[k] + 1..sym.row_start[k + 1];
+        row_buf.clear();
+        row_buf.extend_from_slice(&vals[upper.start * L..upper.end * L]);
+        for idx in sym.col_start[k]..sym.col_start[k + 1] {
+            let s = sym.col_slots[idx] * L;
+            let mut factor = [0.0f64; L];
+            for ((f, v), p) in factor.iter_mut().zip(&mut vals[s..s + L]).zip(&pivots) {
+                *f = *v / p;
+                *v = *f;
+            }
+            let targets = &sym.upd_targets[sym.upd_start[idx]..sym.upd_start[idx + 1]];
+            for (j, &tslot) in targets.iter().enumerate() {
+                let src = &row_buf[j * L..j * L + L];
+                let dst = &mut vals[tslot as usize * L..tslot as usize * L + L];
+                for (d, (f, sv)) in dst.iter_mut().zip(factor.iter().zip(src)) {
+                    *d -= f * sv;
+                }
+            }
+        }
+    }
+    singular
+}
+
+/// Lane-wide forward/back substitution with the factors left by
+/// [`lane_factor`]: solves all `L` planes of one block against their
+/// interleaved right-hand sides in one sweep. Per lane the operation
+/// order is the scalar `substitute`'s (the `yk != 0` skip is dropped —
+/// see [`lane_factor_body`]).
+#[inline(always)]
+fn lane_substitute_body(sym: &Symbolic, vals: &[f64], rhs: &[f64], y: &mut [f64], out: &mut [f64]) {
+    let n = sym.n;
+    for (k, &orig) in sym.perm.iter().enumerate() {
+        y[k * L..k * L + L].copy_from_slice(&rhs[orig * L..orig * L + L]);
+    }
+    // Forward substitution in the same column-major order the fused
+    // scalar solve folds into its elimination loop.
+    for k in 0..n {
+        let mut yk = [0.0f64; L];
+        yk.copy_from_slice(&y[k * L..k * L + L]);
+        for idx in sym.col_start[k]..sym.col_start[k + 1] {
+            let i = sym.col_rows[idx] * L;
+            let s = sym.col_slots[idx] * L;
+            let vs = &vals[s..s + L];
+            for (yi, (v, ykl)) in y[i..i + L].iter_mut().zip(vs.iter().zip(&yk)) {
+                *yi -= v * ykl;
+            }
+        }
+    }
+    for k in (0..n).rev() {
+        let mut sum = [0.0f64; L];
+        sum.copy_from_slice(&y[k * L..k * L + L]);
+        for slot in sym.diag[k] + 1..sym.row_start[k + 1] {
+            let c = sym.cols[slot] * L;
+            let vs = &vals[slot * L..slot * L + L];
+            let yc = &y[c..c + L];
+            for (s, (v, ycl)) in sum.iter_mut().zip(vs.iter().zip(yc)) {
+                *s -= v * ycl;
+            }
+        }
+        let d = sym.diag[k] * L;
+        let dv = &vals[d..d + L];
+        for ((ykl, s), v) in y[k * L..k * L + L].iter_mut().zip(&sum).zip(dv) {
+            *ykl = s / v;
+        }
+    }
+    for (k, &orig) in sym.perm.iter().enumerate() {
+        out[orig * L..orig * L + L].copy_from_slice(&y[k * L..k * L + L]);
+    }
+}
+
+// SIMD dispatch: the generic bodies above are `#[inline(always)]` and the
+// `#[target_feature]` wrappers below give the compiler permission to use
+// the wider vector units when the CPU has them. No global codegen flag
+// changes (which would perturb the archived scalar goldens); the lanes
+// are independent streams, so vectorisation needs no FP reassociation
+// and every dispatch target computes identical results.
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn lane_factor_avx512(
+    sym: &Symbolic,
+    vals: &mut [f64],
+    row_buf: &mut Vec<f64>,
+) -> [bool; L] {
+    lane_factor_body(sym, vals, row_buf)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn lane_factor_avx2(sym: &Symbolic, vals: &mut [f64], row_buf: &mut Vec<f64>) -> [bool; L] {
+    lane_factor_body(sym, vals, row_buf)
+}
+
+fn lane_factor(sym: &Symbolic, vals: &mut [f64], row_buf: &mut Vec<f64>) -> [bool; L] {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: the feature is detected at runtime just before the
+        // call; the bodies contain no ISA-specific intrinsics beyond
+        // what codegen emits for the detected feature.
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            return unsafe { lane_factor_avx512(sym, vals, row_buf) };
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return unsafe { lane_factor_avx2(sym, vals, row_buf) };
+        }
+    }
+    lane_factor_body(sym, vals, row_buf)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn lane_substitute_avx512(
+    sym: &Symbolic,
+    vals: &[f64],
+    rhs: &[f64],
+    y: &mut [f64],
+    out: &mut [f64],
+) {
+    lane_substitute_body(sym, vals, rhs, y, out);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn lane_substitute_avx2(
+    sym: &Symbolic,
+    vals: &[f64],
+    rhs: &[f64],
+    y: &mut [f64],
+    out: &mut [f64],
+) {
+    lane_substitute_body(sym, vals, rhs, y, out);
+}
+
+fn lane_substitute(sym: &Symbolic, vals: &[f64], rhs: &[f64], y: &mut [f64], out: &mut [f64]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: as in `lane_factor`.
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            return unsafe { lane_substitute_avx512(sym, vals, rhs, y, out) };
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return unsafe { lane_substitute_avx2(sym, vals, rhs, y, out) };
+        }
+    }
+    lane_substitute_body(sym, vals, rhs, y, out);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn lanes_finite_avx512(x_new: &[f64], dim: usize) -> [bool; L] {
+    lanes_finite_body(x_new, dim)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn lanes_finite_avx2(x_new: &[f64], dim: usize) -> [bool; L] {
+    lanes_finite_body(x_new, dim)
+}
+
+fn lanes_finite(x_new: &[f64], dim: usize) -> [bool; L] {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: as in `lane_factor`.
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            return unsafe { lanes_finite_avx512(x_new, dim) };
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return unsafe { lanes_finite_avx2(x_new, dim) };
+        }
+    }
+    lanes_finite_body(x_new, dim)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn converge_update_lanes_avx512(
+    x: &mut [f64],
+    x_new: &[f64],
+    n_v: usize,
+    dim: usize,
+    opts: &SimOptions,
+) -> [bool; L] {
+    converge_update_lanes_body(x, x_new, n_v, dim, opts)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn converge_update_lanes_avx2(
+    x: &mut [f64],
+    x_new: &[f64],
+    n_v: usize,
+    dim: usize,
+    opts: &SimOptions,
+) -> [bool; L] {
+    converge_update_lanes_body(x, x_new, n_v, dim, opts)
+}
+
+fn converge_update_lanes(
+    x: &mut [f64],
+    x_new: &[f64],
+    n_v: usize,
+    dim: usize,
+    opts: &SimOptions,
+) -> [bool; L] {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: as in `lane_factor`.
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            return unsafe { converge_update_lanes_avx512(x, x_new, n_v, dim, opts) };
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return unsafe { converge_update_lanes_avx2(x, x_new, n_v, dim, opts) };
+        }
+    }
+    converge_update_lanes_body(x, x_new, n_v, dim, opts)
+}
+
+impl LaneBlock {
+    /// Packs variants `base..base + width` into one interleaved block.
+    /// Padding lanes (`width..L`) mirror the last real variant's device
+    /// values so their ride-along arithmetic stays finite.
+    fn new(
+        base: usize,
+        width: usize,
+        nnz: usize,
+        dim: usize,
+        variants: &[Variant],
+        deltas: &DeltaSets,
+    ) -> LaneBlock {
+        let src = |l: usize| &variants[base + l.min(width - 1)];
+        let res_g = deltas
+            .varying_res
+            .iter()
+            .map(|&j| std::array::from_fn(|l| src(l).sys.resistors[j].conductance))
+            .collect();
+        let cap_f = deltas
+            .varying_caps
+            .iter()
+            .map(|&j| std::array::from_fn(|l| src(l).sys.capacitors[j].farads))
+            .collect();
+        let mos_params = (0..variants[base].sys.mosfets.len())
+            .map(|mi| std::array::from_fn(|l| src(l).sys.mosfets[mi].params))
+            .collect();
+        let n_caps = variants[base].sys.capacitors.len();
+        let mut cap_farads = vec![0.0; n_caps * L];
+        for (k, f) in cap_farads.iter_mut().enumerate() {
+            *f = src(k % L).sys.capacitors[k / L].farads;
+        }
+        LaneBlock {
+            base,
+            width,
+            vals: vec![0.0; nnz * L],
+            factored: vec![0.0; nnz * L],
+            has_factored: false,
+            factored_key: (0, false),
+            rhs_base: vec![0.0; dim * L],
+            rhs: vec![0.0; dim * L],
+            x: vec![0.0; dim * L],
+            x_new: vec![0.0; dim * L],
+            y: vec![0.0; dim * L],
+            row_buf: Vec::new(),
+            res_g,
+            cap_f,
+            mos_params,
+            cap_farads,
+            st_u: vec![0.0; n_caps * L],
+            st_i: vec![0.0; n_caps * L],
+            comp_geq: vec![0.0; n_caps * L],
+            comp_ieq: vec![0.0; n_caps * L],
+        }
+    }
+
+    /// Seeds lane `lane`'s capacitor states from a scalar DC solution:
+    /// branch voltage from the operating point, zero branch current —
+    /// exactly the scalar transient's initialisation.
+    fn seed_states(&mut self, lane: usize, sys: &MnaSystem, x0: &[f64]) {
+        for (j, c) in sys.capacitors.iter().enumerate() {
+            self.st_u[j * L + lane] = MnaSystem::voltage(x0, c.a) - MnaSystem::voltage(x0, c.b);
+            self.st_i[j * L + lane] = 0.0;
+        }
+    }
+
+    /// Computes every lane's capacitor companions for a step of size `h`
+    /// in one pass over the interleaved state arrays — the lane analogue
+    /// of the scalar per-variant `(geq, ieq)` rebuild. Failed and padding
+    /// lanes compute along: their inputs are finite (zero-seeded or
+    /// mirrored), the results are finite, and nothing reads them back.
+    #[inline(always)]
+    fn companions_lanes_body(&mut self, h: f64, be: bool) {
+        if be {
+            for (((geq, ieq), &f), &u) in self
+                .comp_geq
+                .iter_mut()
+                .zip(self.comp_ieq.iter_mut())
+                .zip(&self.cap_farads)
+                .zip(&self.st_u)
+            {
+                *geq = f / h;
+                *ieq = *geq * u;
+            }
+        } else {
+            for ((((geq, ieq), &f), &u), &i) in self
+                .comp_geq
+                .iter_mut()
+                .zip(self.comp_ieq.iter_mut())
+                .zip(&self.cap_farads)
+                .zip(&self.st_u)
+                .zip(&self.st_i)
+            {
+                *geq = 2.0 * f / h;
+                *ieq = *geq * u + i;
+            }
+        }
+    }
+
+    /// Updates the capacitor states of every lane from the current
+    /// iterate in one pass over the capacitors: each cap's two solution
+    /// lines are read once and feed all `L` lanes. Runs unmasked — a
+    /// failed lane's states are never read again and a padding lane's
+    /// are never reported, so overwriting them is observationally
+    /// equivalent to the scalar path's converged-only update.
+    #[inline(always)]
+    fn accept_states_body(&mut self, sys: &MnaSystem) {
+        for (j, cap) in sys.capacitors.iter().enumerate() {
+            let base = j * L;
+            // Hoisting the terminal match out of the lane loop leaves each
+            // arm a contiguous, branch-free 8-wide line operation.
+            for l in 0..L {
+                // `- 0.0` is kept (not elided) so grounded terminals
+                // reproduce the scalar path's signed zeros exactly.
+                let u = match (cap.a, cap.b) {
+                    (Some(ra), Some(rb)) => self.x[ra * L + l] - self.x[rb * L + l],
+                    (Some(ra), None) => self.x[ra * L + l] - 0.0,
+                    (None, Some(rb)) => 0.0 - self.x[rb * L + l],
+                    (None, None) => 0.0,
+                };
+                self.st_u[base + l] = u;
+                self.st_i[base + l] = self.comp_geq[base + l] * u - self.comp_ieq[base + l];
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn companions_lanes_avx512(&mut self, h: f64, be: bool) {
+        self.companions_lanes_body(h, be);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn companions_lanes_avx2(&mut self, h: f64, be: bool) {
+        self.companions_lanes_body(h, be);
+    }
+
+    fn companions_lanes(&mut self, h: f64, be: bool) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            // SAFETY: as in `lane_factor`.
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                return unsafe { self.companions_lanes_avx512(h, be) };
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return unsafe { self.companions_lanes_avx2(h, be) };
+            }
+        }
+        self.companions_lanes_body(h, be);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn accept_states_avx512(&mut self, sys: &MnaSystem) {
+        self.accept_states_body(sys);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn accept_states_avx2(&mut self, sys: &MnaSystem) {
+        self.accept_states_body(sys);
+    }
+
+    fn accept_states(&mut self, sys: &MnaSystem) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            // SAFETY: as in `lane_factor`.
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                return unsafe { self.accept_states_avx512(sys) };
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return unsafe { self.accept_states_avx2(sys) };
+            }
+        }
+        self.accept_states_body(sys);
+    }
+
+    /// Scatters a variant's solution vector into its lane of `x`.
+    fn scatter_x(&mut self, lane: usize, x0: &[f64]) {
+        for (r, &xv) in x0.iter().enumerate() {
+            self.x[r * L + lane] = xv;
+        }
+    }
+
+    /// Broadcasts the baseline plane across all lanes, then delta-stamps
+    /// the varying resistors and varying capacitor conductances per lane
+    /// — the lane analogue of the scalar "memcpy + delta" stamp.
+    fn stamp_lanes(
+        &mut self,
+        plan: &StampPlan,
+        deltas: &DeltaSets,
+        baseline: &SparseMatrix,
+        h: f64,
+        be: bool,
+    ) {
+        for (lanes, &b) in self.vals.chunks_exact_mut(L).zip(baseline.values()) {
+            lanes.fill(b);
+        }
+        for (g, &j) in self.res_g.iter().zip(&deltas.varying_res) {
+            plan.res[j].stamp_vals_lanes(&mut self.vals, g);
+        }
+        for (farads, &j) in self.cap_f.iter().zip(&deltas.varying_caps) {
+            let mut geq = [0.0f64; L];
+            for (gl, f) in geq.iter_mut().zip(farads) {
+                *gl = if be { f / h } else { 2.0 * f / h };
+            }
+            plan.caps[j].stamp_pair_vals_lanes(&mut self.vals, &geq);
+        }
+    }
+
+    /// Builds the iteration-invariant RHS of the step for every lane:
+    /// source waves, current sources and capacitor `ieq`, in the scalar
+    /// `build_rhs` order per lane. Padding lanes mirror the last real
+    /// variant.
+    fn build_rhs_base(&mut self, vars: &[Variant], plan: &StampPlan, t_next: f64) {
+        self.rhs_base.fill(0.0);
+        let width = vars.len();
+        for (si, slots) in plan.vsrc.iter().enumerate() {
+            let row = slots.rhs_row * L;
+            for l in 0..L {
+                let v = &vars[l.min(width - 1)];
+                self.rhs_base[row + l] += v.sys.vsources[si].wave.value_at(t_next);
+            }
+        }
+        for ii in 0..vars[0].sys.isources.len() {
+            for l in 0..L {
+                let src = &vars[l.min(width - 1)].sys.isources[ii];
+                let value = src.wave.value_at(t_next);
+                if let Some(f) = src.from {
+                    self.rhs_base[f * L + l] -= value;
+                }
+                if let Some(to) = src.to {
+                    self.rhs_base[to * L + l] += value;
+                }
+            }
+        }
+        for (j, slots) in plan.caps.iter().enumerate() {
+            let ieq: &[f64; L] = self.comp_ieq[j * L..j * L + L]
+                .try_into()
+                .expect("lane-wide companion row");
+            slots.stamp_rhs_lanes(&mut self.rhs_base, ieq);
+        }
+    }
+
+    /// Evaluates and stamps every MOSFET's linearised companion across
+    /// all lanes: one [`channel_current_lanes`] call per device, then
+    /// lane-wide Jacobian, RHS and gmin stamps in the scalar per-device
+    /// order.
+    fn stamp_mos_lanes(&mut self, vars: &[Variant], plan: &StampPlan, gmin: f64) {
+        let gmin_lanes = [gmin; L];
+        for (mi, slots) in plan.mos.iter().enumerate() {
+            let mos0 = &vars[0].sys.mosfets[mi];
+            let mut vd = [0.0f64; L];
+            let mut vg = [0.0f64; L];
+            let mut vs = [0.0f64; L];
+            for l in 0..L {
+                vd[l] = lane_voltage(&self.x, mos0.d, l);
+                vg[l] = lane_voltage(&self.x, mos0.g, l);
+                vs[l] = lane_voltage(&self.x, mos0.s, l);
+            }
+            let ops = channel_current_lanes(mos0.polarity, &self.mos_params[mi], &vd, &vg, &vs);
+            let mut g_d = [0.0f64; L];
+            let mut g_g = [0.0f64; L];
+            let mut g_s = [0.0f64; L];
+            let mut i_eq = [0.0f64; L];
+            for l in 0..L {
+                g_d[l] = ops[l].g_d;
+                g_g[l] = ops[l].g_g;
+                g_s[l] = ops[l].g_s;
+                i_eq[l] = ops[l].id - g_d[l] * vd[l] - g_g[l] * vg[l] - g_s[l] * vs[l];
+            }
+            lane_add(&mut self.vals, slots.dd, &g_d);
+            lane_add(&mut self.vals, slots.dg, &g_g);
+            lane_add(&mut self.vals, slots.ds, &g_s);
+            lane_sub(&mut self.vals, slots.sd, &g_d);
+            lane_sub(&mut self.vals, slots.sg, &g_g);
+            lane_sub(&mut self.vals, slots.ss, &g_s);
+            if let Some(d) = slots.d {
+                for (r, il) in self.rhs[d * L..d * L + L].iter_mut().zip(&i_eq) {
+                    *r -= il;
+                }
+            }
+            if let Some(s) = slots.s {
+                for (r, il) in self.rhs[s * L..s * L + L].iter_mut().zip(&i_eq) {
+                    *r += il;
+                }
+            }
+            slots.gmin.stamp_vals_lanes(&mut self.vals, &gmin_lanes);
+        }
+    }
+
+    /// Full Newton step of one block for a batch with MOSFETs: every
+    /// iteration broadcasts the baseline, delta-stamps, evaluates the
+    /// MOSFETs lane-wide, then runs one masked factor sweep and one
+    /// lane-wide substitution for all still-solving lanes. Converged and
+    /// failed lanes park in place; per lane the iterate sequence is the
+    /// scalar kernel's.
     #[allow(clippy::too_many_arguments)]
     fn step_newton(
         &mut self,
+        vars: &mut [Variant],
+        sym: &Symbolic,
         plan: &StampPlan,
         deltas: &DeltaSets,
         baseline: &SparseMatrix,
@@ -622,67 +1394,92 @@ impl Variant {
         h: f64,
         be: bool,
         opts: &SimOptions,
-    ) -> Result<(), SpiceError> {
-        self.companions(h, be);
-        for _ in 0..opts.max_newton_iters {
-            if let Some(deadline) = &opts.deadline {
-                if deadline.expired() {
-                    return Err(SpiceError::DeadlineExceeded { time: t_next });
-                }
-            }
-            self.stamp_deltas(plan, deltas, baseline);
-            self.build_rhs(plan, t_next);
-            // MOSFET linearisation around the current iterate.
-            let vals = self.plane.values_mut();
-            for (mos, slots) in self.sys.mosfets.iter().zip(&plan.mos) {
-                let vd = MnaSystem::voltage(&self.x, mos.d);
-                let vg = MnaSystem::voltage(&self.x, mos.g);
-                let vs = MnaSystem::voltage(&self.x, mos.s);
-                let op = channel_current(mos.polarity, &mos.params, vd, vg, vs);
-                let i_eq = op.id - op.g_d * vd - op.g_g * vg - op.g_s * vs;
-                for (slot, g) in [
-                    (slots.dd, op.g_d),
-                    (slots.dg, op.g_g),
-                    (slots.ds, op.g_s),
-                    (slots.sd, -op.g_d),
-                    (slots.sg, -op.g_g),
-                    (slots.ss, -op.g_s),
-                ] {
-                    if let Some(s) = slot {
-                        vals[s] += g;
-                    }
-                }
-                if let Some(d) = slots.d {
-                    self.rhs[d] -= i_eq;
-                }
-                if let Some(s) = slots.s {
-                    self.rhs[s] += i_eq;
-                }
-                slots.gmin.stamp_vals(vals, opts.gmin);
-            }
-            self.plane.factor()?;
-            self.plane
-                .substitute(&self.rhs, &mut self.scratch, &mut self.x_new)?;
-            if self.converge_update(opts) {
-                self.accept_states();
-                return Ok(());
+        tally: &mut StepTally,
+    ) {
+        let dim = vars[0].sys.dim;
+        let mut solving = [false; L];
+        for (l, v) in vars.iter_mut().enumerate() {
+            if v.failed.is_none() {
+                solving[l] = true;
             }
         }
-        Err(SpiceError::NonConvergence {
-            time: t_next,
-            diagnostics: None,
-        })
+        let mut done = [false; L];
+        self.companions_lanes(h, be);
+        self.build_rhs_base(vars, plan, t_next);
+        for _ in 0..opts.max_newton_iters {
+            if !solving.iter().any(|&s| s) {
+                break;
+            }
+            if let Some(deadline) = &opts.deadline {
+                if deadline.expired() {
+                    for (l, v) in vars.iter_mut().enumerate() {
+                        if solving[l] {
+                            v.failed = Some(SpiceError::DeadlineExceeded { time: t_next });
+                            solving[l] = false;
+                        }
+                    }
+                    break;
+                }
+            }
+            self.stamp_lanes(plan, deltas, baseline, h, be);
+            self.rhs.copy_from_slice(&self.rhs_base);
+            self.stamp_mos_lanes(vars, plan, opts.gmin);
+            let singular = lane_factor(sym, &mut self.vals, &mut self.row_buf);
+            tally.lane_factor_sweeps += 1;
+            let live = solving.iter().filter(|&&s| s).count() as u64;
+            tally.lu.refactors += live;
+            tally.lu.reuse_hits += live;
+            for (l, v) in vars.iter_mut().enumerate() {
+                if solving[l] && singular[l] {
+                    v.failed = Some(SpiceError::SingularMatrix);
+                    solving[l] = false;
+                }
+            }
+            if !solving.iter().any(|&s| s) {
+                break;
+            }
+            lane_substitute(sym, &self.vals, &self.rhs, &mut self.y, &mut self.x_new);
+            for (l, v) in vars.iter_mut().enumerate() {
+                if !solving[l] {
+                    continue;
+                }
+                if !lane_finite(&self.x_new, dim, l) {
+                    v.failed = Some(SpiceError::SingularMatrix);
+                    solving[l] = false;
+                    continue;
+                }
+                if converge_update_lane(&mut self.x, &self.x_new, l, v.sys.n_v, dim, opts) {
+                    done[l] = true;
+                    solving[l] = false;
+                }
+            }
+        }
+        for (l, v) in vars.iter_mut().enumerate() {
+            if done[l] {
+                tally.accepted += 1;
+            } else if solving[l] {
+                v.failed = Some(SpiceError::NonConvergence {
+                    time: t_next,
+                    diagnostics: None,
+                });
+            }
+        }
+        self.accept_states(&vars[0].sys);
+        record_lanes(vars, &self.x, dim, &done);
     }
 
-    /// Linear fast path (no MOSFETs): the matrix is independent of the
-    /// iterate, so the variant factors once per `(h, method)` and every
-    /// Newton iteration of every step at that size is a substitution.
-    /// The damped-update walk still runs exactly as in the scalar loop —
-    /// repeated solves of an unchanged linear system yield an unchanged
-    /// candidate, so re-solving is skipped, not re-ordered.
+    /// Linear fast path of one block (no MOSFETs): the matrices are
+    /// independent of the iterate, so the block factors all lanes once
+    /// per `(h, method)` and every Newton iteration of every step at
+    /// that size is one lane-wide substitution. The damped-update walk
+    /// still runs exactly as in the scalar loop — repeated solves of an
+    /// unchanged linear system yield an unchanged candidate, so
+    /// re-solving is skipped, not re-ordered.
     #[allow(clippy::too_many_arguments)]
     fn step_linear(
         &mut self,
+        vars: &mut [Variant],
+        sym: &Symbolic,
         plan: &StampPlan,
         deltas: &DeltaSets,
         baseline: &SparseMatrix,
@@ -690,44 +1487,151 @@ impl Variant {
         h: f64,
         be: bool,
         opts: &SimOptions,
-    ) -> Result<(), SpiceError> {
-        let bm = crate::metrics::batch_metrics();
-        self.companions(h, be);
+        tally: &mut StepTally,
+    ) {
+        if let Some(deadline) = &opts.deadline {
+            if deadline.expired() {
+                for v in vars.iter_mut() {
+                    if v.failed.is_none() {
+                        v.failed = Some(SpiceError::DeadlineExceeded { time: t_next });
+                    }
+                }
+                return;
+            }
+        }
+        let dim = vars[0].sys.dim;
+        let n_v = vars[0].sys.n_v;
+        self.companions_lanes(h, be);
         let key = (h.to_bits(), be);
         let mut factored_now = 0u64;
-        if self.factored.as_ref().is_none() || self.factored_key != key {
-            self.stamp_deltas(plan, deltas, baseline);
-            self.plane.factor()?;
-            self.factored = Some(self.plane.clone());
+        if !self.has_factored || self.factored_key != key {
+            self.stamp_lanes(plan, deltas, baseline, h, be);
+            let singular = lane_factor(sym, &mut self.vals, &mut self.row_buf);
+            tally.lane_factor_sweeps += 1;
+            let live = vars.iter().filter(|v| v.failed.is_none()).count() as u64;
+            tally.lu.refactors += live;
+            tally.lu.reuse_hits += live;
+            for (l, v) in vars.iter_mut().enumerate() {
+                if v.failed.is_none() && singular[l] {
+                    v.failed = Some(SpiceError::SingularMatrix);
+                }
+            }
+            self.factored.copy_from_slice(&self.vals);
+            self.has_factored = true;
             self.factored_key = key;
             factored_now = 1;
         }
-        self.build_rhs(plan, t_next);
-        let factored = self.factored.as_ref().expect("factored plane present");
-        factored.substitute(&self.rhs, &mut self.scratch, &mut self.x_new)?;
-
-        // Each walk iteration below corresponds to one scalar Newton
-        // iteration, each of which would have restamped and refactored;
-        // the cached factored plane amortises to zero factorisations.
-        let mut iters = 0u64;
-        for _ in 0..opts.max_newton_iters {
-            if let Some(deadline) = &opts.deadline {
-                if deadline.expired() {
-                    return Err(SpiceError::DeadlineExceeded { time: t_next });
-                }
+        if vars.iter().all(|v| v.failed.is_some()) {
+            return;
+        }
+        self.build_rhs_base(vars, plan, t_next);
+        // The linear RHS has no iterate-dependent part, so rhs_base is
+        // the whole RHS and one substitution serves every walk iteration.
+        lane_substitute(
+            sym,
+            &self.factored,
+            &self.rhs_base,
+            &mut self.y,
+            &mut self.x_new,
+        );
+        let finite = lanes_finite(&self.x_new, dim);
+        let mut walking = [false; L];
+        for (l, v) in vars.iter_mut().enumerate() {
+            if v.failed.is_some() {
+                continue;
             }
-            iters += 1;
-            if self.converge_update(opts) {
-                bm.refactors_saved.add(iters - factored_now);
-                self.accept_states();
-                return Ok(());
+            if !finite[l] {
+                v.failed = Some(SpiceError::SingularMatrix);
+            } else {
+                walking[l] = true;
             }
         }
-        bm.refactors_saved.add(iters - factored_now);
-        Err(SpiceError::NonConvergence {
-            time: t_next,
-            diagnostics: None,
-        })
+        // Each walk sweep below corresponds to one scalar Newton
+        // iteration per walking lane, each of which would have restamped
+        // and refactored; the cached factored block amortises to zero
+        // factorisations. A lane's iteration count freezes at its own
+        // convergence sweep — later sweeps (driven by slower lanes) leave
+        // its iterate at the fixed point, so the per-lane accounting and
+        // walk arithmetic match the scalar loop's.
+        let mut iters = [0u64; L];
+        let mut done = [false; L];
+        let mut remaining = walking.iter().filter(|&&w| w).count();
+        for _ in 0..opts.max_newton_iters {
+            if remaining == 0 {
+                break;
+            }
+            let conv = converge_update_lanes(&mut self.x, &self.x_new, n_v, dim, opts);
+            for l in 0..L {
+                if walking[l] && !done[l] {
+                    iters[l] += 1;
+                    if conv[l] {
+                        done[l] = true;
+                        remaining -= 1;
+                    }
+                }
+            }
+        }
+        let mut accept = [false; L];
+        for (l, v) in vars.iter_mut().enumerate() {
+            if !walking[l] {
+                continue;
+            }
+            tally.refactors_saved += iters[l] - factored_now;
+            if done[l] {
+                accept[l] = true;
+                tally.accepted += 1;
+            } else {
+                v.failed = Some(SpiceError::NonConvergence {
+                    time: t_next,
+                    diagnostics: None,
+                });
+            }
+        }
+        self.accept_states(&vars[0].sys);
+        record_lanes(vars, &self.x, dim, &accept);
+    }
+}
+
+impl Variant {
+    /// Appends lane `lane` of the block solution as one step-major row of
+    /// the staged series: non-ground node voltages, then branch currents.
+    /// The append is sequential into one pre-reserved buffer — the scatter
+    /// into per-node series happens once, in [`Variant::unstage`].
+    fn record_sample(&mut self, x: &[f64], lane: usize) {
+        let n_nodes = self.sys.n_nodes;
+        let n_v = self.sys.n_v;
+        self.staged
+            .extend((1..n_nodes).map(|node| x[(node - 1) * L + lane]));
+        self.staged
+            .extend((0..self.sys.vsources.len()).map(|b| x[(n_v + b) * L + lane]));
+    }
+
+    /// Transposes the staged step-major samples into the node-major
+    /// series [`TranResult`] stores (row 0 is ground and stays all-zero),
+    /// mirroring the scalar `Samples` layout exactly.
+    fn unstage(&self, n_samples: usize) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let row = (self.sys.n_nodes - 1) + self.sys.vsources.len();
+        debug_assert!(row == 0 || self.staged.len() == n_samples * row);
+        let mut cols: Vec<Vec<f64>> = (0..row).map(|_| Vec::with_capacity(n_samples)).collect();
+        // Tile-blocked transpose: the columns of one tile share their
+        // staged cache lines, so the strided sample walk of each column
+        // re-reads lines its tile-mates just pulled into L1 (the walk
+        // touches `n_samples` distinct lines — small enough to stay
+        // resident across a tile), while every column writes its own
+        // series sequentially via a no-recheck `extend`.
+        const TILE: usize = 8;
+        for tile in (0..row).step_by(TILE) {
+            let end = (tile + TILE).min(row);
+            for (k, col) in cols[tile..end].iter_mut().enumerate() {
+                let c = tile + k;
+                col.extend((0..n_samples).map(|s| self.staged[s * row + c]));
+            }
+        }
+        let branch_values = cols.split_off(self.sys.n_nodes - 1);
+        let mut node_values = Vec::with_capacity(self.sys.n_nodes);
+        node_values.push(vec![0.0; n_samples]);
+        node_values.extend(cols);
+        (node_values, branch_values)
     }
 }
 
@@ -743,16 +1647,17 @@ impl Variant {
 /// * a circuit aligns with no other circuit in the slice (singleton
 ///   group);
 /// * a variant **drops out** of its batch: its DC solve or a lockstep
-///   Newton step failed. The variant re-runs scalar from `t = 0` with
-///   step halving and the full rescue ladder available, so a variant that
-///   is merely *hard* still completes, and one that truly fails reports
-///   the scalar path's structured error — batchmates never see any of it.
+///   Newton step failed. Its lane parks; the variant re-runs scalar from
+///   `t = 0` with step halving and the full rescue ladder available, so a
+///   variant that is merely *hard* still completes, and one that truly
+///   fails reports the scalar path's structured error — batchmates never
+///   see any of it.
 ///
 /// Results are returned in input order. With identical source waveforms
 /// across a batch the lockstep grid is exactly the scalar grid; variants
 /// whose waves differ (Monte-Carlo slews) march the union of their
 /// breakpoints and agree with the scalar path at sample level rather
-/// than bit level (see `DESIGN.md` §3.5).
+/// than bit level (see `DESIGN.md` §3.5 and §3.8).
 ///
 /// # Examples
 ///
@@ -818,17 +1723,22 @@ pub fn transient_batch(
     }
 
     for group in groups {
-        for chunk in group.chunks(opts.batch.max(1)) {
+        let mut members = group.into_iter().peekable();
+        while members.peek().is_some() {
+            // Draining by value hands each chunk's systems to the
+            // `BatchSim` without cloning them (a system carries the
+            // node-name table, so a clone is hundreds of allocations).
+            let chunk: Vec<(usize, MnaSystem)> = members.by_ref().take(opts.batch.max(1)).collect();
             if chunk.len() < 2 {
-                for (idx, _) in chunk {
+                for (idx, _) in &chunk {
                     bm.variants_scalar_fallback.incr();
                     results[*idx] = Some(scalar(&circuits[*idx]));
                 }
                 continue;
             }
-            let systems: Vec<MnaSystem> = chunk.iter().map(|(_, s)| s.clone()).collect();
+            let (idxs, systems): (Vec<usize>, Vec<MnaSystem>) = chunk.into_iter().unzip();
             let sim = BatchSim::from_systems(systems, opts, cache);
-            for ((idx, _), outcome) in chunk.iter().zip(sim.run(t_stop)) {
+            for (idx, outcome) in idxs.iter().zip(sim.run(t_stop)) {
                 results[*idx] = Some(match outcome {
                     Ok(r) => Ok(r),
                     Err(e) => {
@@ -970,6 +1880,33 @@ mod tests {
     }
 
     #[test]
+    fn linear_batch_straddling_lane_boundary_matches_scalar() {
+        // K = 9 > LANE_WIDTH: two blocks, the second with seven padding
+        // lanes. Every lane must still match its scalar reference.
+        let circuits: Vec<Circuit> = (0..9)
+            .map(|i| {
+                let f = 1.0 + 0.1 * i as f64;
+                rc_chain(1e3 * f, 2e3 / f, 50e-15, 20e-15 * f)
+            })
+            .collect();
+        assert_matches_scalar(&circuits, 0.5e-9, &batch_opts(9), 1e-9);
+    }
+
+    #[test]
+    fn nonlinear_batch_straddling_lane_boundary_matches_scalar() {
+        let circuits: Vec<Circuit> = (0..9)
+            .map(|i| inverter(4e-6 * (1.0 + 0.1 * i as f64)))
+            .collect();
+        assert_matches_scalar(&circuits, 1e-9, &batch_opts(9), 1e-6);
+    }
+
+    #[test]
+    fn lane_width_is_the_documented_simd_width() {
+        assert_eq!(LANE_WIDTH, 8);
+        assert_eq!(LANE_WIDTH * std::mem::size_of::<f64>(), 64);
+    }
+
+    #[test]
     fn unaligned_circuits_fall_back_to_scalar() {
         let mut other = Circuit::new();
         let a = other.node("a");
@@ -1025,7 +1962,7 @@ mod tests {
         // grid cannot resolve with the lockstep step, driving Newton hard
         // enough to fail at the batch's step size; the scalar fallback
         // (halving + rescue) must still complete it — and variant 0 must
-        // march through untouched.
+        // march through untouched in its parked-neighbour lane.
         let good = rc_chain(1e3, 2e3, 50e-15, 20e-15);
         let cache = SymbolicCache::new();
         let opts = SimOptions {

@@ -50,15 +50,20 @@ impl MnaMatrix {
         }
     }
 
-    pub fn solve_into(
+    /// Solves `A x = b`, with the sparse backend's telemetry counts
+    /// accumulated into `tally` instead of the global atomics (the dense
+    /// backend records nothing either way). The Newton loop uses this
+    /// and flushes once per solve.
+    pub fn solve_into_tallied(
         &mut self,
         b: &[f64],
         scratch: &mut LuScratch,
         out: &mut Vec<f64>,
+        tally: &mut crate::sparse::LuTally,
     ) -> Result<(), SpiceError> {
         match self {
             MnaMatrix::Dense(m) => m.solve_into(b, scratch, out),
-            MnaMatrix::Sparse(m) => m.solve_into(b, scratch, out),
+            MnaMatrix::Sparse(m) => m.solve_into_tallied(b, scratch, out, tally),
         }
     }
 }
@@ -120,6 +125,35 @@ impl PairSlots {
             vals[s] -= g;
         }
     }
+
+    /// [`stamp_vals`](PairSlots::stamp_vals) across `L` interleaved lane
+    /// planes: slot `s` of lane `l` lives at `vals[s * L + l]`, so each
+    /// slot update is one contiguous `L`-wide add the compiler turns
+    /// into vector ops. Per lane the operation order matches the scalar
+    /// stamp exactly.
+    #[inline]
+    pub fn stamp_vals_lanes<const L: usize>(&self, vals: &mut [f64], g: &[f64; L]) {
+        if let Some(s) = self.aa {
+            for (v, gl) in vals[s * L..s * L + L].iter_mut().zip(g) {
+                *v += gl;
+            }
+        }
+        if let Some(s) = self.ab {
+            for (v, gl) in vals[s * L..s * L + L].iter_mut().zip(g) {
+                *v -= gl;
+            }
+        }
+        if let Some(s) = self.bb {
+            for (v, gl) in vals[s * L..s * L + L].iter_mut().zip(g) {
+                *v += gl;
+            }
+        }
+        if let Some(s) = self.ba {
+            for (v, gl) in vals[s * L..s * L + L].iter_mut().zip(g) {
+                *v -= gl;
+            }
+        }
+    }
 }
 
 /// Resolved slots of one capacitor's companion-model stamp.
@@ -151,15 +185,27 @@ impl CapSlots {
         self.pair.stamp_vals(vals, geq);
     }
 
-    /// Only the RHS half of the companion (`ieq`) — for capacitors whose
+    /// Lane-interleaved [`stamp_pair_vals`](CapSlots::stamp_pair_vals):
+    /// one conductance per lane into an `L`-wide SoA value plane.
+    #[inline]
+    pub fn stamp_pair_vals_lanes<const L: usize>(&self, vals: &mut [f64], geq: &[f64; L]) {
+        self.pair.stamp_vals_lanes(vals, geq);
+    }
+
+    /// Only the RHS half of the companion (`ieq`), one value per lane,
+    /// into an `L`-wide SoA right-hand side — for capacitors whose
     /// conductance half already sits in a shared baseline plane.
     #[inline]
-    pub fn stamp_rhs(&self, rhs: &mut [f64], ieq: f64) {
+    pub fn stamp_rhs_lanes<const L: usize>(&self, rhs: &mut [f64], ieq: &[f64; L]) {
         if let Some(a) = self.a {
-            rhs[a] += ieq;
+            for (v, i) in rhs[a * L..a * L + L].iter_mut().zip(ieq) {
+                *v += i;
+            }
         }
         if let Some(b) = self.b {
-            rhs[b] -= ieq;
+            for (v, i) in rhs[b * L..b * L + L].iter_mut().zip(ieq) {
+                *v -= i;
+            }
         }
     }
 }
@@ -669,10 +715,21 @@ impl MnaSystem {
         reactive: impl FnMut(&mut MnaMatrix, &mut [f64], &StampPlan),
         ws: &mut NewtonWorkspace,
     ) -> Result<u64, SpiceError> {
-        // Iteration counts are accumulated locally and flushed to the
-        // telemetry registry once per solve, keeping the Newton loop free
-        // of atomics.
-        let (iters, result) = self.newton_loop(t, x_init, opts, gmin, source_scale, reactive, ws);
+        // Iteration and factorisation counts are accumulated locally and
+        // flushed to the telemetry registry once per solve, keeping the
+        // Newton loop free of atomics.
+        let mut lu_tally = crate::sparse::LuTally::default();
+        let (iters, result) = self.newton_loop(
+            t,
+            x_init,
+            opts,
+            gmin,
+            source_scale,
+            reactive,
+            ws,
+            &mut lu_tally,
+        );
+        lu_tally.flush();
         let tm = crate::metrics::metrics();
         tm.newton_solves.incr();
         tm.newton_iterations.add(iters);
@@ -694,6 +751,7 @@ impl MnaSystem {
         source_scale: f64,
         mut reactive: impl FnMut(&mut MnaMatrix, &mut [f64], &StampPlan),
         ws: &mut NewtonWorkspace,
+        lu_tally: &mut crate::sparse::LuTally,
     ) -> (u64, Result<(), SpiceError>) {
         let dim = self.dim;
         ws.x.clear();
@@ -721,7 +779,9 @@ impl MnaSystem {
                 ws.m.add_slot(slot, gmin);
             }
             iters += 1;
-            if let Err(e) = ws.m.solve_into(&ws.rhs, &mut ws.lu, &mut ws.x_new) {
+            if let Err(e) =
+                ws.m.solve_into_tallied(&ws.rhs, &mut ws.lu, &mut ws.x_new, lu_tally)
+            {
                 return (iters, Err(e));
             }
             let mut converged = true;

@@ -48,14 +48,14 @@ mod options;
 mod sparse;
 mod tran;
 
-pub use batch::{transient_batch, BatchSim};
+pub use batch::{transient_batch, BatchSim, LANE_WIDTH};
 pub use clocksense_exec::Deadline;
 pub use dc::{
     dc_operating_point, dc_operating_point_cached, dc_sweep, iddq, iddq_cached, DcSolution,
 };
 pub use error::{RescueStage, SimDiagnostics, SpiceError};
 pub use matrix::{DenseMatrix, LuScratch};
-pub use mos_eval::{channel_current, MosOperatingPoint, MosRegion};
+pub use mos_eval::{channel_current, channel_current_lanes, MosOperatingPoint, MosRegion};
 pub use options::{IntegrationMethod, SimOptions, SolverKind, TimestepControl};
 pub use sparse::{SparseMatrix, Symbolic, SymbolicCache};
 pub use tran::{transient, transient_cached, TranResult};

@@ -141,6 +141,24 @@ pub(crate) struct BatchMetrics {
     /// Numeric factorisations the linear fast path skipped by reusing a
     /// factored plane across iterations and steps.
     pub refactors_saved: Counter,
+    /// Lane blocks the SoA kernel packed (one per `LANE_WIDTH`-wide
+    /// slice of a batch).
+    pub lane_blocks: Counter,
+    /// Lane-slot steps scheduled: `LANE_WIDTH × blocks` per lockstep
+    /// step, the denominator of lane occupancy.
+    pub lane_slots_scheduled: Counter,
+    /// Lane-slot steps that carried an active (still marching) variant.
+    pub lane_slots_active: Counter,
+    /// Lane-slot steps spent parked: the lane's variant converged early,
+    /// dropped out or failed, and rides along masked instead of forcing
+    /// a repack.
+    pub lane_slots_parked: Counter,
+    /// Lane-slot steps that were pure padding (batch width not a
+    /// multiple of `LANE_WIDTH`).
+    pub lane_slots_padding: Counter,
+    /// Masked multi-plane factor sweeps performed (each covers every
+    /// solving lane of one block at once).
+    pub lane_factor_sweeps: Counter,
 }
 
 static METRICS: OnceLock<SpiceMetrics> = OnceLock::new();
@@ -160,6 +178,12 @@ pub(crate) fn batch_metrics() -> &'static BatchMetrics {
             occupancy_active: scope.counter("occupancy_active"),
             steps_scheduled: scope.counter("steps_scheduled"),
             refactors_saved: scope.counter("refactors_saved"),
+            lane_blocks: scope.counter("lane_blocks"),
+            lane_slots_scheduled: scope.counter("lane_slots_scheduled"),
+            lane_slots_active: scope.counter("lane_slots_active"),
+            lane_slots_parked: scope.counter("lane_slots_parked"),
+            lane_slots_padding: scope.counter("lane_slots_padding"),
+            lane_factor_sweeps: scope.counter("lane_factor_sweeps"),
         }
     })
 }

@@ -99,7 +99,41 @@ pub fn channel_current(
     v_gate: f64,
     v_source: f64,
 ) -> MosOperatingPoint {
+    eval_folded(polarity.sign(), params, v_drain, v_gate, v_source)
+}
+
+/// Evaluates one MOSFET across a whole lane block: lane `l` sees the
+/// device with `params[l]` at terminal voltages `(vd[l], vg[l], vs[l])`.
+/// The batched transient kernel calls this once per device per Newton
+/// iteration, so the polarity fold is hoisted out of the per-variant
+/// work and the lane results land contiguously for the SoA Jacobian
+/// stamp. Each lane computes exactly the floating-point sequence of
+/// [`channel_current`], so laned and scalar evaluation agree bitwise.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if the slice lengths disagree.
+pub fn channel_current_lanes<const L: usize>(
+    polarity: MosPolarity,
+    params: &[MosParams; L],
+    vd: &[f64; L],
+    vg: &[f64; L],
+    vs: &[f64; L],
+) -> [MosOperatingPoint; L] {
     let sign = polarity.sign();
+    std::array::from_fn(|l| eval_folded(sign, &params[l], vd[l], vg[l], vs[l]))
+}
+
+/// The shared polarity-folding core of [`channel_current`] and
+/// [`channel_current_lanes`].
+#[inline(always)]
+fn eval_folded(
+    sign: f64,
+    params: &MosParams,
+    v_drain: f64,
+    v_gate: f64,
+    v_source: f64,
+) -> MosOperatingPoint {
     // Fold to n-type terminal voltages.
     let vd = sign * v_drain;
     let vg = sign * v_gate;

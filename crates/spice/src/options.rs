@@ -272,6 +272,12 @@ pub struct SimOptions {
     /// variant by variant (see `DESIGN.md` §3.5 for the exact fallback
     /// conditions).
     ///
+    /// Internally the kernel packs variants into SIMD-width lane blocks
+    /// of [`LANE_WIDTH`](crate::LANE_WIDTH) (= 8) value planes, so batch
+    /// widths that are multiples of 8 waste no padding lanes; drivers
+    /// that shard a larger population across workers should size their
+    /// chunks with [`lane_chunk`](SimOptions::lane_chunk).
+    ///
     /// ```
     /// use clocksense_spice::{SimOptions, SolverKind};
     ///
@@ -308,6 +314,29 @@ impl Default for SimOptions {
 }
 
 impl SimOptions {
+    /// Worker-shard width for batched drivers: [`batch`](SimOptions::batch)
+    /// rounded **up** to the next multiple of
+    /// [`LANE_WIDTH`](crate::LANE_WIDTH), so every sharded sub-batch
+    /// fills whole lane blocks and only the population's final shard can
+    /// carry padding lanes. Returns `0` when batching is disabled
+    /// (`batch` of `0` or `1`), mirroring the scalar fallback.
+    ///
+    /// ```
+    /// use clocksense_spice::SimOptions;
+    ///
+    /// assert_eq!(SimOptions { batch: 16, ..SimOptions::default() }.lane_chunk(), 16);
+    /// assert_eq!(SimOptions { batch: 12, ..SimOptions::default() }.lane_chunk(), 16);
+    /// assert_eq!(SimOptions { batch: 2, ..SimOptions::default() }.lane_chunk(), 8);
+    /// assert_eq!(SimOptions::default().lane_chunk(), 0); // scalar by default
+    /// ```
+    #[must_use]
+    pub fn lane_chunk(&self) -> usize {
+        if self.batch < 2 {
+            return 0;
+        }
+        self.batch.next_multiple_of(crate::LANE_WIDTH)
+    }
+
     /// Checks that every option lies in its valid domain.
     ///
     /// # Errors

@@ -64,6 +64,31 @@ use std::sync::{Arc, Mutex};
 use crate::error::SpiceError;
 use crate::matrix::LuScratch;
 
+/// Locally accumulated factorisation counts, flushed to the global
+/// telemetry atomics in one `add` per counter. Hot solver loops (the
+/// Newton iteration, the batched lane sweeps) tally into one of these
+/// and flush once per solve or accepted step, so no shared cache line is
+/// touched per iteration; the flushed totals are identical to the old
+/// per-call `incr`s, keeping clean-report snapshots byte-identical.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct LuTally {
+    /// Numeric refactorisations performed (`spice.numeric_refactors`).
+    pub(crate) refactors: u64,
+    /// Refactorisations that reused an existing symbolic structure
+    /// (`spice.symbolic_reuse_hits`).
+    pub(crate) reuse_hits: u64,
+}
+
+impl LuTally {
+    /// Adds the tallied counts to the global metrics and resets them.
+    pub(crate) fn flush(&mut self) {
+        let tm = crate::metrics::metrics();
+        tm.numeric_refactors.add(self.refactors);
+        tm.symbolic_reuse_hits.add(self.reuse_hits);
+        *self = LuTally::default();
+    }
+}
+
 /// One-time symbolic analysis of a sparse system: fill-reducing ordering
 /// plus the complete LU fill-in pattern, reused by every numeric
 /// factorisation of matrices with this structure.
@@ -74,23 +99,32 @@ use crate::matrix::LuScratch;
 /// position has a fixed slot in the CSR arrays.
 #[derive(Debug)]
 pub struct Symbolic {
-    n: usize,
+    pub(crate) n: usize,
     /// Elimination position → original row index.
-    perm: Vec<usize>,
+    pub(crate) perm: Vec<usize>,
     /// Original row index → elimination position.
     inv_perm: Vec<usize>,
     /// CSR row pointers over the *permuted* LU pattern (`n + 1` entries).
-    row_start: Vec<usize>,
+    pub(crate) row_start: Vec<usize>,
     /// Permuted column indices, ascending within each row.
-    cols: Vec<usize>,
+    pub(crate) cols: Vec<usize>,
     /// Slot of the diagonal entry of each permuted row.
-    diag: Vec<usize>,
+    pub(crate) diag: Vec<usize>,
     /// Column lists for the factorisation: for permuted column `k`,
     /// `col_rows/col_slots[col_start[k]..col_start[k+1]]` enumerate the
     /// sub-diagonal entries `(i, k)`, `i > k`, in ascending row order.
-    col_start: Vec<usize>,
-    col_rows: Vec<usize>,
-    col_slots: Vec<usize>,
+    pub(crate) col_start: Vec<usize>,
+    pub(crate) col_rows: Vec<usize>,
+    pub(crate) col_slots: Vec<usize>,
+    /// Precomputed elimination schedule: for sub-diagonal entry `idx`
+    /// (an `(i, k)` of the column lists), the target slots in row `i`
+    /// hit by `row_i -= factor * row_k` over row `k`'s columns past the
+    /// diagonal, in that order. `upd_targets[upd_start[idx] + j]` pairs
+    /// with source slot `diag[k] + 1 + j`. Replaces the per-operation
+    /// merge walk (and its per-slot `debug_assert_eq!`) in the numeric
+    /// sweeps; the pattern is audited once, at analysis time.
+    pub(crate) upd_start: Vec<usize>,
+    pub(crate) upd_targets: Vec<u32>,
     /// Nonzeros of the symmetrised stamp pattern (before fill).
     nnz_pattern: usize,
 }
@@ -218,6 +252,30 @@ impl Symbolic {
             col_start.push(col_rows.len());
         }
 
+        // Elimination schedule: resolve every `row_i -= factor * row_k`
+        // target slot once, with the same merge walk the numeric sweeps
+        // used to repeat per factorisation. Row i's columns past (i, k)
+        // are a superset of row k's columns past the diagonal, so the
+        // walk never falls off the row.
+        let mut upd_start = Vec::with_capacity(col_slots.len() + 1);
+        let mut upd_targets: Vec<u32> = Vec::new();
+        upd_start.push(0);
+        for k in 0..n {
+            for &slot in &col_slots[col_start[k]..col_start[k + 1]] {
+                let mut t = slot + 1;
+                for a in diag[k] + 1..row_start[k + 1] {
+                    let c = cols[a];
+                    while cols[t] < c {
+                        t += 1;
+                    }
+                    assert_eq!(cols[t], c, "fill slot predicted by symbolic");
+                    upd_targets.push(u32::try_from(t).expect("slot fits u32"));
+                    t += 1;
+                }
+                upd_start.push(upd_targets.len());
+            }
+        }
+
         let sym = Symbolic {
             n,
             perm,
@@ -228,12 +286,45 @@ impl Symbolic {
             col_start,
             col_rows,
             col_slots,
+            upd_start,
+            upd_targets,
             nnz_pattern,
         };
+        debug_assert!(sym.audit_update_targets(), "elimination schedule drift");
         let tm = crate::metrics::metrics();
         tm.symbolic_analyses.incr();
         tm.fill_in.add(sym.fill_in() as u64);
         sym
+    }
+
+    /// Debug-mode audit of the precomputed elimination schedule against
+    /// the CSR pattern: every target slot must live in the updated row
+    /// and carry exactly the source entry's column. Run once per
+    /// analysis (`debug_assert!`), so the numeric sweeps carry no
+    /// per-operation bounds logic in release builds while debug builds
+    /// still catch symbolic drift.
+    fn audit_update_targets(&self) -> bool {
+        if self.upd_start.len() != self.col_slots.len() + 1 {
+            return false;
+        }
+        for k in 0..self.n {
+            for idx in self.col_start[k]..self.col_start[k + 1] {
+                let i = self.col_rows[idx];
+                let targets = &self.upd_targets[self.upd_start[idx]..self.upd_start[idx + 1]];
+                let sources = self.diag[k] + 1..self.row_start[k + 1];
+                if targets.len() != sources.len() {
+                    return false;
+                }
+                for (a, &t) in sources.zip(targets) {
+                    let t = t as usize;
+                    let in_row = self.row_start[i] <= t && t < self.row_start[i + 1];
+                    if !in_row || self.cols[t] != self.cols[a] {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
     }
 
     /// Matrix dimension.
@@ -367,12 +458,10 @@ impl SparseMatrix {
         &mut self.vals
     }
 
-    /// Overwrites this plane with `src`'s values (both must share the
-    /// same symbolic structure) — the per-variant "memcpy the baseline"
-    /// step of the batched kernel.
-    pub(crate) fn copy_values_from(&mut self, src: &SparseMatrix) {
-        debug_assert!(Arc::ptr_eq(&self.sym, &src.sym), "mismatched structures");
-        self.vals.copy_from_slice(&src.vals);
+    /// Read-only view of the value plane — the source the batched lane
+    /// kernel broadcasts its baseline stamp from.
+    pub(crate) fn values(&self) -> &[f64] {
+        &self.vals
     }
 
     /// Numeric LU factorisation over the fixed pattern, **without** a
@@ -387,6 +476,12 @@ impl SparseMatrix {
     /// # Errors
     ///
     /// Returns [`SpiceError::SingularMatrix`] on a sub-threshold pivot.
+    ///
+    /// The lane-vectorised batch kernel performs this sweep over eight
+    /// interleaved planes at once (`batch::lane_factor`); this scalar
+    /// split is kept as the reference the bit-identity pinning tests
+    /// check the fused solve against.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn factor(&mut self) -> Result<(), SpiceError> {
         let sym = &*self.sym;
         let n = sym.n;
@@ -418,15 +513,12 @@ impl SparseMatrix {
                 let factor = vals[s_ik] / pivot;
                 vals[s_ik] = factor;
                 if factor != 0.0 {
-                    let mut t = s_ik + 1;
-                    for a in sym.diag[k] + 1..sym.row_start[k + 1] {
-                        let c = sym.cols[a];
-                        while sym.cols[t] < c {
-                            t += 1;
-                        }
-                        debug_assert_eq!(sym.cols[t], c, "fill slot predicted by symbolic");
-                        vals[t] -= factor * vals[a];
-                        t += 1;
+                    // row_i -= factor * row_k over columns > k, through
+                    // the precomputed elimination schedule (audited once
+                    // at analysis time).
+                    let targets = &sym.upd_targets[sym.upd_start[idx]..sym.upd_start[idx + 1]];
+                    for (a, &t) in (sym.diag[k] + 1..sym.row_start[k + 1]).zip(targets) {
+                        vals[t as usize] -= factor * vals[a];
                     }
                 }
             }
@@ -444,6 +536,7 @@ impl SparseMatrix {
     ///
     /// Returns [`SpiceError::SingularMatrix`] when the solution is
     /// non-finite.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn substitute(
         &self,
         b: &[f64],
@@ -515,13 +608,29 @@ impl SparseMatrix {
         scratch: &mut LuScratch,
         out: &mut Vec<f64>,
     ) -> Result<(), SpiceError> {
+        let mut tally = LuTally::default();
+        let result = self.solve_into_tallied(b, scratch, out, &mut tally);
+        tally.flush();
+        result
+    }
+
+    /// [`solve_into`](SparseMatrix::solve_into) with the telemetry
+    /// counts accumulated into `tally` instead of the global atomics —
+    /// the Newton inner loop calls this and flushes once per solve, so
+    /// the per-iteration hot path touches no shared cache lines.
+    pub(crate) fn solve_into_tallied(
+        &mut self,
+        b: &[f64],
+        scratch: &mut LuScratch,
+        out: &mut Vec<f64>,
+        tally: &mut LuTally,
+    ) -> Result<(), SpiceError> {
         let sym = &*self.sym;
         let n = sym.n;
         assert_eq!(b.len(), n, "rhs length mismatch");
-        let tm = crate::metrics::metrics();
-        tm.numeric_refactors.incr();
+        tally.refactors += 1;
         if self.reused {
-            tm.symbolic_reuse_hits.incr();
+            tally.reuse_hits += 1;
         }
         self.reused = true;
 
@@ -558,19 +667,12 @@ impl SparseMatrix {
                 let factor = vals[s_ik] / pivot;
                 vals[s_ik] = factor;
                 if factor != 0.0 {
-                    // row_i -= factor * row_k over columns > k. Row i's
-                    // columns past (i, k) are a superset of row k's
-                    // columns past the diagonal, so a single merge walk
-                    // finds every target slot.
-                    let mut t = s_ik + 1;
-                    for a in sym.diag[k] + 1..sym.row_start[k + 1] {
-                        let c = sym.cols[a];
-                        while sym.cols[t] < c {
-                            t += 1;
-                        }
-                        debug_assert_eq!(sym.cols[t], c, "fill slot predicted by symbolic");
-                        vals[t] -= factor * vals[a];
-                        t += 1;
+                    // row_i -= factor * row_k over columns > k, through
+                    // the precomputed elimination schedule (audited once
+                    // at analysis time).
+                    let targets = &sym.upd_targets[sym.upd_start[idx]..sym.upd_start[idx + 1]];
+                    for (a, &t) in (sym.diag[k] + 1..sym.row_start[k + 1]).zip(targets) {
+                        vals[t as usize] -= factor * vals[a];
                     }
                     y[i] -= factor * yk;
                 }

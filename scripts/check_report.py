@@ -31,6 +31,13 @@ emit a well-formed report, whatever its numbers are. Checks:
   * optionally (--expect-zero-batch) the run never touched the batched
     kernel: no batch.* counter recorded a nonzero value (the scope
     materialises lazily, so a scalar run normally has none at all);
+  * optionally (--lanes) the lane-block accounting of the SoA kernel is
+    coherent: blocks were packed and factor sweeps ran, every scheduled
+    lane slot is accounted for exactly once
+    (active + parked + padding == scheduled), and at least half the
+    scheduled slots carried live variants (an occupancy floor — a
+    kernel marching mostly padding or parked lanes is vectorising
+    garbage);
   * optionally (--checkpoint) the checkpoint journal accounting is
     coherent: all five checkpoint.* counters are present, every item is
     either a memo hit or a miss (hits + misses == items_total), every
@@ -127,6 +134,11 @@ def main() -> None:
         "--expect-zero-batch",
         action="store_true",
         help="fail if any batch.* counter is nonzero",
+    )
+    parser.add_argument(
+        "--lanes",
+        action="store_true",
+        help="require coherent SoA lane-block occupancy accounting",
     )
     parser.add_argument(
         "--checkpoint",
@@ -287,6 +299,52 @@ def main() -> None:
                 f"batch_scaling.verdict_mismatches = {mismatches}: batched "
                 "and scalar campaigns disagree"
             )
+
+    if args.lanes:
+        counters = report["counters"]
+        for name in (
+            "batch.lane_blocks",
+            "batch.lane_factor_sweeps",
+            "batch.lane_slots_scheduled",
+            "batch.lane_slots_active",
+            "batch.lane_slots_parked",
+            "batch.lane_slots_padding",
+        ):
+            if name not in counters:
+                fail(f"lane-gate counter {name!r} missing")
+        if counters["batch.lane_blocks"] < 1:
+            fail("batch.lane_blocks must be >= 1: no lane blocks were packed")
+        if counters["batch.lane_factor_sweeps"] < 1:
+            fail(
+                "batch.lane_factor_sweeps must be >= 1: the lane kernel "
+                "never swept a factorisation"
+            )
+        scheduled = counters["batch.lane_slots_scheduled"]
+        active = counters["batch.lane_slots_active"]
+        parked = counters["batch.lane_slots_parked"]
+        padding = counters["batch.lane_slots_padding"]
+        if active + parked + padding != scheduled:
+            fail(
+                f"lane accounting leaks: active ({active}) + parked "
+                f"({parked}) + padding ({padding}) != scheduled ({scheduled})"
+            )
+        if 2 * active < scheduled:
+            fail(
+                f"lane occupancy {active}/{scheduled}: more than half the "
+                "scheduled lane slots were padding or parked"
+            )
+        # The lane_scaling bench additionally compares scalar and laned
+        # campaign verdicts; when its counters are in the report they
+        # must show a non-empty, mismatch-free comparison.
+        if "lane_scaling.verdict_mismatches" in counters:
+            if counters.get("lane_scaling.verdicts_total", 0) < 1:
+                fail("lane_scaling.verdicts_total must be >= 1: no faults compared")
+            mismatches = counters["lane_scaling.verdict_mismatches"]
+            if mismatches != 0:
+                fail(
+                    f"lane_scaling.verdict_mismatches = {mismatches}: laned "
+                    "and scalar campaigns disagree"
+                )
 
     if args.checkpoint:
         counters = report["counters"]
