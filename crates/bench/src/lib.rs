@@ -22,6 +22,7 @@
 use clocksense_netlist::{Circuit, NodeId, SourceWave, GROUND};
 use clocksense_wave::Waveform;
 
+pub mod chaos;
 pub mod report;
 
 pub use report::RunReport;

@@ -394,6 +394,8 @@ impl SensorBuilder {
             phi2_port,
             has_keepers: self.keepers,
             driver_resistance: self.driver_resistance,
+            y1,
+            y2,
         })
     }
 }
@@ -414,6 +416,8 @@ pub struct SensingCircuit {
     phi2_port: String,
     has_keepers: bool,
     driver_resistance: f64,
+    y1: NodeId,
+    y2: NodeId,
 }
 
 impl SensingCircuit {
@@ -465,11 +469,11 @@ impl SensingCircuit {
     }
 
     /// The output nodes `(y1, y2)`.
+    ///
+    /// The ids are captured at build time, so this stays valid (node ids
+    /// are never reused) no matter how the circuit is later mutated.
     pub fn outputs(&self) -> (NodeId, NodeId) {
-        (
-            self.circuit.find_node("y1").expect("built with y1"),
-            self.circuit.find_node("y2").expect("built with y2"),
-        )
+        (self.y1, self.y2)
     }
 
     /// Builds a complete test bench: the sensor plus a DC supply

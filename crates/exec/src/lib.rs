@@ -107,8 +107,14 @@ impl Deadline {
     /// `true` once the token has been cancelled or its wall-clock budget
     /// has run out. Cheap enough to poll from inner loops: one relaxed
     /// atomic load plus (for timed deadlines) one monotonic clock read.
+    ///
+    /// Every poll also passes through the chaos deadline hook, so an
+    /// armed [`clocksense_chaos`] plan can force an expiry mid-Newton
+    /// exactly where a real wall-clock expiry would be observed. The
+    /// hook is one relaxed load when no plan is armed.
     pub fn expired(&self) -> bool {
         self.inner.cancelled.load(Ordering::Relaxed)
+            || clocksense_chaos::deadline_poll_hook()
             || self.inner.expires_at.is_some_and(|t| Instant::now() >= t)
     }
 }
@@ -228,7 +234,14 @@ impl Executor {
                         break;
                     }
                     let tick = item_wall.start();
-                    let outcome = catch_unwind(AssertUnwindSafe(|| job(i)));
+                    // The chaos hook runs inside the catch_unwind so an
+                    // injected worker panic degrades to a JobPanic
+                    // record through exactly the code path a real
+                    // library bug would take.
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        clocksense_chaos::worker_item_hook(i);
+                        job(i)
+                    }));
                     tick.stop();
                     item_counter.incr();
                     let outcome = outcome.map_err(|payload| {

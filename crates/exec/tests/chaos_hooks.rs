@@ -1,0 +1,78 @@
+//! Chaos-injection hooks through the executor's public behaviour.
+//!
+//! These tests arm process-global chaos plans, so they live in their own
+//! test binary (integration tests of one file share one process) and
+//! serialise on a local mutex.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use clocksense_chaos::{ChaosPlan, Injection};
+use clocksense_exec::{Deadline, Executor};
+
+fn gate() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[test]
+fn injected_worker_panic_degrades_to_a_job_panic_record() {
+    let _gate = gate();
+    // One worker claims items in order, so hook ordinal 2 is item 2.
+    let guard = ChaosPlan::new(11)
+        .with(Injection::WorkerPanic { item: 2 })
+        .arm_scoped();
+    let out = Executor::new(1).run(5, |i| i * 10);
+    let summary = guard.disarm();
+    assert_eq!(summary.fired, 1);
+    for (i, slot) in out.iter().enumerate() {
+        if i == 2 {
+            let err = slot.as_ref().unwrap_err();
+            assert_eq!(err.index, 2);
+            assert!(err.message.contains("chaos"), "{}", err.message);
+        } else {
+            assert_eq!(*slot.as_ref().unwrap(), i * 10);
+        }
+    }
+}
+
+#[test]
+fn injected_panic_fires_exactly_once_across_runs() {
+    let _gate = gate();
+    let guard = ChaosPlan::new(12)
+        .with(Injection::WorkerPanic { item: 6 })
+        .arm_scoped();
+    // Ordinals 0..4 in the first run, 5..9 in the second: the panic
+    // lands in run two, and nowhere else.
+    let first = Executor::new(1).run(5, |i| i);
+    let second = Executor::new(1).run(5, |i| i);
+    assert_eq!(guard.disarm().fired, 1);
+    assert!(first.iter().all(|r| r.is_ok()));
+    assert_eq!(second.iter().filter(|r| r.is_err()).count(), 1);
+    assert!(second[1].is_err(), "ordinal 6 is the second run's item 1");
+}
+
+#[test]
+fn forced_deadline_expiry_is_sticky_and_observable() {
+    let _gate = gate();
+    let d = Deadline::after(Duration::from_secs(3600));
+    assert!(!d.expired());
+    let guard = ChaosPlan::new(13)
+        .with(Injection::DeadlineExpiry { after_polls: 2 })
+        .arm_scoped();
+    assert!(!d.expired()); // poll 0
+    assert!(!d.expired()); // poll 1
+    assert!(d.expired()); // poll 2: forced
+    assert!(d.expired()); // sticky
+    assert_eq!(guard.disarm().fired, 1);
+    // Disarmed, the same (healthy) token reads unexpired again.
+    assert!(!d.expired());
+}
+
+#[test]
+fn a_disarmed_executor_runs_clean() {
+    let _gate = gate();
+    assert!(!clocksense_chaos::is_armed());
+    let out = Executor::new(4).run(32, |i| i + 1);
+    assert!(out.into_iter().all(|r| r.is_ok()));
+}

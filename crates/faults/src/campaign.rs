@@ -695,7 +695,14 @@ pub fn run_campaign(
         for slot in replayed {
             records.push(match slot {
                 Some(record) => record,
-                None => fresh_records.next().expect("one record per fresh item"),
+                None => fresh_records.next().ok_or_else(|| {
+                    // One fresh record exists per unreplayed slot by
+                    // construction; running dry means the journal replay
+                    // desynchronised from the fault list.
+                    FaultError::Checkpoint(
+                        "journal replay out of sync with campaign items".to_string(),
+                    )
+                })?,
             });
         }
     }

@@ -27,9 +27,12 @@
 //! and atomically renames it over the real path: a `SIGKILL` at any
 //! instant leaves either the previous journal or the new one, never a
 //! torn file. The loader is additionally lenient — a missing file or a
-//! foreign header is an empty journal (every item simply misses), and
-//! reading stops at the first malformed line, tolerating journals from
-//! crashed writers that did not use the atomic flush.
+//! foreign header is an empty journal (every item simply misses), a
+//! torn final line (no terminator) is dropped, and a malformed
+//! *interior* line — bit-flipped media, an editor accident — is skipped
+//! and tallied under `checkpoint.records_corrupt` instead of aborting
+//! the replay: corruption costs exactly the records it touched, which
+//! simply re-simulate as memo misses.
 //!
 //! A record is journalled only once it is *final* — after the retry pass
 //! when the campaign retries, immediately otherwise — so a resume can
@@ -111,6 +114,25 @@ struct Entry {
     fields: Vec<String>,
 }
 
+/// Parses one newline-stripped journal line; `None` marks a malformed
+/// (corrupt) line the loader skips and counts.
+fn parse_entry(line: &str) -> Option<Entry> {
+    let mut parts = line.split('\t');
+    let (hash, tag) = (parts.next()?, parts.next()?);
+    // The hash field is always exactly 16 hex digits; anything else —
+    // including a flipped digit that shortened or lengthened it — is
+    // corruption, not a record.
+    if hash.len() != 16 || tag.is_empty() {
+        return None;
+    }
+    let hash = u64::from_str_radix(hash, 16).ok()?;
+    Some(Entry {
+        hash,
+        tag: unescape(tag),
+        fields: parts.map(unescape).collect(),
+    })
+}
+
 /// Append-only, atomically-flushed campaign journal.
 ///
 /// Lookups return the *latest* record for a hash; appends rewrite the
@@ -129,8 +151,11 @@ impl Journal {
     /// Opens (or conceptually creates) the journal at `path`.
     ///
     /// A missing file or a file with a foreign header loads as an empty
-    /// journal; parsing stops at the first malformed line so a torn tail
-    /// costs only the records behind it.
+    /// journal; a torn (unterminated) tail costs only the records
+    /// behind it; a malformed interior line is skipped and tallied
+    /// under the lazily-scoped `checkpoint.records_corrupt` counter, so
+    /// bit-flipped media degrades to memo misses rather than aborting
+    /// the replay.
     pub fn open(path: impl Into<PathBuf>) -> io::Result<Journal> {
         let path = path.into();
         let mut journal = Journal {
@@ -138,11 +163,14 @@ impl Journal {
             entries: Vec::new(),
             latest: HashMap::new(),
         };
-        let text = match fs::read_to_string(&journal.path) {
+        let mut text = match fs::read_to_string(&journal.path) {
             Ok(text) => text,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(journal),
             Err(e) => return Err(e),
         };
+        // Chaos hook: an armed plan may truncate or bit-flip the loaded
+        // text here, simulating media corruption between runs.
+        clocksense_chaos::journal_load_hook(&mut text);
         // Only newline-terminated lines count: a writer that crashed
         // mid-append (without the atomic rename) leaves a torn final
         // line, recognisable precisely by its missing terminator.
@@ -152,24 +180,20 @@ impl Journal {
         if lines.next() != Some(JOURNAL_VERSION) {
             return Ok(journal);
         }
+        let mut corrupt = 0u64;
         for line in lines {
-            let mut parts = line.split('\t');
-            let (Some(hash), Some(tag)) = (parts.next(), parts.next()) else {
-                break;
-            };
-            let Ok(hash) = u64::from_str_radix(hash, 16) else {
-                break;
-            };
-            if tag.is_empty() {
-                break;
-            }
-            let entry = Entry {
-                hash,
-                tag: unescape(tag),
-                fields: parts.map(unescape).collect(),
+            let Some(entry) = parse_entry(line) else {
+                corrupt += 1;
+                continue;
             };
             journal.latest.insert(entry.hash, journal.entries.len());
             journal.entries.push(entry);
+        }
+        if corrupt > 0 {
+            clocksense_telemetry::global()
+                .scope("checkpoint")
+                .counter("records_corrupt")
+                .add(corrupt);
         }
         Ok(journal)
     }
@@ -235,6 +259,18 @@ impl Journal {
             .map(|n| n.to_string_lossy().into_owned())
             .unwrap_or_else(|| "journal".to_string());
         let tmp = self.path.with_file_name(format!("{file_name}.tmp"));
+        // Chaos hook: an armed plan may kill this flush — the temp file
+        // receives only a prefix of the bytes and the rename never
+        // happens, exactly the on-disk state a SIGKILL here leaves. The
+        // error aborts the campaign the way the signal would have.
+        if let Some(keep) = clocksense_chaos::flush_kill_hook(text.len()) {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&text.as_bytes()[..keep.min(text.len())])?;
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "chaos: journal flush killed before rename",
+            ));
+        }
         {
             let mut f = fs::File::create(&tmp)?;
             f.write_all(text.as_bytes())?;
@@ -504,6 +540,40 @@ mod tests {
         assert!(j2.lookup(1, TAG_FAULT).is_some());
         assert!(j2.lookup(2, TAG_FAULT).is_none());
         let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mid_record_corruption_is_skipped_not_fatal() {
+        let path = tmp_path("mid_corrupt");
+        let _ = fs::remove_file(&path);
+        let mut j = Journal::open(&path).unwrap();
+        j.append(1, TAG_FAULT, &["one".into()]).unwrap();
+        j.append(2, TAG_FAULT, &["two".into()]).unwrap();
+        j.append(3, TAG_FAULT, &["three".into()]).unwrap();
+        // Flip a bit inside the *middle* record's hash field: the line
+        // count is unchanged, but record 2 no longer parses as itself.
+        let text = fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.split('\n').collect();
+        let mangled = lines[2].replacen('0', "z", 1);
+        let corrupted = [lines[0], lines[1], &mangled, lines[3], ""].join("\n");
+        fs::write(&path, corrupted).unwrap();
+        let j2 = Journal::open(&path).unwrap();
+        // Records before AND after the corrupt line both survive.
+        assert_eq!(j2.len(), 2);
+        assert!(j2.lookup(1, TAG_FAULT).is_some());
+        assert!(j2.lookup(2, TAG_FAULT).is_none());
+        assert!(j2.lookup(3, TAG_FAULT).is_some());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn hash_field_must_be_exactly_sixteen_hex_digits() {
+        assert!(parse_entry("0123456789abcdef\tfault\tx").is_some());
+        assert!(parse_entry("123\tfault\tx").is_none());
+        assert!(parse_entry("0123456789abcdeff\tfault\tx").is_none());
+        assert!(parse_entry("0123456789abcdeg\tfault\tx").is_none());
+        assert!(parse_entry("0123456789abcdef\t\tx").is_none());
+        assert!(parse_entry("").is_none());
     }
 
     #[test]

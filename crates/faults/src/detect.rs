@@ -87,7 +87,7 @@ pub fn complementary_window(
         .copied()
         .filter(|&t| t >= t_from)
         .collect();
-    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    times.sort_by(|a, b| a.total_cmp(b));
     times.dedup();
 
     let mut best: Option<(f64, f64)> = None;

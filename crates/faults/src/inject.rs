@@ -81,7 +81,9 @@ pub fn inject(circuit: &Circuit, fault: &Fault, rails: &Rails) -> Result<Circuit
             let id = ckt
                 .find_device(device)
                 .ok_or_else(|| FaultError::UnknownDevice(device.clone()))?;
-            let entry = ckt.device(id).expect("looked up above");
+            let entry = ckt
+                .device(id)
+                .ok_or_else(|| FaultError::UnknownDevice(device.clone()))?;
             let mos = entry
                 .device
                 .as_mosfet()

@@ -1,0 +1,162 @@
+//! Chaos injection against the checkpoint journal: a killed flush must
+//! look exactly like a SIGKILL mid-rename (campaign aborts, on-disk
+//! journal stays at its previous state, resume is byte-identical), and
+//! load-time corruption must degrade to memo misses, never to wrong or
+//! lost verdicts.
+//!
+//! These tests arm process-global chaos plans, so they live in their own
+//! test binary and serialise on a local mutex.
+
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use clocksense_chaos::{ChaosPlan, Injection};
+use clocksense_core::{ClockPair, SensingCircuit, SensorBuilder, Technology};
+use clocksense_faults::{run_campaign, CampaignConfig, Fault, FaultError, StuckLevel};
+
+fn gate() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn sensor() -> SensingCircuit {
+    SensorBuilder::new(Technology::cmos12())
+        .load_capacitance(160e-15)
+        .build()
+        .unwrap()
+}
+
+fn faults() -> Vec<Fault> {
+    vec![
+        Fault::NodeStuckAt {
+            node: "y1".into(),
+            level: StuckLevel::Zero,
+        },
+        Fault::NodeStuckAt {
+            node: "y1".into(),
+            level: StuckLevel::One,
+        },
+        Fault::StuckOn {
+            device: "m_b".into(),
+        },
+    ]
+}
+
+fn config() -> CampaignConfig {
+    let mut cfg = CampaignConfig::new(ClockPair::single_shot(5.0, 0.2e-9));
+    cfg.threads = 1;
+    cfg
+}
+
+fn journal_path(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "clocksense_chaos_ckpt_{}_{name}.journal",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+#[test]
+fn killed_flush_aborts_the_run_and_resume_is_byte_identical() {
+    let _gate = gate();
+    let s = sensor();
+    let faults = faults();
+    let cfg = config();
+    let golden = run_campaign(&s, &faults, &cfg).unwrap();
+
+    let path = journal_path("flush_kill");
+    let ck_cfg = cfg.clone().checkpoint(&path);
+
+    // Kill the second flush halfway through its bytes: flush 0 lands
+    // one record on disk, flush 1 dies between temp-write and rename.
+    let guard = ChaosPlan::new(21)
+        .with(Injection::FlushKill {
+            flush: 1,
+            keep_milli: 500,
+        })
+        .arm_scoped();
+    let err = run_campaign(&s, &faults, &ck_cfg).unwrap_err();
+    assert_eq!(guard.disarm().fired, 1);
+    assert!(
+        matches!(err, FaultError::Checkpoint(_)),
+        "a killed flush must surface as a checkpoint error, got {err:?}"
+    );
+
+    // The on-disk journal is whatever the last *successful* flush
+    // renamed into place — the killed flush's torn bytes went to the
+    // *.tmp side, never the journal. The file is whole-line and
+    // well-formed: header first, newline-terminated, no partial record.
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.starts_with("clocksense-journal/v1\n"), "header intact");
+    assert!(text.ends_with('\n'), "no torn tail on the journal side");
+
+    // Resume without chaos: replays the survivor, re-simulates the
+    // rest, and reproduces the uninterrupted run byte for byte.
+    let resumed = run_campaign(&s, &faults, &ck_cfg).unwrap();
+    assert_eq!(resumed.records(), golden.records());
+    assert_eq!(resumed.to_string(), golden.to_string());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn load_time_corruption_degrades_to_memo_misses() {
+    let _gate = gate();
+    let s = sensor();
+    let faults = faults();
+    let cfg = config();
+    let path = journal_path("load_corrupt");
+    let ck_cfg = cfg.clone().checkpoint(&path);
+
+    let golden = run_campaign(&s, &faults, &ck_cfg).unwrap();
+    let pristine = std::fs::read_to_string(&path).unwrap();
+
+    // An interior bit flip: the poisoned record misses and re-simulates;
+    // the verdicts come out identical.
+    let guard = ChaosPlan::new(22)
+        .with(Injection::JournalBitFlip { pos_milli: 600 })
+        .arm_scoped();
+    let flipped = run_campaign(&s, &faults, &ck_cfg).unwrap();
+    assert_eq!(guard.disarm().fired, 1);
+    assert_eq!(flipped.records(), golden.records());
+
+    // Heavy truncation: most records gone, still the same verdicts.
+    std::fs::write(&path, &pristine).unwrap();
+    let guard = ChaosPlan::new(23)
+        .with(Injection::JournalTruncate { keep_milli: 300 })
+        .arm_scoped();
+    let truncated = run_campaign(&s, &faults, &ck_cfg).unwrap();
+    assert_eq!(guard.disarm().fired, 1);
+    assert_eq!(truncated.records(), golden.records());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn injected_worker_panic_still_yields_one_final_verdict_per_fault() {
+    let _gate = gate();
+    let s = sensor();
+    let faults = faults();
+    let cfg = config();
+    let golden = run_campaign(&s, &faults, &cfg).unwrap();
+
+    // The panic lands on one campaign item, degrades to an
+    // inconclusive-with-panic record, and the retry pass (chaos fires
+    // only once) recovers the true verdict: same records as the clean
+    // run except the victim is marked retried.
+    let guard = ChaosPlan::new(24)
+        .with(Injection::WorkerPanic { item: 1 })
+        .arm_scoped();
+    let stormy = run_campaign(&s, &faults, &cfg).unwrap();
+    assert_eq!(guard.disarm().fired, 1);
+
+    assert_eq!(stormy.records().len(), golden.records().len());
+    let mut retried = 0;
+    for (got, want) in stormy.records().iter().zip(golden.records()) {
+        assert_eq!(got.fault, want.fault, "no verdict lost or reordered");
+        assert_eq!(got.outcome, want.outcome, "verdict must survive the panic");
+        if got.retried && !want.retried {
+            retried += 1;
+        }
+    }
+    assert_eq!(retried, 1, "exactly one item took the retry path");
+}

@@ -1,0 +1,69 @@
+//! Truncation matrix for the checkpoint journal: a 20-record journal cut
+//! at **every byte boundary** must load as a clean prefix — complete
+//! newline-terminated records survive intact, the torn tail (and nothing
+//! else) is dropped, and no cut point panics or corrupts a record.
+
+use std::fs;
+
+use clocksense_faults::checkpoint::{JOURNAL_VERSION, TAG_FAULT};
+use clocksense_faults::Journal;
+
+const RECORDS: u64 = 20;
+
+fn fields_for(i: u64) -> Vec<String> {
+    // Escaped characters too, so cuts land inside escape sequences.
+    vec![format!("outcome_{i}"), format!("note with\ttab_{i}")]
+}
+
+#[test]
+fn every_byte_truncation_loads_a_clean_prefix() {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let base = dir.join(format!("clocksense_trunc_base_{pid}.journal"));
+    let cut_path = dir.join(format!("clocksense_trunc_cut_{pid}.journal"));
+    let _ = fs::remove_file(&base);
+
+    let mut journal = Journal::open(&base).unwrap();
+    for i in 0..RECORDS {
+        journal
+            .append(0x1000 + i, TAG_FAULT, &fields_for(i))
+            .unwrap();
+    }
+    drop(journal);
+    let full = fs::read(&base).unwrap();
+    assert!(full.is_ascii(), "journal encoding is ASCII-clean");
+    let header_len = JOURNAL_VERSION.len() + 1;
+
+    for k in 0..=full.len() {
+        let prefix = &full[..k];
+        fs::write(&cut_path, prefix).unwrap();
+        let loaded = Journal::open(&cut_path).unwrap_or_else(|e| {
+            panic!("cut at byte {k}: open failed: {e}");
+        });
+        // Only newline-terminated record lines count; a cut before the
+        // header's own newline loads as an empty journal.
+        let newlines = prefix.iter().filter(|&&b| b == b'\n').count();
+        let expect = if k < header_len {
+            0
+        } else {
+            (newlines - 1) as u64
+        };
+        assert_eq!(loaded.len() as u64, expect, "cut at byte {k}");
+        for i in 0..RECORDS {
+            let got = loaded.lookup(0x1000 + i, TAG_FAULT);
+            if i < expect {
+                // Surviving records are bit-exact, never half a line.
+                assert_eq!(
+                    got.map(<[String]>::to_vec),
+                    Some(fields_for(i)),
+                    "cut at byte {k}, record {i}"
+                );
+            } else {
+                assert_eq!(got, None, "cut at byte {k}: ghost record {i}");
+            }
+        }
+    }
+
+    let _ = fs::remove_file(&base);
+    let _ = fs::remove_file(&cut_path);
+}

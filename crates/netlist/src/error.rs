@@ -3,6 +3,30 @@
 use std::error::Error;
 use std::fmt;
 
+/// Source location attached to a deck-parse error: the line and column
+/// (both 1-based, in characters) where the offending token starts, plus a
+/// short excerpt of the surrounding source text.
+///
+/// Spans come from [`from_spice`](crate::from_spice) and friends; errors
+/// raised by the programmatic builder API carry no span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based line number in the deck (the title line is line 1).
+    pub line: u32,
+    /// 1-based character column of the offending token.
+    pub column: u32,
+    /// A short window of the source line around the column. Long lines
+    /// are trimmed to a bounded excerpt, so this is safe to embed in
+    /// logs even for adversarial megabyte-long inputs.
+    pub excerpt: String,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}", self.line, self.column)
+    }
+}
+
 /// Errors produced while building or validating a [`Circuit`].
 ///
 /// [`Circuit`]: crate::Circuit
@@ -30,6 +54,50 @@ pub enum NetlistError {
     /// Subcircuit instantiation referenced a port name that is not a node of
     /// the subcircuit.
     UnknownPort(String),
+    /// A deck exceeded one of the parser's resource limits
+    /// ([`DeckLimits`](crate::DeckLimits)).
+    LimitExceeded {
+        /// Which limit tripped (`"nodes"`, `"devices"`, `"line length"`,
+        /// `"subcircuit depth"`).
+        what: String,
+        /// The configured ceiling.
+        limit: u64,
+        /// The observed count that crossed it.
+        got: u64,
+    },
+    /// A parse error annotated with where in the deck it happened. The
+    /// underlying cause is in `source`; [`NetlistError::span`] reaches
+    /// the location from either level.
+    Spanned {
+        /// Where in the deck the error was raised.
+        span: Box<Span>,
+        /// The underlying error.
+        source: Box<NetlistError>,
+    },
+}
+
+impl NetlistError {
+    /// The deck location this error was raised at, if it came from the
+    /// SPICE importer.
+    pub fn span(&self) -> Option<&Span> {
+        match self {
+            NetlistError::Spanned { span, .. } => Some(span),
+            _ => None,
+        }
+    }
+
+    /// Wraps `self` with a deck location. An error that already carries
+    /// a span keeps it — the innermost annotation points closest to the
+    /// offending token.
+    pub(crate) fn with_span(self, span: Span) -> NetlistError {
+        match self {
+            already @ NetlistError::Spanned { .. } => already,
+            source => NetlistError::Spanned {
+                span: Box::new(span),
+                source: Box::new(source),
+            },
+        }
+    }
 }
 
 impl fmt::Display for NetlistError {
@@ -52,11 +120,24 @@ impl fmt::Display for NetlistError {
             NetlistError::UnknownPort(name) => {
                 write!(f, "subcircuit has no node named {name:?}")
             }
+            NetlistError::LimitExceeded { what, limit, got } => {
+                write!(f, "deck exceeds {what} limit: {got} > {limit}")
+            }
+            NetlistError::Spanned { span, source } => {
+                write!(f, "{span}: {source} (near {:?})", span.excerpt)
+            }
         }
     }
 }
 
-impl Error for NetlistError {}
+impl Error for NetlistError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NetlistError::Spanned { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -75,6 +156,19 @@ mod tests {
             NetlistError::MalformedWave("v1".into()).to_string(),
             NetlistError::FloatingNode("x".into()).to_string(),
             NetlistError::UnknownPort("y".into()).to_string(),
+            NetlistError::LimitExceeded {
+                what: "nodes".into(),
+                limit: 4,
+                got: 5,
+            }
+            .to_string(),
+            NetlistError::UnknownNode("n1".into())
+                .with_span(Span {
+                    line: 3,
+                    column: 7,
+                    excerpt: "r1 a b 1k".into(),
+                })
+                .to_string(),
         ];
         for m in msgs {
             assert!(!m.is_empty());
@@ -87,5 +181,29 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<NetlistError>();
+    }
+
+    #[test]
+    fn span_accessor_and_nesting() {
+        let plain = NetlistError::UnknownNode("n1".into());
+        assert!(plain.span().is_none());
+        let span = Span {
+            line: 2,
+            column: 4,
+            excerpt: "r1 n1 0 1k".into(),
+        };
+        let spanned = plain.clone().with_span(span.clone());
+        assert_eq!(spanned.span(), Some(&span));
+        // Re-wrapping keeps the innermost (most precise) location.
+        let rewrapped = spanned.clone().with_span(Span {
+            line: 99,
+            column: 1,
+            excerpt: String::new(),
+        });
+        assert_eq!(rewrapped.span().map(|s| s.line), Some(2));
+        assert_eq!(spanned.to_string(), rewrapped.to_string());
+        // The chain exposes the underlying cause.
+        let src = Error::source(&spanned).expect("spanned has a source");
+        assert_eq!(src.to_string(), plain.to_string());
     }
 }

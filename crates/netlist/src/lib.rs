@@ -44,9 +44,9 @@ mod waveform;
 pub use canon::{canonical_form, canonical_hash, f64_bits, fnv1a, CANON_VERSION, FNV_OFFSET};
 pub use circuit::{Circuit, CircuitStats, DeviceEntry, DeviceId};
 pub use device::{Capacitor, CurrentSource, Device, Resistor, VoltageSource};
-pub use error::NetlistError;
+pub use error::{NetlistError, Span};
 pub use mos::{MosParams, MosPolarity, Mosfet};
 pub use node::{NodeId, GROUND};
-pub use spice_io::{from_spice, to_spice};
+pub use spice_io::{from_spice, from_spice_with_limits, to_spice, DeckLimits};
 pub use subckt::{instantiate, PortMap};
 pub use waveform::SourceWave;

@@ -7,13 +7,19 @@
 //! emits — element cards `R`/`C`/`V`/`I`/`M`, `DC`/`PULSE`/`PWL` sources,
 //! engineering suffixes (`f p n u m k meg g`), `.model` cards with
 //! `VTO/KP/LAMBDA/W/L/CGS/CGD/CDB` parameters, comments and `.end`.
+//!
+//! The importer treats decks as **untrusted input**: every parse error is
+//! wrapped in [`NetlistError::Spanned`] with the offending line, column
+//! and a bounded source excerpt, and [`DeckLimits`] caps nodes, devices,
+//! line length and `.subckt` nesting so resource-exhaustion decks fail
+//! fast with a structured [`NetlistError::LimitExceeded`].
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
 use crate::circuit::Circuit;
 use crate::device::Device;
-use crate::error::NetlistError;
+use crate::error::{NetlistError, Span};
 use crate::mos::{MosParams, MosPolarity};
 use crate::waveform::SourceWave;
 
@@ -257,19 +263,50 @@ fn parse_value(token: &str) -> Result<f64, NetlistError> {
     } else {
         (0, 1.0, t.as_str())
     };
+    // Untrusted decks can put megabytes in one token; error messages
+    // keep a bounded prefix only.
+    let shown = || -> String {
+        if token.chars().count() > 32 {
+            let head: String = token.chars().take(32).collect();
+            format!("{head}…")
+        } else {
+            token.to_string()
+        }
+    };
     let err = || NetlistError::InvalidValue {
         device: String::new(),
-        detail: format!("cannot parse number {token:?}"),
+        detail: format!("cannot parse number {:?}", shown()),
+    };
+    // Every physical quantity in a deck is finite: `1e999`, `inf` and
+    // `nan` are rejected rather than smuggled into the matrices (a
+    // one-shot PULSE's infinite period is spelled by *omitting* the
+    // period parameter, so no card ever needs to print infinity).
+    let finite = |v: f64| {
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(NetlistError::InvalidValue {
+                device: String::new(),
+                detail: format!("non-finite number {:?}", shown()),
+            })
+        }
     };
     if exp == 0 {
-        return digits.parse::<f64>().map_err(|_| err());
+        return digits.parse::<f64>().map_err(|_| err()).and_then(finite);
     }
     if digits.is_empty() || digits.contains('e') {
         // A mantissa that carries its own exponent (`1.5e-3k`) cannot
         // absorb the suffix textually; accept the extra rounding.
-        return digits.parse::<f64>().map(|v| v * scale).map_err(|_| err());
+        return digits
+            .parse::<f64>()
+            .map(|v| v * scale)
+            .map_err(|_| err())
+            .and_then(finite);
     }
-    format!("{digits}e{exp}").parse::<f64>().map_err(|_| err())
+    format!("{digits}e{exp}")
+        .parse::<f64>()
+        .map_err(|_| err())
+        .and_then(finite)
 }
 
 /// Splits `PULSE(a b ...)` / `PWL(...)` argument lists.
@@ -338,17 +375,20 @@ struct ModelCard {
     cdb: f64,
 }
 
-fn parse_model_card(line: &str) -> Result<(String, ModelCard), NetlistError> {
-    // .model NAME NMOS|PMOS (K=V ...)
-    let body = line.trim_start_matches(".model").trim();
+fn parse_model_card(body: &str) -> Result<(String, ModelCard), NetlistError> {
+    // BODY of `.model NAME NMOS|PMOS (K=V ...)` — the directive itself is
+    // stripped (case-insensitively) by the caller.
+    let body = body.trim();
     let mut parts = body.splitn(3, char::is_whitespace);
-    let name = parts
-        .next()
-        .ok_or_else(|| NetlistError::InvalidValue {
-            device: String::new(),
-            detail: "model card missing name".to_string(),
-        })?
-        .to_string();
+    let name =
+        parts
+            .next()
+            .filter(|n| !n.is_empty())
+            .ok_or_else(|| NetlistError::InvalidValue {
+                device: String::new(),
+                detail: "model card missing name".to_string(),
+            })?;
+    let name = name.to_string();
     let kind = parts.next().unwrap_or_default().to_ascii_uppercase();
     let mut card = ModelCard {
         nmos: kind == "NMOS",
@@ -379,14 +419,132 @@ fn parse_model_card(line: &str) -> Result<(String, ModelCard), NetlistError> {
     Ok((name, card))
 }
 
+/// Resource ceilings for parsing untrusted SPICE decks.
+///
+/// [`from_spice`] applies the defaults; [`from_spice_with_limits`] takes
+/// an explicit configuration. The limits exist so a hostile or corrupted
+/// deck fails fast with a structured [`NetlistError::LimitExceeded`]
+/// instead of exhausting memory: the defaults are far above anything the
+/// exporter emits but well below what a resource-exhaustion deck needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeckLimits {
+    /// Maximum distinct nodes (ground included).
+    pub max_nodes: usize,
+    /// Maximum devices.
+    pub max_devices: usize,
+    /// Maximum characters on one line.
+    pub max_line_chars: usize,
+    /// Maximum `.subckt` nesting depth.
+    pub max_subckt_depth: usize,
+}
+
+impl Default for DeckLimits {
+    fn default() -> Self {
+        DeckLimits {
+            max_nodes: 65_536,
+            max_devices: 262_144,
+            max_line_chars: 65_536,
+            max_subckt_depth: 32,
+        }
+    }
+}
+
+/// Iterator over `(1-based char column, token)` pairs of one source line.
+///
+/// Columns count characters, not bytes, so spans stay meaningful for
+/// decks with multi-byte characters — and no slicing here can land inside
+/// a UTF-8 sequence.
+struct Tokens<'a> {
+    rest: &'a str,
+    col: usize,
+}
+
+impl<'a> Tokens<'a> {
+    fn new(line: &'a str) -> Self {
+        Tokens { rest: line, col: 1 }
+    }
+
+    fn skip_whitespace(&mut self) {
+        while let Some(c) = self.rest.chars().next() {
+            if !c.is_whitespace() {
+                break;
+            }
+            self.col += 1;
+            self.rest = &self.rest[c.len_utf8()..];
+        }
+    }
+
+    /// The untokenized remainder of the line and the column it starts at.
+    fn remainder(&mut self) -> (usize, &'a str) {
+        self.skip_whitespace();
+        (self.col, self.rest)
+    }
+}
+
+impl<'a> Iterator for Tokens<'a> {
+    type Item = (usize, &'a str);
+
+    fn next(&mut self) -> Option<(usize, &'a str)> {
+        self.skip_whitespace();
+        if self.rest.is_empty() {
+            return None;
+        }
+        let start_col = self.col;
+        let mut end = self.rest.len();
+        for (i, c) in self.rest.char_indices() {
+            if c.is_whitespace() {
+                end = i;
+                break;
+            }
+            self.col += 1;
+        }
+        let (token, rest) = self.rest.split_at(end);
+        self.rest = rest;
+        Some((start_col, token))
+    }
+}
+
+/// Builds a [`Span`] at `(line_no, col)` with a bounded excerpt of `line`
+/// around the column (adversarial decks have megabyte lines; spans never
+/// embed more than a small window of them).
+fn span_at(line_no: usize, col: usize, line: &str) -> Span {
+    const WINDOW: usize = 48;
+    let skip = col.saturating_sub(1).saturating_sub(WINDOW / 4);
+    let excerpt: String = line.chars().skip(skip).take(WINDOW).collect();
+    Span {
+        line: line_no as u32,
+        column: col as u32,
+        excerpt,
+    }
+}
+
+/// Strips a leading dot-directive (case-insensitively) from a trimmed
+/// line, requiring a word boundary so `.ends` never matches `.end`.
+fn directive<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let head = line.get(..name.len())?;
+    if !head.eq_ignore_ascii_case(name) {
+        return None;
+    }
+    let body = &line[name.len()..];
+    match body.chars().next() {
+        None => Some(body),
+        Some(c) if c.is_whitespace() => Some(body),
+        Some(_) => None,
+    }
+}
+
 /// Parses a SPICE deck produced by [`to_spice`] (or hand-written in the
-/// same dialect) back into a [`Circuit`].
+/// same dialect) back into a [`Circuit`], under the default
+/// [`DeckLimits`].
 ///
 /// # Errors
 ///
 /// Returns [`NetlistError::InvalidValue`] for malformed cards, unsupported
 /// elements or dangling model references, plus the usual construction
-/// errors for out-of-domain values.
+/// errors for out-of-domain values. Every error raised while reading a
+/// deck is wrapped in [`NetlistError::Spanned`], so
+/// [`NetlistError::span`] reports the offending line, column and a source
+/// excerpt.
 ///
 /// # Examples
 ///
@@ -403,92 +561,172 @@ fn parse_model_card(line: &str) -> Result<(String, ModelCard), NetlistError> {
 /// # Ok(())
 /// # }
 /// ```
+///
+/// Errors point at the offending token:
+///
+/// ```
+/// use clocksense_netlist::from_spice;
+///
+/// let err = from_spice("* bad deck\nr1 a 0 12zz\n.end\n").unwrap_err();
+/// let span = err.span().expect("deck errors carry spans");
+/// assert_eq!((span.line, span.column), (2, 8));
+/// assert!(span.excerpt.contains("12zz"));
+/// ```
 pub fn from_spice(deck: &str) -> Result<Circuit, NetlistError> {
-    let mut ckt = Circuit::new();
+    from_spice_with_limits(deck, &DeckLimits::default())
+}
+
+/// [`from_spice`] with explicit resource ceilings for untrusted input.
+///
+/// # Errors
+///
+/// As [`from_spice`], plus [`NetlistError::LimitExceeded`] (spanned at
+/// the line that crossed the ceiling) when the deck outgrows `limits`.
+pub fn from_spice_with_limits(deck: &str, limits: &DeckLimits) -> Result<Circuit, NetlistError> {
+    let limit = |what: &str, limit: usize, got: usize| NetlistError::LimitExceeded {
+        what: what.to_string(),
+        limit: limit as u64,
+        got: got as u64,
+    };
+    // First pass: structural guards (line length, subckt nesting) and
+    // model collection — models may follow their uses. The byte length
+    // bounds the char count, so well-behaved lines skip the char walk.
     let mut models: HashMap<String, ModelCard> = HashMap::new();
-    // First pass: collect models (they may follow their uses).
-    for line in deck.lines() {
-        let line = line.trim();
-        if line.to_ascii_lowercase().starts_with(".model") {
-            let (name, card) = parse_model_card(line)?;
+    let mut depth = 0usize;
+    for (idx, raw) in deck.lines().enumerate() {
+        let line_no = idx + 1;
+        if raw.len() > limits.max_line_chars {
+            let chars = raw.chars().count();
+            if chars > limits.max_line_chars {
+                return Err(limit("line length", limits.max_line_chars, chars)
+                    .with_span(span_at(line_no, 1, raw)));
+            }
+        }
+        let line = raw.trim();
+        if directive(line, ".subckt").is_some() {
+            depth += 1;
+            if depth > limits.max_subckt_depth {
+                return Err(limit("subcircuit depth", limits.max_subckt_depth, depth)
+                    .with_span(span_at(line_no, 1, raw)));
+            }
+        } else if directive(line, ".ends").is_some() {
+            depth = depth.saturating_sub(1);
+        } else if let Some(body) = directive(line, ".model") {
+            let (name, card) =
+                parse_model_card(body).map_err(|e| e.with_span(span_at(line_no, 1, raw)))?;
             models.insert(name.to_ascii_lowercase(), card);
         }
     }
+    // Second pass: element cards.
+    let mut ckt = Circuit::new();
     for (idx, raw) in deck.lines().enumerate() {
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('*') || line.starts_with('.') || idx == 0 {
-            continue;
+        let line_no = idx + 1;
+        if idx == 0 {
+            continue; // title line
         }
-        let mut tok = line.split_whitespace();
-        let name = tok.next().ok_or_else(|| NetlistError::InvalidValue {
-            device: String::new(),
-            detail: format!("empty card at line {idx}"),
-        })?;
-        let kind = name.chars().next().unwrap_or(' ').to_ascii_lowercase();
-        let mut next_node = |tok: &mut std::str::SplitWhitespace<'_>| -> Result<_, NetlistError> {
-            let t = tok.next().ok_or_else(|| NetlistError::InvalidValue {
+        let mut tok = Tokens::new(raw);
+        let Some((name_col, name)) = tok.next() else {
+            continue; // blank line
+        };
+        if name.starts_with('*') || name.starts_with('.') {
+            continue; // comment or directive
+        }
+        // Any card error without a more precise location gets the span
+        // of the card's name token (`with_span` keeps inner spans).
+        let card_span = || span_at(line_no, name_col, raw);
+        // Token-level value errors are produced before the owning card
+        // is known; stamp the card name in.
+        let named = |e: NetlistError| match e {
+            NetlistError::InvalidValue { detail, .. } => NetlistError::InvalidValue {
                 device: name.to_string(),
-                detail: "missing node".to_string(),
+                detail,
+            },
+            other => other,
+        };
+        let kind = name.chars().next().unwrap_or(' ').to_ascii_lowercase();
+        let mut next_node = |tok: &mut Tokens<'_>| -> Result<_, NetlistError> {
+            let (col, t) = tok.next().ok_or_else(|| {
+                NetlistError::InvalidValue {
+                    device: name.to_string(),
+                    detail: "missing node".to_string(),
+                }
+                .with_span(span_at(line_no, name_col, raw))
             })?;
-            Ok(ckt.node(t))
+            let node = ckt.node(t);
+            if ckt.node_count() > limits.max_nodes {
+                return Err(limit("nodes", limits.max_nodes, ckt.node_count())
+                    .with_span(span_at(line_no, col, raw)));
+            }
+            Ok(node)
         };
         match kind {
             'r' | 'c' => {
                 let a = next_node(&mut tok)?;
                 let b = next_node(&mut tok)?;
-                let value = parse_value(tok.next().ok_or_else(|| NetlistError::InvalidValue {
-                    device: name.to_string(),
-                    detail: "missing value".to_string(),
-                })?)?;
+                let (value_col, value_tok) = tok.next().ok_or_else(|| {
+                    NetlistError::InvalidValue {
+                        device: name.to_string(),
+                        detail: "missing value".to_string(),
+                    }
+                    .with_span(card_span())
+                })?;
+                let value = parse_value(value_tok)
+                    .map_err(|e| named(e).with_span(span_at(line_no, value_col, raw)))?;
                 if kind == 'r' {
-                    ckt.add_resistor(name, a, b, value)?;
+                    ckt.add_resistor(name, a, b, value)
                 } else {
-                    ckt.add_capacitor(name, a, b, value)?;
+                    ckt.add_capacitor(name, a, b, value)
                 }
+                .map_err(|e| e.with_span(card_span()))?;
             }
             'v' | 'i' => {
                 let plus = next_node(&mut tok)?;
                 let minus = next_node(&mut tok)?;
-                let rest = line
-                    .splitn(4, char::is_whitespace)
-                    .nth(3)
-                    .unwrap_or_default();
-                let wave = parse_wave(rest).map_err(|e| match e {
-                    NetlistError::InvalidValue { detail, .. } => NetlistError::InvalidValue {
-                        device: name.to_string(),
-                        detail,
-                    },
-                    other => other,
-                })?;
+                let (wave_col, rest) = tok.remainder();
+                let wave = parse_wave(rest)
+                    .map_err(|e| named(e).with_span(span_at(line_no, wave_col, raw)))?;
                 if kind == 'v' {
-                    ckt.add_vsource(name, plus, minus, wave)?;
+                    ckt.add_vsource(name, plus, minus, wave)
                 } else {
-                    ckt.add_isource(name, plus, minus, wave)?;
+                    ckt.add_isource(name, plus, minus, wave)
                 }
+                .map_err(|e| e.with_span(card_span()))?;
             }
             'm' => {
                 let d = next_node(&mut tok)?;
                 let g = next_node(&mut tok)?;
                 let s = next_node(&mut tok)?;
                 let _bulk = next_node(&mut tok)?;
-                let model_name = tok.next().ok_or_else(|| NetlistError::InvalidValue {
-                    device: name.to_string(),
-                    detail: "missing model name".to_string(),
+                let (model_col, model_name) = tok.next().ok_or_else(|| {
+                    NetlistError::InvalidValue {
+                        device: name.to_string(),
+                        detail: "missing model name".to_string(),
+                    }
+                    .with_span(card_span())
                 })?;
                 let card = models
                     .get(&model_name.to_ascii_lowercase())
-                    .ok_or_else(|| NetlistError::InvalidValue {
-                        device: name.to_string(),
-                        detail: format!("unknown model {model_name}"),
+                    .ok_or_else(|| {
+                        NetlistError::InvalidValue {
+                            device: name.to_string(),
+                            detail: format!("unknown model {model_name}"),
+                        }
+                        .with_span(span_at(line_no, model_col, raw))
                     })?
                     .clone();
                 let mut w = 1e-6;
                 let mut l = 1e-6;
-                for kv in tok {
+                for (col, kv) in tok {
                     if let Some((k, v)) = kv.split_once('=') {
                         match k.to_ascii_uppercase().as_str() {
-                            "W" => w = parse_value(v)?,
-                            "L" => l = parse_value(v)?,
+                            "W" => {
+                                w = parse_value(v)
+                                    .map_err(|e| named(e).with_span(span_at(line_no, col, raw)))?
+                            }
+                            "L" => {
+                                l = parse_value(v)
+                                    .map_err(|e| named(e).with_span(span_at(line_no, col, raw)))?
+                            }
                             _ => {}
                         }
                     }
@@ -508,14 +746,21 @@ pub fn from_spice(deck: &str) -> Result<Circuit, NetlistError> {
                 } else {
                     MosPolarity::Pmos
                 };
-                ckt.add_mosfet(name, polarity, d, g, s, params)?;
+                ckt.add_mosfet(name, polarity, d, g, s, params)
+                    .map_err(|e| e.with_span(card_span()))?;
             }
             other => {
                 return Err(NetlistError::InvalidValue {
                     device: name.to_string(),
                     detail: format!("unsupported element kind {other:?}"),
-                })
+                }
+                .with_span(card_span()))
             }
+        }
+        if ckt.device_count() > limits.max_devices {
+            return Err(
+                limit("devices", limits.max_devices, ckt.device_count()).with_span(card_span())
+            );
         }
     }
     Ok(ckt)
@@ -765,5 +1010,93 @@ mod tests {
         let deck = "* title\n\n* a comment\nr1 a 0 1k\n.end\n";
         let ckt = from_spice(deck).unwrap();
         assert_eq!(ckt.device_count(), 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_token_accurate_spans() {
+        let err = from_spice("* t\nr1 a 0 bogus\n.end").unwrap_err();
+        let span = err.span().expect("value error is spanned");
+        assert_eq!((span.line, span.column), (2, 8));
+        assert!(span.excerpt.contains("bogus"), "{:?}", span.excerpt);
+
+        let err = from_spice("* t\nx1 a b c\n.end").unwrap_err();
+        assert_eq!(err.span().map(|s| (s.line, s.column)), Some((2, 1)));
+
+        // Duplicate device: the error comes from the builder API, the
+        // span from the second card.
+        let err = from_spice("* t\nr1 a 0 1k\nr1 b 0 2k\n.end").unwrap_err();
+        assert!(matches!(
+            err,
+            NetlistError::Spanned { ref source, .. }
+                if matches!(**source, NetlistError::DuplicateDevice(_))
+        ));
+        assert_eq!(err.span().map(|s| s.line), Some(3));
+    }
+
+    #[test]
+    fn non_finite_values_are_rejected() {
+        for bad in ["1e999", "-1e999", "inf", "nan", "NaN"] {
+            let e = parse_value(bad).unwrap_err();
+            assert!(
+                matches!(e, NetlistError::InvalidValue { .. }),
+                "{bad} must not parse"
+            );
+        }
+        // Negative zero is a perfectly finite number.
+        assert_eq!(parse_value("-0").unwrap(), 0.0);
+        assert!(parse_value("-0").unwrap().is_sign_negative());
+    }
+
+    #[test]
+    fn deck_limits_reject_resource_exhaustion() {
+        let limits = DeckLimits {
+            max_nodes: 4,
+            max_devices: 2,
+            max_line_chars: 64,
+            max_subckt_depth: 2,
+        };
+        // Node flood: the card that interns one node too many trips it.
+        let deck = "* t\nr1 a b 1k\nr2 c d 1k\nr3 e f 1k\n.end";
+        let err = from_spice_with_limits(deck, &limits).unwrap_err();
+        assert!(
+            matches!(err, NetlistError::Spanned { ref source, .. }
+                if matches!(**source, NetlistError::LimitExceeded { ref what, .. } if what == "nodes")),
+            "{err}"
+        );
+        // Device flood.
+        let deck = "* t\nr1 a 0 1k\nr2 a 0 1k\nr3 a 0 1k\n.end";
+        let err = from_spice_with_limits(deck, &limits).unwrap_err();
+        assert!(err.to_string().contains("devices limit"), "{err}");
+        // Line length (chars, not bytes).
+        let deck = format!("* t\nr1 a 0 {}1k\n.end", "0".repeat(80));
+        let err = from_spice_with_limits(&deck, &limits).unwrap_err();
+        assert!(err.to_string().contains("line length limit"), "{err}");
+        // Subckt nesting.
+        let deck = "* t\n.subckt s1 a\n.subckt s2 b\n.subckt s3 c\n.ends\n.ends\n.ends\n.end";
+        let err = from_spice_with_limits(deck, &limits).unwrap_err();
+        assert!(err.to_string().contains("subcircuit depth limit"), "{err}");
+        // Balanced nesting within the limit is fine (directives are
+        // otherwise skipped), and `.ends` is not mistaken for `.end`.
+        let deck = "* t\n.subckt s1 a\n.ends\n.subckt s2 b\n.ends\nr1 a 0 1k\n.end";
+        assert!(from_spice_with_limits(deck, &limits).is_ok());
+    }
+
+    #[test]
+    fn default_limits_accept_real_decks() {
+        let deck = to_spice(&rc_circuit(), "sized");
+        assert!(from_spice_with_limits(&deck, &DeckLimits::default()).is_ok());
+    }
+
+    #[test]
+    fn tokens_report_char_columns() {
+        let toks: Vec<(usize, &str)> = Tokens::new("  r1  naïve 0  1k").collect();
+        assert_eq!(toks, vec![(3, "r1"), (7, "naïve"), (13, "0"), (16, "1k")]);
+        let mut t = Tokens::new("v1 a 0 PULSE(0 1 2 3 4 5)");
+        t.next();
+        t.next();
+        t.next();
+        let (col, rest) = t.remainder();
+        assert_eq!(col, 8);
+        assert_eq!(rest, "PULSE(0 1 2 3 4 5)");
     }
 }

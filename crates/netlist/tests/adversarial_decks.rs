@@ -1,0 +1,220 @@
+//! Adversarial-deck corpus for the SPICE importer.
+//!
+//! `from_spice` sits on the service boundary: decks may come from other
+//! tools, from corrupted files or from attackers. The contract under
+//! test is uniform — **never panic, always return a spanned structured
+//! error** — over hostile inputs: pathological nesting, megabyte lines,
+//! boundary-of-UTF-8 characters, duplicate names and non-finite numbers.
+
+use clocksense_netlist::{from_spice, from_spice_with_limits, DeckLimits, NetlistError};
+use proptest::prelude::*;
+
+/// Feeds `deck` to the importer and asserts the contract: a clean parse
+/// or a spanned error, never a panic.
+fn parse_contract(deck: &str) -> Result<(), NetlistError> {
+    let result = std::panic::catch_unwind(|| from_spice(deck))
+        .unwrap_or_else(|_| panic!("from_spice panicked on {:?}", truncate(deck)));
+    if let Err(e) = &result {
+        assert!(
+            e.span().is_some(),
+            "error without span on {:?}: {e}",
+            truncate(deck)
+        );
+    }
+    result.map(|_| ())
+}
+
+fn truncate(deck: &str) -> String {
+    deck.chars().take(120).collect()
+}
+
+#[test]
+fn deep_subckt_nesting_is_rejected_with_a_span() {
+    let mut deck = String::from("* hostile nesting\n");
+    for i in 0..10_000 {
+        deck.push_str(&format!(".subckt s{i} a\n"));
+    }
+    deck.push_str(".end\n");
+    let err = parse_contract(&deck).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            NetlistError::Spanned { ref source, .. }
+                if matches!(**source, NetlistError::LimitExceeded { ref what, .. } if what == "subcircuit depth")
+        ),
+        "{err}"
+    );
+    // The span points at the directive that crossed the ceiling, which
+    // is on line depth+2 (title line + `max_subckt_depth` open frames).
+    let depth = DeckLimits::default().max_subckt_depth as u32;
+    assert_eq!(err.span().map(|s| s.line), Some(depth + 2));
+}
+
+#[test]
+fn megabyte_lines_are_rejected_cheaply_with_a_span() {
+    // One million characters on one card: rejected by the line-length
+    // ceiling with a *bounded* excerpt, not echoed back wholesale.
+    let deck = format!("* t\nr1 a 0 1{}\n.end\n", "0".repeat(1_000_000));
+    let err = parse_contract(&deck).unwrap_err();
+    assert!(err.to_string().contains("line length limit"), "{err}");
+    let span = err.span().unwrap();
+    assert_eq!(span.line, 2);
+    assert!(span.excerpt.chars().count() <= 64, "excerpt is bounded");
+    // The rendered message stays loggable.
+    assert!(err.to_string().len() < 256);
+}
+
+#[test]
+fn non_utf8_adjacent_characters_never_panic_the_parser() {
+    // Characters straddling UTF-8 encoding boundaries: BOM, NEL, the
+    // replacement character, max BMP, astral plane, combining marks and
+    // C0/C1 controls. Rust strings keep them valid; the parser's column
+    // arithmetic must never slice inside one.
+    let nasties = [
+        "\u{FEFF}",
+        "\u{0085}",
+        "\u{FFFD}",
+        "\u{FFFF}",
+        "\u{10FFFF}",
+        "e\u{0301}",
+        "\u{007F}",
+        "\u{009F}",
+        "\u{2028}",
+        "\u{2029}",
+    ];
+    for n in nasties {
+        // As a node name, a device name, a value and stray trailing text.
+        let decks = [
+            format!("* t\nr1 {n} 0 1k\n.end\n"),
+            format!("* t\nr{n} a 0 1k\n.end\n"),
+            format!("* t\nr1 a 0 {n}\n.end\n"),
+            format!("* t\nr1 a 0 1k {n}\n.end\n"),
+            format!("* t\n{n}r1 a 0 1k\n.end\n"),
+        ];
+        for deck in &decks {
+            let _ = parse_contract(deck);
+        }
+    }
+    // A multi-byte node name parses and errors past it still report
+    // char-accurate columns.
+    let err = parse_contract("* t\nr1 naïve 0 zz\n.end\n").unwrap_err();
+    assert_eq!(err.span().map(|s| (s.line, s.column)), Some((2, 12)));
+}
+
+#[test]
+fn duplicate_device_names_error_with_the_second_card_span() {
+    let err = parse_contract("* t\nr1 a 0 1k\nc1 a 0 1p\nr1 b 0 2k\n.end\n").unwrap_err();
+    assert!(
+        matches!(
+            err,
+            NetlistError::Spanned { ref source, .. }
+                if matches!(**source, NetlistError::DuplicateDevice(_))
+        ),
+        "{err}"
+    );
+    assert_eq!(err.span().map(|s| (s.line, s.column)), Some((4, 1)));
+}
+
+#[test]
+fn weird_numbers_are_spanned_errors_or_clean_parses() {
+    // Overflow-to-infinity, spelled infinities and NaNs are structured
+    // errors pointing at the value token; negative zero is a number (the
+    // builder then rejects a non-positive resistance, still spanned).
+    for bad in ["1e999", "-1e999", "inf", "-inf", "nan", "NaN", "1e"] {
+        let deck = format!("* t\nr1 a 0 {bad}\n.end\n");
+        let err = parse_contract(&deck).unwrap_err();
+        assert_eq!(
+            err.span().map(|s| (s.line, s.column)),
+            Some((2, 8)),
+            "{bad}: {err}"
+        );
+    }
+    let err = parse_contract("* t\nr1 a 0 -0\n.end\n").unwrap_err();
+    assert!(
+        matches!(
+            err,
+            NetlistError::Spanned { ref source, .. }
+                if matches!(**source, NetlistError::InvalidValue { .. })
+        ),
+        "{err}"
+    );
+    // A capacitor accepts -0 no better (non-positive capacitance).
+    assert!(parse_contract("* t\nc1 a 0 -0\n.end\n").is_err());
+}
+
+#[test]
+fn truncated_and_shuffled_cards_never_panic() {
+    // Every prefix of a valid deck (cut at char boundaries) parses or
+    // errors with a span; so do its lines in reverse order.
+    let deck = "* t\nv1 a 0 PULSE(0 5 1n 200p 200p 2n 10n)\nr1 a b 1k\n\
+                m1 b g 0 0 mod_m W=2u L=1u\n.model mod_m NMOS (LEVEL=1 VTO=0.5 KP=100u)\n.end\n";
+    let mut cut = String::new();
+    for c in deck.chars() {
+        let _ = parse_contract(&cut);
+        cut.push(c);
+    }
+    let reversed: Vec<&str> = deck.lines().rev().collect();
+    let _ = parse_contract(&reversed.join("\n"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 192, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_printable_decks_uphold_the_contract(
+        lines in prop::collection::vec(
+            prop::collection::vec(0u8..96, 0..40),
+            0..12,
+        ),
+    ) {
+        // Bytes 0x20..0x7F plus '\t' — the printable ASCII space the
+        // tokenizer actually dispatches on, where the parser's branches
+        // live. (Multi-byte chars get their own corpus test above.)
+        let deck: String = lines
+            .iter()
+            .map(|l| {
+                l.iter()
+                    .map(|&b| if b == 95 { '\t' } else { (b + 0x20) as char })
+                    .collect::<String>()
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let result = std::panic::catch_unwind(|| from_spice(&deck));
+        let result = match result {
+            Ok(r) => r,
+            Err(_) => return Err(TestCaseError::fail(format!("panicked on {deck:?}"))),
+        };
+        if let Err(e) = result {
+            prop_assert!(e.span().is_some(), "unspanned error {e} on {deck:?}");
+        }
+    }
+
+    #[test]
+    fn random_decks_respect_tight_limits(
+        devices in prop::collection::vec((0u8..4, 0u32..40, 0u32..40), 1..32),
+    ) {
+        // Structured random decks against deliberately tiny ceilings:
+        // whatever happens, no panic, and limit errors carry spans.
+        let limits = DeckLimits {
+            max_nodes: 6,
+            max_devices: 8,
+            max_line_chars: 80,
+            max_subckt_depth: 2,
+        };
+        let mut deck = String::from("* fuzz\n");
+        for (i, &(kind, a, b)) in devices.iter().enumerate() {
+            let card = match kind {
+                0 => format!("r{i} n{a} n{b} 1k"),
+                1 => format!("c{i} n{a} n{b} 1p"),
+                2 => format!("v{i} n{a} n{b} DC 1"),
+                _ => format!("i{i} n{a} n{b} DC 1m"),
+            };
+            deck.push_str(&card);
+            deck.push('\n');
+        }
+        deck.push_str(".end\n");
+        if let Err(e) = from_spice_with_limits(&deck, &limits) {
+            prop_assert!(e.span().is_some(), "unspanned error {e}");
+        }
+    }
+}

@@ -1116,7 +1116,7 @@ impl LaneBlock {
         for (k, f) in cap_farads.iter_mut().enumerate() {
             *f = src(k % L).sys.capacitors[k / L].farads;
         }
-        LaneBlock {
+        let mut block = LaneBlock {
             base,
             width,
             vals: vec![0.0; nnz * L],
@@ -1137,6 +1137,31 @@ impl LaneBlock {
             st_i: vec![0.0; n_caps * L],
             comp_geq: vec![0.0; n_caps * L],
             comp_ieq: vec![0.0; n_caps * L],
+        };
+        // Chaos hook: an armed plan may overwrite one gathered device
+        // value of a single lane with NaN/Inf. The lane's own Newton or
+        // linear walk must then fail with a structured error and drop
+        // out, while the masked sweeps keep every other lane's
+        // arithmetic untouched — the no-cross-lane-contamination
+        // invariant the torture harness verifies.
+        if let Some((lane, poison)) = clocksense_chaos::lane_poison_hook(block.width) {
+            block.poison_lane(lane, poison);
+        }
+        block
+    }
+
+    /// Overwrites one gathered device value of `lane` with `poison`:
+    /// the first varying resistor's conductance when one exists, else
+    /// the first capacitor's farads (both the delta-stamp array and the
+    /// interleaved integration copy, which must stay consistent).
+    fn poison_lane(&mut self, lane: usize, poison: f64) {
+        if let Some(g) = self.res_g.first_mut() {
+            g[lane] = poison;
+        } else if !self.cap_farads.is_empty() {
+            if let Some(f) = self.cap_f.first_mut() {
+                f[lane] = poison;
+            }
+            self.cap_farads[lane] = poison;
         }
     }
 

@@ -1,0 +1,118 @@
+//! Chaos lane poisoning against the batched SoA kernel: one lane's
+//! device value is overwritten with NaN/Inf mid-pack, and the poisoned
+//! variant must drop out with a structured error and re-run scalar
+//! while its seven batchmates stay bit-for-bit uncontaminated.
+//!
+//! These tests arm process-global chaos plans, so they live in their own
+//! test binary and serialise on a local mutex.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use clocksense_chaos::{ChaosPlan, Injection};
+use clocksense_netlist::{Circuit, SourceWave, GROUND};
+use clocksense_spice::{transient_batch, SimOptions, SolverKind, SymbolicCache};
+
+fn gate() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn divider(ohms: f64) -> Circuit {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let b = ckt.node("b");
+    ckt.add_vsource(
+        "v",
+        a,
+        GROUND,
+        SourceWave::Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: 10e-12,
+            rise: 50e-12,
+            fall: 50e-12,
+            width: 400e-12,
+            period: f64::INFINITY,
+        },
+    )
+    .unwrap();
+    ckt.add_resistor("r1", a, b, ohms).unwrap();
+    ckt.add_resistor("r2", b, GROUND, 1_000.0).unwrap();
+    ckt.add_capacitor("c", b, GROUND, 1e-13).unwrap();
+    ckt
+}
+
+fn opts() -> SimOptions {
+    SimOptions {
+        solver: SolverKind::Sparse,
+        batch: 8,
+        ..SimOptions::default()
+    }
+}
+
+fn final_voltages(circuits: &[Circuit], opts: &SimOptions) -> Vec<Vec<f64>> {
+    let cache = SymbolicCache::new();
+    transient_batch(circuits, 1e-9, opts, &cache)
+        .into_iter()
+        .map(|r| {
+            let r = r.expect("variant must complete (scalar rescue included)");
+            r.waveform_named("b").unwrap().values().to_vec()
+        })
+        .collect()
+}
+
+#[test]
+fn poisoned_lane_drops_to_scalar_and_batchmates_stay_clean() {
+    let _gate = gate();
+    let circuits: Vec<Circuit> = (0..8).map(|i| divider(500.0 + 100.0 * i as f64)).collect();
+    let opts = opts();
+    let clean = final_voltages(&circuits, &opts);
+
+    for (seed, infinity) in [(31u64, false), (32u64, true)] {
+        let guard = ChaosPlan::new(seed)
+            .with(Injection::LanePoison { lane: 3, infinity })
+            .arm_scoped();
+        let poisoned = final_voltages(&circuits, &opts);
+        let summary = guard.disarm();
+        assert_eq!(summary.fired, 1, "the poison must actually land");
+
+        // Every variant — including the poisoned one, which must have
+        // dropped out and been re-run scalar on its (healthy) circuit —
+        // matches the clean run. Batchmates share no arithmetic with
+        // the poisoned lane, so any drift here is cross-lane
+        // contamination.
+        for (v, (got, want)) in poisoned.iter().zip(&clean).enumerate() {
+            assert_eq!(got.len(), want.len(), "variant {v} grid changed");
+            for (a, b) in got.iter().zip(want) {
+                assert!(
+                    (a - b).abs() <= 1e-9,
+                    "variant {v} drifted: {a} vs {b} (infinity={infinity})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lane_poison_fires_on_the_first_block_only() {
+    let _gate = gate();
+    // 16 variants = two lane blocks; the injection hits block 0 and the
+    // second block must march clean.
+    let circuits: Vec<Circuit> = (0..16).map(|i| divider(500.0 + 50.0 * i as f64)).collect();
+    let opts = opts();
+    let clean = final_voltages(&circuits, &opts);
+
+    let guard = ChaosPlan::new(33)
+        .with(Injection::LanePoison {
+            lane: 0,
+            infinity: false,
+        })
+        .arm_scoped();
+    let poisoned = final_voltages(&circuits, &opts);
+    assert_eq!(guard.disarm().fired, 1);
+    for (v, (got, want)) in poisoned.iter().zip(&clean).enumerate() {
+        for (a, b) in got.iter().zip(want) {
+            assert!((a - b).abs() <= 1e-9, "variant {v} drifted");
+        }
+    }
+}

@@ -56,6 +56,14 @@ emit a well-formed report, whatever its numbers are. Checks:
     zero generator-margin violations; dirty_stimulus must have landed
     every rendered dirty edge on the transient grid
     (edges_on_grid == edges_total) and detected at least one cycle;
+  * optionally (--chaos) the chaos-injection accounting is coherent:
+    every planned injection either fired or was suppressed
+    (chaos.injections_planned == fired + suppressed), at least one
+    schedule ran (chaos_torture.schedules_total >= 1), and every
+    durability invariant held — zero lost or duplicated verdicts, zero
+    silent verdict flips, zero non-byte-identical resumes, zero
+    cross-lane contaminations (structured degradations are fine; a
+    chaos run that loses a verdict or flips one silently is not);
   * optionally (--min-counter NAME:VALUE, repeatable) a named counter
     is present and at least VALUE — e.g. the archived mesh_array run
     must keep mesh_array.grid_nodes_total >= 1000;
@@ -155,6 +163,12 @@ def main() -> None:
         action="store_true",
         help="require coherent scenario-workload accounting (dispatched "
         "on meta.bench: mesh_array, two_phase_gen or dirty_stimulus)",
+    )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="require coherent chaos-injection accounting and zero "
+        "durability violations",
     )
     parser.add_argument(
         "--min-counter",
@@ -432,6 +446,46 @@ def main() -> None:
             need("dirty_stimulus.cycles_detected")
         else:
             fail(f"--scenarios: unknown scenario bench {bench!r}")
+
+    if args.chaos:
+        counters = report["counters"]
+        for name in (
+            "chaos.injections_planned",
+            "chaos.injections_fired",
+            "chaos.injections_suppressed",
+            "chaos_torture.schedules_total",
+            "chaos_torture.verdicts_lost",
+            "chaos_torture.verdicts_duplicated",
+            "chaos_torture.verdict_flips",
+            "chaos_torture.resume_mismatches",
+            "chaos_torture.lane_contaminations",
+        ):
+            if name not in counters:
+                fail(f"chaos-gate counter {name!r} missing")
+        planned = counters["chaos.injections_planned"]
+        fired = counters["chaos.injections_fired"]
+        suppressed = counters["chaos.injections_suppressed"]
+        if fired + suppressed != planned:
+            fail(
+                f"chaos accounting leaks: injections_fired ({fired}) + "
+                f"injections_suppressed ({suppressed}) != "
+                f"injections_planned ({planned})"
+            )
+        if counters["chaos_torture.schedules_total"] < 1:
+            fail("chaos_torture.schedules_total must be >= 1: no schedules ran")
+        for name in (
+            "chaos_torture.verdicts_lost",
+            "chaos_torture.verdicts_duplicated",
+            "chaos_torture.verdict_flips",
+            "chaos_torture.resume_mismatches",
+            "chaos_torture.lane_contaminations",
+        ):
+            value = counters[name]
+            if value != 0:
+                fail(
+                    f"{name} = {value}: a durability contract broke "
+                    "under chaos"
+                )
 
     for spec in args.min_counter:
         name, sep, minimum = spec.rpartition(":")
